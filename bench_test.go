@@ -1,0 +1,522 @@
+// Benchmarks regenerating the paper's evaluation artifacts (see DESIGN.md
+// §5 for the experiment index and EXPERIMENTS.md for recorded results):
+//
+//	BenchmarkNaiveVsCore        — E7: the headline 2^{|E|} vs 2^{α|E|} claim
+//	BenchmarkBridge             — E2: Eq. 1 on the Fig. 2 bridge graph
+//	BenchmarkAssignments        — E3: assignment enumeration (Example 1)
+//	BenchmarkFigure4            — E4: the two-bottleneck worked example
+//	BenchmarkSimulator          — E10: streaming-session throughput
+//	BenchmarkChain              — E11: single-cut vs multi-cut chains
+//	BenchmarkMulticast          — E12: all-subscribers reliability
+//	BenchmarkChurnTransform     — E13: node splitting + solve
+//	BenchmarkPolynomial         — E14: R(p) computation and evaluation
+//	BenchmarkRiskGroups         — E15: shared-risk conditioning
+//	BenchmarkImportance         — E16: Birnbaum ranking
+//	BenchmarkContinuousSim      — E17: event-driven renewal simulation
+//	BenchmarkAccumulation       — A1: direct subset scan vs zeta transform
+//	BenchmarkSideArrays         — A2: recompute vs Gray-code construction
+//	BenchmarkEngines            — A3: all exact engines on one instance
+//	BenchmarkMonteCarlo         — A4: sampling throughput
+//	BenchmarkReduce             — A5: exact preprocessing
+//	BenchmarkMostProbableStates — A6: certified bounds per failure budget
+//	BenchmarkDistribution       — E9: deliverable-rate distribution
+//	BenchmarkBottleneckSearch   — cut discovery preprocessing
+package flowrel
+
+import (
+	"fmt"
+	"testing"
+
+	"flowrel/internal/assign"
+	"flowrel/internal/chain"
+	"flowrel/internal/churn"
+	"flowrel/internal/core"
+	"flowrel/internal/dist"
+	"flowrel/internal/multicast"
+	"flowrel/internal/overlay"
+	"flowrel/internal/poly"
+	"flowrel/internal/reduce"
+	"flowrel/internal/reliability"
+	"flowrel/internal/sim"
+	"flowrel/internal/srlg"
+)
+
+// clusteredInstance builds the E7 workload: two clusters of the given side
+// size joined by two bottleneck links, demand d=2.
+func clusteredInstance(b *testing.B, side int) (*Graph, Demand, []EdgeID) {
+	b.Helper()
+	o, err := overlay.Clustered(side, side+3, 2, 2, 2, 0.1, int64(side))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return o.G, o.Demand(o.Peers[len(o.Peers)-1]), o.Bottleneck
+}
+
+// BenchmarkNaiveVsCore is experiment E7: the same instances solved by the
+// naive 2^{|E|} enumeration and the proposed 2^{α|E|} decomposition.
+func BenchmarkNaiveVsCore(b *testing.B) {
+	for _, side := range []int{4, 6, 8} {
+		g, dem, cut := clusteredInstance(b, side)
+		b.Run(fmt.Sprintf("naive/E=%d", g.NumEdges()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := reliability.Naive(g, dem, reliability.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("core/E=%d", g.NumEdges()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Reliability(g, dem, core.Options{Bottleneck: cut}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// Beyond naive's reach: core alone keeps scaling (larger sides).
+	for _, side := range []int{10, 12} {
+		g, dem, cut := clusteredInstance(b, side)
+		b.Run(fmt.Sprintf("core/E=%d", g.NumEdges()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Reliability(g, dem, core.Options{Bottleneck: cut}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBridge is experiment E2: the k=1 decomposition (Eq. 1) on the
+// Fig. 2 bridge graph versus naive enumeration of the whole graph.
+func BenchmarkBridge(b *testing.B) {
+	o := overlay.Figure2()
+	dem := o.Demand(o.Peers[len(o.Peers)-1])
+	b.Run("core-eq1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Reliability(o.G, dem, core.Options{Bottleneck: o.Bottleneck}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := reliability.Naive(o.G, dem, reliability.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAssignments is experiment E3: enumerating the assignment family
+// of Example 1 (d=5, caps (3,3,3) → 12 assignments) and larger ones.
+func BenchmarkAssignments(b *testing.B) {
+	cases := []struct {
+		caps []int
+		d    int
+	}{
+		{[]int{3, 3, 3}, 5},
+		{[]int{4, 4, 4}, 7},
+		{[]int{3, 3, 3, 3}, 6},
+	}
+	for _, c := range cases {
+		b.Run(fmt.Sprintf("d=%d,k=%d", c.d, len(c.caps)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := assign.Enumerate(c.caps, c.d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure4 is experiment E4: the full decomposition on the paper's
+// two-bottleneck worked example.
+func BenchmarkFigure4(b *testing.B) {
+	o := overlay.Figure4()
+	dem := o.Demand(o.Peers[0])
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Reliability(o.G, dem, core.Options{Bottleneck: o.Bottleneck}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// accumulationInstance builds a fixed two-cluster graph with three
+// capacity-capE bottleneck links (Example 1's parameters give |𝒟| = 12 at
+// d=5, capE=3) and 10 links per side, so the accumulation stage carries
+// real weight.
+func accumulationInstance(d, capE int) (*Graph, Demand, []EdgeID) {
+	b := NewBuilder()
+	s := b.AddNamedNode("s")
+	a := b.AddNode()
+	c := b.AddNode()
+	var x, y [3]NodeID
+	for i := range x {
+		x[i] = b.AddNode()
+	}
+	for i := range y {
+		y[i] = b.AddNode()
+	}
+	e := b.AddNode()
+	f := b.AddNode()
+	t := b.AddNamedNode("t")
+	big := d + capE
+	const p = 0.1
+	b.AddEdge(s, a, big, p)
+	b.AddEdge(s, c, big, p)
+	b.AddEdge(s, x[0], capE, p)
+	b.AddEdge(a, x[0], capE, p)
+	b.AddEdge(a, x[1], capE, p)
+	b.AddEdge(c, x[1], capE, p)
+	b.AddEdge(c, x[2], capE, p)
+	b.AddEdge(s, x[2], capE, p)
+	b.AddEdge(a, c, capE, p)
+	b.AddEdge(c, x[0], capE, p)
+	var cut []EdgeID
+	for i := range x {
+		cut = append(cut, b.AddEdge(x[i], y[i], capE, 0.05))
+	}
+	b.AddEdge(y[0], e, capE, p)
+	b.AddEdge(y[0], t, capE, p)
+	b.AddEdge(y[1], e, capE, p)
+	b.AddEdge(y[1], f, capE, p)
+	b.AddEdge(y[2], f, capE, p)
+	b.AddEdge(y[2], t, capE, p)
+	b.AddEdge(e, t, big, p)
+	b.AddEdge(f, t, big, p)
+	b.AddEdge(e, f, capE, p)
+	b.AddEdge(y[0], f, capE, p)
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g, Demand{S: s, T: t, D: d}, cut
+}
+
+// BenchmarkAccumulation is ablation A1: the paper-literal subset scan
+// (Θ(2^{|𝒟|}·2^{|E_side|})) vs the zeta-transform aggregation
+// (Θ(|𝒟|·2^{|𝒟|} + 2^{|E_side|})), at |𝒟| = 12 and |𝒟| = 18.
+func BenchmarkAccumulation(b *testing.B) {
+	for _, dc := range [][2]int{{5, 3}, {7, 4}} {
+		g, dem, cut := accumulationInstance(dc[0], dc[1])
+		for _, acc := range []struct {
+			name string
+			a    core.Accumulation
+		}{{"direct", core.AccumDirect}, {"zeta", core.AccumZeta}} {
+			b.Run(fmt.Sprintf("%s/d=%d", acc.name, dc[0]), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := core.Reliability(g, dem, core.Options{
+						Bottleneck: cut, Accum: acc.a, MaxAssignmentSet: 62,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSideArrays is ablation A2: per-configuration recompute vs
+// Gray-code incremental max-flow maintenance.
+func BenchmarkSideArrays(b *testing.B) {
+	g, dem, cut := clusteredInstanceB(b, 9)
+	for _, side := range []struct {
+		name string
+		s    core.SideEngine
+	}{{"recompute", core.SideRecompute}, {"graycode", core.SideGrayCode}} {
+		b.Run(side.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Reliability(g, dem, core.Options{
+					Bottleneck: cut, Side: side.s,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func clusteredInstanceB(b *testing.B, side int) (*Graph, Demand, []EdgeID) {
+	b.Helper()
+	o, err := overlay.Clustered(side, side+4, 2, 2, 2, 0.1, int64(side))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return o.G, o.Demand(o.Peers[len(o.Peers)-1]), o.Bottleneck
+}
+
+// BenchmarkEngines is ablation A3: every exact engine on one 20-link
+// instance.
+func BenchmarkEngines(b *testing.B) {
+	g, dem, cut := clusteredInstance(b, 6)
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := reliability.Naive(g, dem, reliability.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive-gray", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := reliability.Naive(g, dem, reliability.Options{GrayCode: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("factoring", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := reliability.Factoring(g, dem, reliability.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("core", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Reliability(g, dem, core.Options{Bottleneck: cut}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bounds", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := reliability.Bounds(g, dem, 3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMonteCarlo is ablation A4: sampling throughput (one op = 10 000
+// samples).
+func BenchmarkMonteCarlo(b *testing.B) {
+	o := overlay.Figure4()
+	dem := o.Demand(o.Peers[0])
+	for i := 0; i < b.N; i++ {
+		if _, err := reliability.MonteCarlo(o.G, dem, 10000, int64(i), reliability.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulator is experiment E10: streaming-session throughput (one
+// op = 10 000 sessions).
+func BenchmarkSimulator(b *testing.B) {
+	o := overlay.Figure4()
+	dem := o.Demand(o.Peers[0])
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(o.G, dem, sim.Config{Sessions: 10000, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBottleneckSearch measures minimal-cut enumeration and the
+// α-bottleneck selection (the preprocessing the paper assumes given).
+func BenchmarkBottleneckSearch(b *testing.B) {
+	g, dem, _ := clusteredInstance(b, 8)
+	for i := 0; i < b.N; i++ {
+		if _, err := FindBottleneck(g, dem.S, dem.T, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChain is experiment E11: single-cut core vs the multi-cut chain
+// solver on delivery chains of growing length.
+func BenchmarkChain(b *testing.B) {
+	for _, blocks := range []int{3, 4, 5} {
+		o, cuts, err := overlay.Chain(blocks, 3, 2, 2, 2, 2, 0.1, int64(blocks))
+		if err != nil {
+			b.Fatal(err)
+		}
+		dem := o.Demand(o.Peers[len(o.Peers)-1])
+		b.Run(fmt.Sprintf("chain/blocks=%d", blocks), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := chain.Solve(o.G, dem, cuts, chain.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if blocks <= 4 {
+			b.Run(fmt.Sprintf("core/blocks=%d", blocks), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := core.Reliability(o.G, dem, core.Options{Bottleneck: cuts[0], MaxSideEdges: 40}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkReduce is ablation A5: the exact preprocessing pass itself and
+// its effect on a downstream factoring solve.
+func BenchmarkReduce(b *testing.B) {
+	o, err := overlay.MultiTree(12, 3, 2, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dem := o.Demand(o.Peers[len(o.Peers)-1])
+	b.Run("apply", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := reduce.Apply(o.G, dem); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("factoring-direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := reliability.Factoring(o.G, dem, reliability.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	red, err := reduce.Apply(o.G, dem)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("factoring-reduced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := reliability.Factoring(red.G, red.Demand, reliability.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMostProbableStates is ablation A6: certified bounds from
+// bounded failure layers.
+func BenchmarkMostProbableStates(b *testing.B) {
+	g, dem, _ := clusteredInstance(b, 10)
+	for _, budget := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("L=%d", budget), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := reliability.MostProbableStates(g, dem, budget); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPolynomial is experiment E14: one enumeration yields the whole
+// R(p) curve; evaluations afterwards are nearly free.
+func BenchmarkPolynomial(b *testing.B) {
+	o := overlay.Figure2()
+	dem := o.Demand(o.Peers[len(o.Peers)-1])
+	b.Run("compute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := poly.Compute(o.G, dem, reliability.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	P, err := poly.Compute(o.G, dem, reliability.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("eval", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			P.Eval(0.1)
+		}
+	})
+}
+
+// BenchmarkMulticast is experiment E12: all-subscribers reliability.
+func BenchmarkMulticast(b *testing.B) {
+	o, err := overlay.MultiTree(8, 2, 2, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := multicast.Naive(o.G, o.Source, o.Peers, 2, reliability.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkContinuousSim is experiment E17: event-driven renewal
+// simulation throughput (one op = horizon 1000 on the Fig. 2 graph).
+func BenchmarkContinuousSim(b *testing.B) {
+	o := overlay.Figure2()
+	dem := o.Demand(o.Peers[len(o.Peers)-1])
+	dyn := sim.UniformDynamics(o.G, 20, 3)
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Continuous(o.G, dem, sim.ContinuousConfig{
+			Dynamics: dyn, Horizon: 1000, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkImportance is experiment E16: the full Birnbaum ranking
+// (2|E| conditional factoring solves).
+func BenchmarkImportance(b *testing.B) {
+	g, dem, _ := clusteredInstance(b, 5)
+	for i := 0; i < b.N; i++ {
+		if _, err := reliability.BirnbaumImportance(g, dem, reliability.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRiskGroups is experiment E15: conditioning on shared-risk
+// group states.
+func BenchmarkRiskGroups(b *testing.B) {
+	o, err := overlay.Clustered(5, 8, 2, 1, 2, 0.05, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dem := o.Demand(o.Peers[len(o.Peers)-1])
+	groups := []srlg.Group{{PFail: 0.05, Links: o.Bottleneck}}
+	for i := 0; i < b.N; i++ {
+		if _, err := srlg.Reliability(o.G, dem, groups, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChurnTransform is experiment E13: node splitting plus a solve.
+func BenchmarkChurnTransform(b *testing.B) {
+	o, err := overlay.MultiTree(10, 2, 2, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	deep := o.Peers[len(o.Peers)-1]
+	var peers []churn.Peer
+	for _, p := range o.Peers {
+		if p != deep {
+			peers = append(peers, churn.Peer{Node: p, PFail: 0.05})
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		inst, err := churn.Transform(o.G, o.Demand(deep), peers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := reliability.Factoring(inst.G, inst.Demand, reliability.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDistribution measures the deliverable-rate distribution engines
+// (E9's partial-delivery metrics come from these).
+func BenchmarkDistribution(b *testing.B) {
+	o := overlay.Figure4()
+	dem := o.Demand(o.Peers[0])
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dist.Exact(o.G, dem, reliability.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("factored", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dist.Factored(o.G, dem, reliability.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+// TestCheapExperimentsRun smoke-tests the experiments that finish in
+// milliseconds (the paper's worked examples); any internal disagreement in
+// them panics via must or prints MISMATCH, and regressions in the heavier
+// experiments are covered by the unit and property tests of the packages
+// they exercise.
+func TestCheapExperimentsRun(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"E1": e1, "E2": e2, "E3": e3, "E4": e4, "E5": e5, "E6": e6,
+		"E8": e8, "E12": e12, "E13": e13, "E14": e14, "E15": e15, "E16": e16, "E17": e17,
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("experiment %s panicked: %v", name, r)
+				}
+			}()
+			fn()
+		})
+	}
+}

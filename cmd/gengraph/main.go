@@ -1,0 +1,86 @@
+// Command gengraph emits P2P streaming overlay graphs in the flowrel text
+// format, with a demand line, ready for relcalc.
+//
+// Usage:
+//
+//	gengraph -type tree -fanout 2 -depth 3 -d 2
+//	gengraph -type multitree -peers 12 -trees 3
+//	gengraph -type mesh -peers 20 -indeg 3 -d 2
+//	gengraph -type clustered -nodes 5 -edges 8 -k 2 -d 2
+//	gengraph -type chain -blocks 4 -nodes 3 -k 2
+//	gengraph -type figure2
+//	gengraph -type figure4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"flowrel"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gengraph:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("gengraph", flag.ContinueOnError)
+	var (
+		typeFlag   = fs.String("type", "clustered", "tree, multitree, mesh, clustered, chain, figure2, figure4")
+		blocksFlag = fs.Int("blocks", 3, "blocks in series (chain)")
+		fanoutFlag = fs.Int("fanout", 2, "tree/multitree fanout")
+		depthFlag  = fs.Int("depth", 3, "tree depth")
+		peersFlag  = fs.Int("peers", 12, "peer count (multitree, mesh)")
+		treesFlag  = fs.Int("trees", 3, "tree count (multitree)")
+		inDegFlag  = fs.Int("indeg", 3, "in-degree (mesh)")
+		nodesFlag  = fs.Int("nodes", 5, "nodes per cluster/block (clustered, chain)")
+		edgesFlag  = fs.Int("edges", 8, "links per cluster (clustered)")
+		kFlag      = fs.Int("k", 2, "bottleneck links (clustered, chain)")
+		dFlag      = fs.Int("d", 2, "demand bit-rate")
+		capFlag    = fs.Int("cap", 2, "max link capacity (mesh, clustered, chain)")
+		pFlag      = fs.Float64("p", 0.1, "link failure probability")
+		seedFlag   = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var o *flowrel.Overlay
+	var err error
+	switch *typeFlag {
+	case "tree":
+		o, err = flowrel.TreeOverlay(*fanoutFlag, *depthFlag, *dFlag, *pFlag)
+	case "multitree":
+		o, err = flowrel.MultiTreeOverlay(*peersFlag, *treesFlag, *fanoutFlag, *pFlag)
+	case "mesh":
+		o, err = flowrel.MeshOverlay(*peersFlag, *inDegFlag, *capFlag, *dFlag, *pFlag, *seedFlag)
+	case "clustered":
+		o, err = flowrel.ClusteredOverlay(*nodesFlag, *edgesFlag, *kFlag, *dFlag, *capFlag, *pFlag, *seedFlag)
+	case "chain":
+		var cuts [][]flowrel.EdgeID
+		o, cuts, err = flowrel.ChainOverlay(*blocksFlag, *nodesFlag, 2, *kFlag, *dFlag, *capFlag, *pFlag, *seedFlag)
+		if err == nil {
+			fmt.Fprintf(stdout, "# planted cut sequence: %v\n", cuts)
+		}
+	case "figure2":
+		o = flowrel.Figure2Overlay()
+	case "figure4":
+		o = flowrel.Figure4Overlay()
+	default:
+		return fmt.Errorf("unknown overlay type %q", *typeFlag)
+	}
+	if err != nil {
+		return err
+	}
+	dem := o.Demand(o.Peers[len(o.Peers)-1])
+	file := &flowrel.File{Graph: o.G, Demand: &dem}
+	if len(o.Bottleneck) > 0 {
+		fmt.Fprintf(stdout, "# planted bottleneck links: %v\n", o.Bottleneck)
+	}
+	return file.WriteText(stdout)
+}

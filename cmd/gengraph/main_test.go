@@ -1,0 +1,92 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"flowrel"
+)
+
+func gen(t *testing.T, args ...string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return out.String()
+}
+
+// parseBack round-trips the generated description through the parser.
+func parseBack(t *testing.T, text string) *flowrel.File {
+	t.Helper()
+	f, err := flowrel.ParseTextString(text)
+	if err != nil {
+		t.Fatalf("generated description does not parse: %v\n%s", err, text)
+	}
+	if f.Demand == nil {
+		t.Fatal("generated description has no demand")
+	}
+	return f
+}
+
+func TestAllTypesGenerateValidDescriptions(t *testing.T) {
+	cases := map[string][]string{
+		"tree":      {"-type", "tree", "-fanout", "2", "-depth", "2", "-d", "1"},
+		"multitree": {"-type", "multitree", "-peers", "6", "-trees", "2"},
+		"mesh":      {"-type", "mesh", "-peers", "8", "-indeg", "2"},
+		"clustered": {"-type", "clustered", "-nodes", "4", "-edges", "6"},
+		"chain":     {"-type", "chain", "-blocks", "3", "-nodes", "2"},
+		"figure2":   {"-type", "figure2"},
+		"figure4":   {"-type", "figure4"},
+	}
+	for name, args := range cases {
+		out := gen(t, args...)
+		f := parseBack(t, out)
+		if f.Graph.NumEdges() == 0 {
+			t.Errorf("%s: empty graph", name)
+		}
+		// Every generated instance must be solvable end to end.
+		if _, err := flowrel.MonteCarlo(f.Graph, *f.Demand, 100, 1); err != nil {
+			t.Errorf("%s: unsolvable: %v", name, err)
+		}
+	}
+}
+
+func TestChainEmitsCutComment(t *testing.T) {
+	out := gen(t, "-type", "chain", "-blocks", "3", "-nodes", "2")
+	if !strings.Contains(out, "# planted cut sequence:") {
+		t.Fatalf("missing cut comment:\n%s", out)
+	}
+}
+
+func TestClusteredEmitsBottleneckComment(t *testing.T) {
+	out := gen(t, "-type", "clustered")
+	if !strings.Contains(out, "# planted bottleneck links:") {
+		t.Fatalf("missing bottleneck comment:\n%s", out)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a := gen(t, "-type", "mesh", "-seed", "7")
+	b := gen(t, "-type", "mesh", "-seed", "7")
+	c := gen(t, "-type", "mesh", "-seed", "8")
+	if a != b {
+		t.Fatal("same seed produced different graphs")
+	}
+	if a == c {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-type", "nope"}, &out); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+	if err := run([]string{"-type", "tree", "-fanout", "0"}, &out); err == nil {
+		t.Fatal("bad params accepted")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

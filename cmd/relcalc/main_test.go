@@ -1,0 +1,162 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const figure2Text = `
+node s
+node t
+edge s a 1 0.10
+edge s b 1 0.10
+edge a x 1 0.10
+edge b x 1 0.10
+edge x y 1 0.05
+edge y c 1 0.10
+edge y d 1 0.10
+edge c t 1 0.10
+edge d t 1 0.10
+demand s t 1
+`
+
+func runCLI(t *testing.T, args []string, stdin string) (string, error) {
+	t.Helper()
+	var out strings.Builder
+	err := run(args, strings.NewReader(stdin), &out)
+	return out.String(), err
+}
+
+func TestEnginesProduceSameValue(t *testing.T) {
+	want := "reliability = 0.882648049500"
+	for _, eng := range []string{"auto", "core", "naive", "naive-gray", "factoring"} {
+		out, err := runCLI(t, []string{"-engine", eng}, figure2Text)
+		if err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+		if !strings.Contains(out, want) {
+			t.Fatalf("%s output missing %q:\n%s", eng, want, out)
+		}
+	}
+}
+
+func TestExactEngine(t *testing.T) {
+	out, err := runCLI(t, []string{"-engine", "exact"}, figure2Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "exact rational") || !strings.Contains(out, "0.882648049500") {
+		t.Fatalf("output: %s", out)
+	}
+}
+
+func TestMonteCarloEngine(t *testing.T) {
+	out, err := runCLI(t, []string{"-engine", "montecarlo", "-samples", "20000"}, figure2Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "95% CI") {
+		t.Fatalf("output: %s", out)
+	}
+}
+
+func TestChainEngine(t *testing.T) {
+	out, err := runCLI(t, []string{"-engine", "chain", "-stats"}, figure2Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "engine chain") || !strings.Contains(out, "max-flow calls") {
+		t.Fatalf("output: %s", out)
+	}
+}
+
+func TestAuxiliaryOutputs(t *testing.T) {
+	out, err := runCLI(t, []string{"-bounds", "-states", "2", "-dist", "-stats", "-reduce", "-importance"}, figure2Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"bounds: [", "states(≤2 failures)", "P(rate = 1)", "reduced:", "link importance"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	out, err := runCLI(t, []string{"-json"}, figure2Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Reliability float64 `json:"reliability"`
+		Engine      string  `json:"engine"`
+		Bottleneck  *struct {
+			K int `json:"k"`
+		} `json:"bottleneck"`
+	}
+	if err := json.Unmarshal([]byte(out), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if parsed.Engine != "core" || parsed.Bottleneck == nil || parsed.Bottleneck.K != 1 {
+		t.Fatalf("parsed = %+v", parsed)
+	}
+	if diff := parsed.Reliability - 0.8826480495; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("reliability = %v", parsed.Reliability)
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	out, err := runCLI(t, []string{"-dot"}, figure2Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "digraph") || !strings.Contains(out, "color=red") {
+		t.Fatalf("DOT output: %s", out)
+	}
+}
+
+func TestDemandOverride(t *testing.T) {
+	noDemand := strings.Replace(figure2Text, "demand s t 1", "", 1)
+	if _, err := runCLI(t, nil, noDemand); err == nil {
+		t.Fatal("missing demand accepted")
+	}
+	out, err := runCLI(t, []string{"-s", "s", "-t", "t", "-d", "1"}, noDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "0.882648049500") {
+		t.Fatalf("output: %s", out)
+	}
+	if _, err := runCLI(t, []string{"-s", "nope"}, figure2Text); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+	if _, err := runCLI(t, []string{"-t", "nope"}, figure2Text); err == nil {
+		t.Fatal("unknown sink accepted")
+	}
+}
+
+func TestReadFromFile(t *testing.T) {
+	out, err := runCLI(t, []string{"../../testdata/figure4.g"}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "0.922455256860") {
+		t.Fatalf("output: %s", out)
+	}
+	if _, err := runCLI(t, []string{"/nonexistent.g"}, ""); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	if _, err := runCLI(t, []string{"-engine", "frobnicate"}, figure2Text); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	if _, err := runCLI(t, nil, "garbage input"); err == nil {
+		t.Fatal("garbage graph accepted")
+	}
+	if _, err := runCLI(t, []string{"-badflag"}, figure2Text); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,155 @@
+// Command sweep prints reliability curves as CSV, ready for gnuplot or a
+// spreadsheet — the tool behind "how does reliability degrade as links get
+// worse", the curve form of the paper's evaluation.
+//
+// Three sweep modes:
+//
+//	-mode uniform      R(p) with every link failing at probability p
+//	                   (one enumeration via the reliability polynomial,
+//	                   then free evaluations)
+//	-mode scale        every link's own probability multiplied by the
+//	                   sweep value (one exact solve per point)
+//	-mode bottleneck   only the discovered bottleneck links' probability
+//	                   set to the sweep value (one exact solve per point)
+//
+// Usage:
+//
+//	gengraph -type clustered | sweep -mode uniform -from 0 -to 0.5 -steps 20
+//	sweep -mode bottleneck network.g > curve.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"flowrel"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	var (
+		modeFlag  = fs.String("mode", "uniform", "uniform, scale, or bottleneck")
+		fromFlag  = fs.Float64("from", 0, "sweep start")
+		toFlag    = fs.Float64("to", 0.5, "sweep end")
+		stepsFlag = fs.Int("steps", 20, "number of points (≥ 2)")
+		cutFlag   = fs.Int("maxcut", 3, "bottleneck search budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *stepsFlag < 2 {
+		return fmt.Errorf("steps %d must be ≥ 2", *stepsFlag)
+	}
+	if *fromFlag < 0 || *fromFlag > *toFlag {
+		return fmt.Errorf("sweep range [%g, %g] must satisfy 0 ≤ from ≤ to", *fromFlag, *toFlag)
+	}
+	// uniform and bottleneck sweep a probability; scale sweeps a factor.
+	if *modeFlag != "scale" && *toFlag >= 1 {
+		return fmt.Errorf("mode %s sweeps a probability; to = %g must be < 1", *modeFlag, *toFlag)
+	}
+
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	file, err := flowrel.ParseText(in)
+	if err != nil {
+		return err
+	}
+	if file.Demand == nil {
+		return fmt.Errorf("the description needs a demand line")
+	}
+	g, dem := file.Graph, *file.Demand
+
+	points := make([]float64, *stepsFlag)
+	for i := range points {
+		points[i] = *fromFlag + (*toFlag-*fromFlag)*float64(i)/float64(*stepsFlag-1)
+	}
+
+	switch *modeFlag {
+	case "uniform":
+		P, err := flowrel.Polynomial(g, dem)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "p,reliability")
+		for _, p := range points {
+			fmt.Fprintf(stdout, "%.6f,%.9f\n", p, P.Eval(p))
+		}
+	case "scale":
+		fmt.Fprintln(stdout, "scale,reliability")
+		for _, sc := range points {
+			sg, err := rebuild(g, func(e flowrel.Edge) float64 {
+				p := e.PFail * sc
+				if p >= 1 {
+					p = 0.999999
+				}
+				return p
+			})
+			if err != nil {
+				return err
+			}
+			r, err := flowrel.Reliability(sg, dem)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "%.6f,%.9f\n", sc, r)
+		}
+	case "bottleneck":
+		bt, err := flowrel.FindBottleneck(g, dem.S, dem.T, *cutFlag)
+		if err != nil {
+			return err
+		}
+		inCut := map[flowrel.EdgeID]bool{}
+		for _, e := range bt.Cut {
+			inCut[e] = true
+		}
+		fmt.Fprintf(stdout, "# bottleneck links: %v\n", bt.Cut)
+		fmt.Fprintln(stdout, "p_bottleneck,reliability")
+		for _, p := range points {
+			sg, err := rebuild(g, func(e flowrel.Edge) float64 {
+				if inCut[e.ID] {
+					return p
+				}
+				return e.PFail
+			})
+			if err != nil {
+				return err
+			}
+			r, err := flowrel.Reliability(sg, dem)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "%.6f,%.9f\n", p, r)
+		}
+	default:
+		return fmt.Errorf("unknown mode %q", *modeFlag)
+	}
+	return nil
+}
+
+// rebuild copies g with each link's failure probability mapped through f.
+func rebuild(g *flowrel.Graph, f func(flowrel.Edge) float64) (*flowrel.Graph, error) {
+	b := flowrel.NewBuilder()
+	for i := 0; i < g.NumNodes(); i++ {
+		b.AddNamedNode(g.NodeName(flowrel.NodeID(i)))
+	}
+	for _, e := range g.Edges() {
+		b.AddEdge(e.U, e.V, e.Cap, f(e))
+	}
+	return b.Build()
+}

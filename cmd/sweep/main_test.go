@@ -1,0 +1,115 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+const net = `
+edge s a 1 0.1
+edge a t 1 0.1
+edge s t 1 0.2
+demand s t 1
+`
+
+func sweepCLI(t *testing.T, args []string, stdin string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := run(args, strings.NewReader(stdin), &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return out.String()
+}
+
+// parseCurve extracts (x, y) pairs from the CSV body.
+func parseCurve(t *testing.T, out string) (xs, ys []float64) {
+	t.Helper()
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") || strings.ContainsAny(line, "abcdefghijklmnopqrstuvwxyz") {
+			continue // comment or header
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 2 {
+			t.Fatalf("bad CSV line %q", line)
+		}
+		x, err1 := strconv.ParseFloat(parts[0], 64)
+		y, err2 := strconv.ParseFloat(parts[1], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("bad CSV line %q", line)
+		}
+		xs = append(xs, x)
+		ys = append(ys, y)
+	}
+	return xs, ys
+}
+
+func TestUniformSweepMonotone(t *testing.T) {
+	out := sweepCLI(t, []string{"-mode", "uniform", "-from", "0", "-to", "0.9", "-steps", "10"}, net)
+	xs, ys := parseCurve(t, out)
+	if len(xs) != 10 {
+		t.Fatalf("got %d points", len(xs))
+	}
+	if ys[0] != 1 {
+		t.Fatalf("R(0) = %g, want 1", ys[0])
+	}
+	for i := 1; i < len(ys); i++ {
+		if ys[i] > ys[i-1]+1e-12 {
+			t.Fatalf("curve not non-increasing at %d: %v", i, ys)
+		}
+	}
+}
+
+func TestScaleSweepEndpoints(t *testing.T) {
+	out := sweepCLI(t, []string{"-mode", "scale", "-from", "0", "-to", "1", "-steps", "5"}, net)
+	xs, ys := parseCurve(t, out)
+	if xs[0] != 0 || ys[0] != 1 {
+		t.Fatalf("scale 0 should be perfect: %v %v", xs[0], ys[0])
+	}
+	// scale 1 = the instance's own reliability: 1-(1-0.81)(1-0.8)=0.962.
+	if d := ys[len(ys)-1] - 0.962; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("scale 1 R = %v, want 0.962", ys[len(ys)-1])
+	}
+}
+
+func TestBottleneckSweep(t *testing.T) {
+	// Bridge network: the bottleneck sweep hits the bridge.
+	bridgeNet := "edge s m 2 0.05\nedge m t 1 0.1\nedge m t 1 0.1\ndemand s t 1\n"
+	out := sweepCLI(t, []string{"-mode", "bottleneck", "-from", "0", "-to", "0.5", "-steps", "3"}, bridgeNet)
+	// The balanced-cut search prefers the two m→t links (max side 1 link)
+	// over the bridge (max side 2 links).
+	if !strings.Contains(out, "# bottleneck links: [1 2]") {
+		t.Fatalf("expected the m→t pair discovered:\n%s", out)
+	}
+	_, ys := parseCurve(t, out)
+	// R(p) = 0.95·(1-p²): p=0 → 0.95, p=0.5 → 0.7125.
+	if d := ys[0] - 0.95; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("R at p=0: %v", ys[0])
+	}
+	if d := ys[2] - 0.7125; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("R at p=0.5: %v", ys[2])
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	var sb strings.Builder
+	for _, args := range [][]string{
+		{"-mode", "nope"},
+		{"-steps", "1"},
+		{"-from", "0.5", "-to", "0.1"},
+		{"-mode", "uniform", "-to", "1.0"},
+	} {
+		if err := run(args, strings.NewReader(net), &sb); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+	if err := run(nil, strings.NewReader("edge s t 1 0.1\n"), &sb); err == nil {
+		t.Error("missing demand accepted")
+	}
+	if err := run(nil, strings.NewReader("garbage"), &sb); err == nil {
+		t.Error("garbage accepted")
+	}
+	if err := run([]string{"/nonexistent.g"}, strings.NewReader(""), &sb); err == nil {
+		t.Error("missing file accepted")
+	}
+}

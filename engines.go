@@ -1,0 +1,277 @@
+package flowrel
+
+import (
+	"fmt"
+	"math/big"
+
+	"flowrel/internal/assign"
+	"flowrel/internal/chain"
+	"flowrel/internal/core"
+	"flowrel/internal/mincut"
+	"flowrel/internal/reduce"
+	"flowrel/internal/reliability"
+)
+
+// Assignment is one distribution of the d sub-streams over the bottleneck
+// links (§III-B of the paper).
+type Assignment = assign.Assignment
+
+// Engine selects a reliability algorithm.
+type Engine int
+
+const (
+	// EngineAuto uses the bottleneck decomposition when a small balanced
+	// minimal cut exists, then tries the chain decomposition (a sequence
+	// of cuts), and falls back to the factoring solver.
+	EngineAuto Engine = iota
+	// EngineCore is the paper's bottleneck-decomposition algorithm:
+	// O(2^{α|E|}·|V|·|E|) with a constant-size bottleneck link set.
+	EngineCore
+	// EngineNaive enumerates all 2^{|E|} failure configurations (the
+	// paper's baseline, Fig. 1).
+	EngineNaive
+	// EngineNaiveGray is EngineNaive walking the configurations in
+	// Gray-code order with incremental max-flow maintenance.
+	EngineNaiveGray
+	// EngineFactoring conditions on one link at a time with two-sided
+	// max-flow pruning (the classical exact method).
+	EngineFactoring
+	// EngineChain decomposes along a sequence of disjoint minimal cuts
+	// (the generalization of EngineCore to delivery chains); cuts are
+	// discovered automatically.
+	EngineChain
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineCore:
+		return "core"
+	case EngineNaive:
+		return "naive"
+	case EngineNaiveGray:
+		return "naive-gray"
+	case EngineFactoring:
+		return "factoring"
+	case EngineChain:
+		return "chain"
+	}
+	return fmt.Sprintf("engine(%d)", int(e))
+}
+
+// Config tunes an exact reliability computation.
+type Config struct {
+	Engine Engine
+	// Bottleneck optionally fixes the bottleneck link set for EngineCore;
+	// nil lets the solver search for the most balanced minimal cut.
+	Bottleneck []EdgeID
+	// MaxBottleneck bounds the bottleneck search (default 3).
+	MaxBottleneck int
+	// MaxSideEdges bounds the enumerated component size for EngineCore
+	// (default 20; time and memory grow as 2^{MaxSideEdges}).
+	MaxSideEdges int
+	// MaxAssignmentSet bounds the assignment family size |𝒟| for
+	// EngineCore (default 20).
+	MaxAssignmentSet int
+	// Parallelism is the worker count for the enumeration engines
+	// (≤ 0 = GOMAXPROCS).
+	Parallelism int
+	// Reduce applies the exact reliability-preserving reductions before
+	// solving. The reliability is unchanged; any link IDs in the Report
+	// (Cut, Assignments' indices) then refer to the reduced instance, so
+	// leave this off when you need them to address the original graph.
+	Reduce bool
+}
+
+// Report is the result of an exact computation.
+type Report struct {
+	Reliability float64
+	// Engine is the algorithm that actually ran (relevant for EngineAuto).
+	Engine Engine
+	// Cut, K, Alpha and Assignments describe the decomposition when
+	// EngineCore ran.
+	Cut         []EdgeID
+	K           int
+	Alpha       float64
+	Assignments []Assignment
+	// MaxFlowCalls counts max-flow solver invocations.
+	MaxFlowCalls int64
+	// Configs counts the failure configurations (or factoring branch
+	// nodes) examined.
+	Configs uint64
+}
+
+// Reliability computes the exact reliability of g with respect to dem with
+// automatic engine selection. Use Compute for control and work statistics.
+func Reliability(g *Graph, dem Demand) (float64, error) {
+	rep, err := Compute(g, dem, Config{})
+	return rep.Reliability, err
+}
+
+// Compute computes the exact reliability with the configured engine.
+func Compute(g *Graph, dem Demand, cfg Config) (Report, error) {
+	if cfg.Reduce {
+		red, err := reduce.Apply(g, dem)
+		if err != nil {
+			return Report{}, err
+		}
+		g = red.G
+		dem = red.Demand
+		cfg.Reduce = false
+		if cfg.Bottleneck != nil {
+			return Report{}, fmt.Errorf("flowrel: Reduce renumbers links; an explicit Bottleneck cannot be combined with it")
+		}
+	}
+	switch cfg.Engine {
+	case EngineAuto:
+		rep, err := computeCore(g, dem, cfg)
+		if err == nil {
+			return rep, nil
+		}
+		// A single balanced cut may not exist or may leave a side too big;
+		// a *sequence* of cuts can still decompose the graph.
+		if rep2, err2 := computeChain(g, dem, cfg); err2 == nil {
+			return rep2, nil
+		}
+		rep3, err3 := computeFactoring(g, dem, cfg)
+		if err3 != nil {
+			return Report{}, fmt.Errorf("flowrel: core engine failed (%v); factoring failed too: %w", err, err3)
+		}
+		return rep3, nil
+	case EngineCore:
+		return computeCore(g, dem, cfg)
+	case EngineChain:
+		return computeChain(g, dem, cfg)
+	case EngineNaive, EngineNaiveGray:
+		res, err := reliability.Naive(g, dem, reliability.Options{
+			Parallelism: cfg.Parallelism,
+			GrayCode:    cfg.Engine == EngineNaiveGray,
+		})
+		if err != nil {
+			return Report{}, err
+		}
+		return Report{
+			Reliability:  res.Reliability,
+			Engine:       cfg.Engine,
+			MaxFlowCalls: res.Stats.MaxFlowCalls,
+			Configs:      res.Stats.Configs,
+		}, nil
+	case EngineFactoring:
+		return computeFactoring(g, dem, cfg)
+	}
+	return Report{}, fmt.Errorf("flowrel: unknown engine %v", cfg.Engine)
+}
+
+func computeCore(g *Graph, dem Demand, cfg Config) (Report, error) {
+	res, err := core.Reliability(g, dem, core.Options{
+		Bottleneck:       cfg.Bottleneck,
+		MaxBottleneck:    cfg.MaxBottleneck,
+		MaxSideEdges:     cfg.MaxSideEdges,
+		MaxAssignmentSet: cfg.MaxAssignmentSet,
+		Parallelism:      cfg.Parallelism,
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
+		Reliability:  res.Reliability,
+		Engine:       EngineCore,
+		Cut:          res.Cut,
+		K:            res.K,
+		Alpha:        res.Alpha,
+		Assignments:  res.Assignments,
+		MaxFlowCalls: res.Stats.MaxFlowCalls,
+		Configs:      res.Stats.SideConfigs[0] + res.Stats.SideConfigs[1],
+	}, nil
+}
+
+func computeChain(g *Graph, dem Demand, cfg Config) (Report, error) {
+	maxCut := cfg.MaxBottleneck
+	if maxCut <= 0 {
+		maxCut = 3
+	}
+	cuts, err := chain.Find(g, dem, maxCut, 0)
+	if err != nil {
+		return Report{}, err
+	}
+	res, err := chain.Solve(g, dem, cuts, chain.Options{
+		MaxSegmentEdges:  cfg.MaxSideEdges,
+		MaxAssignmentSet: cfg.MaxAssignmentSet,
+		Parallelism:      cfg.Parallelism,
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	var flat []EdgeID
+	for _, cut := range res.Cuts {
+		flat = append(flat, cut...)
+	}
+	return Report{
+		Reliability:  res.Reliability,
+		Engine:       EngineChain,
+		Cut:          flat,
+		K:            len(flat),
+		MaxFlowCalls: res.MaxFlowCalls,
+	}, nil
+}
+
+func computeFactoring(g *Graph, dem Demand, cfg Config) (Report, error) {
+	res, err := reliability.Factoring(g, dem, reliability.Options{Parallelism: cfg.Parallelism})
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
+		Reliability:  res.Reliability,
+		Engine:       EngineFactoring,
+		MaxFlowCalls: res.Stats.MaxFlowCalls,
+		Configs:      res.Stats.Configs,
+	}, nil
+}
+
+// Exact computes the reliability in exact rational arithmetic by full
+// enumeration — the validation oracle. Exponential in |E| and sequential;
+// use only on small graphs.
+func Exact(g *Graph, dem Demand) (*big.Rat, error) {
+	return reliability.NaiveExact(g, dem)
+}
+
+// Estimate is a Monte Carlo reliability estimate with a standard error.
+type Estimate = reliability.Estimate
+
+// MonteCarlo estimates the reliability from `samples` random failure
+// configurations; deterministic per seed regardless of parallelism. It
+// scales to graphs far beyond the exact engines.
+func MonteCarlo(g *Graph, dem Demand, samples int, seed int64) (Estimate, error) {
+	return reliability.MonteCarlo(g, dem, samples, seed, reliability.Options{})
+}
+
+// Bound is a guaranteed reliability interval.
+type Bound = reliability.Bound
+
+// Bounds computes guaranteed lower and upper reliability bounds in
+// polynomial time (given the minimal-cut enumeration budget maxCutSize).
+func Bounds(g *Graph, dem Demand, maxCutSize int) (Bound, error) {
+	return reliability.Bounds(g, dem, maxCutSize)
+}
+
+// Bottleneck is a validated α-bottleneck split: a minimal s–t cut whose
+// removal leaves exactly two components.
+type Bottleneck = mincut.Bottleneck
+
+// FindBottleneck searches for the α-bottleneck link set with the most
+// balanced split among minimal s–t cuts of at most maxSize links.
+func FindBottleneck(g *Graph, s, t NodeID, maxSize int) (*Bottleneck, error) {
+	return mincut.Find(g, s, t, maxSize)
+}
+
+// SplitBottleneck validates an explicit bottleneck link set.
+func SplitBottleneck(g *Graph, s, t NodeID, cut []EdgeID) (*Bottleneck, error) {
+	return mincut.Split(g, s, t, cut)
+}
+
+// MinCuts enumerates every minimal s–t cut with at most maxSize links.
+func MinCuts(g *Graph, s, t NodeID, maxSize int) [][]EdgeID {
+	return mincut.EnumerateMinimal(g, s, t, maxSize)
+}

@@ -1,0 +1,126 @@
+package flowrel_test
+
+import (
+	"fmt"
+
+	"flowrel"
+)
+
+// The one-line API: reliability of delivering one sub-stream across a
+// bridge between two diamonds.
+func ExampleReliability() {
+	o := flowrel.Figure2Overlay()
+	dem := o.Demand(o.Peers[len(o.Peers)-1])
+	r, err := flowrel.Reliability(o.G, dem)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.6f\n", r)
+	// Output: 0.882648
+}
+
+// Compute exposes the decomposition the solver used: the bottleneck links,
+// their count k, the balance α, and the assignment family 𝒟.
+func ExampleCompute() {
+	o := flowrel.Figure4Overlay()
+	dem := o.Demand(o.Peers[0])
+	rep, err := flowrel.Compute(o.G, dem, flowrel.Config{Engine: flowrel.EngineCore})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("R = %.6f with k = %d bottleneck links, |D| = %d\n",
+		rep.Reliability, rep.K, len(rep.Assignments))
+	for _, a := range rep.Assignments {
+		fmt.Println(" ", a)
+	}
+	// Output:
+	// R = 0.922455 with k = 2 bottleneck links, |D| = 3
+	//   (0, 2)
+	//   (1, 1)
+	//   (2, 0)
+}
+
+// Graphs parse from a line-oriented text format.
+func ExampleParseTextString() {
+	f, err := flowrel.ParseTextString(`
+		edge s a 2 0.1
+		edge a t 2 0.05
+		demand s t 2
+	`)
+	if err != nil {
+		panic(err)
+	}
+	r, err := flowrel.Reliability(f.Graph, *f.Demand)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.4f\n", r)
+	// Output: 0.8550
+}
+
+// The deliverable-rate distribution answers every partial-delivery
+// question at once.
+func ExampleFlowDistribution() {
+	o := flowrel.Figure4Overlay()
+	ds, err := flowrel.FlowDistribution(o.G, o.Demand(o.Peers[0]))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("P(full)=%.4f P(>=1)=%.4f E[fraction]=%.4f\n",
+		ds.Reliability(), ds.AtLeast(1), ds.MeanFraction())
+	// Output: P(full)=0.9225 P(>=1)=0.9778 E[fraction]=0.9502
+}
+
+// Chain decomposition handles delivery chains that defeat a single cut.
+func ExampleChainReliability() {
+	o, cuts, err := flowrel.ChainOverlay(3, 2, 1, 2, 2, 2, 0.15, 4)
+	if err != nil {
+		panic(err)
+	}
+	dem := o.Demand(o.Peers[len(o.Peers)-1])
+	res, err := flowrel.ChainReliability(o.G, dem, cuts, flowrel.ChainOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d cuts, segments %v\n", len(res.Cuts), res.SegmentEdges)
+	// Output: 2 cuts, segments [3 2 3]
+}
+
+// Peer churn becomes an ordinary link-failure instance by node splitting.
+func ExampleWithChurn() {
+	b := flowrel.NewBuilder()
+	s := b.AddNamedNode("s")
+	relay := b.AddNamedNode("relay")
+	t := b.AddNamedNode("t")
+	b.AddEdge(s, relay, 1, 0)
+	b.AddEdge(relay, t, 1, 0)
+	g, _ := b.Build()
+	inst, err := flowrel.WithChurn(g, flowrel.Demand{S: s, T: t, D: 1},
+		[]flowrel.Peer{{Node: relay, PFail: 0.1}})
+	if err != nil {
+		panic(err)
+	}
+	r, err := flowrel.Reliability(inst.G, inst.Demand)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.2f\n", r)
+	// Output: 0.90
+}
+
+// The reliability polynomial turns one enumeration into every sweep.
+func ExamplePolynomial() {
+	f, _ := flowrel.ParseTextString("edge s t 1 0\nedge s t 1 0\ndemand s t 1")
+	P, err := flowrel.Polynomial(f.Graph, *f.Demand)
+	if err != nil {
+		panic(err)
+	}
+	// Two parallel links: R(p) = 1 - p².
+	fmt.Printf("R(0.5) = %.2f, need p <= %.3f for R >= 0.99\n", P.Eval(0.5), solve(P, 0.99))
+	// Output: R(0.5) = 0.75, need p <= 0.100 for R >= 0.99
+}
+
+func solve(P flowrel.ReliabilityPolynomial, target float64) float64 {
+	p, _ := P.SolveFor(target)
+	return p
+}

@@ -1,0 +1,88 @@
+// Inter-cluster bottleneck study: two well-provisioned clusters (say, two
+// ISPs or two campus networks) exchange a stream over a couple of
+// cross-cluster links — exactly the bottleneck regime of the paper. This
+// example sweeps the bottleneck links' failure probability, showing how
+// completely they dominate end-to-end reliability, and measures the
+// speedup of the decomposition algorithm over naive enumeration on the
+// same instances.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"flowrel"
+)
+
+func build(pCut float64) (*flowrel.Graph, flowrel.Demand, []flowrel.EdgeID) {
+	const pIn = 0.01 // intra-cluster links are reliable
+	b := flowrel.NewBuilder()
+	s := b.AddNamedNode("s")
+	a1 := b.AddNamedNode("a1")
+	a2 := b.AddNamedNode("a2")
+	a3 := b.AddNamedNode("a3")
+	b1 := b.AddNamedNode("b1")
+	b2 := b.AddNamedNode("b2")
+	b3 := b.AddNamedNode("b3")
+	t := b.AddNamedNode("t")
+	// Source cluster: rich internal connectivity.
+	b.AddEdge(s, a1, 2, pIn)
+	b.AddEdge(s, a2, 2, pIn)
+	b.AddEdge(s, a3, 2, pIn)
+	b.AddEdge(a1, a2, 1, pIn)
+	b.AddEdge(a2, a3, 1, pIn)
+	b.AddEdge(a1, a3, 1, pIn)
+	// The two cross-cluster links.
+	c1 := b.AddEdge(a1, b1, 1, pCut)
+	c2 := b.AddEdge(a3, b3, 1, pCut)
+	// Sink cluster.
+	b.AddEdge(b1, b2, 1, pIn)
+	b.AddEdge(b2, b3, 1, pIn)
+	b.AddEdge(b1, b3, 1, pIn)
+	b.AddEdge(b1, t, 2, pIn)
+	b.AddEdge(b2, t, 2, pIn)
+	b.AddEdge(b3, t, 2, pIn)
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return g, flowrel.Demand{S: s, T: t, D: 2}, []flowrel.EdgeID{c1, c2}
+}
+
+func main() {
+	fmt.Println("two clusters, 2 cross-cluster links, demand d = 2 sub-streams")
+	fmt.Printf("%-8s %-14s %-14s %-12s %-12s\n", "p_cut", "reliability", "upper bound", "t_core", "t_naive")
+	for _, pCut := range []float64{0.01, 0.05, 0.1, 0.2, 0.3, 0.5} {
+		g, dem, cut := build(pCut)
+
+		t0 := time.Now()
+		rep, err := flowrel.Compute(g, dem, flowrel.Config{Engine: flowrel.EngineCore, Bottleneck: cut})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tCore := time.Since(t0)
+
+		t1 := time.Now()
+		naive, err := flowrel.Compute(g, dem, flowrel.Config{Engine: flowrel.EngineNaive})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tNaive := time.Since(t1)
+		if diff := rep.Reliability - naive.Reliability; diff > 1e-9 || diff < -1e-9 {
+			log.Fatalf("engines disagree: %v vs %v", rep.Reliability, naive.Reliability)
+		}
+
+		// With d = 2 over two unit cross-links, both must be up:
+		// reliability ≤ (1-p_cut)² — the bound the cut analysis finds.
+		bd, err := flowrel.Bounds(g, dem, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8.2f %-14.6f %-14.6f %-12s %-12s\n",
+			pCut, rep.Reliability, bd.Upper, tCore.Round(time.Microsecond), tNaive.Round(time.Microsecond))
+	}
+	fmt.Println("\nthe cross-cluster links dominate: reliability tracks (1-p_cut)² almost exactly,")
+	fmt.Println("and the decomposition algorithm only ever enumerates the 2^6 configurations of")
+	fmt.Println("one cluster at a time instead of 2^14 for the whole network.")
+}

@@ -1,0 +1,86 @@
+// The operator's view: given a streaming overlay, answer the questions an
+// operator actually asks. Which links should we harden first (Birnbaum
+// importance)? What does peer churn — not just link loss — cost us (node
+// splitting)? What if our two cross-cluster links share a conduit
+// (shared-risk groups)? And how good do links need to be for the SLA
+// (reliability polynomial)?
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"flowrel"
+)
+
+func main() {
+	// Two campuses joined by two cross-links; the stream needs d = 1.
+	o, err := flowrel.ClusteredOverlay(5, 8, 2, 1, 2, 0.1, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dem := o.Demand(o.Peers[len(o.Peers)-1])
+	base, err := flowrel.Reliability(o.G, dem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("overlay: %d links, cross-cluster links %v; baseline reliability %.6f\n\n",
+		o.G.NumEdges(), o.Bottleneck, base)
+
+	// 1. Hardening priorities.
+	imps, err := flowrel.BirnbaumImportance(o.G, dem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.Slice(imps, func(i, j int) bool { return imps[i].Birnbaum > imps[j].Birnbaum })
+	fmt.Println("harden these first (Birnbaum importance):")
+	for _, imp := range imps[:3] {
+		e := o.G.Edge(imp.Link)
+		fmt.Printf("  link %d (%d→%d): importance %.4f, making it perfect buys %+.4f\n",
+			imp.Link, e.U, e.V, imp.Birnbaum, imp.Improvement)
+	}
+
+	// 2. Peer churn: every relay peer may be offline 5% of the time.
+	var peers []flowrel.Peer
+	for _, p := range o.Peers {
+		if p != dem.T {
+			peers = append(peers, flowrel.Peer{Node: p, PFail: 0.05})
+		}
+	}
+	inst, err := flowrel.WithChurn(o.G, dem, peers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	withChurn, err := flowrel.Compute(inst.G, inst.Demand, flowrel.Config{Engine: flowrel.EngineFactoring})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwith 5%% peer churn on every relay: %.6f (churn costs %+.4f)\n",
+		withChurn.Reliability, withChurn.Reliability-base)
+
+	// 3. Correlated cross-links: both in one conduit.
+	groups := []flowrel.RiskGroup{{PFail: 0.05, Links: o.Bottleneck}}
+	correlated, err := flowrel.ReliabilityWithRiskGroups(o.G, dem, groups)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("if the cross-links share a conduit (p=0.05): %.6f (correlation costs %+.4f)\n",
+		correlated, correlated-base)
+
+	// 4. The SLA question: how good must links be for R ≥ 0.999?
+	P, err := flowrel.Polynomial(o.G, dem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if p, ok := P.SolveFor(0.999); ok {
+		fmt.Printf("\nfor a 99.9%% SLA every link must fail with p ≤ %.5f\n", p)
+	} else {
+		fmt.Println("\nno uniform link quality reaches a 99.9% SLA on this topology")
+	}
+	if p, ok := P.SolveFor(0.99); ok {
+		fmt.Printf("for a 99%%   SLA every link must fail with p ≤ %.5f\n", p)
+	}
+	fmt.Printf("(smallest admitting route: %d links; single points of failure: smallest cut has %d link(s))\n",
+		P.MinAdmittingLinks(), P.MinDisconnectingLinks())
+}

@@ -1,0 +1,219 @@
+package flowrel
+
+import (
+	"io"
+
+	"flowrel/internal/chain"
+	"flowrel/internal/churn"
+	"flowrel/internal/dist"
+	"flowrel/internal/graph"
+	"flowrel/internal/multicast"
+	"flowrel/internal/poly"
+	"flowrel/internal/reduce"
+	"flowrel/internal/reliability"
+	"flowrel/internal/srlg"
+)
+
+// Distribution is the probability law of the deliverable rate min(F, d):
+// one computation answers every partial-delivery question (full stream,
+// at-least-j layers, expected delivered fraction).
+type Distribution = dist.Distribution
+
+// FlowDistribution computes the exact law of the deliverable rate by one
+// enumeration of all 2^{|E|} failure configurations (same cost as a naive
+// reliability computation). For graphs beyond enumeration use
+// FlowDistributionFactored or FlowDistributionSampled.
+func FlowDistribution(g *Graph, dem Demand) (Distribution, error) {
+	return dist.Exact(g, dem, reliability.Options{})
+}
+
+// FlowDistributionFactored computes the same law as d tail reliabilities
+// with the pruned factoring engine — slower per point, far larger reach.
+func FlowDistributionFactored(g *Graph, dem Demand) (Distribution, error) {
+	return dist.Factored(g, dem, reliability.Options{})
+}
+
+// FlowDistributionSampled estimates the law by Monte Carlo; deterministic
+// per seed.
+func FlowDistributionSampled(g *Graph, dem Demand, samples int, seed int64) (Distribution, error) {
+	return dist.Sampled(g, dem, samples, seed, reliability.Options{})
+}
+
+// Reduced is a preprocessed instance with identical reliability.
+type Reduced = reduce.Result
+
+// Reduce applies exact reliability-preserving reductions (capacity
+// clipping, irrelevant-link removal, series and parallel merges) and
+// returns the smaller equivalent instance. Because every exact engine is
+// exponential in the link count, reducing first can shrink the work by
+// orders of magnitude; the result's Demand addresses the reduced graph.
+func Reduce(g *Graph, dem Demand) (*Reduced, error) {
+	return reduce.Apply(g, dem)
+}
+
+// MostProbableStates computes certified reliability bounds by examining
+// only configurations with at most maxFailures failed links, plus the
+// exact probability mass of everything beyond — the method of choice for
+// large, reliable networks (the interval width is exactly the unexamined
+// tail mass, shrinking geometrically with the budget).
+func MostProbableStates(g *Graph, dem Demand, maxFailures int) (Bound, error) {
+	return reliability.MostProbableStates(g, dem, maxFailures)
+}
+
+// FailureLayerMass returns P(exactly i links fail) for i ≤ maxFailures and
+// the exact tail P(> maxFailures); use it to pick a MostProbableStates
+// budget.
+func FailureLayerMass(g *Graph, maxFailures int) (layers []float64, tail float64) {
+	return reliability.FailureLayerMass(g, maxFailures)
+}
+
+// ChainResult is a chain-decomposition answer.
+type ChainResult = chain.Result
+
+// ChainOptions tunes the chain solver.
+type ChainOptions = chain.Options
+
+// ChainReliability computes the exact reliability by decomposing the graph
+// along a *sequence* of disjoint minimal s–t cuts — the generalization of
+// the paper's single-bottleneck algorithm to delivery chains
+// (cluster → backbone → … → subscriber). With r cuts the cost is the sum
+// of the segments' 2^{|Eᵢ|} enumerations instead of one 2^{α|E|} term.
+// Pass the cuts explicitly, or nil to search for them automatically.
+func ChainReliability(g *Graph, dem Demand, cuts [][]EdgeID, opt ChainOptions) (ChainResult, error) {
+	if cuts == nil {
+		found, err := chain.Find(g, dem, 3, 0)
+		if err != nil {
+			return ChainResult{}, err
+		}
+		cuts = found
+	}
+	return chain.Solve(g, dem, cuts, opt)
+}
+
+// FindChain searches for a sequence of disjoint minimal s–t cuts (each of
+// at most maxCutSize links; at most maxCuts of them, 0 = unlimited) that
+// decomposes the graph into a chain of segments.
+func FindChain(g *Graph, dem Demand, maxCutSize, maxCuts int) ([][]EdgeID, error) {
+	return chain.Find(g, dem, maxCutSize, maxCuts)
+}
+
+// ChainOverlay builds a delivery chain of strongly connected random blocks
+// joined in series by k-link cuts; it returns the overlay and the planted
+// cut sequence (source side first), ready for ChainReliability.
+func ChainOverlay(blocks, blockNodes, extraEdges, k, d, maxCap int, pFail float64, seed int64) (*Overlay, [][]EdgeID, error) {
+	return overlayChain(blocks, blockNodes, extraEdges, k, d, maxCap, pFail, seed)
+}
+
+// LinkImportance ranks one link's contribution to the reliability.
+type LinkImportance = reliability.Importance
+
+// BirnbaumImportance computes, for every link, the Birnbaum importance
+// ∂R/∂(availability) = R(link up) − R(link down) and the achievement
+// worth R(link up) − R. Bottleneck links dominate the ranking — this is
+// the quantitative form of "which links should the operator harden first".
+// Costs 2|E| factoring computations.
+func BirnbaumImportance(g *Graph, dem Demand) ([]LinkImportance, error) {
+	return reliability.BirnbaumImportance(g, dem, reliability.Options{})
+}
+
+// UpgradePlan is a greedy hardening plan.
+type UpgradePlan = reliability.UpgradePlan
+
+// SuggestUpgrades greedily picks up to budget links whose hardening
+// (p → 0) buys the most reliability, re-evaluating after every pick.
+// Optimal for budget 1, a strong heuristic beyond.
+func SuggestUpgrades(g *Graph, dem Demand, budget int) (UpgradePlan, error) {
+	return reliability.SuggestUpgrades(g, dem, budget, reliability.Options{})
+}
+
+// Peer describes a fallible node for the churn model.
+type Peer = churn.Peer
+
+// ChurnInstance is a node-split transformation of a peer-churn model into
+// an ordinary link-failure instance.
+type ChurnInstance = churn.Instance
+
+// WithChurn transforms peer failures (the dominant fault in P2P systems)
+// into an equivalent link-failure instance by node splitting: each
+// fallible peer becomes in→out halves joined by an internal link carrying
+// the peer's absence probability and relay capacity. Solve the returned
+// instance with any engine:
+//
+//	inst, _ := flowrel.WithChurn(g, dem, peers)
+//	r, _ := flowrel.Reliability(inst.G, inst.Demand)
+func WithChurn(g *Graph, dem Demand, peers []Peer) (*ChurnInstance, error) {
+	return churn.Transform(g, dem, peers)
+}
+
+// ReliabilityPolynomial is the flow-reliability polynomial for a uniform
+// link failure probability p: R(p) = Σ N_i (1-p)^i p^{m-i}.
+type ReliabilityPolynomial = poly.Polynomial
+
+// Polynomial computes the reliability polynomial with one 2^{|E|}
+// enumeration; afterwards any sweep over link quality is a polynomial
+// evaluation (per-link probabilities in g are ignored — p is the
+// variable).
+func Polynomial(g *Graph, dem Demand) (ReliabilityPolynomial, error) {
+	return poly.Compute(g, dem, reliability.Options{})
+}
+
+// RiskGroup is a shared-risk link group: its member links all fail
+// together with the group's probability, on top of their own independent
+// failures.
+type RiskGroup = srlg.Group
+
+// ReliabilityWithRiskGroups computes the exact reliability under
+// correlated failures, by conditioning on the 2^g group states and
+// delegating each conditional instance to the factoring engine.
+func ReliabilityWithRiskGroups(g *Graph, dem Demand, groups []RiskGroup) (float64, error) {
+	return srlg.Reliability(g, dem, groups, nil)
+}
+
+// RiskGroupMonteCarlo estimates the correlated-failure reliability by
+// sampling group and link states jointly; deterministic per seed.
+func RiskGroupMonteCarlo(g *Graph, dem Demand, groups []RiskGroup, samples int, seed int64) (Estimate, error) {
+	return srlg.MonteCarlo(g, dem, groups, samples, seed)
+}
+
+// UnreliabilityIS estimates the UNreliability U = 1 − R by importance
+// sampling with failure biasing — the estimator of choice for highly
+// reliable networks, where plain Monte Carlo wastes nearly every sample
+// on all-up configurations. The returned Estimate describes U; bias in
+// (0, 1), 0.25–0.5 a robust default.
+func UnreliabilityIS(g *Graph, dem Demand, samples int, seed int64, bias float64) (Estimate, error) {
+	return reliability.UnreliabilityIS(g, dem, samples, seed, bias, reliability.Options{})
+}
+
+// MulticastResult is an exact all-targets reliability.
+type MulticastResult = multicast.Result
+
+// MulticastReliability computes the probability that *every* target can
+// receive all d sub-streams simultaneously. Targets nil means every node
+// except the source. The stream is replicated (a link carries each
+// sub-stream once for all downstream readers), so by Edmonds'
+// arborescence-packing theorem the per-target max-flow criterion is exact.
+// Enumerates 2^{|E|} configurations; use MulticastMonteCarlo beyond that.
+func MulticastReliability(g *Graph, source NodeID, targets []NodeID, d int) (MulticastResult, error) {
+	return multicast.Naive(g, source, targets, d, reliability.Options{})
+}
+
+// MulticastMonteCarlo estimates the all-targets reliability by sampling;
+// deterministic per seed, any graph size.
+func MulticastMonteCarlo(g *Graph, source NodeID, targets []NodeID, d, samples int, seed int64) (Estimate, error) {
+	return multicast.MonteCarlo(g, source, targets, d, samples, seed, reliability.Options{})
+}
+
+// PerTargetReliability returns each target's marginal reliability,
+// computed exactly with the factoring engine.
+func PerTargetReliability(g *Graph, source NodeID, targets []NodeID, d int) ([]float64, error) {
+	return multicast.PerTarget(g, source, targets, d, reliability.Options{})
+}
+
+// DOTOptions customizes WriteDOT output.
+type DOTOptions = graph.DOTOptions
+
+// WriteDOT renders the graph in Graphviz DOT format (pipe through `dot
+// -Tsvg` to visualize bottleneck structure).
+func WriteDOT(w io.Writer, g *Graph, opt DOTOptions) error {
+	return g.WriteDOT(w, opt)
+}

@@ -1,0 +1,333 @@
+package flowrel
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFlowDistributionFacade(t *testing.T) {
+	o := Figure4Overlay()
+	dem := o.Demand(o.Peers[0])
+	ds, err := FlowDistribution(o.G, dem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Reliability(o.G, dem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ds.Reliability()-exact) > 1e-9 {
+		t.Fatalf("distribution top bucket %g vs reliability %g", ds.Reliability(), exact)
+	}
+	fa, err := FlowDistributionFactored(o.G, dem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := FlowDistributionSampled(o.G, dem, 50000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v <= dem.D; v++ {
+		if math.Abs(ds.P[v]-fa.P[v]) > 1e-9 {
+			t.Fatalf("exact vs factored bucket %d: %g vs %g", v, ds.P[v], fa.P[v])
+		}
+		if math.Abs(ds.P[v]-sa.P[v]) > 0.01 {
+			t.Fatalf("exact vs sampled bucket %d: %g vs %g", v, ds.P[v], sa.P[v])
+		}
+	}
+	if ds.Mean() <= 0 || ds.MeanFraction() > 1 {
+		t.Fatalf("mean = %g, fraction = %g", ds.Mean(), ds.MeanFraction())
+	}
+}
+
+func TestReduceFacade(t *testing.T) {
+	// A deep tree reduces to a single chain link for any single peer.
+	o, err := TreeOverlay(2, 3, 1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dem := o.Demand(o.Peers[len(o.Peers)-1])
+	red, err := Reduce(o.G, dem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.G.NumEdges() != 1 {
+		t.Fatalf("reduced links = %d, want 1", red.G.NumEdges())
+	}
+	rOrig, err := Reliability(o.G, dem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rRed, err := Reliability(red.G, red.Demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rOrig-rRed) > 1e-12 {
+		t.Fatalf("reduction changed reliability: %g vs %g", rOrig, rRed)
+	}
+}
+
+func TestMostProbableStatesFacade(t *testing.T) {
+	g, dem := figure2Demand()
+	exact, err := Reliability(g, dem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := MostProbableStates(g, dem, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Lower > exact+1e-9 || exact > bd.Upper+1e-9 {
+		t.Fatalf("bounds [%g, %g] miss %g", bd.Lower, bd.Upper, exact)
+	}
+	layers, tail := FailureLayerMass(g, 3)
+	sum := tail
+	for _, p := range layers {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("layer masses sum to %g", sum)
+	}
+	if math.Abs((bd.Upper-bd.Lower)-tail) > 1e-9 {
+		t.Fatalf("interval width %g vs tail %g", bd.Upper-bd.Lower, tail)
+	}
+}
+
+func TestChainFacade(t *testing.T) {
+	o, cuts, err := ChainOverlay(3, 2, 1, 2, 2, 2, 0.15, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dem := o.Demand(o.Peers[len(o.Peers)-1])
+
+	res, err := ChainReliability(o.G, dem, cuts, ChainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := Compute(o.G, dem, Config{Engine: EngineNaive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Reliability-naive.Reliability) > 1e-9 {
+		t.Fatalf("chain %.12f vs naive %.12f", res.Reliability, naive.Reliability)
+	}
+
+	// Automatic cut discovery (nil cuts).
+	auto, err := ChainReliability(o.G, dem, nil, ChainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auto.Reliability-naive.Reliability) > 1e-9 {
+		t.Fatalf("auto chain %.12f vs naive %.12f", auto.Reliability, naive.Reliability)
+	}
+
+	found, err := FindChain(o.G, dem, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) < 1 {
+		t.Fatal("FindChain found nothing")
+	}
+}
+
+func TestSuggestUpgradesFacade(t *testing.T) {
+	g, dem := figure2Demand()
+	plan, err := SuggestUpgrades(g, dem, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Links) != 2 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	// The bridge is the single best upgrade on this graph.
+	if plan.Links[0] != 4 {
+		t.Fatalf("first pick = %d, want the bridge (4)", plan.Links[0])
+	}
+	if plan.After[1] <= plan.After[0] || plan.After[0] <= plan.Before {
+		t.Fatalf("plan not improving: %+v", plan)
+	}
+}
+
+func TestSimulateContinuousFacade(t *testing.T) {
+	g, dem := figure2Demand()
+	const mtbf, mttr = 20.0, 3.0
+	// Rebuild at the steady-state probability for the cross-check.
+	b := NewBuilder()
+	b.AddNodes(g.NumNodes())
+	for _, e := range g.Edges() {
+		b.AddEdge(e.U, e.V, e.Cap, PFailFromMTBF(mtbf, mttr))
+	}
+	ug, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Reliability(ug, dem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := SimulateContinuous(ug, dem, ContinuousConfig{
+		Dynamics: UniformDynamics(ug, mtbf, mttr),
+		Horizon:  200000,
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Availability-want) > 0.015 {
+		t.Fatalf("availability %g vs static %g", rep.Availability, want)
+	}
+}
+
+func TestBirnbaumImportanceFacade(t *testing.T) {
+	g, dem := figure2Demand()
+	imps, err := BirnbaumImportance(g, dem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imps) != g.NumEdges() {
+		t.Fatalf("got %d importances", len(imps))
+	}
+	// The bridge (link 4) must dominate and kill everything when down.
+	for _, imp := range imps {
+		if imp.Link != 4 && imp.Birnbaum >= imps[4].Birnbaum {
+			t.Fatalf("link %d outranks the bridge", imp.Link)
+		}
+	}
+	if imps[4].RDown != 0 {
+		t.Fatalf("bridge RDown = %g", imps[4].RDown)
+	}
+}
+
+func TestWithChurnFacade(t *testing.T) {
+	// A two-level tree with perfect links: reaching a depth-2 peer
+	// requires its depth-1 ancestor to be present.
+	o, err := TreeOverlay(2, 2, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep := o.Peers[len(o.Peers)-1]
+	// Every depth-1 peer churns with probability 0.2.
+	peers := []Peer{{Node: o.Peers[0], PFail: 0.2}, {Node: o.Peers[1], PFail: 0.2}}
+	inst, err := WithChurn(o.G, o.Demand(deep), peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Reliability(inst.G, inst.Demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-0.8) > 1e-12 {
+		t.Fatalf("R = %g, want 0.8 (one ancestor must survive churn)", r)
+	}
+}
+
+func TestPolynomialFacade(t *testing.T) {
+	g, dem := figure2Demand()
+	P, err := Polynomial(g, dem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All links in figure2 share p = 0.10 except the bridge (0.05); the
+	// polynomial treats p as uniform, so check against a rebuilt uniform
+	// instance instead.
+	b := NewBuilder()
+	b.AddNodes(g.NumNodes())
+	for _, e := range g.Edges() {
+		b.AddEdge(e.U, e.V, e.Cap, 0.1)
+	}
+	ug, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Reliability(ug, dem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(P.Eval(0.1)-want) > 1e-9 {
+		t.Fatalf("P(0.1) = %g, want %g", P.Eval(0.1), want)
+	}
+	if P.MinAdmittingLinks() != 5 { // shortest s→t route: s→a→x→y→c→t
+		t.Fatalf("MinAdmittingLinks = %d", P.MinAdmittingLinks())
+	}
+	if P.MinDisconnectingLinks() != 1 { // the bridge
+		t.Fatalf("MinDisconnectingLinks = %d", P.MinDisconnectingLinks())
+	}
+}
+
+func TestRiskGroupsFacade(t *testing.T) {
+	g, dem := figure2Demand()
+	base, err := Reliability(g, dem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Put the two source links in one conduit.
+	groups := []RiskGroup{{PFail: 0.1, Links: []EdgeID{0, 1}}}
+	r, err := ReliabilityWithRiskGroups(g, dem, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r >= base {
+		t.Fatalf("correlated failures should cost reliability: %g vs %g", r, base)
+	}
+	est, err := RiskGroupMonteCarlo(g, dem, groups, 50000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Reliability-r) > 5*est.StdErr+1e-9 {
+		t.Fatalf("MC %g vs exact %g", est.Reliability, r)
+	}
+}
+
+func TestUnreliabilityISFacade(t *testing.T) {
+	g, dem := figure2Demand()
+	exact, err := Reliability(g, dem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := UnreliabilityIS(g, dem, 50000, 6, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Reliability-(1-exact)) > 5*est.StdErr+1e-9 {
+		t.Fatalf("IS %g ± %g vs exact U %g", est.Reliability, est.StdErr, 1-exact)
+	}
+}
+
+func TestMulticastFacade(t *testing.T) {
+	o, err := MultiTreeOverlay(6, 2, 2, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := MulticastReliability(o.G, o.Source, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per, err := PerTargetReliability(o.G, o.Source, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range per {
+		if all.Reliability > r+1e-9 {
+			t.Fatalf("all-targets %g exceeds a marginal %g", all.Reliability, r)
+		}
+	}
+	est, err := MulticastMonteCarlo(o.G, o.Source, nil, 2, 40000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Reliability-all.Reliability) > 5*est.StdErr+1e-9 {
+		t.Fatalf("MC %g vs exact %g", est.Reliability, all.Reliability)
+	}
+}
+
+func TestWriteDOTFacade(t *testing.T) {
+	g, dem := figure2Demand()
+	var sb strings.Builder
+	if err := WriteDOT(&sb, g, DOTOptions{Demand: &dem}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "digraph") {
+		t.Fatal("no DOT output")
+	}
+}

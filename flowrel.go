@@ -1,0 +1,69 @@
+// Package flowrel computes the reliability of P2P streaming systems with
+// bottleneck links: the probability that a capacitated network with
+// independent probabilistic link failures still admits a flow demand
+// D = (s, t, d) — a video stream of bit-rate d delivered from source s to
+// sink t, divisible into d unit-rate sub-streams routed along different
+// paths.
+//
+// It implements the exact decomposition algorithm of S. Fujita,
+// "Reliability Calculation of P2P Streaming Systems with Bottleneck
+// Links" (IEEE IPDPSW 2017), which runs in O(2^{α|E|}·|V|·|E|) time on
+// graphs with a constant-size set of α-bottleneck links, alongside the
+// naive O(2^{|E|}·|V|·|E|) enumeration baseline, a factoring
+// (conditioning) solver, a Monte Carlo estimator, guaranteed bounds, P2P
+// overlay generators, and a session-level streaming simulator.
+//
+// Quick start:
+//
+//	b := flowrel.NewBuilder()
+//	s := b.AddNamedNode("s")
+//	t := b.AddNamedNode("t")
+//	b.AddEdge(s, t, 1, 0.1) // capacity 1, failure probability 0.1
+//	g, _ := b.Build()
+//	r, _ := flowrel.Reliability(g, flowrel.Demand{S: s, T: t, D: 1})
+//
+// Links are directed along the delivery direction; model a full-duplex
+// connection as two anti-parallel links.
+package flowrel
+
+import (
+	"io"
+	"math/big"
+
+	"flowrel/internal/graph"
+)
+
+// Core model types, re-exported from the internal packages.
+type (
+	// Graph is a directed capacitated probabilistic multigraph.
+	Graph = graph.Graph
+	// Builder incrementally constructs a Graph.
+	Builder = graph.Builder
+	// Demand is a flow demand D = (s, t, d).
+	Demand = graph.Demand
+	// NodeID identifies a node (dense indices from 0).
+	NodeID = graph.NodeID
+	// EdgeID identifies a link (dense indices from 0).
+	EdgeID = graph.EdgeID
+	// Edge is one directed link with capacity and failure probability.
+	Edge = graph.Edge
+	// File bundles a graph and an optional demand for the text and JSON
+	// codecs.
+	File = graph.File
+)
+
+// NewBuilder returns an empty graph builder.
+func NewBuilder() *Builder { return graph.NewBuilder() }
+
+// ParseText reads the line-oriented graph description format:
+//
+//	node s
+//	edge s t 3 0.1     # link s→t, capacity 3, failure probability 0.1
+//	demand s t 2
+func ParseText(r io.Reader) (*File, error) { return graph.ParseText(r) }
+
+// ParseTextString is ParseText on a string.
+func ParseTextString(s string) (*File, error) { return graph.ParseTextString(s) }
+
+// Rat is the exact rational type used by the oracle engine.
+type Rat = big.Rat

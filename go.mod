@@ -1,0 +1,3 @@
+module flowrel
+
+go 1.22

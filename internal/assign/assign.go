@@ -1,0 +1,189 @@
+// Package assign enumerates and classifies assignments of sub-streams to
+// bottleneck links (§III-B and §IV-A of the paper).
+//
+// Given bottleneck links e₁,…,e_k and demand d, an assignment is a k-tuple
+// (a₁,…,a_k) with Σaᵢ = d and 0 ≤ aᵢ ≤ min(c(eᵢ), d): sub-stream loads on
+// the bottleneck links. A subset E” of the bottleneck links *supports* an
+// assignment iff every positively loaded link belongs to E” (Definition 1).
+package assign
+
+import "fmt"
+
+// MaxAssignments bounds |𝒟| so that realized-assignment sets fit a uint64
+// mask with room to spare. The paper assumes d and k constant, making |𝒟|
+// ≤ d^k a constant; this is where that assumption becomes a hard limit.
+const MaxAssignments = 62
+
+// Assignment is one distribution (a₁,…,a_k) of the d sub-streams over the
+// k bottleneck links.
+type Assignment []int
+
+// String renders the assignment as "(a1, a2, ...)" like the paper.
+func (a Assignment) String() string {
+	s := "("
+	for i, v := range a {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprint(v)
+	}
+	return s + ")"
+}
+
+// Sum returns Σaᵢ.
+func (a Assignment) Sum() int {
+	s := 0
+	for _, v := range a {
+		s += v
+	}
+	return s
+}
+
+// SupportMask returns the bit mask over the k links of {i : aᵢ > 0}.
+func (a Assignment) SupportMask() uint64 {
+	var m uint64
+	for i, v := range a {
+		if v > 0 {
+			m |= 1 << uint(i)
+		}
+	}
+	return m
+}
+
+// SupportedBy reports whether the link subset eMask supports a
+// (Definition 1): aᵢ > 0 implies link i ∈ eMask.
+func (a Assignment) SupportedBy(eMask uint64) bool {
+	return a.SupportMask()&^eMask == 0
+}
+
+// ErrTooManyAssignments is returned when |𝒟| would exceed MaxAssignments.
+type ErrTooManyAssignments struct {
+	N int
+}
+
+func (e *ErrTooManyAssignments) Error() string {
+	return fmt.Sprintf("assign: %d assignments exceed the supported maximum %d (d and k must be small constants)", e.N, MaxAssignments)
+}
+
+// Enumerate returns 𝒟: every assignment of d unit sub-streams to k links
+// with per-link capacity caps[i] (loads are additionally capped at d).
+// Assignments are produced in lexicographic order. It returns
+// ErrTooManyAssignments if |𝒟| > MaxAssignments.
+func Enumerate(caps []int, d int) ([]Assignment, error) {
+	if d < 0 {
+		return nil, fmt.Errorf("assign: negative demand %d", d)
+	}
+	if n := Count(caps, d); n > MaxAssignments {
+		return nil, &ErrTooManyAssignments{N: n}
+	}
+	k := len(caps)
+	var out []Assignment
+	cur := make(Assignment, k)
+	var rec func(i, left int)
+	rec = func(i, left int) {
+		if i == k {
+			if left == 0 {
+				out = append(out, append(Assignment(nil), cur...))
+			}
+			return
+		}
+		hi := caps[i]
+		if hi > left {
+			hi = left
+		}
+		// Remaining links must be able to absorb what we leave behind.
+		rest := 0
+		for j := i + 1; j < k; j++ {
+			c := caps[j]
+			if c > d {
+				c = d
+			}
+			rest += c
+		}
+		lo := left - rest
+		if lo < 0 {
+			lo = 0
+		}
+		for v := lo; v <= hi; v++ {
+			cur[i] = v
+			rec(i+1, left-v)
+		}
+		cur[i] = 0
+	}
+	rec(0, d)
+	return out, nil
+}
+
+// Count returns |𝒟| via dynamic programming, without materializing the
+// assignments; used for the capacity check and as a test oracle.
+func Count(caps []int, d int) int {
+	if d < 0 {
+		return 0
+	}
+	ways := make([]int, d+1)
+	ways[0] = 1
+	for _, c := range caps {
+		if c > d {
+			c = d
+		}
+		next := make([]int, d+1)
+		for have := 0; have <= d; have++ {
+			if ways[have] == 0 {
+				continue
+			}
+			for v := 0; v <= c && have+v <= d; v++ {
+				next[have+v] += ways[have]
+			}
+		}
+		ways = next
+	}
+	return ways[d]
+}
+
+// Set is an enumerated assignment family 𝒟 with the derived support
+// structure used by the ACCUMULATION procedure.
+type Set struct {
+	K           int          // number of bottleneck links
+	D           int          // demand
+	Assignments []Assignment // 𝒟, lexicographic
+	supports    []uint64     // SupportMask per assignment
+}
+
+// NewSet enumerates 𝒟 for the given bottleneck capacities and demand.
+func NewSet(caps []int, d int) (*Set, error) {
+	as, err := Enumerate(caps, d)
+	if err != nil {
+		return nil, err
+	}
+	s := &Set{K: len(caps), D: d, Assignments: as, supports: make([]uint64, len(as))}
+	for i, a := range as {
+		s.supports[i] = a.SupportMask()
+	}
+	return s, nil
+}
+
+// Len returns |𝒟|.
+func (s *Set) Len() int { return len(s.Assignments) }
+
+// SupportedMask returns the mask over assignment indices of the class
+// 𝒟_{E”}: assignments supported by the bottleneck-link subset eMask.
+func (s *Set) SupportedMask(eMask uint64) uint64 {
+	var m uint64
+	for i, sup := range s.supports {
+		if sup&^eMask == 0 {
+			m |= 1 << uint(i)
+		}
+	}
+	return m
+}
+
+// Classify returns, for each of the 2^k bottleneck-link subsets E”
+// (indexed by mask), the class 𝒟_{E”} as a mask over assignment indices
+// (Example 5 of the paper).
+func (s *Set) Classify() []uint64 {
+	out := make([]uint64, 1<<uint(s.K))
+	for e := range out {
+		out[e] = s.SupportedMask(uint64(e))
+	}
+	return out
+}

@@ -1,0 +1,290 @@
+package assign
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestExample1 reproduces Example 1 of the paper: d = 5, three bottleneck
+// links with capacities (3, 3, 3) yield exactly the 12 listed assignments.
+func TestExample1(t *testing.T) {
+	got, err := Enumerate([]int{3, 3, 3}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Assignment{
+		{0, 2, 3}, {0, 3, 2}, {1, 1, 3}, {1, 2, 2}, {1, 3, 1},
+		{2, 0, 3}, {2, 1, 2}, {2, 2, 1}, {2, 3, 0},
+		{3, 0, 2}, {3, 1, 1}, {3, 2, 0},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("|D| = %d, want %d: %v", len(got), len(want), got)
+	}
+	// Compare as sets (the paper lists them in lexicographic order too,
+	// but don't depend on it for the set check).
+	key := func(a Assignment) string { return a.String() }
+	gotKeys := make([]string, len(got))
+	wantKeys := make([]string, len(want))
+	for i := range got {
+		gotKeys[i] = key(got[i])
+		wantKeys[i] = key(want[i])
+	}
+	sort.Strings(gotKeys)
+	sort.Strings(wantKeys)
+	if !reflect.DeepEqual(gotKeys, wantKeys) {
+		t.Fatalf("got %v\nwant %v", gotKeys, wantKeys)
+	}
+	if Count([]int{3, 3, 3}, 5) != 12 {
+		t.Fatalf("Count = %d, want 12", Count([]int{3, 3, 3}, 5))
+	}
+}
+
+func TestEnumerateLexicographic(t *testing.T) {
+	got, err := Enumerate([]int{3, 3, 3}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if !lexLess(got[i-1], got[i]) {
+			t.Fatalf("not lexicographic at %d: %v ≥ %v", i, got[i-1], got[i])
+		}
+	}
+}
+
+func lexLess(a, b Assignment) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func TestEnumerateEdgeCases(t *testing.T) {
+	// Single link.
+	got, err := Enumerate([]int{2}, 2)
+	if err != nil || len(got) != 1 || got[0][0] != 2 {
+		t.Fatalf("single link: %v %v", got, err)
+	}
+	// Infeasible: total capacity < d.
+	got, err = Enumerate([]int{1, 1}, 3)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("infeasible: %v %v", got, err)
+	}
+	// d = 0: one empty assignment.
+	got, err = Enumerate([]int{1, 1}, 0)
+	if err != nil || len(got) != 1 || got[0].Sum() != 0 {
+		t.Fatalf("d=0: %v %v", got, err)
+	}
+	// Negative demand.
+	if _, err := Enumerate([]int{1}, -1); err == nil {
+		t.Fatal("negative demand accepted")
+	}
+	// Example 3 of the paper: d=2, two links of capacity ≥ 2.
+	got, err = Enumerate([]int{2, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"(2, 0)": true, "(1, 1)": true, "(0, 2)": true}
+	if len(got) != 3 {
+		t.Fatalf("example 3: %v", got)
+	}
+	for _, a := range got {
+		if !want[a.String()] {
+			t.Fatalf("unexpected assignment %v", a)
+		}
+	}
+}
+
+func TestTooManyAssignments(t *testing.T) {
+	// caps all d with large k ⇒ |𝒟| = C(d+k-1, k-1) grows fast.
+	_, err := Enumerate([]int{9, 9, 9, 9, 9, 9}, 9)
+	if err == nil {
+		t.Fatal("expected ErrTooManyAssignments")
+	}
+	if _, ok := err.(*ErrTooManyAssignments); !ok {
+		t.Fatalf("error type %T", err)
+	}
+}
+
+// TestExample4 reproduces Example 4: with k = 3, subset {e1, e3} supports
+// (2,0,1) and (3,0,4) but not (1,1,0).
+func TestExample4(t *testing.T) {
+	e13 := uint64(0b101)
+	if !(Assignment{2, 0, 1}).SupportedBy(e13) {
+		t.Error("(2,0,1) should be supported by {e1,e3}")
+	}
+	if !(Assignment{3, 0, 4}).SupportedBy(e13) {
+		t.Error("(3,0,4) should be supported by {e1,e3}")
+	}
+	if (Assignment{1, 1, 0}).SupportedBy(e13) {
+		t.Error("(1,1,0) should not be supported by {e1,e3}")
+	}
+	// Full set supports everything; empty set supports nothing positive.
+	if !(Assignment{1, 1, 1}).SupportedBy(0b111) {
+		t.Error("full set must support all")
+	}
+	if (Assignment{1, 0, 0}).SupportedBy(0) {
+		t.Error("empty set supports no positive assignment")
+	}
+	if !(Assignment{0, 0, 0}).SupportedBy(0) {
+		t.Error("empty set supports the zero assignment")
+	}
+}
+
+// TestExample5 reproduces Example 5: classification of
+// D = {(1,2,0),(2,1,0),(1,1,1),(0,2,1),(2,0,1)} by supporting subsets.
+func TestExample5(t *testing.T) {
+	ds := []Assignment{{1, 2, 0}, {2, 1, 0}, {1, 1, 1}, {0, 2, 1}, {2, 0, 1}}
+	s := &Set{K: 3, D: 3, Assignments: ds, supports: make([]uint64, len(ds))}
+	for i, a := range ds {
+		s.supports[i] = a.SupportMask()
+	}
+	classes := s.Classify()
+	// Helper: mask of assignment indices.
+	idx := func(is ...int) uint64 {
+		var m uint64
+		for _, i := range is {
+			m |= 1 << uint(i)
+		}
+		return m
+	}
+	cases := []struct {
+		eMask uint64
+		want  uint64
+	}{
+		{0b111, idx(0, 1, 2, 3, 4)}, // {e1,e2,e3} supports all of D
+		{0b011, idx(0, 1)},          // {e1,e2}: (1,2,0), (2,1,0)
+		{0b110, idx(3)},             // {e2,e3}: (0,2,1)
+		{0b101, idx(4)},             // {e1,e3}: (2,0,1)
+		{0b001, 0},
+		{0b010, 0},
+		{0b100, 0},
+		{0b000, 0},
+	}
+	for _, c := range cases {
+		if got := classes[c.eMask]; got != c.want {
+			t.Errorf("D_{%03b} = %b, want %b", c.eMask, got, c.want)
+		}
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	s, err := NewSet([]int{2, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 || s.K != 2 || s.D != 2 {
+		t.Fatalf("set = %+v", s)
+	}
+	// Full mask supports all three; singleton masks support only the
+	// concentrated assignments.
+	if got := s.SupportedMask(0b11); got != 0b111 {
+		t.Fatalf("full = %b", got)
+	}
+	onlyFirst := s.SupportedMask(0b01)
+	if c := popcount(onlyFirst); c != 1 {
+		t.Fatalf("D_{e1} size = %d, want 1", c)
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+func TestAssignmentString(t *testing.T) {
+	if got := (Assignment{0, 2, 3}).String(); got != "(0, 2, 3)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// Property: Enumerate and Count agree, every assignment sums to d, respects
+// caps, and assignments are distinct.
+func TestQuickEnumerateInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(4)
+		d := rng.Intn(5)
+		caps := make([]int, k)
+		for i := range caps {
+			caps[i] = rng.Intn(4)
+		}
+		n := Count(caps, d)
+		as, err := Enumerate(caps, d)
+		if err != nil {
+			_, tooMany := err.(*ErrTooManyAssignments)
+			return tooMany && n > MaxAssignments
+		}
+		if len(as) != n {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, a := range as {
+			if a.Sum() != d {
+				return false
+			}
+			for i, v := range a {
+				if v < 0 || v > caps[i] || v > d {
+					return false
+				}
+			}
+			if seen[a.String()] {
+				return false
+			}
+			seen[a.String()] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: classes are monotone (E”⊆F” ⇒ 𝒟_{E”} ⊆ 𝒟_{F”}), the full
+// set supports everything, and each class contains exactly the assignments
+// whose support is inside E”.
+func TestQuickClassifyInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(3)
+		d := 1 + rng.Intn(4)
+		caps := make([]int, k)
+		for i := range caps {
+			caps[i] = 1 + rng.Intn(3)
+		}
+		s, err := NewSet(caps, d)
+		if err != nil {
+			return true // size guard hit; fine
+		}
+		classes := s.Classify()
+		full := uint64(1)<<uint(k) - 1
+		if classes[full] != uint64(1)<<uint(s.Len())-1 {
+			return false
+		}
+		for e := uint64(0); e <= full; e++ {
+			for f2 := uint64(0); f2 <= full; f2++ {
+				if e&^f2 == 0 && classes[e]&^classes[f2] != 0 {
+					return false
+				}
+			}
+			for i, a := range s.Assignments {
+				want := a.SupportMask()&^e == 0
+				got := classes[e]&(1<<uint(i)) != 0
+				if want != got {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

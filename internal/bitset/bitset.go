@@ -1,0 +1,279 @@
+// Package bitset provides a dense, growable bit set used throughout the
+// library to represent sets of links (edge masks) on graphs that may have
+// more than 64 edges. The hot enumeration loops in the reliability engines
+// use raw uint64 masks instead; this type backs the general graph
+// operations (component search, induced subgraphs, cut manipulation).
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-capacity bit set. The zero value is an empty set of
+// capacity 0; use New to create a set able to hold n bits.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns a set able to hold bits [0, n).
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative size")
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// FromIndices returns a set of capacity n with the given bits set.
+func FromIndices(n int, idx ...int) *Set {
+	s := New(n)
+	for _, i := range idx {
+		s.Set(i)
+	}
+	return s
+}
+
+// FromMask returns a set of capacity n initialized from the low n bits of m.
+// n must be at most 64.
+func FromMask(n int, m uint64) *Set {
+	if n > wordBits {
+		panic("bitset: FromMask capacity exceeds 64")
+	}
+	s := New(n)
+	if n > 0 {
+		s.words[0] = m & maskLow(n)
+	}
+	return s
+}
+
+func maskLow(n int) uint64 {
+	if n >= wordBits {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(n)) - 1
+}
+
+// Len returns the capacity (number of addressable bits) of the set.
+func (s *Set) Len() int { return s.n }
+
+// Set sets bit i.
+func (s *Set) Set(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Clear clears bit i.
+func (s *Set) Clear(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Flip toggles bit i.
+func (s *Set) Flip(i int) {
+	s.check(i)
+	s.words[i/wordBits] ^= 1 << uint(i%wordBits)
+}
+
+// Test reports whether bit i is set.
+func (s *Set) Test(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Any reports whether any bit is set.
+func (s *Set) Any() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// None reports whether no bit is set.
+func (s *Set) None() bool { return !s.Any() }
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}
+
+// CopyFrom overwrites s with the contents of o. The sets must have the
+// same capacity.
+func (s *Set) CopyFrom(o *Set) {
+	s.sameCap(o)
+	copy(s.words, o.words)
+}
+
+// SetAll sets every bit in [0, Len()).
+func (s *Set) SetAll() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+}
+
+// Reset clears every bit.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+func (s *Set) trim() {
+	if r := s.n % wordBits; r != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= maskLow(r)
+	}
+}
+
+func (s *Set) sameCap(o *Set) {
+	if s.n != o.n {
+		panic(fmt.Sprintf("bitset: capacity mismatch %d vs %d", s.n, o.n))
+	}
+}
+
+// UnionWith sets s = s ∪ o.
+func (s *Set) UnionWith(o *Set) {
+	s.sameCap(o)
+	for i := range s.words {
+		s.words[i] |= o.words[i]
+	}
+}
+
+// IntersectWith sets s = s ∩ o.
+func (s *Set) IntersectWith(o *Set) {
+	s.sameCap(o)
+	for i := range s.words {
+		s.words[i] &= o.words[i]
+	}
+}
+
+// DifferenceWith sets s = s \ o.
+func (s *Set) DifferenceWith(o *Set) {
+	s.sameCap(o)
+	for i := range s.words {
+		s.words[i] &^= o.words[i]
+	}
+}
+
+// SubsetOf reports whether every bit set in s is also set in o.
+func (s *Set) SubsetOf(o *Set) bool {
+	s.sameCap(o)
+	for i := range s.words {
+		if s.words[i]&^o.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s and o share at least one set bit.
+func (s *Set) Intersects(o *Set) bool {
+	s.sameCap(o)
+	for i := range s.words {
+		if s.words[i]&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether s and o contain exactly the same bits.
+func (s *Set) Equal(o *Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Indices returns the positions of all set bits in increasing order.
+func (s *Set) Indices() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// ForEach calls f for each set bit in increasing order.
+func (s *Set) ForEach(f func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			f(wi*wordBits + b)
+			w &= w - 1
+		}
+	}
+}
+
+// NextSet returns the position of the first set bit at or after i, or -1
+// if there is none.
+func (s *Set) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := s.words[wi] >> uint(i%wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(s.words[wi])
+		}
+	}
+	return -1
+}
+
+// Mask returns the low 64 bits of the set as a raw mask. It panics if the
+// capacity exceeds 64; it exists for the fast enumeration paths.
+func (s *Set) Mask() uint64 {
+	if s.n > wordBits {
+		panic("bitset: Mask on set wider than 64 bits")
+	}
+	if len(s.words) == 0 {
+		return 0
+	}
+	return s.words[0]
+}
+
+// String renders the set as a binary string, bit 0 leftmost, e.g. "10110".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.Grow(s.n)
+	for i := 0; i < s.n; i++ {
+		if s.Test(i) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}

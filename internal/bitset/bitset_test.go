@@ -1,0 +1,250 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicSetClearTest(t *testing.T) {
+	s := New(130)
+	if s.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", s.Len())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Test(i) {
+			t.Fatalf("bit %d set in fresh set", i)
+		}
+		s.Set(i)
+		if !s.Test(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	s.Clear(64)
+	if s.Test(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	s.Flip(64)
+	if !s.Test(64) {
+		t.Fatal("bit 64 not set after Flip")
+	}
+	s.Flip(64)
+	if s.Test(64) {
+		t.Fatal("bit 64 set after second Flip")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := New(10)
+	for _, f := range []func(){
+		func() { s.Set(10) },
+		func() { s.Set(-1) },
+		func() { s.Test(10) },
+		func() { s.Clear(100) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic on out-of-range index")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFromIndicesAndIndices(t *testing.T) {
+	s := FromIndices(100, 3, 7, 99)
+	got := s.Indices()
+	want := []int{3, 7, 99}
+	if len(got) != len(want) {
+		t.Fatalf("Indices = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Indices = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFromMaskRoundTrip(t *testing.T) {
+	for _, m := range []uint64{0, 1, 0b1011, 1 << 40, (1 << 50) - 1} {
+		s := FromMask(51, m)
+		if s.Mask() != m&((1<<51)-1) {
+			t.Fatalf("FromMask(%#x).Mask() = %#x", m, s.Mask())
+		}
+	}
+}
+
+func TestFromMaskTruncates(t *testing.T) {
+	s := FromMask(4, 0xFF)
+	if s.Mask() != 0xF {
+		t.Fatalf("mask = %#x, want 0xF", s.Mask())
+	}
+	if s.Count() != 4 {
+		t.Fatalf("count = %d, want 4", s.Count())
+	}
+}
+
+func TestSetAllRespectsCapacity(t *testing.T) {
+	s := New(70)
+	s.SetAll()
+	if got := s.Count(); got != 70 {
+		t.Fatalf("Count after SetAll = %d, want 70", got)
+	}
+	s.Reset()
+	if s.Any() {
+		t.Fatal("Any after Reset")
+	}
+	if !s.None() {
+		t.Fatal("None false after Reset")
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := FromIndices(100, 1, 2, 3, 70)
+	b := FromIndices(100, 2, 3, 4, 99)
+
+	u := a.Clone()
+	u.UnionWith(b)
+	wantU := FromIndices(100, 1, 2, 3, 4, 70, 99)
+	if !u.Equal(wantU) {
+		t.Fatalf("union = %v", u.Indices())
+	}
+
+	i := a.Clone()
+	i.IntersectWith(b)
+	if !i.Equal(FromIndices(100, 2, 3)) {
+		t.Fatalf("intersection = %v", i.Indices())
+	}
+
+	d := a.Clone()
+	d.DifferenceWith(b)
+	if !d.Equal(FromIndices(100, 1, 70)) {
+		t.Fatalf("difference = %v", d.Indices())
+	}
+
+	if !i.SubsetOf(a) || !i.SubsetOf(b) {
+		t.Fatal("intersection not subset of operands")
+	}
+	if a.SubsetOf(b) {
+		t.Fatal("a should not be subset of b")
+	}
+	if !a.Intersects(b) {
+		t.Fatal("a should intersect b")
+	}
+	if a.Intersects(FromIndices(100, 50)) {
+		t.Fatal("a should not intersect {50}")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromIndices(64, 5)
+	b := a.Clone()
+	b.Set(6)
+	if a.Test(6) {
+		t.Fatal("Clone shares storage")
+	}
+	a.CopyFrom(b)
+	if !a.Test(6) {
+		t.Fatal("CopyFrom did not copy")
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	s := FromIndices(200, 0, 5, 64, 130, 199)
+	cases := []struct{ from, want int }{
+		{0, 0}, {1, 5}, {5, 5}, {6, 64}, {64, 64}, {65, 130},
+		{130, 130}, {131, 199}, {199, 199}, {-3, 0},
+	}
+	for _, c := range cases {
+		if got := s.NextSet(c.from); got != c.want {
+			t.Errorf("NextSet(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	if got := s.NextSet(200); got != -1 {
+		t.Errorf("NextSet(200) = %d, want -1", got)
+	}
+	if got := New(10).NextSet(0); got != -1 {
+		t.Errorf("NextSet on empty = %d, want -1", got)
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	s := FromIndices(300, 299, 1, 100)
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	want := []int{1, 100, 299}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	s := FromIndices(5, 0, 2, 3)
+	if got := s.String(); got != "10110" {
+		t.Fatalf("String = %q, want %q", got, "10110")
+	}
+}
+
+func TestCapacityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on capacity mismatch")
+		}
+	}()
+	New(10).UnionWith(New(11))
+}
+
+// Property: Count equals the number of distinct indices inserted.
+func TestQuickCountMatchesDistinct(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		size := int(n)%200 + 1
+		rng := rand.New(rand.NewSource(seed))
+		s := New(size)
+		distinct := map[int]bool{}
+		for k := 0; k < 50; k++ {
+			i := rng.Intn(size)
+			s.Set(i)
+			distinct[i] = true
+		}
+		return s.Count() == len(distinct)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: De Morgan-ish — |A ∪ B| + |A ∩ B| == |A| + |B|.
+func TestQuickInclusionExclusion(t *testing.T) {
+	f := func(am, bm uint64) bool {
+		a := FromMask(64, am)
+		b := FromMask(64, bm)
+		u := a.Clone()
+		u.UnionWith(b)
+		i := a.Clone()
+		i.IntersectWith(b)
+		return u.Count()+i.Count() == a.Count()+b.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ForEach visits exactly the set bits of the mask.
+func TestQuickForEachMatchesMask(t *testing.T) {
+	f := func(m uint64) bool {
+		s := FromMask(64, m)
+		var rebuilt uint64
+		s.ForEach(func(i int) { rebuilt |= 1 << uint(i) })
+		return rebuilt == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+// Package churn models peer failures — the dominant fault in P2P
+// streaming (§II of the paper: mesh systems are "robust against peer
+// churns", trees are not). A peer that leaves takes every link it
+// terminates with it, which the link-failure engines cannot express
+// directly. The classical node-splitting transformation fixes that
+// exactly: each fallible peer v becomes v_in → v_out joined by an internal
+// link carrying the peer's failure probability (and its relay capacity),
+// in-links attach to v_in, out-links to v_out. The transformed instance is
+// an ordinary independent-link-failure network, so every engine in this
+// library — including the bottleneck decomposition — applies unchanged.
+package churn
+
+import (
+	"fmt"
+
+	"flowrel/internal/graph"
+)
+
+// Peer describes a fallible node.
+type Peer struct {
+	Node graph.NodeID
+	// PFail is the probability the peer is absent (churned out).
+	PFail float64
+	// Relay caps the total flow the peer can forward; 0 means unlimited
+	// (capped internally at the demand's bit-rate, which is equivalent).
+	Relay int
+}
+
+// Instance is a transformed churn model.
+type Instance struct {
+	G      *graph.Graph
+	Demand graph.Demand
+	// InOf / OutOf map original nodes to their split halves (equal for
+	// nodes without a Peer entry).
+	InOf  []graph.NodeID
+	OutOf []graph.NodeID
+	// PeerLink maps each fallible original node to its internal link
+	// (-1 for nodes without one); useful for highlighting and SRLG
+	// grouping.
+	PeerLink []graph.EdgeID
+}
+
+// Transform builds the node-split instance for the demand dem on g. The
+// demand's own terminals may appear in peers (a fallible source or sink
+// makes the whole demand fail with that probability — modelled faithfully
+// by splitting them too). Link failure probabilities are preserved.
+func Transform(g *graph.Graph, dem graph.Demand, peers []Peer) (*Instance, error) {
+	if g == nil {
+		return nil, fmt.Errorf("churn: nil graph")
+	}
+	if err := dem.Validate(g); err != nil {
+		return nil, err
+	}
+	peerOf := make(map[graph.NodeID]Peer, len(peers))
+	for _, p := range peers {
+		if err := g.CheckNode(p.Node); err != nil {
+			return nil, err
+		}
+		if p.PFail < 0 || p.PFail >= 1 {
+			return nil, fmt.Errorf("churn: peer %d failure probability %g outside [0,1)", p.Node, p.PFail)
+		}
+		if p.Relay < 0 {
+			return nil, fmt.Errorf("churn: peer %d negative relay capacity", p.Node)
+		}
+		if _, dup := peerOf[p.Node]; dup {
+			return nil, fmt.Errorf("churn: duplicate peer entry for node %d", p.Node)
+		}
+		peerOf[p.Node] = p
+	}
+
+	b := graph.NewBuilder()
+	inst := &Instance{
+		InOf:     make([]graph.NodeID, g.NumNodes()),
+		OutOf:    make([]graph.NodeID, g.NumNodes()),
+		PeerLink: make([]graph.EdgeID, g.NumNodes()),
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		inst.PeerLink[i] = -1
+		name := g.NodeName(graph.NodeID(i))
+		if p, ok := peerOf[graph.NodeID(i)]; ok {
+			inName, outName := "", ""
+			if name != "" {
+				inName, outName = name+".in", name+".out"
+			}
+			inst.InOf[i] = b.AddNamedNode(inName)
+			inst.OutOf[i] = b.AddNamedNode(outName)
+			relay := p.Relay
+			if relay == 0 || relay > dem.D {
+				relay = dem.D
+			}
+			inst.PeerLink[i] = b.AddEdge(inst.InOf[i], inst.OutOf[i], relay, p.PFail)
+		} else {
+			n := b.AddNamedNode(name)
+			inst.InOf[i] = n
+			inst.OutOf[i] = n
+		}
+	}
+	for _, e := range g.Edges() {
+		b.AddEdge(inst.OutOf[e.U], inst.InOf[e.V], e.Cap, e.PFail)
+	}
+	gg, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	inst.G = gg
+	// The source produces at its out half; the sink consumes at its in
+	// half — so a fallible terminal's internal link correctly gates the
+	// whole demand.
+	inst.Demand = graph.Demand{S: inst.InOf[dem.S], T: inst.OutOf[dem.T], D: dem.D}
+	return inst, nil
+}

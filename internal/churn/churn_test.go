@@ -1,0 +1,248 @@
+package churn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flowrel/internal/bitset"
+	"flowrel/internal/graph"
+	"flowrel/internal/maxflow"
+	"flowrel/internal/reliability"
+)
+
+// pathGraph builds s → a → b → t with perfect links.
+func pathGraph() (*graph.Graph, graph.Demand) {
+	b := graph.NewBuilder()
+	s := b.AddNamedNode("s")
+	a := b.AddNamedNode("a")
+	bb := b.AddNamedNode("b")
+	t := b.AddNamedNode("t")
+	b.AddEdge(s, a, 1, 0)
+	b.AddEdge(a, bb, 1, 0)
+	b.AddEdge(bb, t, 1, 0)
+	return b.MustBuild(), graph.Demand{S: s, T: t, D: 1}
+}
+
+func TestRelayChainClosedForm(t *testing.T) {
+	g, dem := pathGraph()
+	peers := []Peer{{Node: 1, PFail: 0.1}, {Node: 2, PFail: 0.2}}
+	inst, err := Transform(g, dem, peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := reliability.Naive(inst.G, inst.Demand, reliability.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.9 * 0.8 // both relays must be present; links are perfect
+	if math.Abs(res.Reliability-want) > 1e-12 {
+		t.Fatalf("R = %g, want %g", res.Reliability, want)
+	}
+}
+
+func TestFallibleTerminalsGateEverything(t *testing.T) {
+	g, dem := pathGraph()
+	inst, err := Transform(g, dem, []Peer{{Node: dem.S, PFail: 0.3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := reliability.Naive(inst.G, inst.Demand, reliability.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Reliability-0.7) > 1e-12 {
+		t.Fatalf("fallible source: R = %g, want 0.7", res.Reliability)
+	}
+	inst, err = Transform(g, dem, []Peer{{Node: dem.T, PFail: 0.25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = reliability.Naive(inst.G, inst.Demand, reliability.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Reliability-0.75) > 1e-12 {
+		t.Fatalf("fallible sink: R = %g, want 0.75", res.Reliability)
+	}
+}
+
+func TestRelayCapacityLimits(t *testing.T) {
+	// Two parallel routes through one relay with capacity 1: d=2 fails
+	// even though link capacity allows it.
+	b := graph.NewBuilder()
+	s := b.AddNode()
+	m := b.AddNode()
+	tt := b.AddNode()
+	b.AddEdge(s, m, 2, 0)
+	b.AddEdge(m, tt, 2, 0)
+	g := b.MustBuild()
+	dem := graph.Demand{S: s, T: tt, D: 2}
+	inst, err := Transform(g, dem, []Peer{{Node: m, PFail: 0, Relay: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := reliability.Naive(inst.G, inst.Demand, reliability.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reliability != 0 {
+		t.Fatalf("relay cap ignored: R = %g", res.Reliability)
+	}
+	// Relay 0 = unlimited (clipped to d): succeeds.
+	inst, err = Transform(g, dem, []Peer{{Node: m, PFail: 0, Relay: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = reliability.Naive(inst.G, inst.Demand, reliability.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reliability != 1 {
+		t.Fatalf("unlimited relay: R = %g, want 1", res.Reliability)
+	}
+}
+
+func TestNamesAndMappings(t *testing.T) {
+	g, dem := pathGraph()
+	inst, err := Transform(g, dem, []Peer{{Node: 1, PFail: 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.G.NodeName(inst.InOf[1]) != "a.in" || inst.G.NodeName(inst.OutOf[1]) != "a.out" {
+		t.Fatal("split names wrong")
+	}
+	if inst.InOf[0] != inst.OutOf[0] {
+		t.Fatal("unsplit node halves differ")
+	}
+	if inst.PeerLink[1] < 0 || inst.PeerLink[0] != -1 {
+		t.Fatalf("PeerLink = %v", inst.PeerLink)
+	}
+	e := inst.G.Edge(inst.PeerLink[1])
+	if e.PFail != 0.1 {
+		t.Fatal("peer link probability lost")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	g, dem := pathGraph()
+	if _, err := Transform(nil, dem, nil); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := Transform(g, graph.Demand{S: 0, T: 0, D: 1}, nil); err == nil {
+		t.Fatal("bad demand accepted")
+	}
+	bad := [][]Peer{
+		{{Node: 99, PFail: 0.1}},
+		{{Node: 1, PFail: 1.0}},
+		{{Node: 1, PFail: -0.1}},
+		{{Node: 1, PFail: 0.1, Relay: -1}},
+		{{Node: 1, PFail: 0.1}, {Node: 1, PFail: 0.2}},
+	}
+	for _, peers := range bad {
+		if _, err := Transform(g, dem, peers); err == nil {
+			t.Fatalf("bad peers %+v accepted", peers)
+		}
+	}
+}
+
+// bruteForce enumerates node states and link states jointly on the
+// ORIGINAL graph: a failed node disables all its incident links; a relay
+// bound is enforced by... the brute force only handles Relay ≥ d (or 0),
+// which the property test respects.
+func bruteForce(t *testing.T, g *graph.Graph, dem graph.Demand, peers []Peer) float64 {
+	t.Helper()
+	m := g.NumEdges()
+	total := 0.0
+	nP := len(peers)
+	for ls := uint64(0); ls < 1<<uint(m); ls++ {
+		pl := 1.0
+		for i, e := range g.Edges() {
+			if ls&(1<<uint(i)) != 0 {
+				pl *= 1 - e.PFail
+			} else {
+				pl *= e.PFail
+			}
+		}
+		for ns := uint64(0); ns < 1<<uint(nP); ns++ {
+			pn := 1.0
+			alive := bitset.FromMask(m, ls)
+			feasible := true
+			for pi, p := range peers {
+				if ns&(1<<uint(pi)) != 0 { // peer failed
+					pn *= p.PFail
+					if p.Node == dem.S || p.Node == dem.T {
+						feasible = false
+					}
+					for _, eid := range g.Incident(p.Node) {
+						alive.Clear(int(eid))
+					}
+				} else {
+					pn *= 1 - p.PFail
+				}
+			}
+			if pn == 0 {
+				continue
+			}
+			if feasible {
+				nw, handles := maxflow.FromGraph(g)
+				for i := range handles {
+					nw.SetEnabled(handles[i], alive.Test(i))
+				}
+				feasible = nw.MaxFlow(int32(dem.S), int32(dem.T), dem.D) >= dem.D
+			}
+			if feasible {
+				total += pl * pn
+			}
+		}
+	}
+	return total
+}
+
+// Property: the node-split transformation matches joint brute-force
+// enumeration over node and link states.
+func TestQuickTransformMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(3)
+		m := 2 + rng.Intn(6)
+		b := graph.NewBuilder()
+		b.AddNodes(n)
+		for i := 0; i < m; i++ {
+			u := graph.NodeID(rng.Intn(n))
+			v := graph.NodeID(rng.Intn(n))
+			for v == u {
+				v = graph.NodeID(rng.Intn(n))
+			}
+			b.AddEdge(u, v, 1+rng.Intn(2), rng.Float64()*0.7)
+		}
+		g := b.MustBuild()
+		dem := graph.Demand{S: 0, T: graph.NodeID(n - 1), D: 1 + rng.Intn(2)}
+		// Random subset of interior nodes as fallible peers (terminals
+		// excluded so the brute force's feasibility shortcut is exact).
+		var peers []Peer
+		for v := 1; v < n-1; v++ {
+			if rng.Intn(2) == 0 {
+				peers = append(peers, Peer{Node: graph.NodeID(v), PFail: rng.Float64() * 0.6})
+			}
+		}
+		want := bruteForce(t, g, dem, peers)
+		inst, err := Transform(g, dem, peers)
+		if err != nil {
+			return false
+		}
+		got, err := reliability.Naive(inst.G, inst.Demand, reliability.Options{})
+		if err != nil {
+			return false
+		}
+		if math.Abs(got.Reliability-want) > 1e-9 {
+			t.Logf("seed %d: transform %.12f brute %.12f", seed, got.Reliability, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,426 @@
+// Package core implements the paper's contribution: exact flow-reliability
+// calculation in O(2^{α|E|}·|V|·|E|) time for graphs with a constant-size
+// set of α-bottleneck links (Fujita, IPDPSW 2017).
+//
+// The algorithm (§III–IV of the paper):
+//
+//  1. Split G by a minimal s–t cut E' = {e₁,…,e_k} into sides G_s and G_t.
+//  2. Enumerate the assignment set 𝒟 of the d sub-streams to the k
+//     bottleneck links (§III-B).
+//  3. For each side, build an array indexed by the side's 2^{|E_side|}
+//     failure configurations whose entries record, as a |𝒟|-bit vector,
+//     which assignments the configuration realizes (§III-C); one max-flow
+//     computation per (assignment, configuration) pair decides each bit.
+//  4. For every bottleneck-link configuration E” ⊆ E', combine the two
+//     arrays by the inclusion–exclusion principle over the supported
+//     assignment class 𝒟_{E”} (procedure ACCUMULATION, §IV-B) and weight
+//     by the probability p_{E”} of that configuration (Eq. 2–3).
+//
+// Two ablation axes mirror design choices the paper leaves implicit:
+// side-array construction may recompute each max flow from scratch or walk
+// the configurations in Gray-code order repairing the previous flow, and
+// the accumulation may follow the paper's literal subset scan or aggregate
+// once with a superset-zeta transform.
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"flowrel/internal/assign"
+	"flowrel/internal/conf"
+	"flowrel/internal/graph"
+	"flowrel/internal/maxflow"
+	"flowrel/internal/mincut"
+	"flowrel/internal/subset"
+)
+
+// SideEngine selects how the per-side realization arrays are built.
+type SideEngine int
+
+const (
+	// SideRecompute solves every (assignment, configuration) max-flow
+	// problem from scratch.
+	SideRecompute SideEngine = iota
+	// SideGrayCode walks configurations in Gray-code order and repairs
+	// the previous flow after the single link flip.
+	SideGrayCode
+)
+
+// Accumulation selects how per-class probabilities are combined.
+type Accumulation int
+
+const (
+	// AccumZeta aggregates configuration probabilities by realized
+	// assignment mask and applies a superset-zeta transform once; each
+	// inclusion–exclusion term is then a table lookup.
+	AccumZeta Accumulation = iota
+	// AccumDirect follows procedure ACCUMULATION literally: for every
+	// subset X of the supported class, scan the side arrays to compute
+	// p_X, then apply inclusion–exclusion.
+	AccumDirect
+)
+
+// Options tunes the solver.
+type Options struct {
+	// Bottleneck optionally fixes the bottleneck link set E'. When nil the
+	// solver searches for the minimal cut with the most balanced split
+	// among cuts of at most MaxBottleneck links.
+	Bottleneck []graph.EdgeID
+	// MaxBottleneck bounds the bottleneck search (default 3).
+	MaxBottleneck int
+	// MaxSideEdges bounds the enumerated side size |E_side| (default 20;
+	// side-array time and memory grow as 2^{|E_side|}).
+	MaxSideEdges int
+	// MaxAssignmentSet bounds |𝒟| (default 20; the accumulation lattice
+	// takes O(2^{|𝒟|}) memory). The paper assumes d and k constant, which
+	// is exactly this bound.
+	MaxAssignmentSet int
+	// Parallelism is the number of worker goroutines for side-array
+	// construction; ≤ 0 means GOMAXPROCS.
+	Parallelism int
+	Side        SideEngine
+	Accum       Accumulation
+}
+
+func (o *Options) setDefaults() {
+	if o.MaxBottleneck <= 0 {
+		o.MaxBottleneck = 3
+	}
+	if o.MaxSideEdges <= 0 {
+		o.MaxSideEdges = 20
+	}
+	if o.MaxAssignmentSet <= 0 {
+		o.MaxAssignmentSet = 20
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = defaultParallelism()
+	}
+}
+
+// Stats reports the work performed.
+type Stats struct {
+	MaxFlowCalls int64
+	AugmentUnits int64
+	// SideConfigs is the number of failure configurations enumerated per
+	// side (2^{|E_s|} and 2^{|E_t|}).
+	SideConfigs [2]uint64
+	// RealizationChecks counts (assignment, configuration) feasibility
+	// decisions — the paper's |𝒟|·2^{|E_side|} cost term.
+	RealizationChecks int64
+}
+
+// Result is the solver's answer plus the decomposition it used.
+type Result struct {
+	Reliability float64
+	Cut         []graph.EdgeID // the bottleneck links E'
+	K           int            // |E'|
+	Alpha       float64        // max(|E_s|,|E_t|)/|E|
+	Assignments []assign.Assignment
+	SideEdges   [2]int // |E_s|, |E_t|
+	Stats       Stats
+}
+
+// Reliability computes the exact reliability of g with respect to dem
+// using the bottleneck decomposition.
+func Reliability(g *graph.Graph, dem graph.Demand, opt Options) (Result, error) {
+	if g == nil {
+		return Result{}, fmt.Errorf("core: nil graph")
+	}
+	if err := dem.Validate(g); err != nil {
+		return Result{}, err
+	}
+	opt.setDefaults()
+
+	var bt *mincut.Bottleneck
+	var err error
+	if opt.Bottleneck != nil {
+		bt, err = mincut.Split(g, dem.S, dem.T, opt.Bottleneck)
+	} else {
+		bt, err = mincut.Find(g, dem.S, dem.T, opt.MaxBottleneck)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	return ReliabilityWithBottleneck(g, dem, bt, opt)
+}
+
+// ReliabilityWithBottleneck runs the decomposition on a pre-validated
+// bottleneck split.
+func ReliabilityWithBottleneck(g *graph.Graph, dem graph.Demand, bt *mincut.Bottleneck, opt Options) (Result, error) {
+	if err := dem.Validate(g); err != nil {
+		return Result{}, err
+	}
+	opt.setDefaults()
+
+	res := Result{
+		Cut:       bt.Cut,
+		K:         bt.K(),
+		Alpha:     bt.Alpha,
+		SideEdges: [2]int{bt.Gs.G.NumEdges(), bt.Gt.G.NumEdges()},
+	}
+
+	// §III-B: the assignment set 𝒟.
+	caps := make([]int, bt.K())
+	for i, eid := range bt.Cut {
+		caps[i] = g.Edge(eid).Cap
+	}
+	ds, err := assign.NewSet(caps, dem.D)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Assignments = ds.Assignments
+	if ds.Len() == 0 {
+		// The cut cannot carry d even with every link alive: the
+		// reliability is trivially zero (paper, §III-A).
+		return res, nil
+	}
+	if ds.Len() > opt.MaxAssignmentSet {
+		return Result{}, fmt.Errorf("core: |𝒟| = %d exceeds MaxAssignmentSet %d (raise the limit or reduce d·k)", ds.Len(), opt.MaxAssignmentSet)
+	}
+
+	// §III-C: per-side realization arrays.
+	sideS, err := buildSide(bt.Gs, bt.Gs.NodeOf[dem.S], bt.XS, true, ds, &opt, &res.Stats, 0)
+	if err != nil {
+		return Result{}, err
+	}
+	sideT, err := buildSide(bt.Gt, bt.Gt.NodeOf[dem.T], bt.YT, false, ds, &opt, &res.Stats, 1)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// §IV: accumulation over bottleneck-link configurations.
+	pCut := make([]float64, bt.K())
+	for i, eid := range bt.Cut {
+		pCut[i] = g.Edge(eid).PFail
+	}
+	switch opt.Accum {
+	case AccumZeta:
+		res.Reliability = accumulateZeta(sideS, sideT, ds, pCut)
+	case AccumDirect:
+		res.Reliability = accumulateDirect(sideS, sideT, ds, pCut)
+	default:
+		return Result{}, fmt.Errorf("core: unknown accumulation strategy %d", opt.Accum)
+	}
+	return res, nil
+}
+
+// sideArray is the §III-C data structure for one component: for every
+// failure configuration of the component's links, the set of assignments
+// it realizes (as a bit mask over 𝒟) and its occurrence probability.
+type sideArray struct {
+	m        int       // number of component links
+	realized []uint64  // indexed by configuration mask
+	probs    []float64 // indexed by configuration mask
+}
+
+// buildSide constructs the realization array for one component. terminal
+// is the component's real terminal (s or t, in component node IDs); ends
+// are the component-side endpoints of the bottleneck links (x_i or y_i);
+// toSink selects the G_s orientation (route from terminal to the
+// bottleneck endpoints) versus G_t (from the endpoints to the terminal).
+func buildSide(sub *graph.Subgraph, terminal graph.NodeID, ends []graph.NodeID, toSink bool, ds *assign.Set, opt *Options, stats *Stats, sideIdx int) (*sideArray, error) {
+	m := sub.G.NumEdges()
+	if m > opt.MaxSideEdges {
+		return nil, fmt.Errorf("core: component has %d links, exceeding MaxSideEdges %d", m, opt.MaxSideEdges)
+	}
+
+	// Prototype network: component links plus one super terminal carrying
+	// the per-assignment demand arcs.
+	proto := maxflow.New(sub.G.NumNodes())
+	super := proto.AddNode()
+	handles := make([]maxflow.Handle, m)
+	for _, e := range sub.G.Edges() {
+		handles[e.ID] = proto.AddDirected(int32(e.U), int32(e.V), e.Cap)
+	}
+	demandArcs := make([]maxflow.Handle, len(ends))
+	for i, x := range ends {
+		if toSink {
+			demandArcs[i] = proto.AddDirected(int32(x), super, 0)
+		} else {
+			demandArcs[i] = proto.AddDirected(super, int32(x), 0)
+		}
+	}
+	var src, dst int32
+	if toSink {
+		src, dst = int32(terminal), super
+	} else {
+		src, dst = super, int32(terminal)
+	}
+
+	sa := &sideArray{
+		m:        m,
+		realized: make([]uint64, uint64(1)<<uint(m)),
+		probs:    make([]float64, uint64(1)<<uint(m)),
+	}
+	pFail := make([]float64, m)
+	for i, e := range sub.G.Edges() {
+		pFail[i] = e.PFail
+	}
+	table := conf.NewTable(pFail)
+	if err := table.Iter(func(mask conf.Mask, p float64) { sa.probs[mask] = p }); err != nil {
+		return nil, err
+	}
+	stats.SideConfigs[sideIdx] = uint64(1) << uint(m)
+
+	// One worker wave: each chunk worker owns a private network clone and
+	// loops over all assignments itself (setting the demand-arc loads on
+	// its own copy), so the clone and spawn cost is paid once rather than
+	// once per assignment.
+	chunks := conf.SplitEnum(m)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opt.Parallelism)
+	for _, r := range chunks {
+		wg.Add(1)
+		go func(lo, hi uint64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			nw := proto.Clone()
+			for j, a := range ds.Assignments {
+				for i := range demandArcs {
+					nw.SetBaseCapDirected(demandArcs[i], a[i])
+				}
+				bit := uint64(1) << uint(j)
+				if opt.Side == SideGrayCode {
+					sideGrayChunk(nw, handles, src, dst, ds.D, bit, sa, lo, hi)
+				} else {
+					sideBinaryChunk(nw, handles, src, dst, ds.D, bit, sa, lo, hi)
+				}
+			}
+			mu.Lock()
+			stats.MaxFlowCalls += nw.Stats.MaxFlowCalls
+			stats.AugmentUnits += nw.Stats.AugmentUnits
+			stats.RealizationChecks += int64(hi-lo) * int64(ds.Len())
+			mu.Unlock()
+		}(r[0], r[1])
+	}
+	wg.Wait()
+	return sa, nil
+}
+
+// sideBinaryChunk solves each configuration in [lo,hi) from scratch,
+// setting the given assignment bit where realized.
+func sideBinaryChunk(nw *maxflow.Network, handles []maxflow.Handle, src, dst int32, d int, bit uint64, sa *sideArray, lo, hi uint64) {
+	prev := ^uint64(0)
+	width := uint64(1)<<uint(len(handles)) - 1
+	for mask := lo; mask < hi; mask++ {
+		diff := (mask ^ prev) & width
+		for diff != 0 {
+			i := trailingZeros(diff)
+			diff &= diff - 1
+			nw.SetEnabled(handles[i], mask&(1<<uint(i)) != 0)
+		}
+		prev = mask
+		if nw.MaxFlow(src, dst, d) >= d {
+			sa.realized[mask] |= bit
+		}
+	}
+}
+
+// sideGrayChunk walks Gray masks for indices [lo,hi), repairing the flow
+// across single-link flips.
+func sideGrayChunk(nw *maxflow.Network, handles []maxflow.Handle, src, dst int32, d int, bit uint64, sa *sideArray, lo, hi uint64) {
+	mask := conf.GrayMask(lo)
+	for i := range handles {
+		nw.SetEnabled(handles[i], mask&(1<<uint(i)) != 0)
+	}
+	nw.ResetFlow()
+	value := nw.Augment(src, dst, d)
+	if value >= d {
+		sa.realized[mask] |= bit
+	}
+	for i := lo + 1; i < hi; i++ {
+		flip := conf.GrayFlip(i)
+		b := uint64(1) << uint(flip)
+		mask ^= b
+		if mask&b != 0 {
+			nw.EnableIncremental(handles[flip])
+		} else {
+			value -= nw.DisableIncremental(handles[flip], src, dst)
+		}
+		value += nw.Augment(src, dst, d-value)
+		if value >= d {
+			sa.realized[mask] |= bit
+		}
+	}
+}
+
+func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }
+
+// accumulateZeta computes Eq. 3 using a superset-zeta aggregation: Q[X] =
+// P(side realizes every assignment in X) for all X ⊆ 𝒟 in one transform,
+// then each r_{E”} is an inclusion–exclusion sum of lattice lookups.
+func accumulateZeta(sideS, sideT *sideArray, ds *assign.Set, pCut []float64) float64 {
+	n := ds.Len()
+	qs := aggregate(sideS, n)
+	qt := aggregate(sideT, n)
+	subset.SupersetZeta(qs, n)
+	subset.SupersetZeta(qt, n)
+
+	classes := ds.Classify()
+	total := 0.0
+	for e := uint64(0); e < uint64(1)<<uint(len(pCut)); e++ {
+		dMask := classes[e]
+		if dMask == 0 {
+			continue
+		}
+		r := 0.0
+		subset.Submasks(dMask, func(x uint64) {
+			if x == 0 {
+				return
+			}
+			r -= subset.PopcountParity(x) * qs[x] * qt[x]
+		})
+		total += conf.Prob(pCut, e) * r
+	}
+	return total
+}
+
+// aggregate sums configuration probabilities by realized-assignment mask.
+func aggregate(sa *sideArray, n int) []float64 {
+	q := make([]float64, uint64(1)<<uint(n))
+	for mask, rm := range sa.realized {
+		q[rm] += sa.probs[mask]
+	}
+	return q
+}
+
+// accumulateDirect computes Eq. 3 with the paper's literal ACCUMULATION:
+// for each bottleneck configuration E” and each non-empty X ⊆ 𝒟_{E”},
+// scan both side arrays to compute p_X = P_s(⊇X)·P_t(⊇X) (Step 1), then
+// inclusion–exclusion (Step 2). Kept as the ablation baseline; its cost is
+// the paper's 2^{dk}·max(2^{|E_s|},2^{|E_t|}) bound.
+func accumulateDirect(sideS, sideT *sideArray, ds *assign.Set, pCut []float64) float64 {
+	classes := ds.Classify()
+	total := 0.0
+	for e := uint64(0); e < uint64(1)<<uint(len(pCut)); e++ {
+		dMask := classes[e]
+		if dMask == 0 {
+			continue
+		}
+		r := 0.0
+		subset.Submasks(dMask, func(x uint64) {
+			if x == 0 {
+				return
+			}
+			pX := scanSuperset(sideS, x) * scanSuperset(sideT, x)
+			r -= subset.PopcountParity(x) * pX
+		})
+		total += conf.Prob(pCut, e) * r
+	}
+	return total
+}
+
+// scanSuperset returns P(configurations whose realized set contains x).
+func scanSuperset(sa *sideArray, x uint64) float64 {
+	p := 0.0
+	for mask, rm := range sa.realized {
+		if rm&x == x {
+			p += sa.probs[mask]
+		}
+	}
+	return p
+}

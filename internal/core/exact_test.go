@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flowrel/internal/graph"
+	"flowrel/internal/reliability"
+)
+
+// TestExactDecompositionEqualsExactNaive asserts big.Rat EQUALITY between
+// the decomposition (run entirely in rational arithmetic) and the exact
+// naive enumeration: the algorithm is exactly correct, with zero
+// tolerance, on the paper's worked examples.
+func TestExactDecompositionEqualsExactNaive(t *testing.T) {
+	for name, mk := range map[string]func() (*graph.Graph, graph.Demand, []graph.EdgeID){
+		"bridge": func() (*graph.Graph, graph.Demand, []graph.EdgeID) {
+			g, dem, bridge := bridgeGraph()
+			return g, dem, []graph.EdgeID{bridge}
+		},
+		"twoBottleneck": func() (*graph.Graph, graph.Demand, []graph.EdgeID) {
+			return twoBottleneck()
+		},
+	} {
+		g, dem, cut := mk()
+		want, err := reliability.NaiveExact(g, dem)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := ReliabilityExact(g, dem, Options{Bottleneck: cut})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.Cmp(want) != 0 {
+			t.Fatalf("%s: decomposition %s != naive %s", name, got.RatString(), want.RatString())
+		}
+	}
+}
+
+func TestExactTriviallyZero(t *testing.T) {
+	g, dem, _ := bridgeGraph()
+	dem.D = 3
+	r, err := ReliabilityExact(g, dem, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sign() != 0 {
+		t.Fatalf("R = %s, want 0", r.RatString())
+	}
+}
+
+func TestExactErrors(t *testing.T) {
+	g, dem, _ := twoBottleneck()
+	if _, err := ReliabilityExact(nil, dem, Options{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := ReliabilityExact(g, graph.Demand{S: 0, T: 0, D: 1}, Options{}); err == nil {
+		t.Fatal("bad demand accepted")
+	}
+	if _, err := ReliabilityExact(g, dem, Options{MaxAssignmentSet: 1}); err == nil {
+		t.Fatal("assignment limit not enforced")
+	}
+	if _, err := ReliabilityExact(g, dem, Options{Bottleneck: []graph.EdgeID{0}}); err == nil {
+		t.Fatal("non-cut accepted")
+	}
+}
+
+// Property: rational decomposition equals rational naive exactly, and the
+// float decomposition is within float tolerance of both.
+func TestQuickExactDecomposition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, dem, cut := plantBottleneck(rng, 2+rng.Intn(2), 2+rng.Intn(3), 1+rng.Intn(2), 1+rng.Intn(2))
+		if g.NumEdges() > 14 {
+			return true
+		}
+		exact, err := ReliabilityExact(g, dem, Options{Bottleneck: cut, MaxAssignmentSet: 62})
+		if err != nil {
+			return true // planted cut may fail minimality; skip
+		}
+		want, err := reliability.NaiveExact(g, dem)
+		if err != nil {
+			return false
+		}
+		if exact.Cmp(want) != 0 {
+			t.Logf("seed %d: %s != %s", seed, exact.RatString(), want.RatString())
+			return false
+		}
+		fl, err := Reliability(g, dem, Options{Bottleneck: cut, MaxAssignmentSet: 62})
+		if err != nil {
+			return false
+		}
+		ef, _ := exact.Float64()
+		return math.Abs(fl.Reliability-ef) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,232 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flowrel/internal/graph"
+	"flowrel/internal/overlay"
+	"flowrel/internal/reliability"
+)
+
+// twoParallel: two unit links s→t with p = 0.5: F ∈ {0,1,2} with
+// probabilities 1/4, 1/2, 1/4.
+func twoParallel() (*graph.Graph, graph.Demand) {
+	b := graph.NewBuilder()
+	s := b.AddNode()
+	t := b.AddNode()
+	b.AddEdge(s, t, 1, 0.5)
+	b.AddEdge(s, t, 1, 0.5)
+	return b.MustBuild(), graph.Demand{S: s, T: t, D: 2}
+}
+
+func TestExactTwoParallel(t *testing.T) {
+	g, dem := twoParallel()
+	ds, err := Exact(g, dem, reliability.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.25, 0.5, 0.25}
+	for v, p := range want {
+		if math.Abs(ds.P[v]-p) > 1e-12 {
+			t.Fatalf("P[%d] = %g, want %g", v, ds.P[v], p)
+		}
+	}
+	if math.Abs(ds.Reliability()-0.25) > 1e-12 {
+		t.Fatalf("Reliability = %g", ds.Reliability())
+	}
+	if math.Abs(ds.Mean()-1.0) > 1e-12 {
+		t.Fatalf("Mean = %g, want 1", ds.Mean())
+	}
+	if math.Abs(ds.MeanFraction()-0.5) > 1e-12 {
+		t.Fatalf("MeanFraction = %g", ds.MeanFraction())
+	}
+	if math.Abs(ds.AtLeast(1)-0.75) > 1e-12 {
+		t.Fatalf("AtLeast(1) = %g", ds.AtLeast(1))
+	}
+	if ds.AtLeast(0) != 1 || ds.AtLeast(3) != 0 {
+		t.Fatal("AtLeast boundary cases wrong")
+	}
+}
+
+func TestDistributionSumsToOne(t *testing.T) {
+	o := overlay.Figure4()
+	dem := o.Demand(o.Peers[0])
+	ds, err := Exact(o.G, dem, reliability.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, p := range ds.P {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-10 {
+		t.Fatalf("distribution sums to %g", sum)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	g, dem := twoParallel()
+	if _, err := Exact(nil, dem, reliability.Options{}); err == nil {
+		t.Fatal("nil graph accepted by Exact")
+	}
+	if _, err := Factored(nil, dem, reliability.Options{}); err == nil {
+		t.Fatal("nil graph accepted by Factored")
+	}
+	if _, err := Sampled(nil, dem, 10, 1, reliability.Options{}); err == nil {
+		t.Fatal("nil graph accepted by Sampled")
+	}
+	bad := graph.Demand{S: 0, T: 0, D: 1}
+	if _, err := Exact(g, bad, reliability.Options{}); err == nil {
+		t.Fatal("bad demand accepted")
+	}
+	if _, err := Sampled(g, dem, 0, 1, reliability.Options{}); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+}
+
+func randomInstance(rng *rand.Rand) (*graph.Graph, graph.Demand) {
+	n := 2 + rng.Intn(5)
+	m := 1 + rng.Intn(9)
+	b := graph.NewBuilder()
+	b.AddNodes(n)
+	for i := 0; i < m; i++ {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		for v == u {
+			v = graph.NodeID(rng.Intn(n))
+		}
+		b.AddEdge(u, v, 1+rng.Intn(3), rng.Float64()*0.9)
+	}
+	return b.MustBuild(), graph.Demand{S: 0, T: graph.NodeID(n - 1), D: 1 + rng.Intn(3)}
+}
+
+// Property: Exact and Factored agree, the distribution sums to 1, and the
+// top bucket equals the naive reliability.
+func TestQuickExactVsFactoredVsNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, dem := randomInstance(rng)
+		ex, err := Exact(g, dem, reliability.Options{})
+		if err != nil {
+			return false
+		}
+		fa, err := Factored(g, dem, reliability.Options{})
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for v := range ex.P {
+			if math.Abs(ex.P[v]-fa.P[v]) > 1e-9 {
+				return false
+			}
+			sum += ex.P[v]
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return false
+		}
+		naive, err := reliability.Naive(g, dem, reliability.Options{})
+		if err != nil {
+			return false
+		}
+		return math.Abs(ex.Reliability()-naive.Reliability) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AtLeast is a non-increasing tail and consistent with P.
+func TestQuickTailConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, dem := randomInstance(rng)
+		ds, err := Exact(g, dem, reliability.Options{})
+		if err != nil {
+			return false
+		}
+		prev := 1.0
+		for j := 0; j <= ds.D+1; j++ {
+			tj := ds.AtLeast(j)
+			if tj > prev+1e-12 {
+				return false
+			}
+			prev = tj
+		}
+		// AtLeast(j) - AtLeast(j+1) == P[j].
+		for j := 0; j <= ds.D; j++ {
+			if math.Abs((ds.AtLeast(j)-ds.AtLeast(j+1))-ds.P[j]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampledConverges(t *testing.T) {
+	o := overlay.Figure4()
+	dem := o.Demand(o.Peers[0])
+	exact, err := Exact(o.G, dem, reliability.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Sampled(o.G, dem, 60000, 13, reliability.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range exact.P {
+		if math.Abs(exact.P[v]-est.P[v]) > 0.01 {
+			t.Fatalf("bucket %d: exact %g sampled %g", v, exact.P[v], est.P[v])
+		}
+	}
+	// Determinism across parallelism.
+	a, _ := Sampled(o.G, dem, 10000, 5, reliability.Options{Parallelism: 1})
+	b, _ := Sampled(o.G, dem, 10000, 5, reliability.Options{Parallelism: 8})
+	for v := range a.P {
+		if a.P[v] != b.P[v] {
+			t.Fatal("Sampled not deterministic across parallelism")
+		}
+	}
+}
+
+// Property: the exact distribution is bit-identical for any parallelism
+// (chunking is a function of the instance alone).
+func TestQuickExactParallelDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, dem := randomInstance(rng)
+		a, err := Exact(g, dem, reliability.Options{Parallelism: 1})
+		if err != nil {
+			return false
+		}
+		b, err := Exact(g, dem, reliability.Options{Parallelism: 8})
+		if err != nil {
+			return false
+		}
+		for v := range a.P {
+			if a.P[v] != b.P[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	g, dem := twoParallel()
+	ds, err := Exact(g, dem, reliability.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := ds.String(); s == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,118 @@
+// Package flowdecomp decomposes an integral s→t flow into unit-bit-rate
+// delivery paths — the "d sub-streams which can reach t through different
+// delivery paths" of the paper's flow demand model. It is used by the
+// streaming simulator to report which routes the sub-streams actually take.
+package flowdecomp
+
+import (
+	"fmt"
+
+	"flowrel/internal/bitset"
+	"flowrel/internal/graph"
+	"flowrel/internal/maxflow"
+)
+
+// Path is one unit-rate delivery path from the demand's source to its sink.
+type Path struct {
+	Nodes []graph.NodeID // node sequence, Nodes[0] = s, last = t
+	Edges []graph.EdgeID // links used, len(Nodes)-1 of them
+}
+
+// Hops returns the path length in links.
+func (p Path) Hops() int { return len(p.Edges) }
+
+// Paths computes a maximum flow of value at most dem.D on the alive
+// subgraph (nil alive = every link operational) and decomposes it into
+// unit-rate paths. It returns the paths found; fewer than dem.D paths mean
+// the configuration does not admit the demand (the sub-streams that fit
+// are still reported).
+func Paths(g *graph.Graph, dem graph.Demand, alive *bitset.Set) ([]Path, error) {
+	if err := dem.Validate(g); err != nil {
+		return nil, err
+	}
+	nw, handles := maxflow.FromGraph(g)
+	if alive != nil {
+		if alive.Len() != g.NumEdges() {
+			return nil, fmt.Errorf("flowdecomp: alive mask has %d bits, graph has %d links", alive.Len(), g.NumEdges())
+		}
+		for i := range handles {
+			nw.SetEnabled(handles[i], alive.Test(i))
+		}
+	}
+	value := nw.MaxFlow(int32(dem.S), int32(dem.T), dem.D)
+
+	// Extract per-link flow, then decompose it on the graph directly.
+	flow := make([]int, g.NumEdges())
+	for i := range handles {
+		flow[i] = nw.FlowOn(handles[i])
+	}
+	return Decompose(g, dem, flow, value)
+}
+
+// Decompose splits the given per-link flow (flow[e] units along link e in
+// its direction) of the given value into unit paths. Flow cycles, which
+// augmenting-path algorithms may leave behind, are cancelled on the fly.
+func Decompose(g *graph.Graph, dem graph.Demand, flow []int, value int) ([]Path, error) {
+	if len(flow) != g.NumEdges() {
+		return nil, fmt.Errorf("flowdecomp: flow vector has %d entries, graph has %d links", len(flow), g.NumEdges())
+	}
+	for i, f := range flow {
+		if f < 0 {
+			return nil, fmt.Errorf("flowdecomp: negative flow %d on link %d", f, i)
+		}
+	}
+	paths := make([]Path, 0, value)
+	onPath := make([]int, g.NumNodes()) // position+1 on current trace, 0 = absent
+	for unit := 0; unit < value; unit++ {
+		var nodes []graph.NodeID
+		var edges []graph.EdgeID
+		u := dem.S
+		nodes = append(nodes, u)
+		onPath[u] = len(nodes)
+		for u != dem.T {
+			eid := graph.EdgeID(-1)
+			for _, cand := range g.Incident(u) {
+				e := g.Edge(cand)
+				if e.U == u && flow[cand] > 0 {
+					eid = cand
+					break
+				}
+			}
+			if eid < 0 {
+				// Conservation guarantees an outgoing flow link exists on
+				// every s→t trace of a feasible flow.
+				return nil, fmt.Errorf("flowdecomp: flow conservation violated at node %d", u)
+			}
+			v := g.Edge(eid).V
+			if pos := onPath[v]; pos > 0 {
+				// The trace closed a flow cycle: v → … → u → v, made of
+				// edges[pos-1:] plus eid. Cancel one unit around it (this
+				// preserves conservation and the flow value) and resume
+				// the trace from v.
+				for i := pos - 1; i < len(edges); i++ {
+					flow[edges[i]]--
+				}
+				flow[eid]--
+				for i := pos; i < len(nodes); i++ {
+					onPath[nodes[i]] = 0
+				}
+				nodes = nodes[:pos]
+				edges = edges[:pos-1]
+				u = v
+				continue
+			}
+			edges = append(edges, eid)
+			nodes = append(nodes, v)
+			onPath[v] = len(nodes)
+			u = v
+		}
+		for _, eid := range edges {
+			flow[eid]--
+		}
+		for _, n := range nodes {
+			onPath[n] = 0
+		}
+		paths = append(paths, Path{Nodes: nodes, Edges: edges})
+	}
+	return paths, nil
+}

@@ -1,0 +1,186 @@
+package flowdecomp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flowrel/internal/bitset"
+	"flowrel/internal/graph"
+	"flowrel/internal/maxflow"
+)
+
+func diamond() (*graph.Graph, graph.Demand) {
+	b := graph.NewBuilder()
+	s := b.AddNode()
+	a := b.AddNode()
+	c := b.AddNode()
+	t := b.AddNode()
+	b.AddEdge(s, a, 1, 0) // 0
+	b.AddEdge(s, c, 1, 0) // 1
+	b.AddEdge(a, t, 1, 0) // 2
+	b.AddEdge(c, t, 1, 0) // 3
+	return b.MustBuild(), graph.Demand{S: s, T: t, D: 2}
+}
+
+func TestPathsDiamond(t *testing.T) {
+	g, dem := diamond()
+	paths, err := Paths(g, dem, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths, want 2", len(paths))
+	}
+	for _, p := range paths {
+		if p.Nodes[0] != dem.S || p.Nodes[len(p.Nodes)-1] != dem.T {
+			t.Fatalf("path endpoints wrong: %v", p.Nodes)
+		}
+		if p.Hops() != 2 {
+			t.Fatalf("hops = %d, want 2", p.Hops())
+		}
+	}
+	// The two paths must be link-disjoint here (unit capacities).
+	seen := map[graph.EdgeID]bool{}
+	for _, p := range paths {
+		for _, e := range p.Edges {
+			if seen[e] {
+				t.Fatalf("link %d reused across unit paths on unit-capacity graph", e)
+			}
+			seen[e] = true
+		}
+	}
+}
+
+func TestPathsRespectAliveMask(t *testing.T) {
+	g, dem := diamond()
+	alive := bitset.New(g.NumEdges())
+	alive.SetAll()
+	alive.Clear(0) // kill s→a
+	paths, err := Paths(g, dem, alive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("got %d paths, want 1", len(paths))
+	}
+	for _, e := range paths[0].Edges {
+		if e == 0 {
+			t.Fatal("path uses a dead link")
+		}
+	}
+}
+
+func TestPathsErrors(t *testing.T) {
+	g, dem := diamond()
+	if _, err := Paths(g, graph.Demand{S: 0, T: 0, D: 1}, nil); err == nil {
+		t.Fatal("bad demand accepted")
+	}
+	if _, err := Paths(g, dem, bitset.New(2)); err == nil {
+		t.Fatal("wrong mask size accepted")
+	}
+	if _, err := Decompose(g, dem, []int{1}, 1); err == nil {
+		t.Fatal("wrong flow length accepted")
+	}
+	if _, err := Decompose(g, dem, []int{-1, 0, 0, 0}, 0); err == nil {
+		t.Fatal("negative flow accepted")
+	}
+	if _, err := Decompose(g, dem, []int{1, 0, 0, 0}, 1); err == nil {
+		t.Fatal("non-conserving flow accepted")
+	}
+}
+
+func TestDecomposeCancelsCycles(t *testing.T) {
+	// s→a→t plus cycle a→b→a carrying 1 unit of junk flow.
+	b := graph.NewBuilder()
+	s := b.AddNode()
+	a := b.AddNode()
+	bb := b.AddNode()
+	tt := b.AddNode()
+	// a→b is added before a→t so the greedy trace walks into the cycle
+	// and must cancel it.
+	b.AddEdge(s, a, 1, 0)  // 0
+	b.AddEdge(a, bb, 1, 0) // 1
+	b.AddEdge(bb, a, 1, 0) // 2
+	b.AddEdge(a, tt, 1, 0) // 3
+	g := b.MustBuild()
+	flow := []int{1, 1, 1, 1}
+	paths, err := Decompose(g, graph.Demand{S: s, T: tt, D: 1}, flow, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("got %d paths", len(paths))
+	}
+	if paths[0].Hops() != 2 {
+		t.Fatalf("path %v should skip the cycle", paths[0].Nodes)
+	}
+}
+
+// Property: decomposition yields exactly min(maxflow, d) paths; each path
+// is a valid directed walk s→t over alive links; per-link usage never
+// exceeds capacity.
+func TestQuickDecomposition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		m := 1 + rng.Intn(12)
+		b := graph.NewBuilder()
+		b.AddNodes(n)
+		for i := 0; i < m; i++ {
+			u := graph.NodeID(rng.Intn(n))
+			v := graph.NodeID(rng.Intn(n))
+			for v == u {
+				v = graph.NodeID(rng.Intn(n))
+			}
+			b.AddEdge(u, v, 1+rng.Intn(3), 0)
+		}
+		g := b.MustBuild()
+		dem := graph.Demand{S: 0, T: graph.NodeID(n - 1), D: 1 + rng.Intn(4)}
+		alive := bitset.New(g.NumEdges())
+		for i := 0; i < g.NumEdges(); i++ {
+			if rng.Intn(3) > 0 {
+				alive.Set(i)
+			}
+		}
+		// Reference max flow.
+		nw, handles := maxflow.FromGraph(g)
+		for i := range handles {
+			nw.SetEnabled(handles[i], alive.Test(i))
+		}
+		want := nw.MaxFlow(int32(dem.S), int32(dem.T), dem.D)
+
+		paths, err := Paths(g, dem, alive)
+		if err != nil {
+			return false
+		}
+		if len(paths) != want {
+			return false
+		}
+		use := make([]int, g.NumEdges())
+		for _, p := range paths {
+			if p.Nodes[0] != dem.S || p.Nodes[len(p.Nodes)-1] != dem.T {
+				return false
+			}
+			if len(p.Edges) != len(p.Nodes)-1 {
+				return false
+			}
+			for i, eid := range p.Edges {
+				e := g.Edge(eid)
+				if !alive.Test(int(eid)) || e.U != p.Nodes[i] || e.V != p.Nodes[i+1] {
+					return false
+				}
+				use[eid]++
+			}
+		}
+		for i, u := range use {
+			if u > g.Edge(graph.EdgeID(i)).Cap {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

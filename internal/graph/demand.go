@@ -1,0 +1,31 @@
+package graph
+
+import "fmt"
+
+// Demand is a flow demand D = (s, t, d): a stream of bit-rate d (i.e. d
+// unit-rate sub-streams) must be delivered from source s to sink t.
+type Demand struct {
+	S, T NodeID
+	D    int
+}
+
+// Validate checks that the demand is well formed on g.
+func (dem Demand) Validate(g *Graph) error {
+	if err := g.CheckNode(dem.S); err != nil {
+		return fmt.Errorf("demand source: %w", err)
+	}
+	if err := g.CheckNode(dem.T); err != nil {
+		return fmt.Errorf("demand sink: %w", err)
+	}
+	if dem.S == dem.T {
+		return fmt.Errorf("graph: demand source and sink are the same node %d", dem.S)
+	}
+	if dem.D < 1 {
+		return fmt.Errorf("graph: demand bit-rate %d must be at least 1", dem.D)
+	}
+	return nil
+}
+
+func (dem Demand) String() string {
+	return fmt.Sprintf("(s=%d, t=%d, d=%d)", dem.S, dem.T, dem.D)
+}

@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// DOTOptions customizes WriteDOT output.
+type DOTOptions struct {
+	// Demand, when non-nil, highlights the source and sink nodes.
+	Demand *Demand
+	// Highlight marks the given links (e.g. a bottleneck cut) in red.
+	Highlight []EdgeID
+	// Name is the digraph name (default "flowrel").
+	Name string
+}
+
+// WriteDOT renders the graph in Graphviz DOT format: one directed edge per
+// link, labelled "cap, p". Useful for eyeballing bottleneck structure:
+//
+//	gengraph -type clustered | relcalc -dot | dot -Tsvg > net.svg
+func (g *Graph) WriteDOT(w io.Writer, opt DOTOptions) error {
+	bw := bufio.NewWriter(w)
+	name := opt.Name
+	if name == "" {
+		name = "flowrel"
+	}
+	fmt.Fprintf(bw, "digraph %s {\n", dotID(name))
+	fmt.Fprintf(bw, "  rankdir=LR;\n  node [shape=circle, fontsize=11];\n  edge [fontsize=9];\n")
+
+	nodeName := func(n NodeID) string {
+		if g.names[n] != "" {
+			return g.names[n]
+		}
+		return "n" + strconv.Itoa(int(n))
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		attrs := ""
+		if opt.Demand != nil {
+			switch NodeID(i) {
+			case opt.Demand.S:
+				attrs = ` [style=filled, fillcolor="#a7d3a6", xlabel="source"]`
+			case opt.Demand.T:
+				attrs = ` [style=filled, fillcolor="#a6b8d3", xlabel="sink"]`
+			}
+		}
+		fmt.Fprintf(bw, "  %s%s;\n", dotID(nodeName(NodeID(i))), attrs)
+	}
+	hl := make(map[EdgeID]bool, len(opt.Highlight))
+	for _, e := range opt.Highlight {
+		hl[e] = true
+	}
+	for _, e := range g.edges {
+		extra := ""
+		if hl[e.ID] {
+			extra = `, color=red, penwidth=2`
+		}
+		fmt.Fprintf(bw, "  %s -> %s [label=\"%d, %s\"%s];\n",
+			dotID(nodeName(e.U)), dotID(nodeName(e.V)),
+			e.Cap, strconv.FormatFloat(e.PFail, 'g', 3, 64), extra)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// dotID quotes a string as a DOT identifier when needed.
+func dotID(s string) string {
+	plain := s != ""
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				plain = false
+			}
+		default:
+			plain = false
+		}
+	}
+	if plain {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `\"`) + `"`
+}

@@ -1,0 +1,66 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g, s, tt := diamond(t)
+	dem := Demand{S: s, T: tt, D: 2}
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, DOTOptions{Demand: &dem, Highlight: []EdgeID{2}, Name: "test graph"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`digraph "test graph" {`,
+		"s -> a",
+		"a -> t",
+		`label="2, 0.1"`,
+		"color=red",           // highlighted link
+		`fillcolor="#a7d3a6"`, // source
+		`fillcolor="#a6b8d3"`, // sink
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Error("DOT output not closed")
+	}
+}
+
+func TestWriteDOTUnnamedNodes(t *testing.T) {
+	b := NewBuilder()
+	u := b.AddNode()
+	v := b.AddNode()
+	b.AddEdge(u, v, 1, 0.5)
+	g := b.MustBuild()
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, DOTOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "n0 -> n1") {
+		t.Fatalf("unnamed nodes not rendered: %s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "digraph flowrel {") {
+		t.Fatal("default name missing")
+	}
+}
+
+func TestDotID(t *testing.T) {
+	cases := map[string]string{
+		"abc":    "abc",
+		"a_b9":   "a_b9",
+		"9abc":   `"9abc"`,
+		"a-b":    `"a-b"`,
+		"":       `""`,
+		`say"hi`: `"say\"hi"`,
+	}
+	for in, want := range cases {
+		if got := dotID(in); got != want {
+			t.Errorf("dotID(%q) = %s, want %s", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Text format
+//
+// The text codec reads and writes a line-oriented description:
+//
+//	# comment
+//	node s            # optional: declare a named node
+//	node t
+//	edge s t 3 0.1    # directed link s→t, capacity 3, failure prob 0.1
+//	edge 0 1 2 0.05   # endpoints may also be bare node indices
+//	duplex a b 2 0.1  # sugar: two anti-parallel links a→b and b→a
+//	demand s t 2      # optional flow demand
+//
+// Nodes referenced by name are created on first use; nodes referenced by
+// index must already exist.
+
+// File bundles a graph and an optional demand parsed from one description.
+type File struct {
+	Graph  *Graph
+	Demand *Demand // nil if the description declares none
+}
+
+// ParseText reads the text format from r.
+func ParseText(r io.Reader) (*File, error) {
+	b := NewBuilder()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var demand *Demand
+	lineNo := 0
+
+	nodeOf := func(tok string) (NodeID, error) {
+		if id, ok := b.Node(tok); ok {
+			return id, nil
+		}
+		if i, err := strconv.Atoi(tok); err == nil {
+			if i < 0 || i >= len(b.g.adj) {
+				return 0, fmt.Errorf("node index %d out of range [0,%d)", i, len(b.g.adj))
+			}
+			return NodeID(i), nil
+		}
+		return b.AddNamedNode(tok), nil
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		f := strings.Fields(line)
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("graph: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		switch f[0] {
+		case "node":
+			if len(f) != 2 {
+				return nil, fail("node wants 1 argument, got %d", len(f)-1)
+			}
+			if _, ok := b.Node(f[1]); ok {
+				return nil, fail("duplicate node %q", f[1])
+			}
+			b.AddNamedNode(f[1])
+		case "edge", "duplex":
+			if len(f) != 5 {
+				return nil, fail("%s wants 4 arguments (u v cap pfail), got %d", f[0], len(f)-1)
+			}
+			u, err := nodeOf(f[1])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			v, err := nodeOf(f[2])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			c, err := strconv.Atoi(f[3])
+			if err != nil {
+				return nil, fail("bad capacity %q", f[3])
+			}
+			p, err := strconv.ParseFloat(f[4], 64)
+			if err != nil {
+				return nil, fail("bad failure probability %q", f[4])
+			}
+			b.AddEdge(u, v, c, p)
+			if f[0] == "duplex" {
+				b.AddEdge(v, u, c, p)
+			}
+		case "demand":
+			if len(f) != 4 {
+				return nil, fail("demand wants 3 arguments (s t d), got %d", len(f)-1)
+			}
+			s, err := nodeOf(f[1])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			t, err := nodeOf(f[2])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			d, err := strconv.Atoi(f[3])
+			if err != nil {
+				return nil, fail("bad bit-rate %q", f[3])
+			}
+			if demand != nil {
+				return nil, fail("duplicate demand")
+			}
+			demand = &Demand{S: s, T: t, D: d}
+		default:
+			return nil, fail("unknown directive %q", f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading description: %w", err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	if demand != nil {
+		if err := demand.Validate(g); err != nil {
+			return nil, err
+		}
+	}
+	return &File{Graph: g, Demand: demand}, nil
+}
+
+// ParseTextString is ParseText on a string.
+func ParseTextString(s string) (*File, error) {
+	return ParseText(strings.NewReader(s))
+}
+
+// WriteText writes the file in the text format.
+func (f *File) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	g := f.Graph
+	name := func(n NodeID) string {
+		if g.names[n] != "" {
+			return g.names[n]
+		}
+		return strconv.Itoa(int(n))
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		if g.names[i] != "" {
+			fmt.Fprintf(bw, "node %s\n", g.names[i])
+		} else {
+			// Unnamed nodes get a synthetic unique name so indices survive
+			// a round trip even when some nodes are isolated.
+			fmt.Fprintf(bw, "node n%d\n", i)
+		}
+	}
+	for _, e := range g.edges {
+		fmt.Fprintf(bw, "edge %s %s %d %s\n", name(e.U), name(e.V), e.Cap, strconv.FormatFloat(e.PFail, 'g', -1, 64))
+	}
+	if f.Demand != nil {
+		fmt.Fprintf(bw, "demand %s %s %d\n", name(f.Demand.S), name(f.Demand.T), f.Demand.D)
+	}
+	return bw.Flush()
+}
+
+// JSON codec
+
+type jsonEdge struct {
+	U     string  `json:"u"`
+	V     string  `json:"v"`
+	Cap   int     `json:"cap"`
+	PFail float64 `json:"pfail"`
+}
+
+type jsonDemand struct {
+	S string `json:"s"`
+	T string `json:"t"`
+	D int    `json:"d"`
+}
+
+type jsonFile struct {
+	Nodes  []string    `json:"nodes"`
+	Edges  []jsonEdge  `json:"edges"`
+	Demand *jsonDemand `json:"demand,omitempty"`
+}
+
+// MarshalJSON encodes the file as JSON.
+func (f *File) MarshalJSON() ([]byte, error) {
+	g := f.Graph
+	jf := jsonFile{Nodes: make([]string, g.NumNodes())}
+	name := func(n NodeID) string {
+		if g.names[n] != "" {
+			return g.names[n]
+		}
+		return "n" + strconv.Itoa(int(n))
+	}
+	for i := range jf.Nodes {
+		jf.Nodes[i] = name(NodeID(i))
+	}
+	for _, e := range g.edges {
+		jf.Edges = append(jf.Edges, jsonEdge{U: name(e.U), V: name(e.V), Cap: e.Cap, PFail: e.PFail})
+	}
+	if f.Demand != nil {
+		jf.Demand = &jsonDemand{S: name(f.Demand.S), T: name(f.Demand.T), D: f.Demand.D}
+	}
+	return json.Marshal(jf)
+}
+
+// UnmarshalJSON decodes the file from JSON.
+func (f *File) UnmarshalJSON(data []byte) error {
+	var jf jsonFile
+	if err := json.Unmarshal(data, &jf); err != nil {
+		return err
+	}
+	b := NewBuilder()
+	idx := make(map[string]NodeID, len(jf.Nodes))
+	for _, nm := range jf.Nodes {
+		if _, dup := idx[nm]; dup {
+			return fmt.Errorf("graph: duplicate node name %q", nm)
+		}
+		idx[nm] = b.AddNamedNode(nm)
+	}
+	lookup := func(nm string) (NodeID, error) {
+		id, ok := idx[nm]
+		if !ok {
+			return 0, fmt.Errorf("graph: unknown node %q", nm)
+		}
+		return id, nil
+	}
+	for _, je := range jf.Edges {
+		u, err := lookup(je.U)
+		if err != nil {
+			return err
+		}
+		v, err := lookup(je.V)
+		if err != nil {
+			return err
+		}
+		b.AddEdge(u, v, je.Cap, je.PFail)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return err
+	}
+	f.Graph = g
+	f.Demand = nil
+	if jf.Demand != nil {
+		s, err := lookup(jf.Demand.S)
+		if err != nil {
+			return err
+		}
+		t, err := lookup(jf.Demand.T)
+		if err != nil {
+			return err
+		}
+		f.Demand = &Demand{S: s, T: t, D: jf.Demand.D}
+		if err := f.Demand.Validate(g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SortedEdgeKey returns a canonical "u-v" key with endpoints ordered; it is
+// a convenience for deterministic test output.
+func SortedEdgeKey(e Edge) string {
+	u, v := int(e.U), int(e.V)
+	if u > v {
+		u, v = v, u
+	}
+	return fmt.Sprintf("%d-%d", u, v)
+}
+
+// EdgeIDs returns the IDs of the given edges, sorted.
+func EdgeIDs(edges []Edge) []EdgeID {
+	out := make([]EdgeID, len(edges))
+	for i, e := range edges {
+		out[i] = e.ID
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

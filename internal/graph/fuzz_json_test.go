@@ -1,0 +1,52 @@
+package graph
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzJSON asserts the JSON codec never panics on arbitrary input and that
+// accepted documents survive a marshal/unmarshal round trip.
+func FuzzJSON(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"nodes":[],"edges":[]}`,
+		`{"nodes":["s","t"],"edges":[{"u":"s","v":"t","cap":1,"pfail":0.5}]}`,
+		`{"nodes":["s","t"],"edges":[{"u":"s","v":"t","cap":1,"pfail":0.5}],"demand":{"s":"s","t":"t","d":1}}`,
+		`{"nodes":["a","a"]}`,
+		`{"nodes":["s"],"edges":[{"u":"s","v":"zzz","cap":1,"pfail":0}]}`,
+		`{"nodes":["s","t"],"edges":[{"u":"s","v":"t","cap":-1,"pfail":0}]}`,
+		`{"nodes":["s","t"],"edges":[{"u":"s","v":"t","cap":1,"pfail":2}]}`,
+		`[1,2,3]`,
+		`not json at all`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var file File
+		if err := file.UnmarshalJSON(data); err != nil {
+			return
+		}
+		out, err := file.MarshalJSON()
+		if err != nil {
+			t.Fatalf("accepted document failed to marshal: %v", err)
+		}
+		var file2 File
+		if err := file2.UnmarshalJSON(out); err != nil {
+			t.Fatalf("round trip failed: %v\n%s", err, out)
+		}
+		if file2.Graph.NumNodes() != file.Graph.NumNodes() || file2.Graph.NumEdges() != file.Graph.NumEdges() {
+			t.Fatalf("round trip changed shape")
+		}
+		// The serialized forms must themselves be equal JSON documents.
+		out2, err := file2.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var a, b any
+		if json.Unmarshal(out, &a) != nil || json.Unmarshal(out2, &b) != nil {
+			t.Fatal("emitted invalid JSON")
+		}
+	})
+}

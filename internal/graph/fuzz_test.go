@@ -1,0 +1,57 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseText asserts the text parser never panics on arbitrary input
+// and that anything it accepts survives a write/re-parse round trip with
+// identical structure.
+func FuzzParseText(f *testing.F) {
+	seeds := []string{
+		"",
+		"# just a comment\n",
+		"node s\nnode t\nedge s t 1 0.5\ndemand s t 1\n",
+		"duplex a b 2 0.25\n",
+		"edge a b 3 0.1\nedge b c 2 0.2\nedge a c 1 0\ndemand a c 2\n",
+		"edge 0 1 1 0.1",
+		"node x\nedge x x 1 0.1",
+		"edge s t -1 0.1",
+		"edge s t 1 1.5",
+		"demand s t 0",
+		"node \xff\nedge \xff q 1 0.1",
+		strings.Repeat("node n\n", 3),
+		"edge s t 99999999999999999999 0.1",
+		"edge s t 1 1e-300\ndemand s t 1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		file, err := ParseTextString(input)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var sb strings.Builder
+		if err := file.WriteText(&sb); err != nil {
+			t.Fatalf("accepted graph failed to serialize: %v", err)
+		}
+		file2, err := ParseTextString(sb.String())
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v\noriginal: %q\nserialized: %q", err, input, sb.String())
+		}
+		if file2.Graph.NumNodes() != file.Graph.NumNodes() || file2.Graph.NumEdges() != file.Graph.NumEdges() {
+			t.Fatalf("round trip changed shape: %v vs %v", file.Graph, file2.Graph)
+		}
+		for i, e := range file.Graph.Edges() {
+			e2 := file2.Graph.Edge(EdgeID(i))
+			if e.U != e2.U || e.V != e2.V || e.Cap != e2.Cap || e.PFail != e2.PFail {
+				t.Fatalf("round trip changed link %d: %+v vs %+v", i, e, e2)
+			}
+		}
+		if (file.Demand == nil) != (file2.Demand == nil) {
+			t.Fatal("round trip changed demand presence")
+		}
+	})
+}

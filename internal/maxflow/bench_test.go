@@ -1,0 +1,96 @@
+package maxflow
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchNetwork(n, m int, seed int64) (*Network, []Handle) {
+	rng := rand.New(rand.NewSource(seed))
+	nw := New(n)
+	hs := make([]Handle, 0, m)
+	for i := 0; i < m; i++ {
+		u := int32(rng.Intn(n))
+		v := int32(rng.Intn(n))
+		for v == u {
+			v = int32(rng.Intn(n))
+		}
+		hs = append(hs, nw.AddDirected(u, v, 1+rng.Intn(4)))
+	}
+	return nw, hs
+}
+
+// BenchmarkSolvers compares the three max-flow implementations on random
+// sparse digraphs (Dinic is the engines' workhorse).
+func BenchmarkSolvers(b *testing.B) {
+	for _, size := range []struct{ n, m int }{{20, 60}, {100, 300}, {400, 1200}} {
+		nw, _ := benchNetwork(size.n, size.m, 1)
+		s, t := int32(0), int32(size.n-1)
+		b.Run(fmt.Sprintf("dinic/n=%d", size.n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				nw.MaxFlow(s, t, -1)
+			}
+		})
+		b.Run(fmt.Sprintf("edmondskarp/n=%d", size.n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				nw.MaxFlowEK(s, t, -1)
+			}
+		})
+		b.Run(fmt.Sprintf("pushrelabel/n=%d", size.n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				nw.MaxFlowPR(s, t)
+			}
+		})
+	}
+}
+
+// BenchmarkLimitedVsFull shows the early-exit saving when the engines only
+// need to know "is the flow ≥ d".
+func BenchmarkLimitedVsFull(b *testing.B) {
+	nw, _ := benchNetwork(200, 800, 2)
+	s, t := int32(0), int32(199)
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			nw.MaxFlow(s, t, -1)
+		}
+	})
+	b.Run("limit2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			nw.MaxFlow(s, t, 2)
+		}
+	})
+}
+
+// BenchmarkIncrementalToggle measures the Gray-code primitive: disable one
+// edge, repair, re-enable, re-augment.
+func BenchmarkIncrementalToggle(b *testing.B) {
+	nw, hs := benchNetwork(100, 300, 3)
+	s, t := int32(0), int32(99)
+	nw.MaxFlow(s, t, 4)
+	rng := rand.New(rand.NewSource(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := hs[rng.Intn(len(hs))]
+		nw.DisableIncremental(h, s, t)
+		nw.Augment(s, t, 4)
+		nw.EnableIncremental(h)
+		nw.Augment(s, t, 4)
+	}
+}
+
+// BenchmarkRecomputeToggle is the same workload solved from scratch, for
+// contrast with BenchmarkIncrementalToggle.
+func BenchmarkRecomputeToggle(b *testing.B) {
+	nw, hs := benchNetwork(100, 300, 3)
+	s, t := int32(0), int32(99)
+	rng := rand.New(rand.NewSource(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := hs[rng.Intn(len(hs))]
+		nw.SetEnabled(h, false)
+		nw.MaxFlow(s, t, 4)
+		nw.SetEnabled(h, true)
+		nw.MaxFlow(s, t, 4)
+	}
+}

@@ -1,0 +1,464 @@
+// Package maxflow implements integral maximum flow on mixed networks of
+// undirected links and directed arcs, tuned for the reliability engines:
+//
+//   - capacities are small integers (sub-stream counts), so Dinic with an
+//     early exit at the demanded flow value is the workhorse;
+//   - every edge can be switched on and off cheaply, because the engines
+//     solve one max-flow per failure configuration;
+//   - an incremental mode repairs the current flow after a single edge is
+//     disabled or enabled, which lets the engines walk the configuration
+//     space in Gray-code order instead of re-solving from scratch.
+//
+// An undirected link {u,v} of capacity c is represented as the residual
+// arc pair (u→v, c), (v→u, c); a directed arc as (u→v, c), (v→u, 0).
+package maxflow
+
+import (
+	"fmt"
+	"math"
+
+	"flowrel/internal/graph"
+)
+
+// Handle identifies an edge of the network (the index of its forward arc;
+// arcs are always created in residual pairs, forward first).
+type Handle int32
+
+type arc struct {
+	to  int32
+	cap int32 // remaining (residual) capacity
+}
+
+// Network is a flow network. It is not safe for concurrent use; engines
+// give each worker its own Clone.
+type Network struct {
+	n       int
+	arcs    []arc
+	base    []int32 // original capacity per arc
+	enabled []bool  // per edge (indexed by Handle/2)
+	adj     [][]int32
+
+	// scratch for Dinic / BFS
+	level []int32
+	iter  []int32
+	queue []int32
+
+	// Stats counts work done, for the cost-model experiments.
+	Stats Stats
+}
+
+// Stats accumulates operation counts.
+type Stats struct {
+	MaxFlowCalls int64 // completed Augment/MaxFlow invocations
+	BFSRuns      int64
+	AugmentUnits int64 // total flow units pushed
+}
+
+// New returns an empty network with n nodes.
+func New(n int) *Network {
+	if n < 0 {
+		panic("maxflow: negative node count")
+	}
+	return &Network{n: n, adj: make([][]int32, n)}
+}
+
+// NumNodes returns the node count.
+func (nw *Network) NumNodes() int { return nw.n }
+
+// AddNode appends a node and returns its index.
+func (nw *Network) AddNode() int32 {
+	nw.adj = append(nw.adj, nil)
+	nw.n++
+	return int32(nw.n - 1)
+}
+
+func (nw *Network) addPair(u, v int32, capFwd, capRev int32) Handle {
+	if u < 0 || int(u) >= nw.n || v < 0 || int(v) >= nw.n {
+		panic(fmt.Sprintf("maxflow: endpoint out of range (%d,%d) n=%d", u, v, nw.n))
+	}
+	h := Handle(len(nw.arcs))
+	nw.arcs = append(nw.arcs, arc{to: v, cap: capFwd}, arc{to: u, cap: capRev})
+	nw.base = append(nw.base, capFwd, capRev)
+	nw.enabled = append(nw.enabled, true)
+	nw.adj[u] = append(nw.adj[u], int32(h))
+	nw.adj[v] = append(nw.adj[v], int32(h)+1)
+	return h
+}
+
+// AddUndirected adds an undirected link {u,v} with capacity c.
+func (nw *Network) AddUndirected(u, v int32, c int) Handle {
+	if c < 0 {
+		panic("maxflow: negative capacity")
+	}
+	return nw.addPair(u, v, int32(c), int32(c))
+}
+
+// AddDirected adds a directed arc u→v with capacity c.
+func (nw *Network) AddDirected(u, v int32, c int) Handle {
+	if c < 0 {
+		panic("maxflow: negative capacity")
+	}
+	return nw.addPair(u, v, int32(c), 0)
+}
+
+// SetBaseCapDirected sets the base capacity of a directed arc created with
+// AddDirected and resets its flow.
+func (nw *Network) SetBaseCapDirected(h Handle, c int) {
+	if c < 0 {
+		panic("maxflow: negative capacity")
+	}
+	nw.base[h] = int32(c)
+	nw.base[h^1] = 0
+	nw.resetEdge(h)
+}
+
+// SetBaseCapUndirected sets the base capacity of an undirected link created
+// with AddUndirected and resets its flow.
+func (nw *Network) SetBaseCapUndirected(h Handle, c int) {
+	if c < 0 {
+		panic("maxflow: negative capacity")
+	}
+	nw.base[h] = int32(c)
+	nw.base[h^1] = int32(c)
+	nw.resetEdge(h)
+}
+
+// SetEnabled switches the edge on or off and resets its flow. Use ResetFlow
+// before re-solving from scratch, or DisableIncremental/EnableIncremental
+// to repair the current flow instead.
+func (nw *Network) SetEnabled(h Handle, on bool) {
+	nw.enabled[h/2] = on
+	nw.resetEdge(h)
+}
+
+// Enabled reports whether the edge is on.
+func (nw *Network) Enabled(h Handle) bool { return nw.enabled[h/2] }
+
+func (nw *Network) resetEdge(h Handle) {
+	if nw.enabled[h/2] {
+		nw.arcs[h].cap = nw.base[h]
+		nw.arcs[h^1].cap = nw.base[h^1]
+	} else {
+		nw.arcs[h].cap = 0
+		nw.arcs[h^1].cap = 0
+	}
+}
+
+// ResetFlow discards all flow: every enabled edge's residual capacities are
+// restored to base, every disabled edge's to zero.
+func (nw *Network) ResetFlow() {
+	for h := Handle(0); int(h) < len(nw.arcs); h += 2 {
+		nw.resetEdge(h)
+	}
+}
+
+// FlowOn returns the net flow through the edge in its forward direction
+// (negative if the net flow runs backward through an undirected link).
+func (nw *Network) FlowOn(h Handle) int {
+	if !nw.enabled[h/2] {
+		return 0
+	}
+	return int(nw.base[h] - nw.arcs[h].cap)
+}
+
+// Clone returns an independent copy (Stats reset).
+func (nw *Network) Clone() *Network {
+	c := &Network{
+		n:       nw.n,
+		arcs:    append([]arc(nil), nw.arcs...),
+		base:    append([]int32(nil), nw.base...),
+		enabled: append([]bool(nil), nw.enabled...),
+		adj:     make([][]int32, len(nw.adj)),
+	}
+	for i, l := range nw.adj {
+		c.adj[i] = append([]int32(nil), l...)
+	}
+	return c
+}
+
+const inf = math.MaxInt32
+
+// bfsLevel builds the level graph; returns false if t unreachable.
+func (nw *Network) bfsLevel(s, t int32) bool {
+	nw.Stats.BFSRuns++
+	if cap(nw.level) < nw.n {
+		nw.level = make([]int32, nw.n)
+		nw.iter = make([]int32, nw.n)
+		nw.queue = make([]int32, 0, nw.n)
+	}
+	nw.level = nw.level[:nw.n]
+	for i := range nw.level {
+		nw.level[i] = -1
+	}
+	nw.queue = nw.queue[:0]
+	nw.level[s] = 0
+	nw.queue = append(nw.queue, s)
+	for qi := 0; qi < len(nw.queue); qi++ {
+		u := nw.queue[qi]
+		for _, ai := range nw.adj[u] {
+			a := nw.arcs[ai]
+			if a.cap > 0 && nw.level[a.to] < 0 {
+				nw.level[a.to] = nw.level[u] + 1
+				if a.to == t {
+					return true
+				}
+				nw.queue = append(nw.queue, a.to)
+			}
+		}
+	}
+	return nw.level[t] >= 0
+}
+
+// dfsBlock sends up to up units from u toward t along the level graph.
+func (nw *Network) dfsBlock(u, t int32, up int32) int32 {
+	if u == t {
+		return up
+	}
+	for ; nw.iter[u] < int32(len(nw.adj[u])); nw.iter[u]++ {
+		ai := nw.adj[u][nw.iter[u]]
+		a := &nw.arcs[ai]
+		if a.cap > 0 && nw.level[a.to] == nw.level[u]+1 {
+			d := nw.dfsBlock(a.to, t, min32(up, a.cap))
+			if d > 0 {
+				a.cap -= d
+				nw.arcs[ai^1].cap += d
+				return d
+			}
+		}
+	}
+	nw.level[u] = -1
+	return 0
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Augment pushes additional flow from s to t on top of the current flow
+// state, stopping once `limit` additional units have been pushed (limit < 0
+// means unbounded), and returns the amount pushed. Dinic's algorithm.
+func (nw *Network) Augment(s, t int32, limit int) int {
+	if s == t {
+		panic("maxflow: source equals sink")
+	}
+	nw.Stats.MaxFlowCalls++
+	lim := int32(inf)
+	if limit >= 0 {
+		lim = int32(limit)
+	}
+	var total int32
+	for total < lim && nw.bfsLevel(s, t) {
+		nw.iter = nw.iter[:nw.n]
+		for i := range nw.iter {
+			nw.iter[i] = 0
+		}
+		for total < lim {
+			d := nw.dfsBlock(s, t, lim-total)
+			if d == 0 {
+				break
+			}
+			total += d
+		}
+	}
+	nw.Stats.AugmentUnits += int64(total)
+	return int(total)
+}
+
+// MaxFlow resets all flow and computes the s→t max flow, stopping early at
+// limit (limit < 0 = unbounded).
+func (nw *Network) MaxFlow(s, t int32, limit int) int {
+	nw.ResetFlow()
+	return nw.Augment(s, t, limit)
+}
+
+// MaxFlowEK resets all flow and computes the s→t max flow with the
+// Edmonds–Karp algorithm (BFS shortest augmenting paths). It exists as an
+// independent implementation to cross-check Dinic.
+func (nw *Network) MaxFlowEK(s, t int32, limit int) int {
+	nw.ResetFlow()
+	nw.Stats.MaxFlowCalls++
+	lim := int32(inf)
+	if limit >= 0 {
+		lim = int32(limit)
+	}
+	parent := make([]int32, nw.n) // arc index used to reach node, -1 none
+	var total int32
+	for total < lim {
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[s] = -2
+		nw.queue = nw.queue[:0]
+		nw.queue = append(nw.queue, s)
+		found := false
+		for qi := 0; qi < len(nw.queue) && !found; qi++ {
+			u := nw.queue[qi]
+			for _, ai := range nw.adj[u] {
+				a := nw.arcs[ai]
+				if a.cap > 0 && parent[a.to] == -1 {
+					parent[a.to] = ai
+					if a.to == t {
+						found = true
+						break
+					}
+					nw.queue = append(nw.queue, a.to)
+				}
+			}
+		}
+		if !found {
+			break
+		}
+		// bottleneck
+		push := lim - total
+		for v := t; v != s; {
+			ai := parent[v]
+			if c := nw.arcs[ai].cap; c < push {
+				push = c
+			}
+			v = nw.arcs[ai^1].to
+		}
+		for v := t; v != s; {
+			ai := parent[v]
+			nw.arcs[ai].cap -= push
+			nw.arcs[ai^1].cap += push
+			v = nw.arcs[ai^1].to
+		}
+		total += push
+	}
+	nw.Stats.AugmentUnits += int64(total)
+	return int(total)
+}
+
+// ResidualReachable returns the set of nodes reachable from s in the
+// residual graph; after an (un-limited) max flow this is the source side of
+// a minimum cut.
+func (nw *Network) ResidualReachable(s int32) []bool {
+	seen := make([]bool, nw.n)
+	seen[s] = true
+	nw.queue = nw.queue[:0]
+	nw.queue = append(nw.queue, s)
+	for qi := 0; qi < len(nw.queue); qi++ {
+		u := nw.queue[qi]
+		for _, ai := range nw.adj[u] {
+			a := nw.arcs[ai]
+			if a.cap > 0 && !seen[a.to] {
+				seen[a.to] = true
+				nw.queue = append(nw.queue, a.to)
+			}
+		}
+	}
+	return seen
+}
+
+// DisableIncremental switches the edge off while preserving a feasible flow:
+// any flow currently crossing the edge is first rerouted through the
+// residual graph or, where rerouting is impossible, returned along the
+// source and sink sides (reducing the flow value). It returns the number of
+// flow units lost. s and t are the terminals of the flow being maintained.
+func (nw *Network) DisableIncremental(h Handle, s, t int32) int {
+	if !nw.enabled[h/2] {
+		return 0
+	}
+	f := int32(nw.FlowOn(h))
+	var u, v int32 // orient so flow of |f| runs u→v through the edge
+	if f >= 0 {
+		u, v = nw.arcs[h^1].to, nw.arcs[h].to
+	} else {
+		f = -f
+		u, v = nw.arcs[h].to, nw.arcs[h^1].to
+	}
+	nw.enabled[h/2] = false
+	nw.arcs[h].cap = 0
+	nw.arcs[h^1].cap = 0
+	if f == 0 {
+		return 0
+	}
+	// Conservation is now violated: u has +f excess, v has -f deficit.
+	// Repair by pushing f units u→v in the residual graph, with a virtual
+	// arc s→t of capacity f acting as the "reduce the flow value" channel:
+	// a repair path through the virtual arc cancels an s⇝u prefix and a
+	// v⇝t suffix of existing flow.
+	vh := nw.addPair(s, t, f, 0)
+	pushed := nw.Augment(u, v, int(f))
+	if int32(pushed) != f {
+		panic("maxflow: internal error: could not repair flow after edge removal")
+	}
+	lost := nw.base[vh] - nw.arcs[vh].cap // flow through the virtual arc
+	nw.removeLastPair(vh)
+	return int(lost)
+}
+
+// EnableIncremental switches the edge back on (carrying zero flow); the
+// caller typically follows with Augment to exploit the new capacity.
+func (nw *Network) EnableIncremental(h Handle) {
+	if nw.enabled[h/2] {
+		return
+	}
+	nw.enabled[h/2] = true
+	nw.arcs[h].cap = nw.base[h]
+	nw.arcs[h^1].cap = nw.base[h^1]
+}
+
+// removeLastPair removes the most recently added arc pair (used for the
+// virtual repair arc). h must be that pair's handle.
+func (nw *Network) removeLastPair(h Handle) {
+	if int(h) != len(nw.arcs)-2 {
+		panic("maxflow: removeLastPair on non-last pair")
+	}
+	u := nw.arcs[h^1].to
+	v := nw.arcs[h].to
+	nw.arcs = nw.arcs[:h]
+	nw.base = nw.base[:h]
+	nw.enabled = nw.enabled[:h/2]
+	nw.adj[u] = nw.adj[u][:len(nw.adj[u])-1]
+	nw.adj[v] = nw.adj[v][:len(nw.adj[v])-1]
+}
+
+// CheckConservation verifies flow conservation at every node except s and t
+// and that no residual capacity is negative; it returns the flow value (net
+// out of s). For tests.
+func (nw *Network) CheckConservation(s, t int32) (int, error) {
+	net := make([]int32, nw.n)
+	for h := Handle(0); int(h) < len(nw.arcs); h += 2 {
+		if nw.arcs[h].cap < 0 || nw.arcs[h^1].cap < 0 {
+			return 0, fmt.Errorf("maxflow: negative residual on pair %d", h)
+		}
+		if !nw.enabled[h/2] {
+			if nw.arcs[h].cap != 0 || nw.arcs[h^1].cap != 0 {
+				return 0, fmt.Errorf("maxflow: disabled pair %d has residual capacity", h)
+			}
+			continue
+		}
+		if got, want := nw.arcs[h].cap+nw.arcs[h^1].cap, nw.base[h]+nw.base[h^1]; got != want {
+			return 0, fmt.Errorf("maxflow: pair %d residual sum %d, want %d", h, got, want)
+		}
+		f := nw.base[h] - nw.arcs[h].cap
+		u := nw.arcs[h^1].to
+		v := nw.arcs[h].to
+		net[u] -= f
+		net[v] += f
+	}
+	for i, x := range net {
+		if int32(i) != s && int32(i) != t && x != 0 {
+			return 0, fmt.Errorf("maxflow: conservation violated at node %d (net %d)", i, x)
+		}
+	}
+	if net[s] != -net[t] {
+		return 0, fmt.Errorf("maxflow: source/sink imbalance: %d vs %d", net[s], net[t])
+	}
+	return int(-net[s]), nil
+}
+
+// FromGraph builds a network with one directed arc per graph link and
+// returns the per-link handles (indexed by graph.EdgeID).
+func FromGraph(g *graph.Graph) (*Network, []Handle) {
+	nw := New(g.NumNodes())
+	handles := make([]Handle, g.NumEdges())
+	for _, e := range g.Edges() {
+		handles[e.ID] = nw.AddDirected(int32(e.U), int32(e.V), e.Cap)
+	}
+	return nw, handles
+}

@@ -1,0 +1,392 @@
+package maxflow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flowrel/internal/graph"
+)
+
+// buildDiamond: s=0, a=1, b=2, t=3 with caps s-a:2 s-b:1 a-t:2 b-t:1 a-b:1.
+func buildDiamond() (*Network, []Handle) {
+	nw := New(4)
+	hs := []Handle{
+		nw.AddUndirected(0, 1, 2),
+		nw.AddUndirected(0, 2, 1),
+		nw.AddUndirected(1, 3, 2),
+		nw.AddUndirected(2, 3, 1),
+		nw.AddUndirected(1, 2, 1),
+	}
+	return nw, hs
+}
+
+func TestMaxFlowDiamond(t *testing.T) {
+	nw, _ := buildDiamond()
+	if got := nw.MaxFlow(0, 3, -1); got != 3 {
+		t.Fatalf("maxflow = %d, want 3", got)
+	}
+	if v, err := nw.CheckConservation(0, 3); err != nil || v != 3 {
+		t.Fatalf("conservation: v=%d err=%v", v, err)
+	}
+	if got := nw.MaxFlowEK(0, 3, -1); got != 3 {
+		t.Fatalf("EK maxflow = %d, want 3", got)
+	}
+}
+
+func TestMaxFlowLimit(t *testing.T) {
+	nw, _ := buildDiamond()
+	if got := nw.MaxFlow(0, 3, 2); got != 2 {
+		t.Fatalf("limited maxflow = %d, want 2", got)
+	}
+	if got := nw.MaxFlow(0, 3, 0); got != 0 {
+		t.Fatalf("limit-0 maxflow = %d, want 0", got)
+	}
+	if got := nw.MaxFlowEK(0, 3, 2); got != 2 {
+		t.Fatalf("limited EK = %d, want 2", got)
+	}
+}
+
+func TestUndirectedBothDirections(t *testing.T) {
+	nw := New(2)
+	nw.AddUndirected(0, 1, 3)
+	if got := nw.MaxFlow(0, 1, -1); got != 3 {
+		t.Fatalf("0→1 = %d, want 3", got)
+	}
+	if got := nw.MaxFlow(1, 0, -1); got != 3 {
+		t.Fatalf("1→0 = %d, want 3", got)
+	}
+}
+
+func TestDirectedOneWay(t *testing.T) {
+	nw := New(2)
+	nw.AddDirected(0, 1, 3)
+	if got := nw.MaxFlow(0, 1, -1); got != 3 {
+		t.Fatalf("forward = %d, want 3", got)
+	}
+	if got := nw.MaxFlow(1, 0, -1); got != 0 {
+		t.Fatalf("backward = %d, want 0", got)
+	}
+}
+
+func TestParallelEdges(t *testing.T) {
+	nw := New(2)
+	nw.AddUndirected(0, 1, 2)
+	nw.AddUndirected(0, 1, 3)
+	if got := nw.MaxFlow(0, 1, -1); got != 5 {
+		t.Fatalf("parallel = %d, want 5", got)
+	}
+}
+
+func TestDisabledEdgeCarriesNothing(t *testing.T) {
+	nw, hs := buildDiamond()
+	nw.SetEnabled(hs[0], false) // kill s-a
+	if got := nw.MaxFlow(0, 3, -1); got != 1 {
+		t.Fatalf("maxflow without s-a = %d, want 1", got)
+	}
+	nw.SetEnabled(hs[0], true)
+	if got := nw.MaxFlow(0, 3, -1); got != 3 {
+		t.Fatalf("maxflow restored = %d, want 3", got)
+	}
+}
+
+func TestSetBaseCap(t *testing.T) {
+	nw := New(3)
+	hu := nw.AddUndirected(0, 1, 1)
+	hd := nw.AddDirected(1, 2, 1)
+	nw.SetBaseCapUndirected(hu, 4)
+	nw.SetBaseCapDirected(hd, 2)
+	if got := nw.MaxFlow(0, 2, -1); got != 2 {
+		t.Fatalf("maxflow = %d, want 2", got)
+	}
+	if got := nw.MaxFlow(2, 0, -1); got != 0 {
+		t.Fatalf("reverse through directed arc = %d, want 0", got)
+	}
+}
+
+func TestFlowOnAndSuperSink(t *testing.T) {
+	// s -(2)- a, with demand arcs a→T of caps 1 and 1: classic side-array
+	// shape: realize assignment (1,1).
+	nw := New(3)
+	he := nw.AddUndirected(0, 1, 2)
+	d1 := nw.AddDirected(1, 2, 1)
+	d2 := nw.AddDirected(1, 2, 1)
+	if got := nw.MaxFlow(0, 2, -1); got != 2 {
+		t.Fatalf("maxflow = %d, want 2", got)
+	}
+	if f := nw.FlowOn(he); f != 2 {
+		t.Fatalf("FlowOn(link) = %d, want 2", f)
+	}
+	if nw.FlowOn(d1)+nw.FlowOn(d2) != 2 {
+		t.Fatal("demand arcs should carry 2 total")
+	}
+}
+
+func TestMinCutMatchesMaxFlow(t *testing.T) {
+	nw, hs := buildDiamond()
+	v := nw.MaxFlow(0, 3, -1)
+	reach := nw.ResidualReachable(0)
+	if reach[3] {
+		t.Fatal("sink reachable after max flow")
+	}
+	// Cut capacity = sum of caps of edges crossing reach boundary.
+	cut := 0
+	for _, h := range hs {
+		u := nw.arcs[h^1].to
+		w := nw.arcs[h].to
+		if reach[u] != reach[w] {
+			cut += int(nw.base[h])
+		}
+	}
+	if cut != v {
+		t.Fatalf("cut capacity %d != flow %d", cut, v)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	nw, hs := buildDiamond()
+	c := nw.Clone()
+	c.SetEnabled(hs[0], false)
+	if got := nw.MaxFlow(0, 3, -1); got != 3 {
+		t.Fatalf("original affected by clone: %d", got)
+	}
+	if got := c.MaxFlow(0, 3, -1); got != 1 {
+		t.Fatalf("clone maxflow = %d, want 1", got)
+	}
+}
+
+func TestAddNode(t *testing.T) {
+	nw := New(1)
+	v := nw.AddNode()
+	nw.AddUndirected(0, v, 1)
+	if got := nw.MaxFlow(0, v, -1); got != 1 {
+		t.Fatalf("maxflow = %d, want 1", got)
+	}
+}
+
+func TestFromGraph(t *testing.T) {
+	b := graph.NewBuilder()
+	s := b.AddNode()
+	x := b.AddNode()
+	tt := b.AddNode()
+	b.AddEdge(s, x, 2, 0)
+	b.AddEdge(x, tt, 1, 0)
+	g := b.MustBuild()
+	nw, hs := FromGraph(g)
+	if len(hs) != 2 {
+		t.Fatalf("handles = %d, want 2", len(hs))
+	}
+	if got := nw.MaxFlow(int32(s), int32(tt), -1); got != 1 {
+		t.Fatalf("maxflow = %d, want 1", got)
+	}
+}
+
+// randomNetwork builds a random undirected network on n nodes, m edges.
+func randomNetwork(rng *rand.Rand, n, m int) (*Network, []Handle) {
+	nw := New(n)
+	hs := make([]Handle, 0, m)
+	for i := 0; i < m; i++ {
+		u := int32(rng.Intn(n))
+		v := int32(rng.Intn(n))
+		for v == u {
+			v = int32(rng.Intn(n))
+		}
+		hs = append(hs, nw.AddUndirected(u, v, 1+rng.Intn(4)))
+	}
+	return nw, hs
+}
+
+// Property: Dinic and Edmonds–Karp agree.
+func TestQuickDinicVsEK(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		nw, _ := randomNetwork(rng, n, rng.Intn(20))
+		s, tt := int32(0), int32(n-1)
+		return nw.MaxFlow(s, tt, -1) == nw.MaxFlowEK(s, tt, -1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: max flow equals the capacity of the residual-reachability cut.
+func TestQuickMaxFlowMinCut(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		nw, hs := randomNetwork(rng, n, rng.Intn(20))
+		s, tt := int32(0), int32(n-1)
+		v := nw.MaxFlow(s, tt, -1)
+		reach := nw.ResidualReachable(s)
+		if v > 0 && reach[tt] {
+			return false
+		}
+		cut := 0
+		for _, h := range hs {
+			u := nw.arcs[h^1].to
+			w := nw.arcs[h].to
+			if reach[u] != reach[w] {
+				cut += int(nw.base[h])
+			}
+		}
+		if !reach[tt] && cut != v {
+			return false
+		}
+		if cv, err := nw.CheckConservation(s, tt); err != nil || cv != v {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: incremental disable/enable tracks a from-scratch recompute
+// through a random toggle sequence, and conservation holds at every step.
+func TestQuickIncrementalVsRecompute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(7)
+		m := 1 + rng.Intn(14)
+		nw, hs := randomNetwork(rng, n, m)
+		ref := nw.Clone()
+		s, tt := int32(0), int32(n-1)
+
+		value := nw.MaxFlow(s, tt, -1)
+		enabled := make([]bool, len(hs))
+		for i := range enabled {
+			enabled[i] = true
+		}
+		for step := 0; step < 24; step++ {
+			i := rng.Intn(len(hs))
+			if enabled[i] {
+				value -= nw.DisableIncremental(hs[i], s, tt)
+				enabled[i] = false
+			} else {
+				nw.EnableIncremental(hs[i])
+				enabled[i] = true
+			}
+			value += nw.Augment(s, tt, -1)
+			if v, err := nw.CheckConservation(s, tt); err != nil || v != value {
+				return false
+			}
+			// Reference from scratch.
+			for j, on := range enabled {
+				ref.SetEnabled(hs[j], on)
+			}
+			if want := ref.MaxFlow(s, tt, -1); want != value {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: incremental with a flow-value limit (the engines cap at d).
+func TestQuickIncrementalWithLimit(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		m := 1 + rng.Intn(12)
+		limit := 1 + rng.Intn(4)
+		nw, hs := randomNetwork(rng, n, m)
+		ref := nw.Clone()
+		s, tt := int32(0), int32(n-1)
+
+		value := nw.MaxFlow(s, tt, limit)
+		enabled := make([]bool, len(hs))
+		for i := range enabled {
+			enabled[i] = true
+		}
+		for step := 0; step < 16; step++ {
+			i := rng.Intn(len(hs))
+			if enabled[i] {
+				value -= nw.DisableIncremental(hs[i], s, tt)
+				enabled[i] = false
+			} else {
+				nw.EnableIncremental(hs[i])
+				enabled[i] = true
+			}
+			value += nw.Augment(s, tt, limit-value)
+			for j, on := range enabled {
+				ref.SetEnabled(hs[j], on)
+			}
+			want := ref.MaxFlow(s, tt, limit)
+			// With a limit both engines either reach the limit or agree on
+			// the max; reaching the limit must coincide.
+			if (value >= limit) != (want >= limit) {
+				return false
+			}
+			if value < limit && value != want {
+				return false
+			}
+			if _, err := nw.CheckConservation(s, tt); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisableIncrementalNoFlowEdge(t *testing.T) {
+	nw := New(3)
+	h1 := nw.AddUndirected(0, 1, 1)
+	h2 := nw.AddUndirected(1, 2, 1)
+	h3 := nw.AddUndirected(0, 2, 1) // direct; after maxflow both paths used
+	_ = h1
+	v := nw.MaxFlow(0, 2, -1)
+	if v != 2 {
+		t.Fatalf("maxflow = %d", v)
+	}
+	lost := nw.DisableIncremental(h2, 0, 2)
+	if lost != 1 {
+		t.Fatalf("lost = %d, want 1", lost)
+	}
+	if _, err := nw.CheckConservation(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	lost = nw.DisableIncremental(h2, 0, 2) // already disabled: no-op
+	if lost != 0 {
+		t.Fatalf("second disable lost = %d, want 0", lost)
+	}
+	_ = h3
+}
+
+func TestStatsCounted(t *testing.T) {
+	nw, _ := buildDiamond()
+	nw.MaxFlow(0, 3, -1)
+	if nw.Stats.MaxFlowCalls != 1 || nw.Stats.AugmentUnits != 3 || nw.Stats.BFSRuns == 0 {
+		t.Fatalf("stats = %+v", nw.Stats)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	nw := New(2)
+	h := nw.AddUndirected(0, 1, 1)
+	for name, f := range map[string]func(){
+		"negative nodes": func() { New(-1) },
+		"bad endpoint":   func() { nw.AddUndirected(0, 5, 1) },
+		"negative cap":   func() { nw.AddUndirected(0, 1, -1) },
+		"negative capD":  func() { nw.AddDirected(0, 1, -1) },
+		"s==t":           func() { nw.Augment(0, 0, -1) },
+		"set negative":   func() { nw.SetBaseCapUndirected(h, -2) },
+		"set negative d": func() { nw.SetBaseCapDirected(h, -2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,88 @@
+package maxflow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPushRelabelDiamond(t *testing.T) {
+	nw, _ := buildDiamond()
+	if got := nw.MaxFlowPR(0, 3); got != 3 {
+		t.Fatalf("PR maxflow = %d, want 3", got)
+	}
+	// Reverse direction too (undirected links).
+	if got := nw.MaxFlowPR(3, 0); got != 3 {
+		t.Fatalf("PR reverse = %d, want 3", got)
+	}
+}
+
+func TestPushRelabelDirected(t *testing.T) {
+	nw := New(3)
+	nw.AddDirected(0, 1, 2)
+	nw.AddDirected(1, 2, 1)
+	if got := nw.MaxFlowPR(0, 2); got != 1 {
+		t.Fatalf("PR = %d, want 1", got)
+	}
+	if got := nw.MaxFlowPR(2, 0); got != 0 {
+		t.Fatalf("PR backward = %d, want 0", got)
+	}
+}
+
+func TestPushRelabelDisconnected(t *testing.T) {
+	nw := New(4)
+	nw.AddDirected(0, 1, 5)
+	nw.AddDirected(2, 3, 5)
+	if got := nw.MaxFlowPR(0, 3); got != 0 {
+		t.Fatalf("PR disconnected = %d, want 0", got)
+	}
+}
+
+func TestPushRelabelDisabledEdges(t *testing.T) {
+	nw, hs := buildDiamond()
+	nw.SetEnabled(hs[0], false)
+	if got := nw.MaxFlowPR(0, 3); got != 1 {
+		t.Fatalf("PR with disabled link = %d, want 1", got)
+	}
+}
+
+func TestPushRelabelPanicsOnEqualTerminals(t *testing.T) {
+	nw := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	nw.MaxFlowPR(1, 1)
+}
+
+// Property: three structurally different algorithms agree on random mixed
+// networks.
+func TestQuickThreeAlgorithmsAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(9)
+		nw := New(n)
+		m := rng.Intn(24)
+		for i := 0; i < m; i++ {
+			u := int32(rng.Intn(n))
+			v := int32(rng.Intn(n))
+			for v == u {
+				v = int32(rng.Intn(n))
+			}
+			if rng.Intn(2) == 0 {
+				nw.AddDirected(u, v, 1+rng.Intn(5))
+			} else {
+				nw.AddUndirected(u, v, 1+rng.Intn(5))
+			}
+		}
+		s, tt := int32(0), int32(n-1)
+		dinic := nw.MaxFlow(s, tt, -1)
+		ek := nw.MaxFlowEK(s, tt, -1)
+		pr := nw.MaxFlowPR(s, tt)
+		return dinic == ek && ek == pr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

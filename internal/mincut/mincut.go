@@ -1,0 +1,266 @@
+// Package mincut finds and enumerates minimal s–t disconnecting link sets
+// and selects α-bottleneck links (§III-A of the paper): a minimal s–t cut
+// E' of constant size whose removal leaves exactly two connected
+// components, each containing at most α|E| links.
+package mincut
+
+import (
+	"fmt"
+	"sort"
+
+	"flowrel/internal/bitset"
+	"flowrel/internal/graph"
+	"flowrel/internal/maxflow"
+)
+
+// Cardinality returns the minimum number of links whose removal disconnects
+// s from t (0 if they are already disconnected), via unit-capacity max
+// flow.
+func Cardinality(g *graph.Graph, s, t graph.NodeID) int {
+	nw := maxflow.New(g.NumNodes())
+	for _, e := range g.Edges() {
+		nw.AddDirected(int32(e.U), int32(e.V), 1)
+	}
+	return nw.MaxFlow(int32(s), int32(t), -1)
+}
+
+// IsCut reports whether removing the links disconnects s from t.
+func IsCut(g *graph.Graph, s, t graph.NodeID, cut []graph.EdgeID) bool {
+	alive := bitset.New(g.NumEdges())
+	alive.SetAll()
+	for _, e := range cut {
+		alive.Clear(int(e))
+	}
+	return !g.Reaches(s, t, alive)
+}
+
+// IsMinimalCut reports whether cut is an s–t cut none of whose proper
+// subsets is one (equivalently: every link of the cut, restored alone,
+// reconnects s and t).
+func IsMinimalCut(g *graph.Graph, s, t graph.NodeID, cut []graph.EdgeID) bool {
+	alive := bitset.New(g.NumEdges())
+	alive.SetAll()
+	for _, e := range cut {
+		alive.Clear(int(e))
+	}
+	if g.Reaches(s, t, alive) {
+		return false
+	}
+	for _, e := range cut {
+		alive.Set(int(e))
+		reconnects := g.Reaches(s, t, alive)
+		alive.Clear(int(e))
+		if !reconnects {
+			return false
+		}
+	}
+	return true
+}
+
+// EnumerateMinimal returns every minimal s–t cut with at most maxSize
+// links, as sorted edge-ID slices in deterministic order. It branches on
+// the links of an s–t path (every cut must hit every path), so the work is
+// output-sensitive rather than Θ(|E| choose maxSize).
+func EnumerateMinimal(g *graph.Graph, s, t graph.NodeID, maxSize int) [][]graph.EdgeID {
+	alive := bitset.New(g.NumEdges())
+	alive.SetAll()
+	seen := make(map[string]bool)
+	var out [][]graph.EdgeID
+	var removed []graph.EdgeID
+
+	var rec func()
+	rec = func() {
+		path := findPath(g, s, t, alive)
+		if path == nil {
+			if len(removed) == 0 {
+				return // s and t are disconnected in g itself
+			}
+			cut := append([]graph.EdgeID(nil), removed...)
+			sort.Slice(cut, func(i, j int) bool { return cut[i] < cut[j] })
+			if !IsMinimalCut(g, s, t, cut) {
+				return
+			}
+			key := fmt.Sprint(cut)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, cut)
+			}
+			return
+		}
+		if len(removed) >= maxSize {
+			return
+		}
+		for _, e := range path {
+			alive.Clear(int(e))
+			removed = append(removed, e)
+			rec()
+			removed = removed[:len(removed)-1]
+			alive.Set(int(e))
+		}
+	}
+	rec()
+	sort.Slice(out, func(i, j int) bool { return lessCut(out[i], out[j]) })
+	return out
+}
+
+func lessCut(a, b []graph.EdgeID) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// findPath returns the links of one directed s–t path in the alive
+// subgraph, or nil.
+func findPath(g *graph.Graph, s, t graph.NodeID, alive *bitset.Set) []graph.EdgeID {
+	parent := make([]graph.EdgeID, g.NumNodes())
+	for i := range parent {
+		parent[i] = -1
+	}
+	visited := make([]bool, g.NumNodes())
+	visited[s] = true
+	queue := []graph.NodeID{s}
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		for _, eid := range g.Incident(u) {
+			e := g.Edge(eid)
+			if e.U != u || !alive.Test(int(eid)) {
+				continue
+			}
+			v := e.V
+			if visited[v] {
+				continue
+			}
+			visited[v] = true
+			parent[v] = eid
+			if v == t {
+				var path []graph.EdgeID
+				for x := t; x != s; {
+					pe := parent[x]
+					path = append(path, pe)
+					x = g.Edge(pe).U
+				}
+				return path
+			}
+			queue = append(queue, v)
+		}
+	}
+	return nil
+}
+
+// Bridges returns the IDs of all links e whose sole removal makes e.V
+// unreachable from e.U — the directed analogue of a bridge. Such links are
+// single-link bottleneck candidates for any demand routed across them.
+func Bridges(g *graph.Graph) []graph.EdgeID {
+	var bridges []graph.EdgeID
+	for _, e := range g.Edges() {
+		if IsCut(g, e.U, e.V, []graph.EdgeID{e.ID}) {
+			bridges = append(bridges, e.ID)
+		}
+	}
+	sort.Slice(bridges, func(i, j int) bool { return bridges[i] < bridges[j] })
+	return bridges
+}
+
+// Bottleneck is a validated α-bottleneck split of a graph.
+type Bottleneck struct {
+	Cut   []graph.EdgeID // the bottleneck links e₁,…,e_k (sorted)
+	Gs    *graph.Subgraph
+	Gt    *graph.Subgraph
+	XS    []graph.NodeID // per cut link: its endpoint inside Gs.G (sub ID)
+	YT    []graph.NodeID // per cut link: its endpoint inside Gt.G (sub ID)
+	Alpha float64        // max(|E_s|, |E_t|) / |E|
+}
+
+// K returns the number of bottleneck links.
+func (b *Bottleneck) K() int { return len(b.Cut) }
+
+// Split validates that cut is a minimal s–t cut splitting g into exactly
+// two components and returns the bottleneck structure (side containing s
+// first).
+func Split(g *graph.Graph, s, t graph.NodeID, cut []graph.EdgeID) (*Bottleneck, error) {
+	if len(cut) == 0 {
+		return nil, fmt.Errorf("mincut: empty cut")
+	}
+	sorted := append([]graph.EdgeID(nil), cut...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return nil, fmt.Errorf("mincut: duplicate link %d in cut", sorted[i])
+		}
+	}
+	if !IsMinimalCut(g, s, t, sorted) {
+		return nil, fmt.Errorf("mincut: %v is not a minimal s–t cut", sorted)
+	}
+	gs, gt, err := g.SplitByCut(s, t, sorted)
+	if err != nil {
+		return nil, err
+	}
+	b := &Bottleneck{
+		Cut: sorted, Gs: gs, Gt: gt,
+		XS: make([]graph.NodeID, len(sorted)),
+		YT: make([]graph.NodeID, len(sorted)),
+	}
+	for i, eid := range sorted {
+		e := g.Edge(eid)
+		switch {
+		case gs.HasNode(e.U) && gt.HasNode(e.V):
+			b.XS[i] = gs.NodeOf[e.U]
+			b.YT[i] = gt.NodeOf[e.V]
+		case gs.HasNode(e.V) && gt.HasNode(e.U):
+			// A backward-oriented link can never carry s→t flow, so it
+			// cannot belong to a minimal directed cut; reject defensively.
+			return nil, fmt.Errorf("mincut: cut link %d is oriented from the sink side to the source side", eid)
+		default:
+			return nil, fmt.Errorf("mincut: cut link %d does not join the two components", eid)
+		}
+	}
+	m := gs.G.NumEdges()
+	if gt.G.NumEdges() > m {
+		m = gt.G.NumEdges()
+	}
+	if g.NumEdges() > 0 {
+		b.Alpha = float64(m) / float64(g.NumEdges())
+	}
+	return b, nil
+}
+
+// Find searches for the α-bottleneck split with the smallest maximum side
+// (ties: fewer bottleneck links, then lexicographically smallest cut),
+// among all minimal s–t cuts of at most maxSize links. It returns an error
+// if no such cut exists.
+func Find(g *graph.Graph, s, t graph.NodeID, maxSize int) (*Bottleneck, error) {
+	if maxSize < 1 {
+		return nil, fmt.Errorf("mincut: maxSize %d must be ≥ 1", maxSize)
+	}
+	cuts := EnumerateMinimal(g, s, t, maxSize)
+	var best *Bottleneck
+	for _, cut := range cuts {
+		b, err := Split(g, s, t, cut)
+		if err != nil {
+			continue // e.g. >2 components cannot happen for minimal cuts, but stay safe
+		}
+		if best == nil || better(b, best) {
+			best = b
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("mincut: no minimal s–t cut with at most %d links", maxSize)
+	}
+	return best, nil
+}
+
+func better(a, b *Bottleneck) bool {
+	if a.Alpha != b.Alpha {
+		return a.Alpha < b.Alpha
+	}
+	if len(a.Cut) != len(b.Cut) {
+		return len(a.Cut) < len(b.Cut)
+	}
+	return lessCut(a.Cut, b.Cut)
+}

@@ -1,0 +1,249 @@
+// Package multicast computes delivery reliability to *many* subscribers at
+// once — the actual service a P2P streaming system provides (§I of the
+// paper frames reliability per sink; a session succeeds when every
+// subscriber is served).
+//
+// Semantics. The stream is replicated, not consumed: a link carries each
+// sub-stream at most once no matter how many downstream peers read it, so
+// delivering d sub-streams to every node is a packing of d arc-disjoint
+// (capacity-respecting) spanning arborescences rooted at the source. By
+// Edmonds' arborescence-packing theorem such a packing exists iff the
+// s→v max flow is at least d for every node v — so "every target can
+// receive" with the per-target max-flow criterion is *exact* when the
+// targets are all nodes, and it is the standard feasibility criterion for
+// replicated push overlays in general (relay peers hold the stream too).
+package multicast
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+	"sync"
+
+	"flowrel/internal/conf"
+	"flowrel/internal/graph"
+	"flowrel/internal/maxflow"
+	"flowrel/internal/reliability"
+)
+
+// Result is an exact all-targets reliability.
+type Result struct {
+	Reliability float64
+	Targets     int
+	Stats       reliability.Stats
+}
+
+// targetsOrAll returns the target list, defaulting to every node except s.
+func targetsOrAll(g *graph.Graph, s graph.NodeID, targets []graph.NodeID) ([]graph.NodeID, error) {
+	if err := g.CheckNode(s); err != nil {
+		return nil, err
+	}
+	if targets == nil {
+		for i := 0; i < g.NumNodes(); i++ {
+			if graph.NodeID(i) != s {
+				targets = append(targets, graph.NodeID(i))
+			}
+		}
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("multicast: no targets")
+	}
+	for _, t := range targets {
+		if err := g.CheckNode(t); err != nil {
+			return nil, err
+		}
+		if t == s {
+			return nil, fmt.Errorf("multicast: source %d cannot be a target", s)
+		}
+	}
+	return targets, nil
+}
+
+// Naive computes the exact probability that every target can receive all d
+// sub-streams, by enumerating the 2^{|E|} failure configurations; each
+// configuration is checked with per-target max flows (early exit on the
+// first starved target). Parallel and deterministic.
+func Naive(g *graph.Graph, s graph.NodeID, targets []graph.NodeID, d int, opt reliability.Options) (Result, error) {
+	if g == nil {
+		return Result{}, fmt.Errorf("multicast: nil graph")
+	}
+	if d < 1 {
+		return Result{}, fmt.Errorf("multicast: demand %d must be ≥ 1", d)
+	}
+	targets, err := targetsOrAll(g, s, targets)
+	if err != nil {
+		return Result{}, err
+	}
+	m := g.NumEdges()
+	if m > conf.MaxEnumEdges {
+		return Result{}, &conf.ErrTooManyEdges{N: m, Where: "graph"}
+	}
+	pFail := make([]float64, m)
+	for i, e := range g.Edges() {
+		pFail[i] = e.PFail
+	}
+	table := conf.NewTable(pFail)
+	proto, handles := maxflow.FromGraph(g)
+
+	workers := workerCount(opt)
+	chunks := conf.SplitEnum(m)
+	partial := make([]float64, len(chunks))
+	stats := make([]reliability.Stats, len(chunks))
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for ci, r := range chunks {
+		wg.Add(1)
+		go func(ci int, lo, hi uint64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			nw := proto.Clone()
+			sum := 0.0
+			var st reliability.Stats
+			prev := ^uint64(0)
+			width := uint64(1)<<uint(m) - 1
+			for mask := lo; mask < hi; mask++ {
+				diff := (mask ^ prev) & width
+				for diff != 0 {
+					i := tz(diff)
+					diff &= diff - 1
+					nw.SetEnabled(handles[i], mask&(1<<uint(i)) != 0)
+				}
+				prev = mask
+				st.Configs++
+				if allServed(nw, int32(s), targets, d) {
+					st.Admitting++
+					sum += table.Prob(mask)
+				}
+			}
+			st.MaxFlowCalls = nw.Stats.MaxFlowCalls
+			partial[ci] = sum
+			stats[ci] = st
+		}(ci, r[0], r[1])
+	}
+	wg.Wait()
+
+	res := Result{Targets: len(targets)}
+	for ci := range chunks {
+		res.Reliability += partial[ci]
+		res.Stats.Configs += stats[ci].Configs
+		res.Stats.Admitting += stats[ci].Admitting
+		res.Stats.MaxFlowCalls += stats[ci].MaxFlowCalls
+	}
+	return res, nil
+}
+
+func allServed(nw *maxflow.Network, s int32, targets []graph.NodeID, d int) bool {
+	for _, t := range targets {
+		if nw.MaxFlow(s, int32(t), d) < d {
+			return false
+		}
+	}
+	return true
+}
+
+// Estimate is a Monte Carlo all-targets estimate.
+type Estimate = reliability.Estimate
+
+// MonteCarlo estimates the all-targets reliability by sampling;
+// deterministic per seed, any graph size.
+func MonteCarlo(g *graph.Graph, s graph.NodeID, targets []graph.NodeID, d, samples int, seed int64, opt reliability.Options) (Estimate, error) {
+	if g == nil {
+		return Estimate{}, fmt.Errorf("multicast: nil graph")
+	}
+	if d < 1 {
+		return Estimate{}, fmt.Errorf("multicast: demand %d must be ≥ 1", d)
+	}
+	if samples < 1 {
+		return Estimate{}, fmt.Errorf("multicast: sample count %d must be ≥ 1", samples)
+	}
+	targets, err := targetsOrAll(g, s, targets)
+	if err != nil {
+		return Estimate{}, err
+	}
+	proto, handles := maxflow.FromGraph(g)
+	pFail := make([]float64, g.NumEdges())
+	for i, e := range g.Edges() {
+		pFail[i] = e.PFail
+	}
+
+	const blockSize = 1024
+	nBlocks := (samples + blockSize - 1) / blockSize
+	hits := make([]int, nBlocks)
+	workers := workerCount(opt)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for b := 0; b < nBlocks; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			n := blockSize
+			if b == nBlocks-1 {
+				n = samples - b*blockSize
+			}
+			rng := rand.New(rand.NewSource(seed + int64(b)*0x5851F42D4C957F2D))
+			nw := proto.Clone()
+			h := 0
+			for i := 0; i < n; i++ {
+				for j := range handles {
+					nw.SetEnabled(handles[j], rng.Float64() >= pFail[j])
+				}
+				if allServed(nw, int32(s), targets, d) {
+					h++
+				}
+			}
+			hits[b] = h
+		}(b)
+	}
+	wg.Wait()
+	total := 0
+	for _, h := range hits {
+		total += h
+	}
+	p := float64(total) / float64(samples)
+	return Estimate{
+		Reliability: p,
+		StdErr:      math.Sqrt(p * (1 - p) / float64(samples)),
+		Samples:     samples,
+		Admitting:   total,
+	}, nil
+}
+
+// PerTarget returns each target's marginal reliability (the probability
+// that this particular target can receive d), computed exactly with the
+// factoring engine. The all-targets reliability is at most the minimum of
+// these marginals.
+func PerTarget(g *graph.Graph, s graph.NodeID, targets []graph.NodeID, d int, opt reliability.Options) ([]float64, error) {
+	if g == nil {
+		return nil, fmt.Errorf("multicast: nil graph")
+	}
+	if d < 1 {
+		return nil, fmt.Errorf("multicast: demand %d must be ≥ 1", d)
+	}
+	targets, err := targetsOrAll(g, s, targets)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(targets))
+	for i, t := range targets {
+		res, err := reliability.Factoring(g, graph.Demand{S: s, T: t, D: d}, opt)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res.Reliability
+	}
+	return out, nil
+}
+
+func workerCount(opt reliability.Options) int {
+	if opt.Parallelism > 0 {
+		return opt.Parallelism
+	}
+	return defaultParallelism()
+}
+
+func tz(x uint64) int { return bits.TrailingZeros64(x) }

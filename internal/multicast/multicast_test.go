@@ -1,0 +1,181 @@
+package multicast
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flowrel/internal/graph"
+	"flowrel/internal/overlay"
+	"flowrel/internal/reliability"
+)
+
+func TestTreeAllReceiveClosedForm(t *testing.T) {
+	// In a tree every link is the sole route to its subtree: all nodes
+	// receive iff every link is alive → R = Π(1-p) = (1-p)^|E|.
+	const p = 0.1
+	o, err := overlay.Tree(2, 3, 1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Naive(o.G, o.Source, nil, 1, reliability.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(1-p, float64(o.G.NumEdges()))
+	if math.Abs(res.Reliability-want) > 1e-12 {
+		t.Fatalf("all-receive = %.12f, want %.12f", res.Reliability, want)
+	}
+	if res.Targets != len(o.Peers) {
+		t.Fatalf("targets = %d", res.Targets)
+	}
+}
+
+func TestSubsetOfTargets(t *testing.T) {
+	// Asking only for shallow peers ignores deep-link failures.
+	const p = 0.1
+	o, err := overlay.Tree(2, 2, 1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Targets: just the two depth-1 peers → only their two links matter.
+	res, err := Naive(o.G, o.Source, o.Peers[:2], 1, reliability.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (1 - p) * (1 - p)
+	if math.Abs(res.Reliability-want) > 1e-12 {
+		t.Fatalf("subset = %.12f, want %.12f", res.Reliability, want)
+	}
+}
+
+func TestPerTargetAndMinBound(t *testing.T) {
+	o, err := overlay.MultiTree(6, 2, 2, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per, err := PerTarget(o.G, o.Source, o.Peers, 2, reliability.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(per) != len(o.Peers) {
+		t.Fatalf("per-target count %d", len(per))
+	}
+	all, err := Naive(o.G, o.Source, o.Peers, 2, reliability.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minP := 1.0
+	for _, r := range per {
+		if r < minP {
+			minP = r
+		}
+	}
+	if all.Reliability > minP+1e-9 {
+		t.Fatalf("all-receive %g exceeds weakest target %g", all.Reliability, minP)
+	}
+}
+
+func TestMonteCarloMatchesNaive(t *testing.T) {
+	o, err := overlay.MultiTree(6, 2, 2, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Naive(o.G, o.Source, nil, 2, reliability.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := MonteCarlo(o.G, o.Source, nil, 2, 60000, 3, reliability.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Reliability-exact.Reliability) > 5*est.StdErr+1e-9 {
+		t.Fatalf("MC %g vs exact %g", est.Reliability, exact.Reliability)
+	}
+	a, _ := MonteCarlo(o.G, o.Source, nil, 2, 8000, 5, reliability.Options{Parallelism: 1})
+	b, _ := MonteCarlo(o.G, o.Source, nil, 2, 8000, 5, reliability.Options{Parallelism: 8})
+	if a.Admitting != b.Admitting {
+		t.Fatal("MC not deterministic across parallelism")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	o, err := overlay.Tree(2, 2, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Naive(nil, 0, nil, 1, reliability.Options{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := Naive(o.G, o.Source, nil, 0, reliability.Options{}); err == nil {
+		t.Fatal("d=0 accepted")
+	}
+	if _, err := Naive(o.G, 99, nil, 1, reliability.Options{}); err == nil {
+		t.Fatal("bad source accepted")
+	}
+	if _, err := Naive(o.G, o.Source, []graph.NodeID{o.Source}, 1, reliability.Options{}); err == nil {
+		t.Fatal("source as target accepted")
+	}
+	if _, err := Naive(o.G, o.Source, []graph.NodeID{99}, 1, reliability.Options{}); err == nil {
+		t.Fatal("bad target accepted")
+	}
+	if _, err := Naive(o.G, o.Source, []graph.NodeID{}, 1, reliability.Options{}); err == nil {
+		t.Fatal("empty target list accepted")
+	}
+	if _, err := MonteCarlo(o.G, o.Source, nil, 1, 0, 1, reliability.Options{}); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+	if _, err := PerTarget(o.G, o.Source, nil, 0, reliability.Options{}); err == nil {
+		t.Fatal("PerTarget d=0 accepted")
+	}
+}
+
+// Property: the all-targets reliability never exceeds any marginal and
+// equals the single-target reliability when there is one target.
+func TestQuickConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(4)
+		m := 2 + rng.Intn(8)
+		b := graph.NewBuilder()
+		b.AddNodes(n)
+		for i := 0; i < m; i++ {
+			u := graph.NodeID(rng.Intn(n))
+			v := graph.NodeID(rng.Intn(n))
+			for v == u {
+				v = graph.NodeID(rng.Intn(n))
+			}
+			b.AddEdge(u, v, 1+rng.Intn(2), rng.Float64()*0.8)
+		}
+		g := b.MustBuild()
+		s := graph.NodeID(0)
+		d := 1 + rng.Intn(2)
+
+		all, err := Naive(g, s, nil, d, reliability.Options{})
+		if err != nil {
+			return false
+		}
+		per, err := PerTarget(g, s, nil, d, reliability.Options{})
+		if err != nil {
+			return false
+		}
+		for i, r := range per {
+			if all.Reliability > r+1e-9 {
+				return false
+			}
+			// Single-target multicast equals plain reliability.
+			one, err := Naive(g, s, []graph.NodeID{graph.NodeID(i + 1)}, d, reliability.Options{})
+			if err != nil {
+				return false
+			}
+			if math.Abs(one.Reliability-r) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

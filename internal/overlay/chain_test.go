@@ -1,0 +1,76 @@
+package overlay
+
+import (
+	"math"
+	"testing"
+
+	"flowrel/internal/chain"
+	"flowrel/internal/reliability"
+)
+
+func TestChainOverlayValidates(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		o, cuts, err := Chain(3, 3, 2, 2, 2, 2, 0.1, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cuts) != 2 {
+			t.Fatalf("seed %d: %d cuts", seed, len(cuts))
+		}
+		dem := o.Demand(o.Peers[len(o.Peers)-1])
+		res, err := chain.Solve(o.G, dem, cuts, chain.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: planted chain invalid: %v", seed, err)
+		}
+		if res.Reliability < 0 || res.Reliability > 1 {
+			t.Fatalf("seed %d: R = %g", seed, res.Reliability)
+		}
+	}
+}
+
+func TestChainOverlayMatchesNaive(t *testing.T) {
+	o, cuts, err := Chain(3, 2, 1, 2, 2, 2, 0.15, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dem := o.Demand(o.Peers[len(o.Peers)-1])
+	if o.G.NumEdges() > 20 {
+		t.Skip("instance too large for naive")
+	}
+	want, err := reliability.Naive(o.G, dem, reliability.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := chain.Solve(o.G, dem, cuts, chain.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Reliability-want.Reliability) > 1e-9 {
+		t.Fatalf("chain %.12f vs naive %.12f", got.Reliability, want.Reliability)
+	}
+}
+
+func TestChainOverlayBadParams(t *testing.T) {
+	if _, _, err := Chain(1, 2, 1, 1, 1, 1, 0.1, 1); err == nil {
+		t.Fatal("blocks < 2 accepted")
+	}
+	if _, _, err := Chain(2, 0, 1, 1, 1, 1, 0.1, 1); err == nil {
+		t.Fatal("blockNodes < 1 accepted")
+	}
+}
+
+func TestChainOverlaySingleNodeBlocks(t *testing.T) {
+	o, cuts, err := Chain(3, 1, 0, 1, 1, 1, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pure series of cut links: R = (1-p)^(number of cut links).
+	dem := o.Demand(o.Peers[len(o.Peers)-1])
+	res, err := chain.Solve(o.G, dem, cuts, chain.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Reliability-0.8*0.8) > 1e-12 {
+		t.Fatalf("R = %g, want 0.64", res.Reliability)
+	}
+}

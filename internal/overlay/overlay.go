@@ -1,0 +1,372 @@
+// Package overlay generates the P2P streaming topologies that motivate the
+// paper (§I–II): single delivery trees, multiple interior-disjoint trees
+// (the SplitStream/mTreebone family), randomized push meshes
+// (Bullet/PRIME/CoolStreaming family), and two-cluster graphs joined by a
+// few bottleneck links — the regime the paper's algorithm targets. It also
+// reconstructs the paper's worked-example graphs (Fig. 2 and Fig. 4/5).
+//
+// All links are directed along the delivery direction (source toward
+// subscribers), matching the flow model.
+package overlay
+
+import (
+	"fmt"
+	"math/rand"
+
+	"flowrel/internal/graph"
+)
+
+// Overlay is a generated streaming topology.
+type Overlay struct {
+	G      *graph.Graph
+	Source graph.NodeID   // the media server
+	Peers  []graph.NodeID // subscriber nodes
+	// Substreams is the natural demand bit-rate d for this overlay (the
+	// number of sub-streams the stream is divided into).
+	Substreams int
+	// Bottleneck is the planted bottleneck link set, when the generator
+	// guarantees one (nil otherwise).
+	Bottleneck []graph.EdgeID
+}
+
+// Demand returns the flow demand for delivering the full stream to peer.
+func (o *Overlay) Demand(peer graph.NodeID) graph.Demand {
+	return graph.Demand{S: o.Source, T: peer, D: o.Substreams}
+}
+
+// Tree builds a single fanout-ary delivery tree of the given depth: the
+// media server pushes the whole stream (d sub-streams over every link, so
+// links have capacity d) down store-and-relay peers. Tree overlays are
+// simple but fragile: every link is a bridge (§II).
+func Tree(fanout, depth, d int, pFail float64) (*Overlay, error) {
+	if fanout < 1 || depth < 1 || d < 1 {
+		return nil, fmt.Errorf("overlay: Tree wants fanout, depth, d ≥ 1 (got %d, %d, %d)", fanout, depth, d)
+	}
+	b := graph.NewBuilder()
+	src := b.AddNamedNode("server")
+	o := &Overlay{Source: src, Substreams: d}
+	level := []graph.NodeID{src}
+	for l := 1; l <= depth; l++ {
+		var next []graph.NodeID
+		for _, parent := range level {
+			for f := 0; f < fanout; f++ {
+				p := b.AddNode()
+				b.AddEdge(parent, p, d, pFail)
+				o.Peers = append(o.Peers, p)
+				next = append(next, p)
+			}
+		}
+		level = next
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	o.G = g
+	return o, nil
+}
+
+// MultiTree builds `trees` interior-disjoint delivery trees over the same
+// peer set (the SplitStream construction, §II): the stream is divided into
+// `trees` unit-rate sub-streams; sub-stream j is pushed down tree j, whose
+// interior consists exactly of the peers with index ≡ j (mod trees), so
+// each peer is internal in one tree and a leaf in all others. Links carry
+// one sub-stream (capacity 1).
+func MultiTree(peers, trees, fanout int, pFail float64) (*Overlay, error) {
+	if peers < trees || trees < 1 || fanout < 1 {
+		return nil, fmt.Errorf("overlay: MultiTree wants peers ≥ trees ≥ 1 and fanout ≥ 1 (got %d, %d, %d)", peers, trees, fanout)
+	}
+	b := graph.NewBuilder()
+	src := b.AddNamedNode("server")
+	o := &Overlay{Source: src, Substreams: trees}
+	for i := 0; i < peers; i++ {
+		o.Peers = append(o.Peers, b.AddNamedNode(fmt.Sprintf("p%d", i)))
+	}
+	for j := 0; j < trees; j++ {
+		// Interior peers of stripe j, in index order.
+		var interior []graph.NodeID
+		for i := j; i < peers; i += trees {
+			interior = append(interior, o.Peers[i])
+		}
+		// Fanout-ary tree over the interior, rooted under the server.
+		b.AddEdge(src, interior[0], 1, pFail)
+		for m := 1; m < len(interior); m++ {
+			b.AddEdge(interior[(m-1)/fanout], interior[m], 1, pFail)
+		}
+		// Every other peer attaches as a leaf, spread round-robin.
+		leafIdx := 0
+		for i := 0; i < peers; i++ {
+			if i%trees == j {
+				continue
+			}
+			parent := interior[leafIdx%len(interior)]
+			leafIdx++
+			b.AddEdge(parent, o.Peers[i], 1, pFail)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	o.G = g
+	return o, nil
+}
+
+// Mesh builds a randomized acyclic push mesh: peers are ordered by join
+// time and each pulls from up to `inDeg` distinct earlier peers (or the
+// server), with link capacities drawn from [1, maxCap]. This models the
+// mesh-based systems of §II, where content flows along many partially
+// redundant routes.
+func Mesh(peers, inDeg, maxCap, d int, pFail float64, seed int64) (*Overlay, error) {
+	if peers < 1 || inDeg < 1 || maxCap < 1 || d < 1 {
+		return nil, fmt.Errorf("overlay: Mesh wants peers, inDeg, maxCap, d ≥ 1 (got %d, %d, %d, %d)", peers, inDeg, maxCap, d)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder()
+	src := b.AddNamedNode("server")
+	o := &Overlay{Source: src, Substreams: d}
+	nodes := []graph.NodeID{src}
+	for i := 0; i < peers; i++ {
+		p := b.AddNamedNode(fmt.Sprintf("p%d", i))
+		o.Peers = append(o.Peers, p)
+		k := inDeg
+		if k > len(nodes) {
+			k = len(nodes)
+		}
+		for _, pi := range rng.Perm(len(nodes))[:k] {
+			b.AddEdge(nodes[pi], p, 1+rng.Intn(maxCap), pFail)
+		}
+		nodes = append(nodes, p)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	o.G = g
+	return o, nil
+}
+
+// Clustered builds two randomized clusters (each a weakly connected random
+// digraph of sideNodes nodes and ≥ sideNodes-1 links) joined by exactly k
+// bottleneck links — the structure the paper's algorithm exploits. The
+// planted link set is guaranteed to be a minimal s–t cut splitting the
+// graph into two components, so it is returned as the overlay's
+// Bottleneck. The demand terminal is the last sink-side node.
+func Clustered(sideNodes, sideEdges, k, d, maxCap int, pFail float64, seed int64) (*Overlay, error) {
+	if sideNodes < 1 || k < 1 || d < 1 || maxCap < 1 {
+		return nil, fmt.Errorf("overlay: Clustered wants sideNodes, k, d, maxCap ≥ 1 (got %d, %d, %d, %d)", sideNodes, k, d, maxCap)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder()
+	cap := func() int { return 1 + rng.Intn(maxCap) }
+
+	blob := func(off graph.NodeID) {
+		// Weak spanning tree with random directions, then extra links.
+		for i := 1; i < sideNodes; i++ {
+			j := off + graph.NodeID(rng.Intn(i))
+			u, v := j, off+graph.NodeID(i)
+			if rng.Intn(2) == 0 {
+				u, v = v, u
+			}
+			b.AddEdge(u, v, cap(), pFail)
+		}
+		for e := sideNodes - 1; e < sideEdges; e++ {
+			u := off + graph.NodeID(rng.Intn(sideNodes))
+			v := off + graph.NodeID(rng.Intn(sideNodes))
+			if u != v {
+				b.AddEdge(u, v, cap(), pFail)
+			}
+		}
+	}
+	b.AddNodes(sideNodes)
+	blob(0)
+	b.AddNodes(sideNodes)
+	blob(graph.NodeID(sideNodes))
+
+	s := graph.NodeID(0)
+	t := graph.NodeID(2*sideNodes - 1)
+	o := &Overlay{Source: s, Substreams: d}
+	for i := 1; i < 2*sideNodes; i++ {
+		o.Peers = append(o.Peers, graph.NodeID(i))
+	}
+	// Plant the bottleneck links; patch reachability so the cut is minimal
+	// (s must reach each tail, each head must reach t).
+	for i := 0; i < k; i++ {
+		x := graph.NodeID(rng.Intn(sideNodes))
+		y := graph.NodeID(sideNodes + rng.Intn(sideNodes))
+		g0, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+		if !g0.Reaches(s, x, nil) {
+			b.AddEdge(s, x, cap(), pFail)
+		}
+		if !g0.Reaches(y, t, nil) {
+			b.AddEdge(y, t, cap(), pFail)
+		}
+		o.Bottleneck = append(o.Bottleneck, b.AddEdge(x, y, cap(), pFail))
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	o.G = g
+	return o, nil
+}
+
+// Chain builds a delivery chain: `blocks` strongly connected random blocks
+// (a directed ring of blockNodes nodes plus extraEdges random links each)
+// joined in series by cuts of k links each — the workload for the chain
+// decomposition that generalizes the paper's single bottleneck. Every
+// planted cut is a minimal s–t cut by construction (blocks are strongly
+// connected), and BottleneckChain returns them in source-to-sink order.
+func Chain(blocks, blockNodes, extraEdges, k, d, maxCap int, pFail float64, seed int64) (*Overlay, [][]graph.EdgeID, error) {
+	if blocks < 2 || blockNodes < 1 || k < 1 || d < 1 || maxCap < 1 {
+		return nil, nil, fmt.Errorf("overlay: Chain wants blocks ≥ 2 and blockNodes, k, d, maxCap ≥ 1 (got %d, %d, %d, %d, %d)", blocks, blockNodes, k, d, maxCap)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder()
+	var cuts [][]graph.EdgeID
+	var blockStart []graph.NodeID
+	for blk := 0; blk < blocks; blk++ {
+		first := b.AddNodes(blockNodes)
+		blockStart = append(blockStart, first)
+		// Directed ring: the block is strongly connected.
+		if blockNodes > 1 {
+			for i := 0; i < blockNodes; i++ {
+				b.AddEdge(first+graph.NodeID(i), first+graph.NodeID((i+1)%blockNodes), d, pFail)
+			}
+		}
+		for e := 0; e < extraEdges; e++ {
+			u := first + graph.NodeID(rng.Intn(blockNodes))
+			v := first + graph.NodeID(rng.Intn(blockNodes))
+			if u != v {
+				b.AddEdge(u, v, 1+rng.Intn(maxCap), pFail)
+			}
+		}
+		if blk > 0 {
+			prev := blockStart[blk-1]
+			var cut []graph.EdgeID
+			for i := 0; i < k; i++ {
+				x := prev + graph.NodeID(rng.Intn(blockNodes))
+				y := first + graph.NodeID(rng.Intn(blockNodes))
+				// Capacities chosen so the cut can carry d in aggregate.
+				lo := (d + k - 1) / k
+				hi := maxCap
+				if hi < lo {
+					hi = lo
+				}
+				if hi > d {
+					hi = d
+				}
+				if lo > hi {
+					lo = hi
+				}
+				cut = append(cut, b.AddEdge(x, y, lo+rng.Intn(hi-lo+1), pFail))
+			}
+			cuts = append(cuts, cut)
+		}
+	}
+	s := blockStart[0]
+	g, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	o := &Overlay{G: g, Source: s, Substreams: d}
+	for i := 0; i < g.NumNodes(); i++ {
+		if graph.NodeID(i) != s {
+			o.Peers = append(o.Peers, graph.NodeID(i))
+		}
+	}
+	return o, cuts, nil
+}
+
+// Figure2 reconstructs the shape of the paper's Fig. 2: a source-side
+// component G_s and a sink-side component G_t joined by a single bridge
+// link e₉. The figure's exact capacities are not given in the text; this
+// reconstruction uses two 4-link diamonds, which preserves every property
+// the paper uses (the bridge is the unique single-link minimal cut, and
+// Eq. 1 applies).
+func Figure2() *Overlay {
+	b := graph.NewBuilder()
+	s := b.AddNamedNode("s")
+	a := b.AddNamedNode("a")
+	c := b.AddNamedNode("b")
+	x := b.AddNamedNode("x")
+	y := b.AddNamedNode("y")
+	dd := b.AddNamedNode("c")
+	e := b.AddNamedNode("d")
+	t := b.AddNamedNode("t")
+	b.AddEdge(s, a, 1, 0.10)           // e1
+	b.AddEdge(s, c, 1, 0.10)           // e2
+	b.AddEdge(a, x, 1, 0.10)           // e3
+	b.AddEdge(c, x, 1, 0.10)           // e4
+	bridge := b.AddEdge(x, y, 1, 0.05) // e9, the bridge
+	b.AddEdge(y, dd, 1, 0.10)          // e5
+	b.AddEdge(y, e, 1, 0.10)           // e6
+	b.AddEdge(dd, t, 1, 0.10)          // e7
+	b.AddEdge(e, t, 1, 0.10)           // e8
+	return &Overlay{
+		G:          b.MustBuild(),
+		Source:     s,
+		Peers:      []graph.NodeID{a, c, x, y, dd, e, t},
+		Substreams: 1,
+		Bottleneck: []graph.EdgeID{bridge},
+	}
+}
+
+// Figure4 reconstructs the paper's Fig. 4: a 9-link graph separated by two
+// bottleneck links e₁, e₂ (capacity 2 each), admitting a flow demand of
+// amount two, with assignment set 𝒟 = {(2,0), (1,1), (0,2)}. The figure
+// itself is not in the text; this reconstruction is chosen so that the
+// three failure configurations of Fig. 5 exist, realizing exactly
+// {(1,1),(0,2)}, {(1,1)}, and {(2,0),(1,1),(0,2)} (see Figure4Configs).
+func Figure4() *Overlay {
+	b := graph.NewBuilder()
+	s := b.AddNamedNode("s")
+	x1 := b.AddNamedNode("x1")
+	x2 := b.AddNamedNode("x2")
+	y1 := b.AddNamedNode("y1")
+	y2 := b.AddNamedNode("y2")
+	t := b.AddNamedNode("t")
+	// G_s: two parallel unit links to each of x1, x2.
+	b.AddEdge(s, x1, 1, 0.10) // c1
+	b.AddEdge(s, x1, 1, 0.15) // c2
+	b.AddEdge(s, x2, 1, 0.10) // c3
+	b.AddEdge(s, x2, 1, 0.15) // c4
+	// The bottleneck links e1, e2 of Fig. 4 (capacity 2 each).
+	e1 := b.AddEdge(x1, y1, 2, 0.05)
+	e2 := b.AddEdge(x2, y2, 2, 0.08)
+	// G_t: enough capacity to absorb either concentration.
+	b.AddEdge(y1, t, 2, 0.10)  // c5
+	b.AddEdge(y2, t, 2, 0.10)  // c6
+	b.AddEdge(y1, y2, 1, 0.12) // c7
+	return &Overlay{
+		G:          b.MustBuild(),
+		Source:     s,
+		Peers:      []graph.NodeID{t},
+		Substreams: 2,
+		Bottleneck: []graph.EdgeID{e1, e2},
+	}
+}
+
+// Figure4Configs returns the three G_s failure configurations of Fig. 5 as
+// alive-link masks over the Figure4 graph's first four links (the G_s
+// links c1..c4), together with the assignment sets they realize:
+//
+//	(a) c1, c3, c4 alive          → {(1,1), (0,2)}
+//	(b) c1, c3 alive              → {(1,1)}
+//	(c) all of c1..c4 alive       → {(2,0), (1,1), (0,2)}
+func Figure4Configs() []struct {
+	Alive    []graph.EdgeID
+	Realizes []string
+} {
+	return []struct {
+		Alive    []graph.EdgeID
+		Realizes []string
+	}{
+		{Alive: []graph.EdgeID{0, 2, 3}, Realizes: []string{"(1, 1)", "(0, 2)"}},
+		{Alive: []graph.EdgeID{0, 2}, Realizes: []string{"(1, 1)"}},
+		{Alive: []graph.EdgeID{0, 1, 2, 3}, Realizes: []string{"(2, 0)", "(1, 1)", "(0, 2)"}},
+	}
+}

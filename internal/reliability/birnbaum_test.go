@@ -1,0 +1,116 @@
+package reliability
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flowrel/internal/graph"
+)
+
+// figure2Like builds the bridge graph used across the suite.
+func figure2Like() (*graph.Graph, graph.Demand, graph.EdgeID) {
+	b := graph.NewBuilder()
+	s := b.AddNode()
+	a := b.AddNode()
+	c := b.AddNode()
+	x := b.AddNode()
+	y := b.AddNode()
+	d := b.AddNode()
+	e := b.AddNode()
+	tt := b.AddNode()
+	b.AddEdge(s, a, 1, 0.1)
+	b.AddEdge(s, c, 1, 0.1)
+	b.AddEdge(a, x, 1, 0.1)
+	b.AddEdge(c, x, 1, 0.1)
+	bridge := b.AddEdge(x, y, 1, 0.05)
+	b.AddEdge(y, d, 1, 0.1)
+	b.AddEdge(y, e, 1, 0.1)
+	b.AddEdge(d, tt, 1, 0.1)
+	b.AddEdge(e, tt, 1, 0.1)
+	return b.MustBuild(), graph.Demand{S: s, T: tt, D: 1}, bridge
+}
+
+func TestBirnbaumBridgeDominates(t *testing.T) {
+	g, dem, bridge := figure2Like()
+	imps, err := BirnbaumImportance(g, dem, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imps) != g.NumEdges() {
+		t.Fatalf("got %d importances", len(imps))
+	}
+	for _, imp := range imps {
+		if imp.Link == bridge {
+			continue
+		}
+		if imp.Birnbaum >= imps[bridge].Birnbaum {
+			t.Fatalf("link %d importance %g ≥ bridge %g", imp.Link, imp.Birnbaum, imps[bridge].Birnbaum)
+		}
+	}
+	// A down bridge kills everything: RDown = 0 exactly.
+	if imps[bridge].RDown != 0 {
+		t.Fatalf("bridge RDown = %g, want 0", imps[bridge].RDown)
+	}
+}
+
+func TestBirnbaumSeriesClosedForm(t *testing.T) {
+	// Series s→a→t: I_B(e) = survival probability of the other link.
+	b := graph.NewBuilder()
+	s := b.AddNode()
+	a := b.AddNode()
+	tt := b.AddNode()
+	b.AddEdge(s, a, 1, 0.1)
+	b.AddEdge(a, tt, 1, 0.3)
+	g := b.MustBuild()
+	imps, err := BirnbaumImportance(g, graph.Demand{S: s, T: tt, D: 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(imps[0].Birnbaum-0.7) > 1e-12 || math.Abs(imps[1].Birnbaum-0.9) > 1e-12 {
+		t.Fatalf("importances = %+v", imps)
+	}
+}
+
+func TestBirnbaumErrors(t *testing.T) {
+	if _, err := BirnbaumImportance(nil, graph.Demand{}, Options{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+// Property: the pivotal identity R = (1-p)·RUp + p·RDown holds for every
+// link, and Birnbaum importances are non-negative (flow reliability is
+// monotone in link availability).
+func TestQuickPivotalIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, dem := randomTestGraph(rng, 5, 8)
+		r, err := Naive(g, dem, Options{})
+		if err != nil {
+			return false
+		}
+		imps, err := BirnbaumImportance(g, dem, Options{})
+		if err != nil {
+			return false
+		}
+		for _, e := range g.Edges() {
+			imp := imps[e.ID]
+			if imp.Birnbaum < -1e-9 {
+				return false
+			}
+			recon := (1-e.PFail)*imp.RUp + e.PFail*imp.RDown
+			if math.Abs(recon-r.Reliability) > 1e-9 {
+				return false
+			}
+			// Improvement = (RUp − R) = p·Birnbaum.
+			if math.Abs(imp.Improvement-e.PFail*imp.Birnbaum) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

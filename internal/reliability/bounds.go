@@ -1,0 +1,109 @@
+package reliability
+
+import (
+	"flowrel/internal/graph"
+	"flowrel/internal/maxflow"
+	"flowrel/internal/mincut"
+)
+
+// Bound is a guaranteed reliability interval.
+type Bound struct {
+	Lower float64
+	Upper float64
+	// DisjointSubgraphs is the number of edge-disjoint delivery subgraphs
+	// backing the lower bound.
+	DisjointSubgraphs int
+	// CutsExamined is the number of separating link sets backing the
+	// upper bound.
+	CutsExamined int
+}
+
+// Bounds computes cheap guaranteed bounds on the reliability:
+//
+//   - Lower: greedily extract edge-disjoint subgraphs that each admit the
+//     demand on their own; the demand is met if at least one subgraph
+//     survives intact, and disjointness makes those events independent.
+//   - Upper: every s–t separating link set C limits the deliverable rate
+//     to the surviving capacity across C, so reliability ≤
+//     P(surviving capacity of C ≥ d); take the minimum over all minimal
+//     cuts with at most maxCutSize links plus the two trivial separators
+//     (the links at s and at t).
+//
+// Both bounds are polynomial-time (given the cut enumeration budget) and
+// apply to graphs far beyond the reach of the exact engines.
+func Bounds(g *graph.Graph, dem graph.Demand, maxCutSize int) (Bound, error) {
+	if err := validate(g, dem); err != nil {
+		return Bound{}, err
+	}
+	b := Bound{Upper: 1}
+
+	// Lower bound: disjoint delivery subgraphs.
+	nw, handles := maxflow.FromGraph(g)
+	pFailAll := 1.0
+	for {
+		if nw.MaxFlow(int32(dem.S), int32(dem.T), dem.D) < dem.D {
+			break
+		}
+		pSurvive := 1.0
+		for i := range handles {
+			if f := nw.FlowOn(handles[i]); f != 0 {
+				pSurvive *= 1 - g.Edge(graph.EdgeID(i)).PFail
+				nw.SetEnabled(handles[i], false)
+			}
+		}
+		b.DisjointSubgraphs++
+		pFailAll *= 1 - pSurvive
+	}
+	b.Lower = 1 - pFailAll
+
+	// Upper bound: cut survival probabilities. The trivial separators are
+	// the out-links of s and the in-links of t (only forward capacity can
+	// carry the demand).
+	cuts := mincut.EnumerateMinimal(g, dem.S, dem.T, maxCutSize)
+	cuts = append(cuts, g.Out(dem.S), g.In(dem.T))
+	for _, cut := range cuts {
+		if len(cut) == 0 {
+			// s or t has no links at all: the demand can never be met.
+			b.Upper = 0
+			b.CutsExamined++
+			continue
+		}
+		p := cutSurvivalProb(g, cut, dem.D)
+		b.CutsExamined++
+		if p < b.Upper {
+			b.Upper = p
+		}
+	}
+	if b.Lower > b.Upper {
+		// Floating-point guard; mathematically Lower ≤ Upper.
+		b.Lower = b.Upper
+	}
+	return b, nil
+}
+
+// cutSurvivalProb returns P(Σ_{e∈cut alive} c(e) ≥ d) by dynamic
+// programming over the cut links (states: capacity so far, saturating at d).
+func cutSurvivalProb(g *graph.Graph, cut []graph.EdgeID, d int) float64 {
+	dist := make([]float64, d+1) // dist[c] = P(surviving capacity = min(c, d))
+	dist[0] = 1
+	next := make([]float64, d+1)
+	for _, eid := range cut {
+		e := g.Edge(eid)
+		for i := range next {
+			next[i] = 0
+		}
+		for c, p := range dist {
+			if p == 0 {
+				continue
+			}
+			next[c] += p * e.PFail // link fails
+			nc := c + e.Cap
+			if nc > d {
+				nc = d
+			}
+			next[nc] += p * (1 - e.PFail) // link survives
+		}
+		dist, next = next, dist
+	}
+	return dist[d]
+}

@@ -1,0 +1,58 @@
+package reliability
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: parallel factoring is bit-identical to sequential factoring
+// (the split reorders nothing: both compute up + down from independently
+// evaluated subtrees), and the work statistics agree.
+func TestQuickFactoringParallelDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, dem := randomTestGraph(rng, 7, 14)
+		seq, err := Factoring(g, dem, Options{Parallelism: 1})
+		if err != nil {
+			return false
+		}
+		for _, workers := range []int{2, 8} {
+			par, err := Factoring(g, dem, Options{Parallelism: workers})
+			if err != nil {
+				return false
+			}
+			if par.Reliability != seq.Reliability {
+				t.Logf("seed %d workers %d: %.17g vs %.17g", seed, workers, par.Reliability, seq.Reliability)
+				return false
+			}
+			if par.Stats.Configs != seq.Stats.Configs || par.Stats.Admitting != seq.Stats.Admitting {
+				t.Logf("seed %d workers %d: stats %+v vs %+v", seed, workers, par.Stats, seq.Stats)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFactoringParallelSpeedupSmoke only checks that the parallel path is
+// actually exercised on a larger instance (it must still match naive).
+func TestFactoringParallelExercised(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g, dem := randomTestGraph(rng, 8, 18)
+	par, err := Factoring(g, dem, Options{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Naive(g, dem, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(par.Reliability-want.Reliability) > 1e-9 {
+		t.Fatalf("parallel factoring %.12f vs naive %.12f", par.Reliability, want.Reliability)
+	}
+}

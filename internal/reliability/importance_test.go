@@ -1,0 +1,121 @@
+package reliability
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"flowrel/internal/graph"
+)
+
+func reliableDiamond(p float64) (*graph.Graph, graph.Demand) {
+	b := graph.NewBuilder()
+	s := b.AddNode()
+	a := b.AddNode()
+	c := b.AddNode()
+	tt := b.AddNode()
+	b.AddEdge(s, a, 1, p)
+	b.AddEdge(s, c, 1, p)
+	b.AddEdge(a, tt, 1, p)
+	b.AddEdge(c, tt, 1, p)
+	return b.MustBuild(), graph.Demand{S: s, T: tt, D: 1}
+}
+
+func TestUnreliabilityISUnbiased(t *testing.T) {
+	g, dem := reliableDiamond(0.05)
+	exact, err := Naive(g, dem, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantU := 1 - exact.Reliability
+	est, err := UnreliabilityIS(g, dem, 60000, 3, 0.4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Reliability-wantU) > 5*est.StdErr+1e-9 {
+		t.Fatalf("IS estimate %g ± %g vs exact U %g", est.Reliability, est.StdErr, wantU)
+	}
+}
+
+func TestUnreliabilityISVarianceReduction(t *testing.T) {
+	// On a very reliable network, IS at equal sample count must have far
+	// smaller RELATIVE error on U than plain MC (which mostly samples the
+	// all-up state).
+	g, dem := reliableDiamond(0.005)
+	exact, err := Naive(g, dem, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantU := 1 - exact.Reliability // ≈ 5e-5
+
+	const n = 20000
+	is, err := UnreliabilityIS(g, dem, n, 7, 0.3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := MonteCarlo(g, dem, n, 7, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plain MC's stderr on U is sqrt(U/n) ≈ 1.6e-6·… — compare relative
+	// standard errors; IS should win by at least 3x here.
+	mcRel := mc.StdErr / math.Max(wantU, 1e-12)
+	isRel := is.StdErr / math.Max(wantU, 1e-12)
+	if isRel*3 > mcRel {
+		t.Fatalf("IS relative stderr %.3g not ≪ MC %.3g", isRel, mcRel)
+	}
+	// And it is still accurate.
+	if math.Abs(is.Reliability-wantU) > 6*is.StdErr+1e-12 {
+		t.Fatalf("IS %g ± %g vs exact U %g", is.Reliability, is.StdErr, wantU)
+	}
+}
+
+func TestUnreliabilityISDeterministic(t *testing.T) {
+	g, dem := reliableDiamond(0.05)
+	a, err := UnreliabilityIS(g, dem, 10000, 9, 0.4, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := UnreliabilityIS(g, dem, 10000, 9, 0.4, Options{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Reliability != b.Reliability {
+		t.Fatalf("not deterministic: %g vs %g", a.Reliability, b.Reliability)
+	}
+}
+
+func TestUnreliabilityISErrors(t *testing.T) {
+	g, dem := reliableDiamond(0.05)
+	if _, err := UnreliabilityIS(g, dem, 0, 1, 0.4, Options{}); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+	if _, err := UnreliabilityIS(g, dem, 10, 1, 0, Options{}); err == nil {
+		t.Fatal("bias 0 accepted")
+	}
+	if _, err := UnreliabilityIS(g, dem, 10, 1, 1, Options{}); err == nil {
+		t.Fatal("bias 1 accepted")
+	}
+	if _, err := UnreliabilityIS(nil, dem, 10, 1, 0.4, Options{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+func TestUnreliabilityISRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 5; trial++ {
+		g, dem := randomTestGraph(rng, 6, 9)
+		exact, err := Naive(g, dem, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := UnreliabilityIS(g, dem, 40000, int64(trial), 0.5, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantU := 1 - exact.Reliability
+		if math.Abs(est.Reliability-wantU) > 6*est.StdErr+1e-9 {
+			t.Fatalf("trial %d: IS %g ± %g vs %g", trial, est.Reliability, est.StdErr, wantU)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package reliability
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"flowrel/internal/graph"
+	"flowrel/internal/maxflow"
+)
+
+// Estimate is a Monte Carlo reliability estimate.
+type Estimate struct {
+	Reliability float64
+	StdErr      float64 // standard error of the estimate
+	Samples     int
+	Admitting   int
+}
+
+// ConfidenceInterval returns the estimate ± z·stderr interval clamped to
+// [0, 1]; z = 1.96 gives ≈95 % coverage.
+func (e Estimate) ConfidenceInterval(z float64) (lo, hi float64) {
+	lo = e.Reliability - z*e.StdErr
+	hi = e.Reliability + z*e.StdErr
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// MonteCarlo estimates the reliability by sampling failure configurations.
+// The sample set is split into fixed-size blocks, each driven by its own
+// deterministic PRNG stream derived from seed, so the result is identical
+// for any Parallelism setting. Unlike the exact engines it scales to
+// arbitrarily large graphs.
+func MonteCarlo(g *graph.Graph, dem graph.Demand, samples int, seed int64, opt Options) (Estimate, error) {
+	if err := validate(g, dem); err != nil {
+		return Estimate{}, err
+	}
+	if samples < 1 {
+		return Estimate{}, fmt.Errorf("reliability: sample count %d must be ≥ 1", samples)
+	}
+	proto, handles := maxflow.FromGraph(g)
+	pFail := make([]float64, g.NumEdges())
+	for i, e := range g.Edges() {
+		pFail[i] = e.PFail
+	}
+	s, t := int32(dem.S), int32(dem.T)
+
+	const blockSize = 4096
+	nBlocks := (samples + blockSize - 1) / blockSize
+	hits := make([]int, nBlocks)
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opt.workers())
+	for b := 0; b < nBlocks; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			n := blockSize
+			if b == nBlocks-1 {
+				n = samples - b*blockSize
+			}
+			rng := rand.New(rand.NewSource(seed + int64(b)*0x5851F42D4C957F2D))
+			nw := proto.Clone()
+			h := 0
+			for i := 0; i < n; i++ {
+				for j := range handles {
+					nw.SetEnabled(handles[j], rng.Float64() >= pFail[j])
+				}
+				if nw.MaxFlow(s, t, dem.D) >= dem.D {
+					h++
+				}
+			}
+			hits[b] = h
+		}(b)
+	}
+	wg.Wait()
+
+	total := 0
+	for _, h := range hits {
+		total += h
+	}
+	p := float64(total) / float64(samples)
+	return Estimate{
+		Reliability: p,
+		StdErr:      math.Sqrt(p * (1 - p) / float64(samples)),
+		Samples:     samples,
+		Admitting:   total,
+	}, nil
+}

@@ -1,0 +1,165 @@
+package reliability
+
+import (
+	"math/big"
+	"math/bits"
+	"sync"
+
+	"flowrel/internal/conf"
+	"flowrel/internal/graph"
+	"flowrel/internal/maxflow"
+)
+
+// Naive computes the exact reliability by enumerating all 2^|E| failure
+// configurations (Figure 1 of the paper). The configuration space is split
+// into contiguous chunks processed by parallel workers, each owning a
+// private flow network; per-chunk partial sums are reduced in chunk order,
+// so the result is deterministic for a fixed chunk count.
+func Naive(g *graph.Graph, dem graph.Demand, opt Options) (Result, error) {
+	if err := validate(g, dem); err != nil {
+		return Result{}, err
+	}
+	m := g.NumEdges()
+	if m > conf.MaxEnumEdges {
+		return Result{}, &conf.ErrTooManyEdges{N: m, Where: "graph"}
+	}
+
+	pFail := make([]float64, m)
+	for i, e := range g.Edges() {
+		pFail[i] = e.PFail
+	}
+	table := conf.NewTable(pFail)
+	proto, handles := maxflow.FromGraph(g)
+	s, t := int32(dem.S), int32(dem.T)
+
+	chunks := conf.SplitEnum(m)
+	partial := make([]float64, len(chunks))
+	stats := make([]Stats, len(chunks))
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opt.workers())
+	for ci, r := range chunks {
+		wg.Add(1)
+		go func(ci int, lo, hi uint64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			nw := proto.Clone()
+			if opt.GrayCode {
+				partial[ci], stats[ci] = naiveGrayChunk(nw, handles, table, s, t, dem.D, lo, hi)
+			} else {
+				partial[ci], stats[ci] = naiveBinaryChunk(nw, handles, table, s, t, dem.D, lo, hi)
+			}
+		}(ci, r[0], r[1])
+	}
+	wg.Wait()
+
+	res := Result{}
+	for ci := range chunks {
+		res.Reliability += partial[ci]
+		res.Stats.add(stats[ci])
+	}
+	return res, nil
+}
+
+// naiveBinaryChunk walks masks [lo, hi) in binary order, re-solving from
+// scratch per configuration (only the edges whose state differs from the
+// previous mask are toggled, but the flow restarts at zero).
+func naiveBinaryChunk(nw *maxflow.Network, handles []maxflow.Handle, table *conf.Table, s, t int32, d int, lo, hi uint64) (float64, Stats) {
+	var st Stats
+	sum := 0.0
+	prev := ^uint64(0) // all enabled, the state FromGraph builds
+	for mask := lo; mask < hi; mask++ {
+		diff := (mask ^ prev) & (1<<uint(len(handles)) - 1)
+		for diff != 0 {
+			i := trailingZeros(diff)
+			diff &= diff - 1
+			nw.SetEnabled(handles[i], mask&(1<<uint(i)) != 0)
+		}
+		prev = mask
+		st.Configs++
+		if nw.MaxFlow(s, t, d) >= d {
+			st.Admitting++
+			sum += table.Prob(mask)
+		}
+	}
+	st.MaxFlowCalls = nw.Stats.MaxFlowCalls
+	st.AugmentUnits = nw.Stats.AugmentUnits
+	return sum, st
+}
+
+// naiveGrayChunk walks Gray masks for indices [lo, hi), maintaining the
+// flow incrementally: one edge flips per step, so the previous flow is
+// repaired rather than recomputed.
+func naiveGrayChunk(nw *maxflow.Network, handles []maxflow.Handle, table *conf.Table, s, t int32, d int, lo, hi uint64) (float64, Stats) {
+	var st Stats
+	sum := 0.0
+	mask := conf.GrayMask(lo)
+	for i := range handles {
+		nw.SetEnabled(handles[i], mask&(1<<uint(i)) != 0)
+	}
+	nw.ResetFlow()
+	value := nw.Augment(s, t, d)
+	record := func() {
+		st.Configs++
+		if value >= d {
+			st.Admitting++
+			sum += table.Prob(mask)
+		}
+	}
+	record()
+	for i := lo + 1; i < hi; i++ {
+		flip := conf.GrayFlip(i)
+		bit := uint64(1) << uint(flip)
+		mask ^= bit
+		if mask&bit != 0 {
+			nw.EnableIncremental(handles[flip])
+		} else {
+			value -= nw.DisableIncremental(handles[flip], s, t)
+		}
+		value += nw.Augment(s, t, d-value)
+		record()
+	}
+	st.MaxFlowCalls = nw.Stats.MaxFlowCalls
+	st.AugmentUnits = nw.Stats.AugmentUnits
+	return sum, st
+}
+
+func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }
+
+// NaiveExact computes the reliability by the same enumeration in exact
+// rational arithmetic (link probabilities are taken as the exact rational
+// values of their float64 representations). It is the correctness oracle
+// for every floating-point engine. Sequential; exponential in |E|.
+func NaiveExact(g *graph.Graph, dem graph.Demand) (*big.Rat, error) {
+	if err := validate(g, dem); err != nil {
+		return nil, err
+	}
+	m := g.NumEdges()
+	if m > conf.MaxEnumEdges {
+		return nil, &conf.ErrTooManyEdges{N: m, Where: "graph"}
+	}
+	pFail := make([]*big.Rat, m)
+	for i, e := range g.Edges() {
+		// SetFloat64 is exact: every finite float64 is rational.
+		pFail[i] = new(big.Rat).SetFloat64(e.PFail)
+	}
+	nw, handles := maxflow.FromGraph(g)
+	s, t := int32(dem.S), int32(dem.T)
+	sum := new(big.Rat)
+	total := uint64(1) << uint(m)
+	prev := ^uint64(0)
+	for mask := uint64(0); mask < total; mask++ {
+		diff := (mask ^ prev) & (total - 1)
+		for diff != 0 {
+			i := trailingZeros(diff)
+			diff &= diff - 1
+			nw.SetEnabled(handles[i], mask&(1<<uint(i)) != 0)
+		}
+		prev = mask
+		if nw.MaxFlow(s, t, dem.D) >= dem.D {
+			sum.Add(sum, conf.ProbRat(pFail, mask))
+		}
+	}
+	return sum, nil
+}

@@ -1,0 +1,72 @@
+// Package reliability implements reference algorithms for the flow
+// reliability of a capacitated network with independent link failures:
+//
+//   - Naive: the paper's baseline — enumerate all 2^|E| failure
+//     configurations, test each with a max-flow computation, and sum the
+//     probabilities of the admitting ones (Figure 1). Sequential,
+//     parallel, and Gray-code incremental variants.
+//   - NaiveExact: the same enumeration in exact rational arithmetic; the
+//     validation oracle for every floating-point engine.
+//   - Factoring: pivotal (conditioning) decomposition with two-sided
+//     max-flow pruning — the classical exact method, included as a
+//     stronger baseline than plain enumeration.
+//   - MonteCarlo: an unbiased sampling estimator with a standard error.
+//   - Bounds: cheap guaranteed lower/upper bounds (disjoint delivery
+//     subgraphs / cut survival).
+//
+// All engines answer the same question: the probability that the surviving
+// subgraph admits flow demand D = (s, t, d), i.e. has s–t max flow ≥ d.
+package reliability
+
+import (
+	"fmt"
+	"runtime"
+
+	"flowrel/internal/graph"
+)
+
+// Options tunes an engine run.
+type Options struct {
+	// Parallelism is the number of worker goroutines for the enumeration
+	// and sampling engines; ≤ 0 means runtime.GOMAXPROCS(0).
+	Parallelism int
+	// GrayCode makes Naive walk the configuration space in Gray-code
+	// order, maintaining the max flow incrementally across neighbouring
+	// configurations instead of re-solving from scratch.
+	GrayCode bool
+}
+
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Stats reports the work an engine performed.
+type Stats struct {
+	Configs      uint64 // failure configurations examined
+	Admitting    uint64 // configurations that admitted the demand
+	MaxFlowCalls int64  // max-flow solver invocations
+	AugmentUnits int64  // total flow units pushed by the solver
+}
+
+func (s *Stats) add(o Stats) {
+	s.Configs += o.Configs
+	s.Admitting += o.Admitting
+	s.MaxFlowCalls += o.MaxFlowCalls
+	s.AugmentUnits += o.AugmentUnits
+}
+
+// Result is an exact engine's answer.
+type Result struct {
+	Reliability float64
+	Stats       Stats
+}
+
+func validate(g *graph.Graph, dem graph.Demand) error {
+	if g == nil {
+		return fmt.Errorf("reliability: nil graph")
+	}
+	return dem.Validate(g)
+}

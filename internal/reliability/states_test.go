@@ -1,0 +1,163 @@
+package reliability
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flowrel/internal/graph"
+)
+
+func TestMostProbableStatesExactWhenFull(t *testing.T) {
+	// With maxFailures = |E| every configuration is examined: both bounds
+	// equal the exact reliability.
+	rng := rand.New(rand.NewSource(3))
+	g, dem := randomTestGraph(rng, 5, 8)
+	exact, err := Naive(g, dem, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := MostProbableStates(g, dem, g.NumEdges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bd.Lower-exact.Reliability) > 1e-9 || math.Abs(bd.Upper-exact.Reliability) > 1e-9 {
+		t.Fatalf("full enumeration bounds [%g, %g] vs exact %g", bd.Lower, bd.Upper, exact.Reliability)
+	}
+}
+
+func TestMostProbableStatesTightensWithBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g, dem := randomTestGraph(rng, 6, 10)
+	exact, err := Naive(g, dem, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevWidth := math.Inf(1)
+	for L := 0; L <= g.NumEdges(); L++ {
+		bd, err := MostProbableStates(g, dem, L)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bd.Lower > exact.Reliability+1e-9 || exact.Reliability > bd.Upper+1e-9 {
+			t.Fatalf("L=%d: bounds [%g, %g] miss exact %g", L, bd.Lower, bd.Upper, exact.Reliability)
+		}
+		width := bd.Upper - bd.Lower
+		if width > prevWidth+1e-9 {
+			t.Fatalf("L=%d: interval widened from %g to %g", L, prevWidth, width)
+		}
+		prevWidth = width
+	}
+	if prevWidth > 1e-9 {
+		t.Fatalf("final interval did not collapse: width %g", prevWidth)
+	}
+}
+
+func TestMostProbableStatesReliableNetwork(t *testing.T) {
+	// Very reliable links: two layers already give a tight interval.
+	b := graph.NewBuilder()
+	s := b.AddNode()
+	a := b.AddNode()
+	c := b.AddNode()
+	tt := b.AddNode()
+	b.AddEdge(s, a, 1, 0.01)
+	b.AddEdge(s, c, 1, 0.01)
+	b.AddEdge(a, tt, 1, 0.01)
+	b.AddEdge(c, tt, 1, 0.01)
+	g := b.MustBuild()
+	dem := graph.Demand{S: s, T: tt, D: 1}
+	bd, err := MostProbableStates(g, dem, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Upper-bd.Lower > 1e-4 {
+		t.Fatalf("interval too wide for a reliable network: [%g, %g]", bd.Lower, bd.Upper)
+	}
+	exact, err := Naive(g, dem, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Lower > exact.Reliability || exact.Reliability > bd.Upper {
+		t.Fatalf("bounds [%g, %g] miss exact %g", bd.Lower, bd.Upper, exact.Reliability)
+	}
+}
+
+func TestMostProbableStatesZeroProbLinks(t *testing.T) {
+	// p = 0 links never fail and must not be branched on.
+	b := graph.NewBuilder()
+	s := b.AddNode()
+	tt := b.AddNode()
+	b.AddEdge(s, tt, 1, 0)
+	b.AddEdge(s, tt, 1, 0.5)
+	g := b.MustBuild()
+	dem := graph.Demand{S: s, T: tt, D: 1}
+	bd, err := MostProbableStates(g, dem, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bd.Lower-1) > 1e-12 || math.Abs(bd.Upper-1) > 1e-12 {
+		t.Fatalf("bounds = [%g, %g], want [1, 1]", bd.Lower, bd.Upper)
+	}
+}
+
+func TestMostProbableStatesErrors(t *testing.T) {
+	g, dem := singleEdge(0.2)
+	if _, err := MostProbableStates(g, dem, -1); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+	if _, err := MostProbableStates(nil, dem, 1); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+func TestFailureLayerMass(t *testing.T) {
+	b := graph.NewBuilder()
+	s := b.AddNode()
+	tt := b.AddNode()
+	b.AddEdge(s, tt, 1, 0.1)
+	b.AddEdge(s, tt, 1, 0.2)
+	g := b.MustBuild()
+	layers, tail := FailureLayerMass(g, 2)
+	want := []float64{0.9 * 0.8, 0.1*0.8 + 0.9*0.2, 0.1 * 0.2}
+	for i, w := range want {
+		if math.Abs(layers[i]-w) > 1e-12 {
+			t.Fatalf("layer %d = %g, want %g", i, layers[i], w)
+		}
+	}
+	if math.Abs(tail) > 1e-12 {
+		t.Fatalf("tail = %g, want 0", tail)
+	}
+	// Truncated: tail is the exact remainder.
+	layers, tail = FailureLayerMass(g, 0)
+	if math.Abs(layers[0]-0.72) > 1e-12 || math.Abs(tail-0.28) > 1e-12 {
+		t.Fatalf("truncated = %v, %g", layers, tail)
+	}
+}
+
+// Property: bounds always bracket the exact value, and the examined mass
+// matches the layer-mass DP.
+func TestQuickMostProbableStatesSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, dem := randomTestGraph(rng, 5, 9)
+		exact, err := Naive(g, dem, Options{})
+		if err != nil {
+			return false
+		}
+		L := rng.Intn(g.NumEdges() + 1)
+		bd, err := MostProbableStates(g, dem, L)
+		if err != nil {
+			return false
+		}
+		if bd.Lower > exact.Reliability+1e-9 || exact.Reliability > bd.Upper+1e-9 {
+			return false
+		}
+		// Interval width equals the unexamined tail mass.
+		_, tail := FailureLayerMass(g, L)
+		return math.Abs((bd.Upper-bd.Lower)-tail) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

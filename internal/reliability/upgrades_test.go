@@ -1,0 +1,105 @@
+package reliability
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flowrel/internal/graph"
+)
+
+func TestSuggestUpgradesSeries(t *testing.T) {
+	// Series s→a→t with p = 0.1, 0.3: the weakest link must be hardened
+	// first; after both the system is perfect.
+	b := graph.NewBuilder()
+	s := b.AddNode()
+	a := b.AddNode()
+	tt := b.AddNode()
+	b.AddEdge(s, a, 1, 0.1)
+	b.AddEdge(a, tt, 1, 0.3)
+	g := b.MustBuild()
+	dem := graph.Demand{S: s, T: tt, D: 1}
+	plan, err := SuggestUpgrades(g, dem, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Links) != 2 || plan.Links[0] != 1 {
+		t.Fatalf("plan = %+v (want link 1 first)", plan)
+	}
+	if math.Abs(plan.Before-0.63) > 1e-12 {
+		t.Fatalf("before = %g", plan.Before)
+	}
+	if math.Abs(plan.After[0]-0.9) > 1e-12 || math.Abs(plan.After[1]-1.0) > 1e-12 {
+		t.Fatalf("after = %v", plan.After)
+	}
+}
+
+func TestSuggestUpgradesStopsEarly(t *testing.T) {
+	// All links already perfect: the plan is empty regardless of budget.
+	b := graph.NewBuilder()
+	s := b.AddNode()
+	tt := b.AddNode()
+	b.AddEdge(s, tt, 1, 0)
+	g := b.MustBuild()
+	plan, err := SuggestUpgrades(g, graph.Demand{S: s, T: tt, D: 1}, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Links) != 0 || plan.Before != 1 {
+		t.Fatalf("plan = %+v", plan)
+	}
+}
+
+func TestSuggestUpgradesErrors(t *testing.T) {
+	g, dem := singleEdge(0.2)
+	if _, err := SuggestUpgrades(g, dem, 0, Options{}); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	if _, err := SuggestUpgrades(nil, dem, 1, Options{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+// Property: the plan's reliability sequence is non-decreasing, starts
+// above the baseline, each step matches an independent recomputation, and
+// budget 1 picks the globally best single link.
+func TestQuickSuggestUpgrades(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, dem := randomTestGraph(rng, 5, 8)
+		plan, err := SuggestUpgrades(g, dem, 2, Options{})
+		if err != nil {
+			return false
+		}
+		prev := plan.Before
+		cur := g
+		for i, link := range plan.Links {
+			if plan.After[i] < prev-1e-12 {
+				return false
+			}
+			cur = hardenLink(cur, link)
+			check, err := Factoring(cur, dem, Options{})
+			if err != nil || math.Abs(check.Reliability-plan.After[i]) > 1e-9 {
+				return false
+			}
+			prev = plan.After[i]
+		}
+		// Budget-1 optimality: no single link beats the first pick.
+		if len(plan.Links) > 0 {
+			for _, e := range g.Edges() {
+				up, err := conditionalReliability(g, dem, e.ID, true, Options{})
+				if err != nil {
+					return false
+				}
+				if up > plan.After[0]+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

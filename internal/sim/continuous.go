@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"flowrel/internal/graph"
+	"flowrel/internal/maxflow"
+)
+
+// LinkDynamics gives a link's alternating-renewal failure/repair process:
+// up-times are Exp(1/MTBF), down-times Exp(1/MTTR). The long-run
+// unavailability is MTTR/(MTBF+MTTR) — use graph.Edge.PFail for the static
+// engines and PFailFromMTBF to convert.
+type LinkDynamics struct {
+	MTBF float64 // mean time between failures (up-time), > 0
+	MTTR float64 // mean time to repair (down-time), > 0
+}
+
+// PFailFromMTBF converts renewal dynamics into the static failure
+// probability the exact engines use: the steady-state unavailability
+// MTTR/(MTBF+MTTR).
+func PFailFromMTBF(mtbf, mttr float64) float64 { return mttr / (mtbf + mttr) }
+
+// ContinuousConfig tunes an event-driven availability simulation.
+type ContinuousConfig struct {
+	// Dynamics per link (indexed by EdgeID). Nil entries are not allowed.
+	Dynamics []LinkDynamics
+	// Horizon is the simulated time span.
+	Horizon float64
+	// WarmUp is discarded before measurement starts (defaults to 10% of
+	// Horizon) so the all-up initial state does not bias availability.
+	WarmUp float64
+	Seed   int64
+}
+
+// ContinuousReport aggregates an event-driven run.
+type ContinuousReport struct {
+	// Availability is the fraction of measured time the demand was
+	// satisfiable — the time-average analogue of the static reliability.
+	Availability float64
+	// Interruptions counts service-loss transitions (per measured run).
+	Interruptions int
+	// MeanOutage is the average length of a service-loss period (0 when
+	// none occurred).
+	MeanOutage float64
+	// MeanTimeBetweenInterruptions is measured time / Interruptions
+	// (+Inf when none occurred).
+	MeanTimeBetweenInterruptions float64
+	// MeanDeliverableFraction is the time-average of min(maxflow, d)/d —
+	// the layered-coding quality a subscriber experiences over time, not
+	// just the all-or-nothing service state.
+	MeanDeliverableFraction float64
+	// Events is the number of link state transitions processed.
+	Events int
+}
+
+// linkEvent is one scheduled link state flip.
+type linkEvent struct {
+	at   float64
+	link int
+}
+
+type eventHeap []linkEvent
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(linkEvent)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// Continuous runs an event-driven alternating-renewal simulation: every
+// link flips between up and down with exponential sojourn times, and the
+// service state (demand satisfiable or not) is re-evaluated at each flip.
+// By renewal-reward theory the reported Availability converges, as the
+// horizon grows, to the static reliability computed with
+// p(e) = MTTR/(MTBF+MTTR) — the cross-check the test suite performs. On
+// top of the static engines it reports *dynamics*: how often the stream
+// is interrupted and for how long.
+func Continuous(g *graph.Graph, dem graph.Demand, cfg ContinuousConfig) (ContinuousReport, error) {
+	if g == nil {
+		return ContinuousReport{}, fmt.Errorf("sim: nil graph")
+	}
+	if err := dem.Validate(g); err != nil {
+		return ContinuousReport{}, err
+	}
+	m := g.NumEdges()
+	if len(cfg.Dynamics) != m {
+		return ContinuousReport{}, fmt.Errorf("sim: %d dynamics entries for %d links", len(cfg.Dynamics), m)
+	}
+	for i, dyn := range cfg.Dynamics {
+		if dyn.MTBF <= 0 || dyn.MTTR <= 0 {
+			return ContinuousReport{}, fmt.Errorf("sim: link %d needs positive MTBF and MTTR", i)
+		}
+	}
+	if cfg.Horizon <= 0 {
+		return ContinuousReport{}, fmt.Errorf("sim: horizon %g must be positive", cfg.Horizon)
+	}
+	warm := cfg.WarmUp
+	if warm <= 0 {
+		warm = cfg.Horizon * 0.1
+	}
+	if warm >= cfg.Horizon {
+		return ContinuousReport{}, fmt.Errorf("sim: warm-up %g must be below the horizon %g", warm, cfg.Horizon)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nw, handles := maxflow.FromGraph(g)
+	up := make([]bool, m)
+	h := make(eventHeap, 0, m)
+	for i := 0; i < m; i++ {
+		up[i] = true // start all-up; the warm-up absorbs the bias
+		h = append(h, linkEvent{at: rng.ExpFloat64() * cfg.Dynamics[i].MTBF, link: i})
+	}
+	heap.Init(&h)
+
+	s, t := int32(dem.S), int32(dem.T)
+	rate := nw.MaxFlow(s, t, dem.D)
+	served := rate >= dem.D
+
+	var rep ContinuousReport
+	now := 0.0
+	measStart := warm
+	upTime := 0.0
+	outageTime := 0.0
+	rateTime := 0.0 // ∫ min(F, d) dt over the measured window
+	outages := 0
+
+	account := func(from, to float64) {
+		lo := math.Max(from, measStart)
+		if to <= lo {
+			return
+		}
+		if served {
+			upTime += to - lo
+		} else {
+			outageTime += to - lo
+		}
+		rateTime += float64(rate) * (to - lo)
+	}
+
+	for len(h) > 0 {
+		ev := heap.Pop(&h).(linkEvent)
+		if ev.at >= cfg.Horizon {
+			break
+		}
+		account(now, ev.at)
+		now = ev.at
+		rep.Events++
+
+		up[ev.link] = !up[ev.link]
+		nw.SetEnabled(handles[ev.link], up[ev.link])
+		var sojourn float64
+		if up[ev.link] {
+			sojourn = rng.ExpFloat64() * cfg.Dynamics[ev.link].MTBF
+		} else {
+			sojourn = rng.ExpFloat64() * cfg.Dynamics[ev.link].MTTR
+		}
+		heap.Push(&h, linkEvent{at: now + sojourn, link: ev.link})
+
+		rate = nw.MaxFlow(s, t, dem.D)
+		nowServed := rate >= dem.D
+		if nowServed != served {
+			if !nowServed && now >= measStart {
+				outages++
+			}
+			served = nowServed
+		}
+	}
+	account(now, cfg.Horizon)
+
+	measured := cfg.Horizon - measStart
+	rep.Availability = upTime / measured
+	rep.MeanDeliverableFraction = rateTime / measured / float64(dem.D)
+	rep.Interruptions = outages
+	if outages > 0 {
+		rep.MeanOutage = outageTime / float64(outages)
+		rep.MeanTimeBetweenInterruptions = measured / float64(outages)
+	} else {
+		rep.MeanTimeBetweenInterruptions = math.Inf(1)
+	}
+	return rep, nil
+}
+
+// UniformDynamics builds a Dynamics slice giving every link the same MTBF
+// and MTTR.
+func UniformDynamics(g *graph.Graph, mtbf, mttr float64) []LinkDynamics {
+	d := make([]LinkDynamics, g.NumEdges())
+	for i := range d {
+		d[i] = LinkDynamics{MTBF: mtbf, MTTR: mttr}
+	}
+	return d
+}

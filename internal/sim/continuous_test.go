@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"flowrel/internal/graph"
+	"flowrel/internal/overlay"
+	"flowrel/internal/reliability"
+)
+
+func TestPFailFromMTBF(t *testing.T) {
+	if got := PFailFromMTBF(90, 10); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("PFailFromMTBF(90,10) = %g, want 0.1", got)
+	}
+}
+
+// TestContinuousSingleLink checks availability against the closed form on
+// one link: A = MTBF/(MTBF+MTTR).
+func TestContinuousSingleLink(t *testing.T) {
+	b := graph.NewBuilder()
+	s := b.AddNode()
+	tt := b.AddNode()
+	b.AddEdge(s, tt, 1, PFailFromMTBF(9, 1))
+	g := b.MustBuild()
+	dem := graph.Demand{S: s, T: tt, D: 1}
+	rep, err := Continuous(g, dem, ContinuousConfig{
+		Dynamics: UniformDynamics(g, 9, 1),
+		Horizon:  200000,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Availability-0.9) > 0.01 {
+		t.Fatalf("availability = %g, want ≈0.9", rep.Availability)
+	}
+	if rep.Interruptions == 0 || rep.MeanOutage <= 0 {
+		t.Fatalf("dynamics not measured: %+v", rep)
+	}
+	// Mean outage of a single link ≈ MTTR.
+	if math.Abs(rep.MeanOutage-1) > 0.1 {
+		t.Fatalf("mean outage = %g, want ≈1", rep.MeanOutage)
+	}
+	// Renewal rate: one interruption per MTBF+MTTR ≈ every 10 time units.
+	if math.Abs(rep.MeanTimeBetweenInterruptions-10) > 1 {
+		t.Fatalf("MTBI = %g, want ≈10", rep.MeanTimeBetweenInterruptions)
+	}
+}
+
+// TestContinuousMatchesStaticReliability is the renewal-reward cross-check:
+// long-run availability equals the static reliability at the steady-state
+// link probabilities.
+func TestContinuousMatchesStaticReliability(t *testing.T) {
+	const mtbf, mttr = 20.0, 3.0
+	p := PFailFromMTBF(mtbf, mttr)
+	o := overlay.Figure2()
+	// Rebuild with the steady-state probability on every link.
+	b := graph.NewBuilder()
+	b.AddNodes(o.G.NumNodes())
+	for _, e := range o.G.Edges() {
+		b.AddEdge(e.U, e.V, e.Cap, p)
+	}
+	g := b.MustBuild()
+	dem := o.Demand(o.Peers[len(o.Peers)-1])
+
+	want, err := reliability.Naive(g, dem, reliability.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Continuous(g, dem, ContinuousConfig{
+		Dynamics: UniformDynamics(g, mtbf, mttr),
+		Horizon:  300000,
+		Seed:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Availability-want.Reliability) > 0.01 {
+		t.Fatalf("availability %g vs static reliability %g", rep.Availability, want.Reliability)
+	}
+}
+
+// TestContinuousDeliverableFraction: on a single unit link with d=1 the
+// deliverable fraction equals the availability; on two parallel links with
+// d=2 it equals the per-link availability (each link contributes half).
+func TestContinuousDeliverableFraction(t *testing.T) {
+	b := graph.NewBuilder()
+	s := b.AddNode()
+	tt := b.AddNode()
+	b.AddEdge(s, tt, 1, 0.1)
+	b.AddEdge(s, tt, 1, 0.1)
+	g := b.MustBuild()
+	rep, err := Continuous(g, graph.Demand{S: s, T: tt, D: 2}, ContinuousConfig{
+		Dynamics: UniformDynamics(g, 9, 1),
+		Horizon:  200000,
+		Seed:     6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E[min(F,2)]/2 = E[X1+X2]/2 = A = 0.9.
+	if math.Abs(rep.MeanDeliverableFraction-0.9) > 0.01 {
+		t.Fatalf("deliverable fraction = %g, want ≈0.9", rep.MeanDeliverableFraction)
+	}
+	// Full service needs both: availability = A² = 0.81.
+	if math.Abs(rep.Availability-0.81) > 0.01 {
+		t.Fatalf("availability = %g, want ≈0.81", rep.Availability)
+	}
+}
+
+// TestChurnComposesWithContinuous: the node-splitting transformation
+// produces an ordinary instance, so peer dynamics drop straight into the
+// event-driven simulator.
+func TestChurnComposesWithContinuous(t *testing.T) {
+	b := graph.NewBuilder()
+	s := b.AddNode()
+	relay := b.AddNode()
+	tt := b.AddNode()
+	b.AddEdge(s, relay, 1, 0)
+	b.AddEdge(relay, tt, 1, 0)
+	g := b.MustBuild()
+	inst, err := churnTransform(g, graph.Demand{S: s, T: tt, D: 1}, relay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Links never fail; only the relay peer churns with MTBF 9, MTTR 1.
+	dyn := make([]LinkDynamics, inst.g.NumEdges())
+	for i := range dyn {
+		dyn[i] = LinkDynamics{MTBF: 1e12, MTTR: 1e-12} // effectively always up
+	}
+	dyn[inst.peerLink] = LinkDynamics{MTBF: 9, MTTR: 1}
+	rep, err := Continuous(inst.g, inst.dem, ContinuousConfig{
+		Dynamics: dyn, Horizon: 100000, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Availability-0.9) > 0.01 {
+		t.Fatalf("availability = %g, want ≈0.9 (the relay's availability)", rep.Availability)
+	}
+}
+
+// churnTransform is a tiny local node-split (the churn package is not
+// imported to keep sim's dependencies minimal).
+type churnInstance struct {
+	g        *graph.Graph
+	dem      graph.Demand
+	peerLink int
+}
+
+func churnTransform(g *graph.Graph, dem graph.Demand, relay graph.NodeID) (churnInstance, error) {
+	b := graph.NewBuilder()
+	inOf := make([]graph.NodeID, g.NumNodes())
+	outOf := make([]graph.NodeID, g.NumNodes())
+	peerLink := -1
+	for i := 0; i < g.NumNodes(); i++ {
+		if graph.NodeID(i) == relay {
+			inOf[i] = b.AddNode()
+			outOf[i] = b.AddNode()
+			peerLink = int(b.AddEdge(inOf[i], outOf[i], dem.D, 0))
+		} else {
+			n := b.AddNode()
+			inOf[i] = n
+			outOf[i] = n
+		}
+	}
+	for _, e := range g.Edges() {
+		b.AddEdge(outOf[e.U], inOf[e.V], e.Cap, e.PFail)
+	}
+	gg, err := b.Build()
+	if err != nil {
+		return churnInstance{}, err
+	}
+	return churnInstance{g: gg, dem: graph.Demand{S: inOf[dem.S], T: outOf[dem.T], D: dem.D}, peerLink: peerLink}, nil
+}
+
+func TestContinuousDeterministicPerSeed(t *testing.T) {
+	o := overlay.Figure2()
+	dem := o.Demand(o.Peers[len(o.Peers)-1])
+	cfg := ContinuousConfig{Dynamics: UniformDynamics(o.G, 10, 1), Horizon: 5000, Seed: 3}
+	a, err := Continuous(o.G, dem, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Continuous(o.G, dem, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Availability != b.Availability || a.Events != b.Events {
+		t.Fatal("not deterministic per seed")
+	}
+}
+
+func TestContinuousErrors(t *testing.T) {
+	o := overlay.Figure2()
+	dem := o.Demand(o.Peers[0])
+	good := UniformDynamics(o.G, 10, 1)
+	cases := []ContinuousConfig{
+		{Dynamics: good[:2], Horizon: 10},                   // wrong length
+		{Dynamics: good, Horizon: 0},                        // bad horizon
+		{Dynamics: good, Horizon: 10, WarmUp: 20},           // warm-up ≥ horizon
+		{Dynamics: UniformDynamics(o.G, 0, 1), Horizon: 10}, // bad MTBF
+		{Dynamics: UniformDynamics(o.G, 1, 0), Horizon: 10}, // bad MTTR
+	}
+	for i, cfg := range cases {
+		if _, err := Continuous(o.G, dem, cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := Continuous(nil, dem, ContinuousConfig{Dynamics: good, Horizon: 10}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := Continuous(o.G, graph.Demand{S: 0, T: 0, D: 1}, ContinuousConfig{Dynamics: good, Horizon: 10}); err == nil {
+		t.Error("bad demand accepted")
+	}
+}

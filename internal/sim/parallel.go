@@ -1,0 +1,5 @@
+package sim
+
+import "runtime"
+
+func defaultParallelism() int { return runtime.GOMAXPROCS(0) }

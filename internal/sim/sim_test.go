@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"flowrel/internal/graph"
+	"flowrel/internal/overlay"
+	"flowrel/internal/reliability"
+)
+
+func TestRunMatchesExactOnFigure2(t *testing.T) {
+	o := overlay.Figure2()
+	dem := o.Demand(o.Peers[len(o.Peers)-1])
+	exact, err := reliability.Naive(o.G, dem, reliability.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(o.G, dem, Config{Sessions: 60000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol := 5*rep.StdErr + 1e-9
+	if math.Abs(rep.DeliveryRate-exact.Reliability) > tol {
+		t.Fatalf("simulated %g vs exact %g (tol %g)", rep.DeliveryRate, exact.Reliability, tol)
+	}
+	if rep.MeanSubstreams <= 0 || rep.MeanSubstreams > 1 {
+		t.Fatalf("mean substreams = %g, want in (0,1] for d=1", rep.MeanSubstreams)
+	}
+}
+
+func TestRunCollectPaths(t *testing.T) {
+	o := overlay.Figure4()
+	dem := o.Demand(o.Peers[0])
+	rep, err := Run(o.G, dem, Config{Sessions: 4000, Seed: 2, CollectPaths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every delivery path in Figure 4 has exactly 3 hops (s → x → y → t)
+	// except those via the y1→y2 detour (4 hops).
+	if rep.MeanHops < 3 || rep.MeanHops > 4 {
+		t.Fatalf("mean hops = %g, want within [3, 4]", rep.MeanHops)
+	}
+	if rep.MeanSubstreams <= 0 || rep.MeanSubstreams > 2 {
+		t.Fatalf("mean substreams = %g, want in (0,2]", rep.MeanSubstreams)
+	}
+}
+
+func TestRunDeterministicAcrossParallelism(t *testing.T) {
+	o := overlay.Figure2()
+	dem := o.Demand(o.Peers[len(o.Peers)-1])
+	a, err := Run(o.G, dem, Config{Sessions: 5000, Seed: 3, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(o.G, dem, Config{Sessions: 5000, Seed: 3, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Delivered != b.Delivered {
+		t.Fatalf("not deterministic: %d vs %d delivered", a.Delivered, b.Delivered)
+	}
+}
+
+func TestRunPartialDelivery(t *testing.T) {
+	// Two parallel unit links, d = 2, p = 0.5: delivery rate 0.25, mean
+	// substreams = 2·0.25 + 1·0.5 + 0·0.25 = 1.
+	b := graph.NewBuilder()
+	s := b.AddNode()
+	tt := b.AddNode()
+	b.AddEdge(s, tt, 1, 0.5)
+	b.AddEdge(s, tt, 1, 0.5)
+	g := b.MustBuild()
+	rep, err := Run(g, graph.Demand{S: s, T: tt, D: 2}, Config{Sessions: 80000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.DeliveryRate-0.25) > 0.02 {
+		t.Fatalf("delivery rate = %g, want ≈0.25", rep.DeliveryRate)
+	}
+	if math.Abs(rep.MeanSubstreams-1.0) > 0.02 {
+		t.Fatalf("mean substreams = %g, want ≈1", rep.MeanSubstreams)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	o := overlay.Figure2()
+	dem := o.Demand(o.Peers[0])
+	if _, err := Run(nil, dem, Config{Sessions: 1}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := Run(o.G, graph.Demand{S: 0, T: 0, D: 1}, Config{Sessions: 1}); err == nil {
+		t.Fatal("bad demand accepted")
+	}
+	if _, err := Run(o.G, dem, Config{Sessions: 0}); err == nil {
+		t.Fatal("zero sessions accepted")
+	}
+}

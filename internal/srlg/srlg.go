@@ -1,0 +1,186 @@
+// Package srlg adds shared-risk link groups to the failure model: a group
+// of links that fails together (a shared conduit, a common ISP, one
+// physical host carrying several overlay links), on top of each link's own
+// independent failure. Correlated failures are what make bottleneck links
+// genuinely dangerous in practice — two cross-cluster links in the same
+// trench are nowhere near as redundant as independence suggests — and they
+// cannot be expressed in the paper's independent-link model.
+//
+// The computation conditions on the 2^g group states (the paper's
+// assumption that interesting structure is small carries over: g is the
+// number of *groups*, typically a handful): in each state the failed
+// groups' links are removed outright and the surviving instance — whose
+// links keep their independent probabilities — is handed to any exact
+// engine. The law of total probability combines the states.
+package srlg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"flowrel/internal/graph"
+	"flowrel/internal/maxflow"
+	"flowrel/internal/reliability"
+)
+
+// Group is a shared-risk link group.
+type Group struct {
+	// PFail is the probability the whole group goes down together.
+	PFail float64
+	// Links are the member links; a link may belong to several groups
+	// (it fails if any of them does, or by itself).
+	Links []graph.EdgeID
+}
+
+// MaxGroups bounds the conditioning (2^g states).
+const MaxGroups = 20
+
+// Engine computes the reliability of an independent-failure instance; the
+// conditional sub-instances are delegated to it. Use an exact engine.
+type Engine func(g *graph.Graph, dem graph.Demand) (float64, error)
+
+// FactoringEngine is the default conditional engine.
+func FactoringEngine(g *graph.Graph, dem graph.Demand) (float64, error) {
+	res, err := reliability.Factoring(g, dem, reliability.Options{})
+	return res.Reliability, err
+}
+
+func validateGroups(g *graph.Graph, groups []Group) error {
+	if len(groups) > MaxGroups {
+		return fmt.Errorf("srlg: %d groups exceed the supported maximum %d", len(groups), MaxGroups)
+	}
+	for gi, grp := range groups {
+		if grp.PFail < 0 || grp.PFail >= 1 {
+			return fmt.Errorf("srlg: group %d failure probability %g outside [0,1)", gi, grp.PFail)
+		}
+		if len(grp.Links) == 0 {
+			return fmt.Errorf("srlg: group %d is empty", gi)
+		}
+		for _, eid := range grp.Links {
+			if eid < 0 || int(eid) >= g.NumEdges() {
+				return fmt.Errorf("srlg: group %d contains unknown link %d", gi, eid)
+			}
+		}
+	}
+	return nil
+}
+
+// Reliability computes the exact reliability under the group model by
+// conditioning on group states and delegating each conditional instance to
+// engine (nil means FactoringEngine).
+func Reliability(g *graph.Graph, dem graph.Demand, groups []Group, engine Engine) (float64, error) {
+	if g == nil {
+		return 0, fmt.Errorf("srlg: nil graph")
+	}
+	if err := dem.Validate(g); err != nil {
+		return 0, err
+	}
+	if err := validateGroups(g, groups); err != nil {
+		return 0, err
+	}
+	if engine == nil {
+		engine = FactoringEngine
+	}
+	total := 0.0
+	for state := uint64(0); state < uint64(1)<<uint(len(groups)); state++ {
+		pState := 1.0
+		down := make([]bool, g.NumEdges())
+		for gi, grp := range groups {
+			if state&(1<<uint(gi)) != 0 {
+				pState *= grp.PFail
+				for _, eid := range grp.Links {
+					down[eid] = true
+				}
+			} else {
+				pState *= 1 - grp.PFail
+			}
+		}
+		if pState == 0 {
+			continue
+		}
+		cond, nodeMapOK := conditional(g, down)
+		if !nodeMapOK {
+			// No link survives the state at all; the demand fails.
+			continue
+		}
+		r, err := engine(cond, dem)
+		if err != nil {
+			return 0, fmt.Errorf("srlg: conditional engine: %w", err)
+		}
+		total += pState * r
+	}
+	return total, nil
+}
+
+// conditional builds the instance with the down links removed. Node IDs
+// are preserved (only links are dropped), so the demand carries over. The
+// second return is false when no links remain and the demand is trivially
+// infeasible.
+func conditional(g *graph.Graph, down []bool) (*graph.Graph, bool) {
+	b := graph.NewBuilder()
+	for i := 0; i < g.NumNodes(); i++ {
+		b.AddNamedNode(g.NodeName(graph.NodeID(i)))
+	}
+	kept := 0
+	for _, e := range g.Edges() {
+		if !down[e.ID] {
+			b.AddEdge(e.U, e.V, e.Cap, e.PFail)
+			kept++
+		}
+	}
+	if kept == 0 {
+		return nil, false
+	}
+	return b.MustBuild(), true
+}
+
+// MonteCarlo estimates the group-model reliability by sampling group and
+// link states jointly; deterministic per seed.
+func MonteCarlo(g *graph.Graph, dem graph.Demand, groups []Group, samples int, seed int64) (reliability.Estimate, error) {
+	if g == nil {
+		return reliability.Estimate{}, fmt.Errorf("srlg: nil graph")
+	}
+	if err := dem.Validate(g); err != nil {
+		return reliability.Estimate{}, err
+	}
+	if err := validateGroups(g, groups); err != nil {
+		return reliability.Estimate{}, err
+	}
+	if samples < 1 {
+		return reliability.Estimate{}, fmt.Errorf("srlg: sample count %d must be ≥ 1", samples)
+	}
+	nw, handles := maxflow.FromGraph(g)
+	pFail := make([]float64, g.NumEdges())
+	for i, e := range g.Edges() {
+		pFail[i] = e.PFail
+	}
+	rng := rand.New(rand.NewSource(seed))
+	down := make([]bool, g.NumEdges())
+	hits := 0
+	for i := 0; i < samples; i++ {
+		for j := range down {
+			down[j] = rng.Float64() < pFail[j]
+		}
+		for _, grp := range groups {
+			if rng.Float64() < grp.PFail {
+				for _, eid := range grp.Links {
+					down[eid] = true
+				}
+			}
+		}
+		for j := range handles {
+			nw.SetEnabled(handles[j], !down[j])
+		}
+		if nw.MaxFlow(int32(dem.S), int32(dem.T), dem.D) >= dem.D {
+			hits++
+		}
+	}
+	p := float64(hits) / float64(samples)
+	return reliability.Estimate{
+		Reliability: p,
+		StdErr:      math.Sqrt(p * (1 - p) / float64(samples)),
+		Samples:     samples,
+		Admitting:   hits,
+	}, nil
+}

@@ -1,0 +1,236 @@
+package srlg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flowrel/internal/bitset"
+	"flowrel/internal/graph"
+	"flowrel/internal/reliability"
+)
+
+func twoParallel(p float64) (*graph.Graph, graph.Demand) {
+	b := graph.NewBuilder()
+	s := b.AddNode()
+	t := b.AddNode()
+	b.AddEdge(s, t, 1, p)
+	b.AddEdge(s, t, 1, p)
+	return b.MustBuild(), graph.Demand{S: s, T: t, D: 1}
+}
+
+func TestNoGroupsMatchesPlain(t *testing.T) {
+	g, dem := twoParallel(0.3)
+	plain, err := reliability.Naive(g, dem, reliability.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Reliability(g, dem, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-plain.Reliability) > 1e-12 {
+		t.Fatalf("no-group %g vs plain %g", r, plain.Reliability)
+	}
+}
+
+func TestSharedConduitHandComputed(t *testing.T) {
+	// Two parallel links, own p = 0.1 each, sharing a conduit that fails
+	// with probability 0.2. R = 0.8 · (1 - 0.1²) = 0.792.
+	g, dem := twoParallel(0.1)
+	groups := []Group{{PFail: 0.2, Links: []graph.EdgeID{0, 1}}}
+	r, err := Reliability(g, dem, groups, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.8 * (1 - 0.01)
+	if math.Abs(r-want) > 1e-12 {
+		t.Fatalf("R = %g, want %g", r, want)
+	}
+	// Correlation destroys most of the redundancy: independence would
+	// give 0.99·…, the conduit caps it at 0.8·0.99.
+	plain, _ := reliability.Naive(g, dem, reliability.Options{})
+	if r >= plain.Reliability {
+		t.Fatal("correlated failure should reduce reliability")
+	}
+}
+
+func TestZeroProbGroupNoEffect(t *testing.T) {
+	g, dem := twoParallel(0.25)
+	plain, _ := reliability.Naive(g, dem, reliability.Options{})
+	r, err := Reliability(g, dem, []Group{{PFail: 0, Links: []graph.EdgeID{0}}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-plain.Reliability) > 1e-12 {
+		t.Fatalf("p=0 group changed result: %g vs %g", r, plain.Reliability)
+	}
+}
+
+func TestGroupCoveringEverything(t *testing.T) {
+	g, dem := twoParallel(0.1)
+	groups := []Group{{PFail: 0.5, Links: []graph.EdgeID{0, 1}}}
+	r, err := Reliability(g, dem, groups, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5 * (1 - 0.01)
+	if math.Abs(r-want) > 1e-12 {
+		t.Fatalf("R = %g, want %g", r, want)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	g, dem := twoParallel(0.1)
+	if _, err := Reliability(nil, dem, nil, nil); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := Reliability(g, graph.Demand{S: 0, T: 0, D: 1}, nil, nil); err == nil {
+		t.Fatal("bad demand accepted")
+	}
+	bad := [][]Group{
+		{{PFail: 1.0, Links: []graph.EdgeID{0}}},
+		{{PFail: -0.1, Links: []graph.EdgeID{0}}},
+		{{PFail: 0.1, Links: nil}},
+		{{PFail: 0.1, Links: []graph.EdgeID{99}}},
+	}
+	for _, groups := range bad {
+		if _, err := Reliability(g, dem, groups, nil); err == nil {
+			t.Fatalf("bad groups %+v accepted", groups)
+		}
+	}
+	many := make([]Group, MaxGroups+1)
+	for i := range many {
+		many[i] = Group{PFail: 0.1, Links: []graph.EdgeID{0}}
+	}
+	if _, err := Reliability(g, dem, many, nil); err == nil {
+		t.Fatal("too many groups accepted")
+	}
+	if _, err := MonteCarlo(g, dem, nil, 0, 1); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+}
+
+// bruteForce jointly enumerates link states AND group states, deciding
+// admission per joint state — an independent implementation to check the
+// conditioning.
+func bruteForce(t *testing.T, g *graph.Graph, dem graph.Demand, groups []Group) float64 {
+	t.Helper()
+	m := g.NumEdges()
+	total := 0.0
+	for ls := uint64(0); ls < 1<<uint(m); ls++ {
+		pl := 1.0
+		for i, e := range g.Edges() {
+			if ls&(1<<uint(i)) != 0 {
+				pl *= 1 - e.PFail
+			} else {
+				pl *= e.PFail
+			}
+		}
+		for gs := uint64(0); gs < 1<<uint(len(groups)); gs++ {
+			pg := 1.0
+			alive := bitset.FromMask(m, ls)
+			for gi, grp := range groups {
+				if gs&(1<<uint(gi)) != 0 {
+					pg *= grp.PFail
+					for _, eid := range grp.Links {
+						alive.Clear(int(eid))
+					}
+				} else {
+					pg *= 1 - grp.PFail
+				}
+			}
+			ok, err := reliability.Admits(g, dem, alive.Mask())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				total += pl * pg
+			}
+		}
+	}
+	return total
+}
+
+// Property: conditioning matches the joint brute force, and Monte Carlo
+// agrees within 5σ.
+func TestQuickAgainstJointBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		m := 1 + rng.Intn(7)
+		b := graph.NewBuilder()
+		b.AddNodes(n)
+		for i := 0; i < m; i++ {
+			u := graph.NodeID(rng.Intn(n))
+			v := graph.NodeID(rng.Intn(n))
+			for v == u {
+				v = graph.NodeID(rng.Intn(n))
+			}
+			b.AddEdge(u, v, 1+rng.Intn(2), rng.Float64()*0.8)
+		}
+		g := b.MustBuild()
+		dem := graph.Demand{S: 0, T: graph.NodeID(n - 1), D: 1 + rng.Intn(2)}
+		nGroups := rng.Intn(3)
+		groups := make([]Group, nGroups)
+		for gi := range groups {
+			sz := 1 + rng.Intn(m)
+			links := make([]graph.EdgeID, 0, sz)
+			for len(links) < sz {
+				links = append(links, graph.EdgeID(rng.Intn(m)))
+			}
+			groups[gi] = Group{PFail: rng.Float64() * 0.6, Links: links}
+		}
+		want := bruteForce(t, g, dem, groups)
+		got, err := Reliability(g, dem, groups, nil)
+		if err != nil {
+			return false
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Logf("seed %d: cond %.12f brute %.12f", seed, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonteCarloAgrees(t *testing.T) {
+	g, dem := twoParallel(0.1)
+	groups := []Group{{PFail: 0.2, Links: []graph.EdgeID{0, 1}}}
+	exact, err := Reliability(g, dem, groups, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := MonteCarlo(g, dem, groups, 60000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Reliability-exact) > 5*est.StdErr+1e-9 {
+		t.Fatalf("MC %g vs exact %g", est.Reliability, exact)
+	}
+}
+
+// Property: adding a group never increases reliability.
+func TestQuickGroupsMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, dem := twoParallel(0.1 + rng.Float64()*0.3)
+		base, err := Reliability(g, dem, nil, nil)
+		if err != nil {
+			return false
+		}
+		groups := []Group{{PFail: rng.Float64() * 0.9, Links: []graph.EdgeID{graph.EdgeID(rng.Intn(2))}}}
+		withGroup, err := Reliability(g, dem, groups, nil)
+		if err != nil {
+			return false
+		}
+		return withGroup <= base+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+// Package subset implements transforms over the subset lattice of a small
+// ground set (≤ 62 elements addressed by bit masks), used by the paper's
+// ACCUMULATION procedure: the probability that a component realizes *all*
+// assignments in a set X is a superset sum over realized-assignment masks,
+// and the probability of realizing *at least one* follows by
+// inclusion–exclusion.
+package subset
+
+import "math/bits"
+
+// SupersetZeta transforms f (indexed by masks over n elements) in place so
+// that on return f[X] = Σ_{Y ⊇ X} f_in[Y]. O(n·2^n).
+func SupersetZeta(f []float64, n int) {
+	if len(f) != 1<<uint(n) {
+		panic("subset: slice length must be 2^n")
+	}
+	for i := 0; i < n; i++ {
+		bit := 1 << uint(i)
+		for m := 0; m < len(f); m++ {
+			if m&bit == 0 {
+				f[m] += f[m|bit]
+			}
+		}
+	}
+}
+
+// SupersetMobius inverts SupersetZeta in place:
+// on return f[X] = Σ_{Y ⊇ X} (-1)^{|Y\X|} f_in[Y]. O(n·2^n).
+func SupersetMobius(f []float64, n int) {
+	if len(f) != 1<<uint(n) {
+		panic("subset: slice length must be 2^n")
+	}
+	for i := 0; i < n; i++ {
+		bit := 1 << uint(i)
+		for m := 0; m < len(f); m++ {
+			if m&bit == 0 {
+				f[m] -= f[m|bit]
+			}
+		}
+	}
+}
+
+// SubsetZeta transforms f in place so that f[X] = Σ_{Y ⊆ X} f_in[Y].
+func SubsetZeta(f []float64, n int) {
+	if len(f) != 1<<uint(n) {
+		panic("subset: slice length must be 2^n")
+	}
+	for i := 0; i < n; i++ {
+		bit := 1 << uint(i)
+		for m := 0; m < len(f); m++ {
+			if m&bit != 0 {
+				f[m] += f[m&^bit]
+			}
+		}
+	}
+}
+
+// InclusionExclusion computes P(∪_{b∈U} A_b) from pAll, where pAll[X] =
+// P(∩_{b∈X} A_b) for every non-empty X ⊆ U; U is given as a mask over the
+// ground set and pAll is indexed by ground-set masks. It enumerates the
+// non-empty subsets of U directly: Σ (-1)^{|X|+1} pAll[X]. O(2^|U|).
+func InclusionExclusion(pAll []float64, u uint64) float64 {
+	if u == 0 {
+		return 0
+	}
+	total := 0.0
+	// Enumerate non-empty submasks of u.
+	for x := u; ; x = (x - 1) & u {
+		if x != 0 {
+			if bits.OnesCount64(x)&1 == 1 {
+				total += pAll[x]
+			} else {
+				total -= pAll[x]
+			}
+		}
+		if x == 0 {
+			break
+		}
+	}
+	return total
+}
+
+// Submasks calls visit for every submask of u (including 0 and u itself),
+// in decreasing numeric order.
+func Submasks(u uint64, visit func(x uint64)) {
+	for x := u; ; x = (x - 1) & u {
+		visit(x)
+		if x == 0 {
+			break
+		}
+	}
+}
+
+// PopcountParity returns +1.0 for even popcount, -1.0 for odd.
+func PopcountParity(x uint64) float64 {
+	if bits.OnesCount64(x)&1 == 1 {
+		return -1
+	}
+	return 1
+}

@@ -1,0 +1,116 @@
+package flowrel
+
+import (
+	"flowrel/internal/bitset"
+	"flowrel/internal/flowdecomp"
+	"flowrel/internal/overlay"
+	"flowrel/internal/sim"
+)
+
+// Overlay is a generated P2P streaming topology: a media server, the
+// subscriber peers, the natural sub-stream count, and (when the generator
+// guarantees one) a planted bottleneck link set.
+type Overlay = overlay.Overlay
+
+// TreeOverlay builds a single fanout-ary delivery tree of the given depth
+// (links carry the whole stream: capacity d).
+func TreeOverlay(fanout, depth, d int, pFail float64) (*Overlay, error) {
+	return overlay.Tree(fanout, depth, d, pFail)
+}
+
+// MultiTreeOverlay builds `trees` interior-disjoint delivery trees over
+// the same peers (the SplitStream construction): the stream is divided
+// into `trees` unit-rate sub-streams, one per tree.
+func MultiTreeOverlay(peers, trees, fanout int, pFail float64) (*Overlay, error) {
+	return overlay.MultiTree(peers, trees, fanout, pFail)
+}
+
+// MeshOverlay builds a randomized acyclic push mesh: each peer pulls from
+// up to inDeg earlier peers with capacities in [1, maxCap].
+func MeshOverlay(peers, inDeg, maxCap, d int, pFail float64, seed int64) (*Overlay, error) {
+	return overlay.Mesh(peers, inDeg, maxCap, d, pFail, seed)
+}
+
+// ClusteredOverlay builds two random clusters joined by exactly k
+// bottleneck links — the regime the decomposition algorithm targets. The
+// planted link set is guaranteed to be a minimal cut.
+func ClusteredOverlay(sideNodes, sideEdges, k, d, maxCap int, pFail float64, seed int64) (*Overlay, error) {
+	return overlay.Clustered(sideNodes, sideEdges, k, d, maxCap, pFail, seed)
+}
+
+// overlayChain adapts overlay.Chain for the facade (see ChainOverlay).
+func overlayChain(blocks, blockNodes, extraEdges, k, d, maxCap int, pFail float64, seed int64) (*Overlay, [][]EdgeID, error) {
+	return overlay.Chain(blocks, blockNodes, extraEdges, k, d, maxCap, pFail, seed)
+}
+
+// Figure2Overlay reconstructs the bridge graph of the paper's Fig. 2.
+func Figure2Overlay() *Overlay { return overlay.Figure2() }
+
+// Figure4Overlay reconstructs the two-bottleneck graph of the paper's
+// Fig. 4 (demand 2, assignment set {(2,0), (1,1), (0,2)}).
+func Figure4Overlay() *Overlay { return overlay.Figure4() }
+
+// Path is one unit-rate delivery path of a routed sub-stream.
+type Path = flowdecomp.Path
+
+// DeliveryPaths routes the demand on the fully operational overlay and
+// returns the unit-rate sub-stream paths (fewer than d paths mean the
+// demand is infeasible even without failures).
+func DeliveryPaths(g *Graph, dem Demand) ([]Path, error) {
+	return flowdecomp.Paths(g, dem, nil)
+}
+
+// DeliveryPathsAlive is DeliveryPaths on the subgraph of operational links
+// (alive[i] = link i is up; len(alive) must equal g.NumEdges()).
+func DeliveryPathsAlive(g *Graph, dem Demand, alive []bool) ([]Path, error) {
+	set := bitset.New(len(alive))
+	for i, up := range alive {
+		if up {
+			set.Set(i)
+		}
+	}
+	return flowdecomp.Paths(g, dem, set)
+}
+
+// SimConfig tunes a streaming simulation run.
+type SimConfig = sim.Config
+
+// SimReport aggregates a streaming simulation run.
+type SimReport = sim.Report
+
+// Simulate runs session-level streaming simulation: each session draws an
+// independent failure configuration and routes as many sub-streams as
+// survive. The empirical delivery rate converges to the exact reliability.
+func Simulate(g *Graph, dem Demand, cfg SimConfig) (SimReport, error) {
+	return sim.Run(g, dem, cfg)
+}
+
+// LinkDynamics is a link's alternating-renewal failure/repair process
+// (exponential up-times with mean MTBF, down-times with mean MTTR).
+type LinkDynamics = sim.LinkDynamics
+
+// ContinuousConfig tunes an event-driven availability simulation.
+type ContinuousConfig = sim.ContinuousConfig
+
+// ContinuousReport aggregates an event-driven availability run.
+type ContinuousReport = sim.ContinuousReport
+
+// SimulateContinuous runs an event-driven alternating-renewal simulation
+// over a time horizon: links fail and repair with exponential sojourns and
+// the service state is re-evaluated at every transition. The long-run
+// availability converges to the static reliability at the steady-state
+// probabilities p = MTTR/(MTBF+MTTR); on top of that it reports the
+// dynamics — interruption frequency and mean outage length — that a
+// static reliability cannot express.
+func SimulateContinuous(g *Graph, dem Demand, cfg ContinuousConfig) (ContinuousReport, error) {
+	return sim.Continuous(g, dem, cfg)
+}
+
+// UniformDynamics gives every link the same MTBF and MTTR.
+func UniformDynamics(g *Graph, mtbf, mttr float64) []LinkDynamics {
+	return sim.UniformDynamics(g, mtbf, mttr)
+}
+
+// PFailFromMTBF converts renewal dynamics to the static failure
+// probability (the steady-state unavailability MTTR/(MTBF+MTTR)).
+func PFailFromMTBF(mtbf, mttr float64) float64 { return sim.PFailFromMTBF(mtbf, mttr) }

@@ -1,0 +1,15 @@
+# Three blocks in series with two 2-link cuts; relcalc -engine chain
+# decomposes it automatically.
+edge s a 2 0.05
+edge a s 2 0.05
+edge s m1 1 0.2
+edge a m2 1 0.2
+edge m1 m2 2 0.05
+edge m2 m1 2 0.05
+edge m1 e1 1 0.2
+edge m2 e2 1 0.2
+edge e1 e2 2 0.05
+edge e2 e1 2 0.05
+edge e1 t 2 0.05
+edge e2 t 2 0.05
+demand s t 2

@@ -1,0 +1,6 @@
+# A small full-duplex ring: each connection is a pair of directed links.
+duplex a b 1 0.1
+duplex b c 1 0.1
+duplex c d 1 0.1
+duplex d a 1 0.1
+demand a c 1

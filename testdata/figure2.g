@@ -1,0 +1,13 @@
+# The paper's Fig. 2 shape: two diamonds joined by the bridge x→y.
+node s
+node t
+edge s a 1 0.10
+edge s b 1 0.10
+edge a x 1 0.10
+edge b x 1 0.10
+edge x y 1 0.05    # e9, the bridge
+edge y c 1 0.10
+edge y d 1 0.10
+edge c t 1 0.10
+edge d t 1 0.10
+demand s t 1

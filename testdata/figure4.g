@@ -1,0 +1,14 @@
+# The paper's Fig. 4 reconstruction: two bottleneck links e1, e2 (cap 2),
+# demand 2, assignment set {(2,0), (1,1), (0,2)}.
+node s
+node t
+edge s x1 1 0.10
+edge s x1 1 0.15
+edge s x2 1 0.10
+edge s x2 1 0.15
+edge x1 y1 2 0.05  # e1
+edge x2 y2 2 0.08  # e2
+edge y1 t 2 0.10
+edge y2 t 2 0.10
+edge y1 y2 1 0.12
+demand s t 2
