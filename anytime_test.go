@@ -1,0 +1,254 @@
+package flowrel
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// hardGraph builds a dense random digraph whose full enumeration space
+// (2^{|E|}) is far beyond anything a test could finish.
+func hardGraph(t *testing.T, nodes, extra int) (*Graph, Demand) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	b := NewBuilder()
+	first := b.AddNodes(nodes)
+	for i := 1; i < nodes; i++ {
+		b.AddEdge(first+NodeID(i-1), first+NodeID(i), 1+rng.Intn(2), 0.05+0.3*rng.Float64())
+	}
+	for i := 0; i < extra; i++ {
+		u, v := rng.Intn(nodes), rng.Intn(nodes)
+		if u == v {
+			continue
+		}
+		b.AddEdge(first+NodeID(u), first+NodeID(v), 1+rng.Intn(2), 0.05+0.3*rng.Float64())
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, Demand{S: first, T: first + NodeID(nodes-1), D: 1}
+}
+
+// TestComputeCtxCancelledReturnsPromptly is the headline anytime
+// guarantee: on a graph whose enumeration would take hours, an
+// already-cancelled context yields a Partial report with a valid
+// certified interval in well under 100 ms.
+func TestComputeCtxCancelledReturnsPromptly(t *testing.T) {
+	g, dem := hardGraph(t, 24, 60) // ~80 links: 2^80 configurations
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	rep, err := ComputeCtx(ctx, g, dem, Config{})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed > 100*time.Millisecond {
+		t.Fatalf("cancelled ComputeCtx took %v, want < 100ms", elapsed)
+	}
+	if !rep.Partial {
+		t.Fatal("cancelled run not marked partial")
+	}
+	if rep.Lo < 0 || rep.Hi > 1 || rep.Lo > rep.Hi {
+		t.Fatalf("invalid interval [%g, %g]", rep.Lo, rep.Hi)
+	}
+	if rep.Reliability < rep.Lo || rep.Reliability > rep.Hi {
+		t.Fatalf("point estimate %g outside [%g, %g]", rep.Reliability, rep.Lo, rep.Hi)
+	}
+	if rep.Reason == "" {
+		t.Fatal("no reason recorded")
+	}
+}
+
+// TestComputeCtxBudgetIntervalContainsOracle checks the certified
+// interval against the exact oracle at several budgets.
+func TestComputeCtxBudgetIntervalContainsOracle(t *testing.T) {
+	g, dem := figure2Demand()
+	exact, err := Exact(g, dem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := exact.Float64()
+	for _, budget := range []uint64{4, 16, 64, 256} {
+		// EngineFactoring isolates the anytime interval logic from the
+		// ladder's rung scheduling.
+		rep, err := ComputeCtx(context.Background(), g, dem,
+			Config{Engine: EngineFactoring, Budget: Budget{MaxConfigs: budget}, Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Lo > rep.Hi || rep.Lo < 0 || rep.Hi > 1 {
+			t.Fatalf("budget %d: invalid interval [%g, %g]", budget, rep.Lo, rep.Hi)
+		}
+		if want < rep.Lo-1e-9 || want > rep.Hi+1e-9 {
+			t.Fatalf("budget %d: interval [%g, %g] misses oracle %g", budget, rep.Lo, rep.Hi, want)
+		}
+	}
+}
+
+// TestComputeCtxLadderDegrades forces the ladder past its structural
+// rungs with a tiny budget and checks the degradation is recorded.
+func TestComputeCtxLadderDegrades(t *testing.T) {
+	g, dem := hardGraph(t, 12, 20)
+	rep, err := ComputeCtx(context.Background(), g, dem,
+		Config{Budget: Budget{MaxConfigs: 3000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Partial {
+		t.Fatalf("budgeted ladder run not partial: %+v", rep)
+	}
+	if rep.Rung == "" {
+		t.Fatal("no rung recorded")
+	}
+	if rep.Reason == "" {
+		t.Fatal("no degradation reason recorded")
+	}
+	if rep.Lo > rep.Hi || rep.Lo < 0 || rep.Hi > 1 {
+		t.Fatalf("invalid interval [%g, %g]", rep.Lo, rep.Hi)
+	}
+	// The certified interval must contain a converged Monte Carlo
+	// estimate (3σ tolerance).
+	est, err := MonteCarlo(g, dem, 200000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Reliability < rep.Lo-3*est.StdErr-1e-9 || est.Reliability > rep.Hi+3*est.StdErr+1e-9 {
+		t.Fatalf("interval [%g, %g] (rung %s) misses MC estimate %g ± %g",
+			rep.Lo, rep.Hi, rep.Rung, est.Reliability, est.StdErr)
+	}
+}
+
+// TestComputeCtxCompleteMatchesCompute: an unlimited ComputeCtx is
+// bit-identical to plain Compute and not partial.
+func TestComputeCtxCompleteMatchesCompute(t *testing.T) {
+	g, dem := figure2Demand()
+	want, err := Compute(g, dem, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ComputeCtx(context.Background(), g, dem, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Partial || got.Reliability != want.Reliability {
+		t.Fatalf("ComputeCtx = %+v, want %+v", got, want)
+	}
+	if got.Lo != got.Reliability || got.Hi != got.Reliability {
+		t.Fatalf("complete run interval [%g, %g] not collapsed", got.Lo, got.Hi)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	g, _ := figure2Demand()
+	cases := []struct {
+		name string
+		cfg  Config
+		frag string
+	}{
+		{"negative MaxBottleneck", Config{MaxBottleneck: -1}, "MaxBottleneck"},
+		{"negative MaxSideEdges", Config{MaxSideEdges: -5}, "MaxSideEdges"},
+		{"negative MaxAssignmentSet", Config{MaxAssignmentSet: -2}, "MaxAssignmentSet"},
+		{"MaxBottleneck beyond |E|", Config{MaxBottleneck: g.NumEdges() + 1}, "exceeds"},
+		{"negative call budget", Config{Budget: Budget{MaxMaxFlowCalls: -1}}, "MaxMaxFlowCalls"},
+		{"negative deadline", Config{Budget: Budget{SoftDeadline: -time.Second}}, "SoftDeadline"},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate(g)
+		if err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.frag) {
+			t.Fatalf("%s: error %q lacks %q", tc.name, err, tc.frag)
+		}
+		if _, err := Compute(g, Demand{S: 0, T: 1, D: 1}, tc.cfg); err == nil {
+			t.Fatalf("%s: Compute accepted", tc.name)
+		}
+	}
+	if err := (Config{}).Validate(g); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+	if err := (Config{MaxBottleneck: g.NumEdges() + 1}).Validate(nil); err != nil {
+		t.Fatalf("nil-graph validation should skip size checks: %v", err)
+	}
+}
+
+func TestExactCtxInterrupted(t *testing.T) {
+	g, dem := figure2Demand()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ExactCtx(ctx, g, dem)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+}
+
+func TestMonteCarloCtxBudget(t *testing.T) {
+	g, dem := figure2Demand()
+	est, err := MonteCarloCtx(context.Background(), g, dem, 1000000, 1, Budget{MaxConfigs: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Partial || est.Samples == 0 || est.Samples >= 1000000 {
+		t.Fatalf("budgeted MC: %+v", est)
+	}
+}
+
+func TestFlowDistributionCtxPartial(t *testing.T) {
+	g, dem := figure2Demand()
+	full, err := FlowDistribution(g, dem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ds, err := FlowDistributionCtx(ctx, g, dem, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Partial {
+		t.Fatal("cancelled distribution not partial")
+	}
+	for j := 0; j <= dem.D; j++ {
+		if ds.AtLeast(j) > full.AtLeast(j)+1e-9 {
+			t.Fatalf("partial tail AtLeast(%d) = %g exceeds true %g", j, ds.AtLeast(j), full.AtLeast(j))
+		}
+	}
+	// Complete run via the ctx variant matches the plain one.
+	ds2, err := FlowDistributionCtx(context.Background(), g, dem, Budget{})
+	if err != nil || ds2.Partial {
+		t.Fatalf("unlimited ctx distribution: %+v, %v", ds2, err)
+	}
+	if math.Abs(ds2.Reliability()-full.Reliability()) > 1e-12 {
+		t.Fatalf("ctx %g vs plain %g", ds2.Reliability(), full.Reliability())
+	}
+}
+
+func TestMulticastCtxPartial(t *testing.T) {
+	g, dem := figure2Demand()
+	full, err := MulticastReliability(g, dem.S, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MulticastReliabilityCtx(context.Background(), g, dem.S, nil, 1, Budget{MaxConfigs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partial {
+		if res.Lo > res.Hi || full.Reliability < res.Lo-1e-9 || full.Reliability > res.Hi+1e-9 {
+			t.Fatalf("partial interval [%g, %g] misses %g", res.Lo, res.Hi, full.Reliability)
+		}
+	}
+	est, err := MulticastMonteCarloCtx(context.Background(), g, dem.S, nil, 1, 500000, 1, Budget{MaxConfigs: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Partial || est.Samples == 0 {
+		t.Fatalf("budgeted multicast MC: %+v", est)
+	}
+}

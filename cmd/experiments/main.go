@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -18,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"flowrel/internal/anytime"
 	"flowrel/internal/assign"
 	"flowrel/internal/chain"
 	"flowrel/internal/churn"
@@ -34,7 +36,11 @@ import (
 	"flowrel/internal/subset"
 )
 
-var runFlag = flag.String("run", "all", "comma-separated experiment ids (E1..E17, A1..A6) or 'all'")
+var (
+	runFlag     = flag.String("run", "all", "comma-separated experiment ids (E1..E17, A1..A7) or 'all'")
+	timeoutFlag = flag.Duration("timeout", 0, "soft deadline for the whole run; experiments past it are skipped with a note")
+	cfgsFlag    = flag.Uint64("max-configs", 0, "extra budget row for the A7 anytime ablation")
+)
 
 type experiment struct {
 	id    string
@@ -68,6 +74,7 @@ func main() {
 		{"A4", "Ablation — Monte Carlo convergence", a4},
 		{"A5", "Ablation — exact reductions as preprocessing", a5},
 		{"A6", "Ablation — most-probable-states bounds convergence", a6},
+		{"A7", "Ablation — anytime budgets: certified intervals from interrupted runs", a7},
 	}
 	want := map[string]bool{}
 	if *runFlag != "all" {
@@ -75,9 +82,18 @@ func main() {
 			want[strings.TrimSpace(strings.ToUpper(id))] = true
 		}
 	}
+	var deadline time.Time
+	if *timeoutFlag > 0 {
+		deadline = time.Now().Add(*timeoutFlag)
+	}
 	ran := 0
 	for _, ex := range all {
 		if *runFlag != "all" && !want[ex.id] {
+			continue
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			fmt.Printf("\n=== %s: %s === SKIPPED (deadline %v passed)\n", ex.id, ex.title, *timeoutFlag)
+			ran++
 			continue
 		}
 		fmt.Printf("\n=== %s: %s ===\n", ex.id, ex.title)
@@ -905,6 +921,45 @@ func a6() {
 	}
 	fmt.Println("(the interval width is exactly the probability of deeper failure patterns,")
 	fmt.Println(" so a handful of layers certify many digits on reliable networks)")
+}
+
+// a7 demonstrates the anytime layer: the same instance solved by the
+// factoring engine under shrinking configuration budgets. Every
+// interrupted run certifies an interval [lo, hi] from the branch mass it
+// proved admitting and failing; the interval narrows monotonically with
+// the budget and collapses to the exact value when the budget suffices.
+func a7() {
+	o := must(overlay.Clustered(12, 22, 2, 2, 2, 0.1, 9))
+	dem := o.Demand(o.Peers[len(o.Peers)-1])
+	exact := must(reliability.Factoring(o.G, dem, reliability.Options{}))
+	fmt.Printf("instance: %d links, p=0.1/link; exact = %.8f (%d factoring configs)\n",
+		o.G.NumEdges(), exact.Reliability, exact.Stats.Configs)
+	budgets := []uint64{64, 128, 256, 512, 768, 0}
+	if *cfgsFlag > 0 {
+		budgets = append([]uint64{*cfgsFlag}, budgets...)
+	}
+	fmt.Printf("%-10s %-12s %-12s %-12s %s\n", "budget", "lower", "upper", "width", "stopped by")
+	for _, b := range budgets {
+		ctl := anytime.New(context.Background(), anytime.Budget{MaxConfigs: b})
+		res, err := reliability.Factoring(o.G, dem, reliability.Options{Parallelism: 1, Ctl: ctl})
+		if err != nil {
+			fmt.Printf("%-10d ERROR %v\n", b, err)
+			continue
+		}
+		label, reason := fmt.Sprintf("%d", b), "—"
+		if b == 0 {
+			label = "∞"
+		}
+		if res.Partial {
+			reason = res.Reason
+		}
+		fmt.Printf("%-10s %-12.8f %-12.8f %-12.2e %s\n", label, res.Lo, res.Hi, res.Hi-res.Lo, reason)
+		if res.Lo > exact.Reliability+1e-9 || exact.Reliability > res.Hi+1e-9 {
+			fmt.Println("  BOUNDS VIOLATED")
+		}
+	}
+	fmt.Println("(an interrupted run keeps everything it proved: the gap is exactly the")
+	fmt.Println(" unexplored branch mass, so budget doublings narrow the interval for free)")
 }
 
 func abs(x float64) float64 {

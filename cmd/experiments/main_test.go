@@ -10,7 +10,7 @@ import "testing"
 func TestCheapExperimentsRun(t *testing.T) {
 	for name, fn := range map[string]func(){
 		"E1": e1, "E2": e2, "E3": e3, "E4": e4, "E5": e5, "E6": e6,
-		"E8": e8, "E12": e12, "E13": e13, "E14": e14, "E15": e15, "E16": e16, "E17": e17,
+		"E8": e8, "E12": e12, "E13": e13, "E14": e14, "E15": e15, "E16": e16, "E17": e17, "A7": a7,
 	} {
 		t.Run(name, func(t *testing.T) {
 			defer func() {

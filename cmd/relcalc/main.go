@@ -16,11 +16,13 @@
 //	relcalc -engine chain -stats network.g
 //	relcalc -engine montecarlo -samples 1000000 network.g
 //	relcalc -bounds -states 3 -dist network.g
+//	relcalc -timeout 2s -max-configs 1000000 network.g
 //	relcalc -dot network.g | dot -Tsvg > network.svg
 //	gengraph -type clustered | relcalc -engine core
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -58,6 +60,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		cutFlag     = fs.Int("maxcut", 3, "maximum bottleneck size to search (core/chain engines)")
 		parFlag     = fs.Int("p", 0, "parallelism (0 = all cores)")
 		statsFlag   = fs.Bool("stats", false, "print work statistics")
+		timeoutFlag = fs.Duration("timeout", 0, "soft wall-clock budget; an interrupted run prints a certified interval instead of failing")
+		cfgsFlag    = fs.Uint64("max-configs", 0, "budget on failure configurations examined (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -111,10 +115,21 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return flowrel.WriteDOT(stdout, g, flowrel.DOTOptions{Demand: &dem, Highlight: hl})
 	}
 
+	budget := flowrel.Budget{MaxConfigs: *cfgsFlag, SoftDeadline: *timeoutFlag}
+	// The -maxcut default is a search bound, not a promise about the graph:
+	// clamp it so tiny (or heavily reduced) graphs don't trip validation.
+	maxCut := func(g *flowrel.Graph) int {
+		if *cutFlag > g.NumEdges() {
+			return g.NumEdges()
+		}
+		return *cutFlag
+	}
+
 	if *jsonFlag {
 		rep, err := flowrel.Compute(g, dem, flowrel.Config{
-			MaxBottleneck: *cutFlag,
+			MaxBottleneck: maxCut(g),
 			Parallelism:   *parFlag,
+			Budget:        budget,
 		})
 		if err != nil {
 			return err
@@ -125,6 +140,13 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			"demand":      map[string]any{"s": int(dem.S), "t": int(dem.T), "d": dem.D},
 			"reliability": rep.Reliability,
 			"engine":      rep.Engine.String(),
+		}
+		if rep.Partial {
+			out["partial"] = true
+			out["lo"] = rep.Lo
+			out["hi"] = rep.Hi
+			out["rung"] = rep.Rung
+			out["reason"] = rep.Reason
 		}
 		if rep.Engine == flowrel.EngineCore {
 			cut := make([]int, len(rep.Cut))
@@ -154,15 +176,24 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 
 	switch *engineFlag {
 	case "montecarlo":
-		est, err := flowrel.MonteCarlo(g, dem, *samplesFlag, *seedFlag)
+		est, err := flowrel.MonteCarloCtx(context.Background(), g, dem, *samplesFlag, *seedFlag, budget)
 		if err != nil {
 			return err
 		}
 		lo, hi := est.ConfidenceInterval(1.96)
 		fmt.Fprintf(stdout, "reliability ≈ %.6f  (95%% CI [%.6f, %.6f], %d samples, %v)\n",
 			est.Reliability, lo, hi, est.Samples, time.Since(start).Round(time.Millisecond))
+		if est.Partial {
+			fmt.Fprintf(stdout, "partial: stopped after %d of %d samples (%s)\n", est.Samples, *samplesFlag, est.Reason)
+		}
 	case "exact":
-		r, err := flowrel.Exact(g, dem)
+		ctx := context.Background()
+		if *timeoutFlag > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeoutFlag)
+			defer cancel()
+		}
+		r, err := flowrel.ExactCtx(ctx, g, dem)
 		if err != nil {
 			return err
 		}
@@ -196,13 +227,24 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 		rep, err := flowrel.Compute(g, dem, flowrel.Config{
 			Engine:        eng,
-			MaxBottleneck: *cutFlag,
+			MaxBottleneck: maxCut(g),
 			Parallelism:   *parFlag,
+			Budget:        budget,
 		})
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "reliability = %.12f  (engine %v, %v)\n", rep.Reliability, rep.Engine, time.Since(start).Round(time.Millisecond))
+		if rep.Partial {
+			rung := rep.Rung
+			if rung == "" {
+				rung = rep.Engine.String()
+			}
+			fmt.Fprintf(stdout, "reliability ∈ [%.6f, %.6f]  (certified; point estimate %.6f, rung %s, %v)\n",
+				rep.Lo, rep.Hi, rep.Reliability, rung, time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(stdout, "partial: %s\n", rep.Reason)
+		} else {
+			fmt.Fprintf(stdout, "reliability = %.12f  (engine %v, %v)\n", rep.Reliability, rep.Engine, time.Since(start).Round(time.Millisecond))
+		}
 		if rep.Engine == flowrel.EngineCore {
 			fmt.Fprintf(stdout, "bottleneck: links %v, k=%d, alpha=%.3f, |D|=%d\n", rep.Cut, rep.K, rep.Alpha, len(rep.Assignments))
 		}

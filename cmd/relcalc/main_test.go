@@ -106,6 +106,52 @@ func TestJSONOutput(t *testing.T) {
 	}
 }
 
+func TestPartialInterval(t *testing.T) {
+	out, err := runCLI(t, []string{"-engine", "factoring", "-max-configs", "4", "-p", "1"}, figure2Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "reliability ∈ [") || !strings.Contains(out, "partial:") {
+		t.Fatalf("budgeted run output missing partial interval:\n%s", out)
+	}
+}
+
+func TestPartialMonteCarlo(t *testing.T) {
+	out, err := runCLI(t, []string{"-engine", "montecarlo", "-samples", "1000000", "-max-configs", "5000"}, figure2Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "partial: stopped after") {
+		t.Fatalf("budgeted Monte Carlo output missing partial note:\n%s", out)
+	}
+}
+
+func TestPartialJSON(t *testing.T) {
+	out, err := runCLI(t, []string{"-json", "-max-configs", "2"}, figure2Text)
+	if err != nil {
+		t.Fatalf("partial JSON run must exit cleanly: %v", err)
+	}
+	var parsed struct {
+		Partial bool    `json:"partial"`
+		Lo      float64 `json:"lo"`
+		Hi      float64 `json:"hi"`
+		Rung    string  `json:"rung"`
+		Reason  string  `json:"reason"`
+	}
+	if err := json.Unmarshal([]byte(out), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if !parsed.Partial || parsed.Rung == "" || parsed.Reason == "" {
+		t.Fatalf("parsed = %+v", parsed)
+	}
+	if parsed.Lo > parsed.Hi || parsed.Lo < 0 || parsed.Hi > 1 {
+		t.Fatalf("invalid interval [%g, %g]", parsed.Lo, parsed.Hi)
+	}
+	if want := 0.8826480495; want < parsed.Lo-1e-9 || want > parsed.Hi+1e-9 {
+		t.Fatalf("interval [%g, %g] misses true reliability %g", parsed.Lo, parsed.Hi, want)
+	}
+}
+
 func TestDOTOutput(t *testing.T) {
 	out, err := runCLI(t, []string{"-dot"}, figure2Text)
 	if err != nil {

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -42,6 +43,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		toFlag    = fs.Float64("to", 0.5, "sweep end")
 		stepsFlag = fs.Int("steps", 20, "number of points (≥ 2)")
 		cutFlag   = fs.Int("maxcut", 3, "bottleneck search budget")
+		timeFlag  = fs.Duration("timeout", 0, "soft wall-clock budget for the whole sweep; points past it print certified intervals as comments")
+		cfgsFlag  = fs.Uint64("max-configs", 0, "per-point configuration budget (0 = unlimited; scale/bottleneck modes)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,6 +83,29 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		points[i] = *fromFlag + (*toFlag-*fromFlag)*float64(i)/float64(*stepsFlag-1)
 	}
 
+	ctx := context.Background()
+	if *timeFlag > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeFlag)
+		defer cancel()
+	}
+	// solve computes one sweep point under the shared deadline and the
+	// per-point budget; a partial answer yields the certified midpoint
+	// plus a comment row with the interval.
+	solve := func(sg *flowrel.Graph, x float64) (float64, string, error) {
+		rep, err := flowrel.ComputeCtx(ctx, sg, dem, flowrel.Config{
+			Budget: flowrel.Budget{MaxConfigs: *cfgsFlag},
+		})
+		if err != nil {
+			return 0, "", err
+		}
+		if rep.Partial {
+			note := fmt.Sprintf("# partial at %.6f: certified [%.9f, %.9f], rung %s", x, rep.Lo, rep.Hi, rep.Rung)
+			return rep.Reliability, note, nil
+		}
+		return rep.Reliability, "", nil
+	}
+
 	switch *modeFlag {
 	case "uniform":
 		P, err := flowrel.Polynomial(g, dem)
@@ -103,11 +129,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			if err != nil {
 				return err
 			}
-			r, err := flowrel.Reliability(sg, dem)
+			r, note, err := solve(sg, sc)
 			if err != nil {
 				return err
 			}
 			fmt.Fprintf(stdout, "%.6f,%.9f\n", sc, r)
+			if note != "" {
+				fmt.Fprintln(stdout, note)
+			}
 		}
 	case "bottleneck":
 		bt, err := flowrel.FindBottleneck(g, dem.S, dem.T, *cutFlag)
@@ -130,11 +159,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			if err != nil {
 				return err
 			}
-			r, err := flowrel.Reliability(sg, dem)
+			r, note, err := solve(sg, p)
 			if err != nil {
 				return err
 			}
 			fmt.Fprintf(stdout, "%.6f,%.9f\n", p, r)
+			if note != "" {
+				fmt.Fprintln(stdout, note)
+			}
 		}
 	default:
 		return fmt.Errorf("unknown mode %q", *modeFlag)

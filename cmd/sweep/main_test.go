@@ -91,6 +91,17 @@ func TestBottleneckSweep(t *testing.T) {
 	}
 }
 
+func TestSweepBudgetPrintsIntervals(t *testing.T) {
+	out := sweepCLI(t, []string{"-mode", "scale", "-from", "0.5", "-to", "1", "-steps", "3", "-max-configs", "1"}, net)
+	if !strings.Contains(out, "# partial at") || !strings.Contains(out, "certified [") {
+		t.Fatalf("budgeted sweep missing interval comments:\n%s", out)
+	}
+	xs, _ := parseCurve(t, out)
+	if len(xs) != 3 {
+		t.Fatalf("partial sweep must still emit every point, got %d", len(xs))
+	}
+}
+
 func TestSweepErrors(t *testing.T) {
 	var sb strings.Builder
 	for _, args := range [][]string{

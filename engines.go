@@ -1,9 +1,11 @@
 package flowrel
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
+	"flowrel/internal/anytime"
 	"flowrel/internal/assign"
 	"flowrel/internal/chain"
 	"flowrel/internal/core"
@@ -83,6 +85,33 @@ type Config struct {
 	// (Cut, Assignments' indices) then refer to the reduced instance, so
 	// leave this off when you need them to address the original graph.
 	Reduce bool
+	// Budget bounds the work of a ComputeCtx call (configurations,
+	// max-flow calls, wall clock); the zero value is unlimited. Plain
+	// Compute ignores it only in the sense that it passes no context —
+	// the budget itself is honoured there too.
+	Budget Budget
+}
+
+// Validate rejects nonsensical configurations with actionable messages
+// before any work starts. The graph may be nil to skip the
+// size-dependent checks; Compute and ComputeCtx validate automatically.
+func (cfg Config) Validate(g *Graph) error {
+	if cfg.MaxBottleneck < 0 {
+		return fmt.Errorf("flowrel: MaxBottleneck %d is negative; use 0 for the default (3) or a positive cut-size bound", cfg.MaxBottleneck)
+	}
+	if cfg.MaxSideEdges < 0 {
+		return fmt.Errorf("flowrel: MaxSideEdges %d is negative; use 0 for the default (20) or a positive component-size bound", cfg.MaxSideEdges)
+	}
+	if cfg.MaxAssignmentSet < 0 {
+		return fmt.Errorf("flowrel: MaxAssignmentSet %d is negative; use 0 for the default (20) or a positive assignment-family bound", cfg.MaxAssignmentSet)
+	}
+	if g != nil && cfg.MaxBottleneck > g.NumEdges() {
+		return fmt.Errorf("flowrel: MaxBottleneck %d exceeds the graph's %d links; a minimal cut never has more links than the graph", cfg.MaxBottleneck, g.NumEdges())
+	}
+	if err := cfg.Budget.Validate(); err != nil {
+		return err
+	}
+	return nil
 }
 
 // Report is the result of an exact computation.
@@ -101,6 +130,20 @@ type Report struct {
 	// Configs counts the failure configurations (or factoring branch
 	// nodes) examined.
 	Configs uint64
+	// Partial reports an interrupted anytime run (ComputeCtx with a
+	// cancelled context or an exhausted Budget). [Lo, Hi] is then a
+	// certified interval containing the true reliability and Reliability
+	// a point estimate inside it; complete runs have Lo == Hi ==
+	// Reliability and Partial false.
+	Partial bool
+	Lo, Hi  float64
+	// Rung names the degradation-ladder rung that produced the answer
+	// when EngineAuto ran under ComputeCtx: "core", "chain", "factoring",
+	// "most-probable-states" or "importance-sampling".
+	Rung string
+	// Reason explains an interruption and why earlier ladder rungs did
+	// not answer.
+	Reason string
 }
 
 // Reliability computes the exact reliability of g with respect to dem with
@@ -110,8 +153,32 @@ func Reliability(g *Graph, dem Demand) (float64, error) {
 	return rep.Reliability, err
 }
 
-// Compute computes the exact reliability with the configured engine.
+// Compute computes the exact reliability with the configured engine. It
+// honours cfg.Budget but passes no context; use ComputeCtx for
+// cancellation.
 func Compute(g *Graph, dem Demand, cfg Config) (Report, error) {
+	return ComputeCtx(context.Background(), g, dem, cfg)
+}
+
+// ComputeCtx is the anytime form of Compute: the computation stops
+// cooperatively when ctx is cancelled, cfg.Budget.SoftDeadline passes, or
+// a configuration/max-flow-call budget is exhausted. The engines that can
+// certify a partial answer (factoring, naive enumeration) then return a
+// Report with Partial set and a guaranteed interval [Lo, Hi] containing
+// the true reliability; the structural decompositions (core, chain)
+// return an error wrapping ErrInterrupted instead, because a half-built
+// side array certifies nothing.
+//
+// With EngineAuto the call never wastes an interruption: it walks a
+// degradation ladder core → chain → factoring → most-probable-states
+// bounds → importance-sampled Monte Carlo, giving each rung a slice of
+// the remaining budget, and reports the best certified interval plus the
+// rung that produced the final answer (Report.Rung) and why earlier rungs
+// did not (Report.Reason).
+func ComputeCtx(ctx context.Context, g *Graph, dem Demand, cfg Config) (Report, error) {
+	if err := cfg.Validate(g); err != nil {
+		return Report{}, err
+	}
 	if cfg.Reduce {
 		red, err := reduce.Apply(g, dem)
 		if err != nil {
@@ -124,30 +191,19 @@ func Compute(g *Graph, dem Demand, cfg Config) (Report, error) {
 			return Report{}, fmt.Errorf("flowrel: Reduce renumbers links; an explicit Bottleneck cannot be combined with it")
 		}
 	}
+	ctl := anytime.New(ctx, cfg.Budget)
 	switch cfg.Engine {
 	case EngineAuto:
-		rep, err := computeCore(g, dem, cfg)
-		if err == nil {
-			return rep, nil
-		}
-		// A single balanced cut may not exist or may leave a side too big;
-		// a *sequence* of cuts can still decompose the graph.
-		if rep2, err2 := computeChain(g, dem, cfg); err2 == nil {
-			return rep2, nil
-		}
-		rep3, err3 := computeFactoring(g, dem, cfg)
-		if err3 != nil {
-			return Report{}, fmt.Errorf("flowrel: core engine failed (%v); factoring failed too: %w", err, err3)
-		}
-		return rep3, nil
+		return computeLadder(g, dem, cfg, ctl)
 	case EngineCore:
-		return computeCore(g, dem, cfg)
+		return computeCore(g, dem, cfg, ctl)
 	case EngineChain:
-		return computeChain(g, dem, cfg)
+		return computeChain(g, dem, cfg, ctl)
 	case EngineNaive, EngineNaiveGray:
 		res, err := reliability.Naive(g, dem, reliability.Options{
 			Parallelism: cfg.Parallelism,
 			GrayCode:    cfg.Engine == EngineNaiveGray,
+			Ctl:         ctl,
 		})
 		if err != nil {
 			return Report{}, err
@@ -157,20 +213,25 @@ func Compute(g *Graph, dem Demand, cfg Config) (Report, error) {
 			Engine:       cfg.Engine,
 			MaxFlowCalls: res.Stats.MaxFlowCalls,
 			Configs:      res.Stats.Configs,
+			Partial:      res.Partial,
+			Lo:           res.Lo,
+			Hi:           res.Hi,
+			Reason:       res.Reason,
 		}, nil
 	case EngineFactoring:
-		return computeFactoring(g, dem, cfg)
+		return computeFactoring(g, dem, cfg, ctl)
 	}
 	return Report{}, fmt.Errorf("flowrel: unknown engine %v", cfg.Engine)
 }
 
-func computeCore(g *Graph, dem Demand, cfg Config) (Report, error) {
+func computeCore(g *Graph, dem Demand, cfg Config, ctl *anytime.Ctl) (Report, error) {
 	res, err := core.Reliability(g, dem, core.Options{
 		Bottleneck:       cfg.Bottleneck,
 		MaxBottleneck:    cfg.MaxBottleneck,
 		MaxSideEdges:     cfg.MaxSideEdges,
 		MaxAssignmentSet: cfg.MaxAssignmentSet,
 		Parallelism:      cfg.Parallelism,
+		Ctl:              ctl,
 	})
 	if err != nil {
 		return Report{}, err
@@ -184,10 +245,12 @@ func computeCore(g *Graph, dem Demand, cfg Config) (Report, error) {
 		Assignments:  res.Assignments,
 		MaxFlowCalls: res.Stats.MaxFlowCalls,
 		Configs:      res.Stats.SideConfigs[0] + res.Stats.SideConfigs[1],
+		Lo:           res.Reliability,
+		Hi:           res.Reliability,
 	}, nil
 }
 
-func computeChain(g *Graph, dem Demand, cfg Config) (Report, error) {
+func computeChain(g *Graph, dem Demand, cfg Config, ctl *anytime.Ctl) (Report, error) {
 	maxCut := cfg.MaxBottleneck
 	if maxCut <= 0 {
 		maxCut = 3
@@ -200,6 +263,7 @@ func computeChain(g *Graph, dem Demand, cfg Config) (Report, error) {
 		MaxSegmentEdges:  cfg.MaxSideEdges,
 		MaxAssignmentSet: cfg.MaxAssignmentSet,
 		Parallelism:      cfg.Parallelism,
+		Ctl:              ctl,
 	})
 	if err != nil {
 		return Report{}, err
@@ -214,11 +278,13 @@ func computeChain(g *Graph, dem Demand, cfg Config) (Report, error) {
 		Cut:          flat,
 		K:            len(flat),
 		MaxFlowCalls: res.MaxFlowCalls,
+		Lo:           res.Reliability,
+		Hi:           res.Reliability,
 	}, nil
 }
 
-func computeFactoring(g *Graph, dem Demand, cfg Config) (Report, error) {
-	res, err := reliability.Factoring(g, dem, reliability.Options{Parallelism: cfg.Parallelism})
+func computeFactoring(g *Graph, dem Demand, cfg Config, ctl *anytime.Ctl) (Report, error) {
+	res, err := reliability.Factoring(g, dem, reliability.Options{Parallelism: cfg.Parallelism, Ctl: ctl})
 	if err != nil {
 		return Report{}, err
 	}
@@ -227,6 +293,10 @@ func computeFactoring(g *Graph, dem Demand, cfg Config) (Report, error) {
 		Engine:       EngineFactoring,
 		MaxFlowCalls: res.Stats.MaxFlowCalls,
 		Configs:      res.Stats.Configs,
+		Partial:      res.Partial,
+		Lo:           res.Lo,
+		Hi:           res.Hi,
+		Reason:       res.Reason,
 	}, nil
 }
 

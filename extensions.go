@@ -1,8 +1,10 @@
 package flowrel
 
 import (
+	"context"
 	"io"
 
+	"flowrel/internal/anytime"
 	"flowrel/internal/chain"
 	"flowrel/internal/churn"
 	"flowrel/internal/dist"
@@ -37,6 +39,26 @@ func FlowDistributionFactored(g *Graph, dem Demand) (Distribution, error) {
 // per seed.
 func FlowDistributionSampled(g *Graph, dem Demand, samples int, seed int64) (Distribution, error) {
 	return dist.Sampled(g, dem, samples, seed, reliability.Options{})
+}
+
+// FlowDistributionCtx is FlowDistribution under a context and budget. An
+// interrupted run returns a Partial distribution: every tail AtLeast(j)
+// is a certified lower bound over the examined mass.
+func FlowDistributionCtx(ctx context.Context, g *Graph, dem Demand, b Budget) (Distribution, error) {
+	return dist.Exact(g, dem, reliability.Options{Ctl: anytime.New(ctx, b)})
+}
+
+// FlowDistributionFactoredCtx is FlowDistributionFactored under a context
+// and budget; interrupted tails degrade to their certified lower bounds.
+func FlowDistributionFactoredCtx(ctx context.Context, g *Graph, dem Demand, b Budget) (Distribution, error) {
+	return dist.Factored(g, dem, reliability.Options{Ctl: anytime.New(ctx, b)})
+}
+
+// FlowDistributionSampledCtx is FlowDistributionSampled under a context
+// and budget; an interrupted run is a valid estimate over the samples
+// actually completed, with Partial set.
+func FlowDistributionSampledCtx(ctx context.Context, g *Graph, dem Demand, samples int, seed int64, b Budget) (Distribution, error) {
+	return dist.Sampled(g, dem, samples, seed, reliability.Options{Ctl: anytime.New(ctx, b)})
 }
 
 // Reduced is a preprocessed instance with identical reliability.
@@ -201,6 +223,20 @@ func MulticastReliability(g *Graph, source NodeID, targets []NodeID, d int) (Mul
 // deterministic per seed, any graph size.
 func MulticastMonteCarlo(g *Graph, source NodeID, targets []NodeID, d, samples int, seed int64) (Estimate, error) {
 	return multicast.MonteCarlo(g, source, targets, d, samples, seed, reliability.Options{})
+}
+
+// MulticastReliabilityCtx is MulticastReliability under a context and
+// budget: an interrupted run returns a Partial result with a certified
+// interval [Lo, Hi] around the true all-targets reliability.
+func MulticastReliabilityCtx(ctx context.Context, g *Graph, source NodeID, targets []NodeID, d int, b Budget) (MulticastResult, error) {
+	return multicast.Naive(g, source, targets, d, reliability.Options{Ctl: anytime.New(ctx, b)})
+}
+
+// MulticastMonteCarloCtx is MulticastMonteCarlo under a context and
+// budget; an interrupted run estimates over the completed samples with
+// Partial set.
+func MulticastMonteCarloCtx(ctx context.Context, g *Graph, source NodeID, targets []NodeID, d, samples int, seed int64, b Budget) (Estimate, error) {
+	return multicast.MonteCarlo(g, source, targets, d, samples, seed, reliability.Options{Ctl: anytime.New(ctx, b)})
 }
 
 // PerTargetReliability returns each target's marginal reliability,

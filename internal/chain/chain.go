@@ -27,6 +27,7 @@ import (
 	"sort"
 	"sync"
 
+	"flowrel/internal/anytime"
 	"flowrel/internal/assign"
 	"flowrel/internal/bitset"
 	"flowrel/internal/conf"
@@ -46,6 +47,15 @@ type Options struct {
 	// Parallelism is the worker count for segment enumeration
 	// (≤ 0 = GOMAXPROCS).
 	Parallelism int
+	// Ctl optionally makes the run cancellable. The assignment-set DP is
+	// all-or-nothing (a half-built segment distribution certifies no mass),
+	// so an interrupted run returns an error wrapping
+	// anytime.ErrInterrupted; callers fall back to an engine that can
+	// certify partial answers.
+	Ctl *anytime.Ctl
+	// TestHook, when set, is called with each segment configuration mask
+	// before its feasibility checks. Tests use it to inject faults.
+	TestHook func(configIndex uint64)
 }
 
 func (o *Options) setDefaults() {
@@ -383,18 +393,37 @@ func endRealizations(seg *graph.Subgraph, terminal graph.NodeID, ends []graph.No
 			proto.SetBaseCapDirected(demandArcs[i], a[i])
 		}
 		bit := uint64(1) << uint(j)
+		errs := make([]error, len(chunks))
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, opt.Parallelism)
-		for _, r := range chunks {
+		for ci, r := range chunks {
 			wg.Add(1)
-			go func(lo, hi uint64) {
+			go func(ci int, lo, hi uint64) {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
+				cur := lo
+				defer anytime.RecoverInto(&errs[ci], opt.Ctl, "chain end-segment worker", &cur)
+				if opt.Ctl.Stopped() {
+					return
+				}
 				nw := proto.Clone()
 				prev := ^uint64(0)
 				width := uint64(1)<<uint(m) - 1
+				var sinceCheck uint64
+				var callsMark int64
 				for mask := lo; mask < hi; mask++ {
+					if sinceCheck >= anytime.CheckEvery {
+						if !opt.Ctl.Charge(sinceCheck, nw.Stats.MaxFlowCalls-callsMark) {
+							break
+						}
+						sinceCheck, callsMark = 0, nw.Stats.MaxFlowCalls
+					}
+					sinceCheck++
+					cur = mask
+					if opt.TestHook != nil {
+						opt.TestHook(mask)
+					}
 					diff := (mask ^ prev) & width
 					for diff != 0 {
 						i := bits.TrailingZeros64(diff)
@@ -406,12 +435,21 @@ func endRealizations(seg *graph.Subgraph, terminal graph.NodeID, ends []graph.No
 						realized[mask] |= bit
 					}
 				}
+				opt.Ctl.Charge(sinceCheck, nw.Stats.MaxFlowCalls-callsMark)
 				mu.Lock()
 				calls += nw.Stats.MaxFlowCalls
 				mu.Unlock()
-			}(r[0], r[1])
+			}(ci, r[0], r[1])
 		}
 		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, nil, calls, err
+			}
+		}
+		if opt.Ctl.Stopped() {
+			return nil, nil, calls, fmt.Errorf("chain: segment enumeration interrupted: %w", opt.Ctl.Err())
+		}
 	}
 	return realized, probs, calls, nil
 }
@@ -468,6 +506,7 @@ func middleTransition(dist []float64, seg *graph.Subgraph, heads []graph.NodeID,
 	chunks := conf.SplitEnum(m)
 	partial := make([][]float64, len(chunks))
 	callsPer := make([]int64, len(chunks))
+	errs := make([]error, len(chunks))
 
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, opt.Parallelism)
@@ -477,12 +516,28 @@ func middleTransition(dist []float64, seg *graph.Subgraph, heads []graph.NodeID,
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			cur := lo
+			defer anytime.RecoverInto(&errs[ci], opt.Ctl, "chain middle-segment worker", &cur)
+			if opt.Ctl.Stopped() {
+				return
+			}
 			nw := proto.Clone()
 			local := make([]float64, len(out))
 			rows := make([]uint64, dsIn.Len())
 			width := uint64(1)<<uint(m) - 1
 			prev := ^uint64(0)
+			var callsMark int64
 			for mask := lo; mask < hi; mask++ {
+				// Each configuration costs |𝒟in|·|𝒟out| max flows, so a
+				// per-configuration charge is already amortized.
+				if !opt.Ctl.Charge(1, nw.Stats.MaxFlowCalls-callsMark) {
+					break
+				}
+				callsMark = nw.Stats.MaxFlowCalls
+				cur = mask
+				if opt.TestHook != nil {
+					opt.TestHook(mask)
+				}
 				diff := (mask ^ prev) & width
 				for diff != 0 {
 					i := bits.TrailingZeros64(diff)
@@ -524,8 +579,18 @@ func middleTransition(dist []float64, seg *graph.Subgraph, heads []graph.NodeID,
 	wg.Wait()
 
 	var calls int64
-	for ci := range partial {
+	for ci := range callsPer {
 		calls += callsPer[ci]
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, calls, err
+		}
+	}
+	if opt.Ctl.Stopped() {
+		return nil, calls, fmt.Errorf("chain: segment enumeration interrupted: %w", opt.Ctl.Err())
+	}
+	for ci := range partial {
 		for mk, p := range partial[ci] {
 			out[mk] += p
 		}

@@ -28,6 +28,7 @@ import (
 	"math/bits"
 	"sync"
 
+	"flowrel/internal/anytime"
 	"flowrel/internal/assign"
 	"flowrel/internal/conf"
 	"flowrel/internal/graph"
@@ -82,6 +83,14 @@ type Options struct {
 	Parallelism int
 	Side        SideEngine
 	Accum       Accumulation
+	// Ctl optionally makes the run cancellable. The decomposition cannot
+	// certify a partial answer (the side arrays are all-or-nothing), so an
+	// interrupted run returns an error wrapping anytime.ErrInterrupted;
+	// callers fall back to an engine that can certify partial mass.
+	Ctl *anytime.Ctl
+	// TestHook, when set, is called with each side configuration mask just
+	// before its feasibility checks. Tests use it to inject faults.
+	TestHook func(configIndex uint64)
 }
 
 func (o *Options) setDefaults() {
@@ -269,44 +278,78 @@ func buildSide(sub *graph.Subgraph, terminal graph.NodeID, ends []graph.NodeID, 
 	// its own copy), so the clone and spawn cost is paid once rather than
 	// once per assignment.
 	chunks := conf.SplitEnum(m)
+	errs := make([]error, len(chunks))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, opt.Parallelism)
-	for _, r := range chunks {
+	for ci, r := range chunks {
 		wg.Add(1)
-		go func(lo, hi uint64) {
+		go func(ci int, lo, hi uint64) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			cur := lo
+			defer anytime.RecoverInto(&errs[ci], opt.Ctl, "core side-array worker", &cur)
+			if opt.Ctl.Stopped() {
+				return
+			}
 			nw := proto.Clone()
+			var checks int64
 			for j, a := range ds.Assignments {
+				if opt.Ctl.Stopped() {
+					break
+				}
 				for i := range demandArcs {
 					nw.SetBaseCapDirected(demandArcs[i], a[i])
 				}
 				bit := uint64(1) << uint(j)
+				var n uint64
 				if opt.Side == SideGrayCode {
-					sideGrayChunk(nw, handles, src, dst, ds.D, bit, sa, lo, hi)
+					n = sideGrayChunk(nw, handles, src, dst, ds.D, bit, sa, lo, hi, opt, &cur)
 				} else {
-					sideBinaryChunk(nw, handles, src, dst, ds.D, bit, sa, lo, hi)
+					n = sideBinaryChunk(nw, handles, src, dst, ds.D, bit, sa, lo, hi, opt, &cur)
 				}
+				checks += int64(n)
 			}
 			mu.Lock()
 			stats.MaxFlowCalls += nw.Stats.MaxFlowCalls
 			stats.AugmentUnits += nw.Stats.AugmentUnits
-			stats.RealizationChecks += int64(hi-lo) * int64(ds.Len())
+			stats.RealizationChecks += checks
 			mu.Unlock()
-		}(r[0], r[1])
+		}(ci, r[0], r[1])
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if opt.Ctl.Stopped() {
+		return nil, fmt.Errorf("core: side-array construction interrupted: %w", opt.Ctl.Err())
+	}
 	return sa, nil
 }
 
 // sideBinaryChunk solves each configuration in [lo,hi) from scratch,
-// setting the given assignment bit where realized.
-func sideBinaryChunk(nw *maxflow.Network, handles []maxflow.Handle, src, dst int32, d int, bit uint64, sa *sideArray, lo, hi uint64) {
+// setting the given assignment bit where realized. It returns the number
+// of configurations actually decided (fewer than hi−lo when interrupted).
+func sideBinaryChunk(nw *maxflow.Network, handles []maxflow.Handle, src, dst int32, d int, bit uint64, sa *sideArray, lo, hi uint64, opt *Options, cur *uint64) uint64 {
 	prev := ^uint64(0)
 	width := uint64(1)<<uint(len(handles)) - 1
+	var sinceCheck, n uint64
+	callsMark := nw.Stats.MaxFlowCalls
 	for mask := lo; mask < hi; mask++ {
+		if sinceCheck >= anytime.CheckEvery {
+			if !opt.Ctl.Charge(sinceCheck, nw.Stats.MaxFlowCalls-callsMark) {
+				return n
+			}
+			sinceCheck, callsMark = 0, nw.Stats.MaxFlowCalls
+		}
+		sinceCheck++
+		*cur = mask
+		if opt.TestHook != nil {
+			opt.TestHook(mask)
+		}
 		diff := (mask ^ prev) & width
 		for diff != 0 {
 			i := trailingZeros(diff)
@@ -317,25 +360,46 @@ func sideBinaryChunk(nw *maxflow.Network, handles []maxflow.Handle, src, dst int
 		if nw.MaxFlow(src, dst, d) >= d {
 			sa.realized[mask] |= bit
 		}
+		n++
 	}
+	opt.Ctl.Charge(sinceCheck, nw.Stats.MaxFlowCalls-callsMark)
+	return n
 }
 
 // sideGrayChunk walks Gray masks for indices [lo,hi), repairing the flow
-// across single-link flips.
-func sideGrayChunk(nw *maxflow.Network, handles []maxflow.Handle, src, dst int32, d int, bit uint64, sa *sideArray, lo, hi uint64) {
+// across single-link flips. Returns the number of configurations decided.
+func sideGrayChunk(nw *maxflow.Network, handles []maxflow.Handle, src, dst int32, d int, bit uint64, sa *sideArray, lo, hi uint64, opt *Options, cur *uint64) uint64 {
 	mask := conf.GrayMask(lo)
 	for i := range handles {
 		nw.SetEnabled(handles[i], mask&(1<<uint(i)) != 0)
+	}
+	*cur = mask
+	if opt.TestHook != nil {
+		opt.TestHook(mask)
 	}
 	nw.ResetFlow()
 	value := nw.Augment(src, dst, d)
 	if value >= d {
 		sa.realized[mask] |= bit
 	}
+	var n uint64 = 1
+	sinceCheck := uint64(1)
+	callsMark := nw.Stats.MaxFlowCalls
 	for i := lo + 1; i < hi; i++ {
+		if sinceCheck >= anytime.CheckEvery {
+			if !opt.Ctl.Charge(sinceCheck, nw.Stats.MaxFlowCalls-callsMark) {
+				return n
+			}
+			sinceCheck, callsMark = 0, nw.Stats.MaxFlowCalls
+		}
+		sinceCheck++
 		flip := conf.GrayFlip(i)
 		b := uint64(1) << uint(flip)
 		mask ^= b
+		*cur = mask
+		if opt.TestHook != nil {
+			opt.TestHook(mask)
+		}
 		if mask&b != 0 {
 			nw.EnableIncremental(handles[flip])
 		} else {
@@ -345,7 +409,10 @@ func sideGrayChunk(nw *maxflow.Network, handles []maxflow.Handle, src, dst int32
 		if value >= d {
 			sa.realized[mask] |= bit
 		}
+		n++
 	}
+	opt.Ctl.Charge(sinceCheck, nw.Stats.MaxFlowCalls-callsMark)
+	return n
 }
 
 func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }

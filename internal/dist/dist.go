@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"sync"
 
+	"flowrel/internal/anytime"
 	"flowrel/internal/conf"
 	"flowrel/internal/graph"
 	"flowrel/internal/maxflow"
@@ -27,9 +28,31 @@ import (
 
 // Distribution is the law of the deliverable rate, truncated at d:
 // P[v] = P(min(maxflow, d) = v) for v = 0…d.
+//
+// A Partial distribution is a certified under-approximation: every tail
+// AtLeast(j) — and hence Reliability() — is a guaranteed lower bound on
+// the true tail, and the mass Unexamined() was never classified and may
+// fall in any bucket.
 type Distribution struct {
 	D int
 	P []float64 // length D+1
+	// Partial reports an interrupted computation (see type comment).
+	Partial bool
+	// Reason says why an interrupted run stopped.
+	Reason string
+}
+
+// Unexamined returns the probability mass an interrupted run never
+// classified (0 for a complete run, up to float jitter).
+func (ds Distribution) Unexamined() float64 {
+	sum := 0.0
+	for _, p := range ds.P {
+		sum += p
+	}
+	if sum > 1 {
+		return 0
+	}
+	return 1 - sum
 }
 
 // Reliability returns P(F ≥ D) — the paper's reliability.
@@ -92,6 +115,7 @@ func Exact(g *graph.Graph, dem graph.Demand, opt reliability.Options) (Distribut
 	workers := workerCount(opt)
 	chunks := conf.SplitEnum(m)
 	partial := make([][]float64, len(chunks))
+	errs := make([]error, len(chunks))
 
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
@@ -101,11 +125,29 @@ func Exact(g *graph.Graph, dem graph.Demand, opt reliability.Options) (Distribut
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			cur := lo
+			defer anytime.RecoverInto(&errs[ci], opt.Ctl, "distribution enumeration worker", &cur)
+			if opt.Ctl.Stopped() {
+				return
+			}
 			nw := proto.Clone()
 			buckets := make([]float64, dem.D+1)
 			prev := ^uint64(0)
 			width := uint64(1)<<uint(m) - 1
+			var sinceCheck uint64
+			var callsMark int64
 			for mask := lo; mask < hi; mask++ {
+				if sinceCheck >= anytime.CheckEvery {
+					if !opt.Ctl.Charge(sinceCheck, nw.Stats.MaxFlowCalls-callsMark) {
+						break
+					}
+					sinceCheck, callsMark = 0, nw.Stats.MaxFlowCalls
+				}
+				sinceCheck++
+				cur = mask
+				if opt.TestHook != nil {
+					opt.TestHook(mask)
+				}
 				diff := (mask ^ prev) & width
 				for diff != 0 {
 					i := trailingZeros(diff)
@@ -116,16 +158,26 @@ func Exact(g *graph.Graph, dem graph.Demand, opt reliability.Options) (Distribut
 				v := nw.MaxFlow(s, t, dem.D)
 				buckets[v] += table.Prob(mask)
 			}
+			opt.Ctl.Charge(sinceCheck, nw.Stats.MaxFlowCalls-callsMark)
 			partial[ci] = buckets
 		}(ci, r[0], r[1])
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Distribution{}, err
+		}
+	}
 
 	out := Distribution{D: dem.D, P: make([]float64, dem.D+1)}
 	for _, buckets := range partial {
 		for v, p := range buckets {
 			out.P[v] += p
 		}
+	}
+	if opt.Ctl.Stopped() {
+		out.Partial = true
+		out.Reason = opt.Ctl.Reason()
 	}
 	return out, nil
 }
@@ -134,6 +186,14 @@ func Exact(g *graph.Graph, dem graph.Demand, opt reliability.Options) (Distribut
 // factoring engine: P(F ≥ j) is the flow reliability at demand j, and
 // P(F = v) = P(F ≥ v) − P(F ≥ v+1). Slower per-point than Exact on tiny
 // graphs but reaches far larger ones thanks to pruning.
+//
+// With opt.Ctl an interrupted run substitutes each unfinished tail's
+// certified lower bound (Result.Lo). The bounds of independent runs need
+// not be monotone in j, so they are monotonized with a suffix max — the
+// true tails decrease in j, hence max(Lo_j, …, Lo_D) still lower-bounds
+// P(F ≥ j) — before differencing into buckets. That keeps every
+// AtLeast(j) certified (the Partial-Distribution contract), though a
+// single bucket of a Partial result may overshoot its true value.
 func Factored(g *graph.Graph, dem graph.Demand, opt reliability.Options) (Distribution, error) {
 	if g == nil {
 		return Distribution{}, fmt.Errorf("dist: nil graph")
@@ -141,27 +201,40 @@ func Factored(g *graph.Graph, dem graph.Demand, opt reliability.Options) (Distri
 	if err := dem.Validate(g); err != nil {
 		return Distribution{}, err
 	}
-	tails := make([]float64, dem.D+2) // tails[j] = P(F ≥ j)
+	out := Distribution{D: dem.D, P: make([]float64, dem.D+1)}
+	tails := make([]float64, dem.D+2) // tails[j] = P(F ≥ j), certified lower
 	tails[0] = 1
 	for j := 1; j <= dem.D; j++ {
 		res, err := reliability.Factoring(g, graph.Demand{S: dem.S, T: dem.T, D: j}, opt)
 		if err != nil {
 			return Distribution{}, err
 		}
-		tails[j] = res.Reliability
+		if res.Partial {
+			out.Partial = true
+			out.Reason = res.Reason
+			tails[j] = res.Lo
+		} else {
+			tails[j] = res.Reliability
+		}
 	}
-	out := Distribution{D: dem.D, P: make([]float64, dem.D+1)}
+	for j := dem.D; j >= 0; j-- {
+		if tails[j] < tails[j+1] {
+			tails[j] = tails[j+1] // suffix max (float jitter on complete runs)
+		}
+	}
 	for v := 0; v <= dem.D; v++ {
 		out.P[v] = tails[v] - tails[v+1]
-		if out.P[v] < 0 {
-			out.P[v] = 0 // guard against float jitter across independent runs
-		}
 	}
 	return out, nil
 }
 
 // Sampled estimates the distribution by Monte Carlo; deterministic per
 // seed regardless of parallelism. StdErr of each bucket is ≤ 1/(2√n).
+//
+// A Partial Sampled result is normalized over the samples actually
+// completed — a valid smaller-sample estimate rather than the certified
+// under-approximation the exact engines return (estimates certify
+// nothing either way).
 func Sampled(g *graph.Graph, dem graph.Demand, samples int, seed int64, opt reliability.Options) (Distribution, error) {
 	if g == nil {
 		return Distribution{}, fmt.Errorf("dist: nil graph")
@@ -182,6 +255,8 @@ func Sampled(g *graph.Graph, dem graph.Demand, samples int, seed int64, opt reli
 	const blockSize = 4096
 	nBlocks := (samples + blockSize - 1) / blockSize
 	counts := make([][]int64, nBlocks)
+	done := make([]int, nBlocks)
+	errs := make([]error, nBlocks)
 
 	workers := workerCount(opt)
 	var wg sync.WaitGroup
@@ -192,6 +267,11 @@ func Sampled(g *graph.Graph, dem graph.Demand, samples int, seed int64, opt reli
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			var cur uint64
+			defer anytime.RecoverInto(&errs[b], opt.Ctl, "distribution sampling worker", &cur)
+			if opt.Ctl.Stopped() {
+				return
+			}
 			n := blockSize
 			if b == nBlocks-1 {
 				n = samples - b*blockSize
@@ -199,25 +279,52 @@ func Sampled(g *graph.Graph, dem graph.Demand, samples int, seed int64, opt reli
 			rng := rand.New(rand.NewSource(seed + int64(b)*0x5851F42D4C957F2D))
 			nw := proto.Clone()
 			local := make([]int64, dem.D+1)
+			var callsMark int64
 			for i := 0; i < n; i++ {
+				if i > 0 && i%256 == 0 {
+					if !opt.Ctl.Charge(256, nw.Stats.MaxFlowCalls-callsMark) {
+						break
+					}
+					callsMark = nw.Stats.MaxFlowCalls
+				}
+				cur = uint64(i)
+				if opt.TestHook != nil {
+					opt.TestHook(cur)
+				}
 				for j := range handles {
 					nw.SetEnabled(handles[j], rng.Float64() >= pFail[j])
 				}
 				local[nw.MaxFlow(s, t, dem.D)]++
+				done[b]++
 			}
+			opt.Ctl.Charge(uint64(done[b]%256), nw.Stats.MaxFlowCalls-callsMark)
 			counts[b] = local
 		}(b)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Distribution{}, err
+		}
+	}
 
 	out := Distribution{D: dem.D, P: make([]float64, dem.D+1)}
-	for _, local := range counts {
+	completed := 0
+	for b, local := range counts {
+		completed += done[b]
 		for v, c := range local {
 			out.P[v] += float64(c)
 		}
 	}
+	if completed < samples {
+		out.Partial = true
+		out.Reason = opt.Ctl.Reason()
+	}
+	if completed == 0 {
+		return out, nil
+	}
 	for v := range out.P {
-		out.P[v] /= float64(samples)
+		out.P[v] /= float64(completed)
 	}
 	return out, nil
 }

@@ -1,6 +1,8 @@
 package graph
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -27,6 +29,19 @@ func FuzzParseText(f *testing.F) {
 	}
 	for _, s := range seeds {
 		f.Add(s)
+	}
+	// Seed the corpus with every real network description shipped in
+	// testdata/, so mutations start from well-formed inputs too.
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.g"))
+	if err != nil || len(files) == 0 {
+		f.Fatalf("no testdata seeds found: %v", err)
+	}
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
 	}
 	f.Fuzz(func(t *testing.T, input string) {
 		file, err := ParseTextString(input)

@@ -21,6 +21,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"flowrel/internal/anytime"
 	"flowrel/internal/conf"
 	"flowrel/internal/graph"
 	"flowrel/internal/maxflow"
@@ -32,6 +33,12 @@ type Result struct {
 	Reliability float64
 	Targets     int
 	Stats       reliability.Stats
+	// Partial reports an interrupted run; [Lo, Hi] is then a certified
+	// interval around the true reliability (examined admitting mass up to
+	// one minus examined failing mass) and Reliability its midpoint.
+	Partial bool
+	Lo, Hi  float64
+	Reason  string
 }
 
 // targetsOrAll returns the target list, defaulting to every node except s.
@@ -89,7 +96,9 @@ func Naive(g *graph.Graph, s graph.NodeID, targets []graph.NodeID, d int, opt re
 	workers := workerCount(opt)
 	chunks := conf.SplitEnum(m)
 	partial := make([]float64, len(chunks))
+	examined := make([]float64, len(chunks))
 	stats := make([]reliability.Stats, len(chunks))
+	errs := make([]error, len(chunks))
 
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
@@ -99,12 +108,30 @@ func Naive(g *graph.Graph, s graph.NodeID, targets []graph.NodeID, d int, opt re
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			cur := lo
+			defer anytime.RecoverInto(&errs[ci], opt.Ctl, "multicast enumeration worker", &cur)
+			if opt.Ctl.Stopped() {
+				return
+			}
 			nw := proto.Clone()
-			sum := 0.0
+			sum, exam := 0.0, 0.0
 			var st reliability.Stats
 			prev := ^uint64(0)
 			width := uint64(1)<<uint(m) - 1
+			var sinceCheck uint64
+			var callsMark int64
 			for mask := lo; mask < hi; mask++ {
+				if sinceCheck >= anytime.CheckEvery {
+					if !opt.Ctl.Charge(sinceCheck, nw.Stats.MaxFlowCalls-callsMark) {
+						break
+					}
+					sinceCheck, callsMark = 0, nw.Stats.MaxFlowCalls
+				}
+				sinceCheck++
+				cur = mask
+				if opt.TestHook != nil {
+					opt.TestHook(mask)
+				}
 				diff := (mask ^ prev) & width
 				for diff != 0 {
 					i := tz(diff)
@@ -113,24 +140,49 @@ func Naive(g *graph.Graph, s graph.NodeID, targets []graph.NodeID, d int, opt re
 				}
 				prev = mask
 				st.Configs++
+				exam += table.Prob(mask)
 				if allServed(nw, int32(s), targets, d) {
 					st.Admitting++
 					sum += table.Prob(mask)
 				}
 			}
+			opt.Ctl.Charge(sinceCheck, nw.Stats.MaxFlowCalls-callsMark)
 			st.MaxFlowCalls = nw.Stats.MaxFlowCalls
 			partial[ci] = sum
+			examined[ci] = exam
 			stats[ci] = st
 		}(ci, r[0], r[1])
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
 
 	res := Result{Targets: len(targets)}
+	exam := 0.0
 	for ci := range chunks {
 		res.Reliability += partial[ci]
+		exam += examined[ci]
 		res.Stats.Configs += stats[ci].Configs
 		res.Stats.Admitting += stats[ci].Admitting
 		res.Stats.MaxFlowCalls += stats[ci].MaxFlowCalls
+	}
+	if opt.Ctl.Stopped() {
+		res.Partial = true
+		res.Reason = opt.Ctl.Reason()
+		res.Lo = res.Reliability
+		res.Hi = 1 - (exam - res.Reliability)
+		if res.Hi > 1 {
+			res.Hi = 1
+		}
+		if res.Hi < res.Lo {
+			res.Hi = res.Lo
+		}
+		res.Reliability = (res.Lo + res.Hi) / 2
+	} else {
+		res.Lo, res.Hi = res.Reliability, res.Reliability
 	}
 	return res, nil
 }
@@ -172,6 +224,8 @@ func MonteCarlo(g *graph.Graph, s graph.NodeID, targets []graph.NodeID, d, sampl
 	const blockSize = 1024
 	nBlocks := (samples + blockSize - 1) / blockSize
 	hits := make([]int, nBlocks)
+	done := make([]int, nBlocks)
+	errs := make([]error, nBlocks)
 	workers := workerCount(opt)
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
@@ -181,6 +235,11 @@ func MonteCarlo(g *graph.Graph, s graph.NodeID, targets []graph.NodeID, d, sampl
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			var cur uint64
+			defer anytime.RecoverInto(&errs[b], opt.Ctl, "multicast sampling worker", &cur)
+			if opt.Ctl.Stopped() {
+				return
+			}
 			n := blockSize
 			if b == nBlocks-1 {
 				n = samples - b*blockSize
@@ -188,29 +247,53 @@ func MonteCarlo(g *graph.Graph, s graph.NodeID, targets []graph.NodeID, d, sampl
 			rng := rand.New(rand.NewSource(seed + int64(b)*0x5851F42D4C957F2D))
 			nw := proto.Clone()
 			h := 0
+			var callsMark int64
 			for i := 0; i < n; i++ {
+				if i > 0 && i%256 == 0 {
+					if !opt.Ctl.Charge(256, nw.Stats.MaxFlowCalls-callsMark) {
+						break
+					}
+					callsMark = nw.Stats.MaxFlowCalls
+				}
+				cur = uint64(i)
+				if opt.TestHook != nil {
+					opt.TestHook(cur)
+				}
 				for j := range handles {
 					nw.SetEnabled(handles[j], rng.Float64() >= pFail[j])
 				}
 				if allServed(nw, int32(s), targets, d) {
 					h++
 				}
+				done[b]++
 			}
+			opt.Ctl.Charge(uint64(done[b]%256), nw.Stats.MaxFlowCalls-callsMark)
 			hits[b] = h
 		}(b)
 	}
 	wg.Wait()
-	total := 0
-	for _, h := range hits {
-		total += h
+	for _, err := range errs {
+		if err != nil {
+			return Estimate{}, err
+		}
 	}
-	p := float64(total) / float64(samples)
-	return Estimate{
-		Reliability: p,
-		StdErr:      math.Sqrt(p * (1 - p) / float64(samples)),
-		Samples:     samples,
-		Admitting:   total,
-	}, nil
+	total, completed := 0, 0
+	for b := range hits {
+		total += hits[b]
+		completed += done[b]
+	}
+	est := Estimate{Samples: completed, Admitting: total}
+	if completed < samples {
+		est.Partial = true
+		est.Reason = opt.Ctl.Reason()
+	}
+	if completed == 0 {
+		return est, nil
+	}
+	p := float64(total) / float64(completed)
+	est.Reliability = p
+	est.StdErr = math.Sqrt(p * (1 - p) / float64(completed))
+	return est, nil
 }
 
 // PerTarget returns each target's marginal reliability (the probability

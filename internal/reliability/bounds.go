@@ -16,6 +16,12 @@ type Bound struct {
 	// CutsExamined is the number of separating link sets backing the
 	// upper bound.
 	CutsExamined int
+	// Partial reports that the computation behind the bound was
+	// interrupted. The interval is still certified — interruption only
+	// leaves it wider than a complete run would.
+	Partial bool
+	// Reason says why an interrupted run stopped.
+	Reason string
 }
 
 // Bounds computes cheap guaranteed bounds on the reliability:

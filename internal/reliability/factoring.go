@@ -3,10 +3,17 @@ package reliability
 import (
 	"sync"
 
+	"flowrel/internal/anytime"
 	"flowrel/internal/conf"
 	"flowrel/internal/graph"
 	"flowrel/internal/maxflow"
 )
+
+// factorChargeEvery is the charging grain of the factoring engine: each
+// branch node costs up to two max-flow computations, so a coarser grain
+// than the enumeration engines' anytime.CheckEvery keeps accounting tight
+// without touching the hot path.
+const factorChargeEvery = 64
 
 // Factoring computes the exact reliability by pivotal decomposition
 // (conditioning on one link's state at a time) with two-sided pruning:
@@ -20,14 +27,21 @@ import (
 // optimistic max flow, because links off every optimal flow rarely decide
 // feasibility. This is the classical exact alternative to plain
 // enumeration; the paper's algorithm instead exploits bottleneck structure.
+//
+// With opt.Ctl the run is anytime: both prunings *prove* mass (admitting
+// and failing respectively), so an interrupted run certifies the interval
+// [proven admitting, 1 − proven failing] around the true reliability and
+// returns it in a partial Result instead of discarding the work.
 func Factoring(g *graph.Graph, dem graph.Demand, opt Options) (Result, error) {
 	if err := validate(g, dem); err != nil {
 		return Result{}, err
 	}
 	m := g.NumEdges()
 	f := &factorer{
-		g:   g,
-		dem: dem,
+		g:    g,
+		dem:  dem,
+		ctl:  opt.Ctl,
+		hook: opt.TestHook,
 	}
 	f.nw, f.handles = maxflow.FromGraph(g)
 	f.state = make([]int8, m)
@@ -41,12 +55,25 @@ func Factoring(g *graph.Graph, dem graph.Demand, opt Options) (Result, error) {
 		f.sh.splitDepth = 6
 	}
 	var res Result
-	res.Reliability = f.rec(1.0, 0, &res.Stats)
-	f.sh.mu.Lock() // all children joined before rec returned
+	var topErr error
+	func() {
+		defer anytime.RecoverInto(&topErr, f.ctl, "factoring solver", &f.nodes)
+		res.Reliability = f.rec(1.0, 0, &res.Stats)
+	}()
+	f.flushCharge()
+	f.sh.mu.Lock() // all children joined before rec returned normally
 	res.Stats.add(f.sh.childStats)
+	err := f.sh.panicErr
+	if err == nil {
+		err = topErr
+	}
 	f.sh.mu.Unlock()
+	if err != nil {
+		return Result{}, err
+	}
 	res.Stats.MaxFlowCalls += f.nw.Stats.MaxFlowCalls
 	res.Stats.AugmentUnits += f.nw.Stats.AugmentUnits
+	res.seal(f.ctl, res.Reliability, res.Stats.refuted)
 	return res, nil
 }
 
@@ -62,6 +89,18 @@ type factorShared struct {
 	sem        chan struct{} // bounds concurrent goroutines
 	mu         sync.Mutex
 	childStats Stats
+	panicErr   error // first recovered worker panic
+}
+
+// recordPanic stores the first worker panic and stops the run.
+func (sh *factorShared) recordPanic(ctl *anytime.Ctl, node uint64, v any) {
+	err := &anytime.PanicError{Where: "factoring worker", Config: node, Value: v}
+	sh.mu.Lock()
+	if sh.panicErr == nil {
+		sh.panicErr = err
+	}
+	sh.mu.Unlock()
+	ctl.Stop(err.Error())
 }
 
 type factorer struct {
@@ -71,6 +110,13 @@ type factorer struct {
 	handles []maxflow.Handle
 	state   []int8
 	sh      *factorShared
+	ctl     *anytime.Ctl
+	hook    func(uint64)
+
+	// Per-worker amortized budget accounting.
+	nodes     uint64 // branch nodes visited by this worker
+	pending   uint64 // nodes not yet charged to the controller
+	callsMark int64  // nw.Stats.MaxFlowCalls at the last charge
 }
 
 // clone returns an independent solver positioned at the same partial
@@ -79,6 +125,7 @@ func (f *factorer) clone() *factorer {
 	c := *f
 	c.nw = f.nw.Clone()
 	c.state = append([]int8(nil), f.state...)
+	c.nodes, c.pending, c.callsMark = 0, 0, 0
 	return &c
 }
 
@@ -89,6 +136,14 @@ func (f *factorer) flushInto(stats *Stats) {
 	f.sh.mu.Lock()
 	f.sh.childStats.add(*stats)
 	f.sh.mu.Unlock()
+}
+
+// flushCharge reports this worker's outstanding work to the controller.
+func (f *factorer) flushCharge() {
+	if f.pending > 0 {
+		f.ctl.Charge(f.pending, f.nw.Stats.MaxFlowCalls-f.callsMark)
+		f.pending, f.callsMark = 0, f.nw.Stats.MaxFlowCalls
+	}
 }
 
 // setPhase enables the links according to the optimistic (undecided = up)
@@ -102,14 +157,31 @@ func (f *factorer) setPhase(optimistic bool) {
 
 // rec returns the conditional reliability of the current partial state,
 // weighted by branchProb (the probability of reaching this state).
-// The returned value is already multiplied by branchProb.
+// The returned value is already multiplied by branchProb. Mass proven
+// non-admitting is recorded in stats.refuted; an interrupted branch
+// contributes to neither side, leaving its mass in the certified gap.
 func (f *factorer) rec(branchProb float64, depth int, stats *Stats) float64 {
+	f.nodes++
+	f.pending++
+	if f.pending >= factorChargeEvery {
+		calls := f.nw.Stats.MaxFlowCalls - f.callsMark
+		f.callsMark = f.nw.Stats.MaxFlowCalls
+		f.ctl.Charge(f.pending, calls)
+		f.pending = 0
+	}
+	if f.ctl.Stopped() {
+		return 0 // unexplored: stays inside the certified gap
+	}
 	stats.Configs++
+	if f.hook != nil {
+		f.hook(f.nodes)
+	}
 	s, t, d := int32(f.dem.S), int32(f.dem.T), f.dem.D
 
 	// Optimistic check: can the demand be met at all down this branch?
 	f.setPhase(true)
 	if f.nw.MaxFlow(s, t, d) < d {
+		stats.refuted += branchProb
 		return 0
 	}
 	// Remember which links the optimistic flow uses, to pick the pivot.
@@ -140,6 +212,7 @@ func (f *factorer) rec(branchProb float64, depth int, stats *Stats) float64 {
 		}
 		if pivot == -1 {
 			// Fully decided and pessimistic == optimistic failed above.
+			stats.refuted += branchProb
 			return 0
 		}
 	}
@@ -155,8 +228,15 @@ func (f *factorer) rec(branchProb float64, depth int, stats *Stats) float64 {
 			ch := make(chan float64, 1)
 			go func() {
 				defer func() { <-f.sh.sem }()
+				defer func() {
+					if r := recover(); r != nil {
+						f.sh.recordPanic(f.ctl, child.nodes, r)
+						ch <- 0
+					}
+				}()
 				var childStats Stats
 				v := child.rec(branchProb*p, depth+1, &childStats)
+				child.flushCharge()
 				child.flushInto(&childStats) // flush before signalling done
 				ch <- v
 			}()

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"flowrel/internal/anytime"
 	"flowrel/internal/graph"
 	"flowrel/internal/maxflow"
 )
@@ -21,6 +22,9 @@ import (
 // The returned Estimate describes U (not R); use 1−U for the reliability.
 // bias must lie in (0, 1); a few times the typical link failure
 // probability is a reasonable choice, 0.25–0.5 a robust default.
+//
+// With opt.Ctl the run is anytime: an interrupted run returns the
+// estimate over the samples completed so far with Partial set.
 func UnreliabilityIS(g *graph.Graph, dem graph.Demand, samples int, seed int64, bias float64, opt Options) (Estimate, error) {
 	if err := validate(g, dem); err != nil {
 		return Estimate{}, err
@@ -51,6 +55,8 @@ func UnreliabilityIS(g *graph.Graph, dem graph.Demand, samples int, seed int64, 
 	nBlocks := (samples + blockSize - 1) / blockSize
 	type blockSum struct{ w, w2 float64 }
 	sums := make([]blockSum, nBlocks)
+	done := make([]int, nBlocks)
+	errs := make([]error, nBlocks)
 
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, opt.workers())
@@ -60,6 +66,11 @@ func UnreliabilityIS(g *graph.Graph, dem graph.Demand, samples int, seed int64, 
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			var cur uint64
+			defer anytime.RecoverInto(&errs[b], opt.Ctl, "importance sampling worker", &cur)
+			if opt.Ctl.Stopped() {
+				return
+			}
 			n := blockSize
 			if b == nBlocks-1 {
 				n = samples - b*blockSize
@@ -67,7 +78,18 @@ func UnreliabilityIS(g *graph.Graph, dem graph.Demand, samples int, seed int64, 
 			rng := rand.New(rand.NewSource(seed + int64(b)*0x5851F42D4C957F2D))
 			nw := proto.Clone()
 			var sw, sw2 float64
+			var callsMark int64
 			for i := 0; i < n; i++ {
+				if i > 0 && i%mcCheckEvery == 0 {
+					if !opt.Ctl.Charge(mcCheckEvery, nw.Stats.MaxFlowCalls-callsMark) {
+						break
+					}
+					callsMark = nw.Stats.MaxFlowCalls
+				}
+				cur = uint64(i)
+				if opt.TestHook != nil {
+					opt.TestHook(cur)
+				}
 				w := 1.0
 				for j := range handles {
 					down := rng.Float64() < q[j]
@@ -82,26 +104,39 @@ func UnreliabilityIS(g *graph.Graph, dem graph.Demand, samples int, seed int64, 
 					sw += w
 					sw2 += w * w
 				}
+				done[b]++
 			}
+			opt.Ctl.Charge(uint64(done[b]%mcCheckEvery), nw.Stats.MaxFlowCalls-callsMark)
 			sums[b] = blockSum{sw, sw2}
 		}(b)
 	}
 	wg.Wait()
+	if err := firstError(errs); err != nil {
+		return Estimate{}, err
+	}
 
 	var sw, sw2 float64
-	for _, bs := range sums {
-		sw += bs.w
-		sw2 += bs.w2
+	completed := 0
+	for b := range sums {
+		sw += sums[b].w
+		sw2 += sums[b].w2
+		completed += done[b]
 	}
-	n := float64(samples)
+	est := Estimate{Samples: completed}
+	if completed < samples {
+		est.Partial = true
+		est.Reason = opt.Ctl.Reason()
+	}
+	if completed == 0 {
+		return est, nil
+	}
+	n := float64(completed)
 	mean := sw / n
 	varEst := (sw2/n - mean*mean) / n
 	if varEst < 0 {
 		varEst = 0
 	}
-	return Estimate{
-		Reliability: mean, // the estimated UNreliability
-		StdErr:      math.Sqrt(varEst),
-		Samples:     samples,
-	}, nil
+	est.Reliability = mean // the estimated UNreliability
+	est.StdErr = math.Sqrt(varEst)
+	return est, nil
 }

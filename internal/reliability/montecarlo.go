@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"flowrel/internal/anytime"
 	"flowrel/internal/graph"
 	"flowrel/internal/maxflow"
 )
@@ -16,6 +17,12 @@ type Estimate struct {
 	StdErr      float64 // standard error of the estimate
 	Samples     int
 	Admitting   int
+	// Partial reports an interrupted run: Samples is then the number of
+	// samples actually completed (possibly 0, in which case the estimate
+	// is vacuous) and the estimator statistics cover only those.
+	Partial bool
+	// Reason says why an interrupted run stopped.
+	Reason string
 }
 
 // ConfidenceInterval returns the estimate ± z·stderr interval clamped to
@@ -32,11 +39,22 @@ func (e Estimate) ConfidenceInterval(z float64) (lo, hi float64) {
 	return lo, hi
 }
 
+// mcCheckEvery is the per-worker cancellation poll grain for the sampling
+// engines; samples are dearer than enumeration steps (|E| PRNG draws plus
+// a max flow each), so a finer grain than anytime.CheckEvery costs
+// nothing measurable.
+const mcCheckEvery = 256
+
 // MonteCarlo estimates the reliability by sampling failure configurations.
 // The sample set is split into fixed-size blocks, each driven by its own
 // deterministic PRNG stream derived from seed, so the result is identical
 // for any Parallelism setting. Unlike the exact engines it scales to
 // arbitrarily large graphs.
+//
+// With opt.Ctl the run is anytime: an interrupted run returns the
+// estimate over the samples completed so far with Partial set. (An
+// interrupted run is deterministic only in distribution — how many
+// samples finish before the stop lands depends on scheduling.)
 func MonteCarlo(g *graph.Graph, dem graph.Demand, samples int, seed int64, opt Options) (Estimate, error) {
 	if err := validate(g, dem); err != nil {
 		return Estimate{}, err
@@ -54,6 +72,8 @@ func MonteCarlo(g *graph.Graph, dem graph.Demand, samples int, seed int64, opt O
 	const blockSize = 4096
 	nBlocks := (samples + blockSize - 1) / blockSize
 	hits := make([]int, nBlocks)
+	done := make([]int, nBlocks)
+	errs := make([]error, nBlocks)
 
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, opt.workers())
@@ -63,6 +83,11 @@ func MonteCarlo(g *graph.Graph, dem graph.Demand, samples int, seed int64, opt O
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			var cur uint64
+			defer anytime.RecoverInto(&errs[b], opt.Ctl, "Monte Carlo worker", &cur)
+			if opt.Ctl.Stopped() {
+				return
+			}
 			n := blockSize
 			if b == nBlocks-1 {
 				n = samples - b*blockSize
@@ -70,28 +95,50 @@ func MonteCarlo(g *graph.Graph, dem graph.Demand, samples int, seed int64, opt O
 			rng := rand.New(rand.NewSource(seed + int64(b)*0x5851F42D4C957F2D))
 			nw := proto.Clone()
 			h := 0
+			var callsMark int64
 			for i := 0; i < n; i++ {
+				if i > 0 && i%mcCheckEvery == 0 {
+					if !opt.Ctl.Charge(mcCheckEvery, nw.Stats.MaxFlowCalls-callsMark) {
+						break
+					}
+					callsMark = nw.Stats.MaxFlowCalls
+				}
+				cur = uint64(i)
+				if opt.TestHook != nil {
+					opt.TestHook(cur)
+				}
 				for j := range handles {
 					nw.SetEnabled(handles[j], rng.Float64() >= pFail[j])
 				}
 				if nw.MaxFlow(s, t, dem.D) >= dem.D {
 					h++
 				}
+				done[b]++
 			}
+			opt.Ctl.Charge(uint64(done[b]%mcCheckEvery), nw.Stats.MaxFlowCalls-callsMark)
 			hits[b] = h
 		}(b)
 	}
 	wg.Wait()
-
-	total := 0
-	for _, h := range hits {
-		total += h
+	if err := firstError(errs); err != nil {
+		return Estimate{}, err
 	}
-	p := float64(total) / float64(samples)
-	return Estimate{
-		Reliability: p,
-		StdErr:      math.Sqrt(p * (1 - p) / float64(samples)),
-		Samples:     samples,
-		Admitting:   total,
-	}, nil
+
+	total, completed := 0, 0
+	for b := range hits {
+		total += hits[b]
+		completed += done[b]
+	}
+	est := Estimate{Samples: completed, Admitting: total}
+	if completed < samples {
+		est.Partial = true
+		est.Reason = opt.Ctl.Reason()
+	}
+	if completed == 0 {
+		return est, nil
+	}
+	p := float64(total) / float64(completed)
+	est.Reliability = p
+	est.StdErr = math.Sqrt(p * (1 - p) / float64(completed))
+	return est, nil
 }

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"flowrel/internal/anytime"
 	"flowrel/internal/graph"
 )
 
@@ -34,6 +35,16 @@ type Options struct {
 	// order, maintaining the max flow incrementally across neighbouring
 	// configurations instead of re-solving from scratch.
 	GrayCode bool
+	// Ctl, when non-nil, threads cooperative cancellation and compute
+	// budgets through the worker loops (checked every anytime.CheckEvery
+	// configurations). Interrupted engines return a partial Result with a
+	// certified [Lo, Hi] interval instead of an error.
+	Ctl *anytime.Ctl
+	// TestHook, when non-nil, is invoked inside the worker loops before
+	// each configuration's feasibility check with the configuration index
+	// (or branch-node count for the factoring engine). Tests use it to
+	// inject faults — e.g. panics — into the hot path.
+	TestHook func(configIndex uint64)
 }
 
 func (o Options) workers() int {
@@ -49,6 +60,11 @@ type Stats struct {
 	Admitting    uint64 // configurations that admitted the demand
 	MaxFlowCalls int64  // max-flow solver invocations
 	AugmentUnits int64  // total flow units pushed by the solver
+
+	// refuted is the probability mass proven non-admitting — the
+	// factoring engine's bookkeeping for certified intervals on
+	// interrupted runs.
+	refuted float64
 }
 
 func (s *Stats) add(o Stats) {
@@ -56,12 +72,61 @@ func (s *Stats) add(o Stats) {
 	s.Admitting += o.Admitting
 	s.MaxFlowCalls += o.MaxFlowCalls
 	s.AugmentUnits += o.AugmentUnits
+	s.refuted += o.refuted
 }
 
 // Result is an exact engine's answer.
 type Result struct {
 	Reliability float64
 	Stats       Stats
+
+	// Partial reports that the run was interrupted (context cancellation,
+	// deadline or budget exhaustion). [Lo, Hi] is then a certified
+	// interval containing the true reliability: Lo is the probability
+	// mass proven admitting, 1−Hi the mass proven failing, and the gap is
+	// the unexplored remainder. Reliability is the midpoint — the best
+	// single guess. On complete runs Partial is false and
+	// Lo = Hi = Reliability.
+	Partial bool
+	Lo, Hi  float64
+	// Reason says why an interrupted run stopped.
+	Reason string
+}
+
+// seal finalizes a Result: on complete runs it pins Lo = Hi =
+// Reliability; on interrupted runs it certifies [Lo, Hi] from the proven
+// admitting mass lo and proven failing mass refuted, and reports the
+// midpoint as the point estimate.
+func (r *Result) seal(ctl *anytime.Ctl, lo, refuted float64) {
+	if !ctl.Stopped() {
+		r.Lo, r.Hi = r.Reliability, r.Reliability
+		return
+	}
+	hi := 1 - refuted
+	// Floating-point guards; mathematically 0 ≤ lo ≤ hi ≤ 1.
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	r.Partial = true
+	r.Lo, r.Hi = lo, hi
+	r.Reliability = (lo + hi) / 2
+	r.Reason = ctl.Reason()
+}
+
+// firstError returns the first non-nil error of a per-worker slice.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func validate(g *graph.Graph, dem graph.Demand) error {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"flowrel/internal/anytime"
 	"flowrel/internal/graph"
 	"flowrel/internal/maxflow"
 )
@@ -23,6 +24,18 @@ import (
 // after a few layers. (Unlike Bounds it adapts: more budget, tighter
 // interval.)
 func MostProbableStates(g *graph.Graph, dem graph.Demand, maxFailures int) (Bound, error) {
+	return MostProbableStatesOpt(g, dem, maxFailures, Options{})
+}
+
+// MostProbableStatesOpt is MostProbableStates under an Options — in
+// particular a cancellation controller. The bounding trick generalizes to
+// interrupted runs for free: the interval [admitting examined mass,
+// admitting examined mass + unexamined mass] is certified no matter where
+// the enumeration stopped, so a cancelled run simply returns a wider (but
+// still guaranteed) interval with Partial set. Pass maxFailures = |E| and
+// a budget to get the anytime form: the interval narrows monotonically
+// until the budget runs out.
+func MostProbableStatesOpt(g *graph.Graph, dem graph.Demand, maxFailures int, opt Options) (Bound, error) {
 	if err := validate(g, dem); err != nil {
 		return Bound{}, err
 	}
@@ -56,8 +69,24 @@ func MostProbableStates(g *graph.Graph, dem graph.Demand, maxFailures int) (Boun
 
 	admitMass := 0.0
 	examinedMass := 0.0
+	var examined uint64
+	var callsMark int64
+	var recErr error
 	var rec func(start, failures int, prob float64)
 	rec = func(start, failures int, prob float64) {
+		if examined%anytime.CheckEvery == 0 && examined > 0 {
+			if !opt.Ctl.Charge(anytime.CheckEvery, nw.Stats.MaxFlowCalls-callsMark) {
+				return
+			}
+			callsMark = nw.Stats.MaxFlowCalls
+		}
+		if opt.Ctl.Stopped() {
+			return
+		}
+		examined++
+		if opt.TestHook != nil {
+			opt.TestHook(examined)
+		}
 		// Current configuration: links chosen so far are failed.
 		examinedMass += prob
 		if nw.MaxFlow(s, t, dem.D) >= dem.D {
@@ -67,6 +96,9 @@ func MostProbableStates(g *graph.Graph, dem graph.Demand, maxFailures int) (Boun
 			return
 		}
 		for oi := start; oi < m; oi++ {
+			if opt.Ctl.Stopped() {
+				return
+			}
 			e := order[oi]
 			if pFail[e] == 0 {
 				continue // a p=0 link never fails; skip its branch
@@ -77,7 +109,14 @@ func MostProbableStates(g *graph.Graph, dem graph.Demand, maxFailures int) (Boun
 		}
 	}
 	if pAllUp > 0 {
-		rec(0, 0, pAllUp)
+		func() {
+			defer anytime.RecoverInto(&recErr, opt.Ctl, "most-probable-states enumeration", &examined)
+			rec(0, 0, pAllUp)
+		}()
+		opt.Ctl.Charge(examined%anytime.CheckEvery, nw.Stats.MaxFlowCalls-callsMark)
+		if recErr != nil {
+			return Bound{}, recErr
+		}
 	} else {
 		// Some link fails surely: configurations with it up have
 		// probability 0; enumerate over the remaining links only. Rare
@@ -95,6 +134,10 @@ func MostProbableStates(g *graph.Graph, dem graph.Demand, maxFailures int) (Boun
 	b := Bound{Lower: admitMass, Upper: admitMass + tail, CutsExamined: 0}
 	if b.Upper > 1 {
 		b.Upper = 1
+	}
+	if opt.Ctl.Stopped() {
+		b.Partial = true
+		b.Reason = opt.Ctl.Reason()
 	}
 	return b, nil
 }

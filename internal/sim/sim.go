@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"flowrel/internal/anytime"
 	"flowrel/internal/bitset"
 	"flowrel/internal/flowdecomp"
 	"flowrel/internal/graph"
@@ -28,6 +29,9 @@ type Config struct {
 	// CollectPaths enables per-session path decomposition (hop
 	// statistics); costs one extra pass per session.
 	CollectPaths bool
+	// Ctl optionally makes the run cancellable: an interrupted run reports
+	// statistics over the sessions actually simulated, with Partial set.
+	Ctl *anytime.Ctl
 }
 
 // Report aggregates a simulation run.
@@ -44,6 +48,11 @@ type Report struct {
 	// MeanHops is the average delivery-path length over all delivered
 	// sub-streams (0 when CollectPaths is off or nothing was delivered).
 	MeanHops float64
+	// Partial reports an interrupted run; Sessions then counts only the
+	// sessions actually simulated and all statistics cover those.
+	Partial bool
+	// Reason says why an interrupted run stopped.
+	Reason string
 }
 
 // Run simulates the demand on the overlay.
@@ -71,12 +80,14 @@ func Run(g *graph.Graph, dem graph.Demand, cfg Config) (Report, error) {
 	const blockSize = 1024
 	nBlocks := (cfg.Sessions + blockSize - 1) / blockSize
 	type blockStats struct {
+		done       int
 		delivered  int
 		substreams int64
 		hops       int64
 		pathCount  int64
 	}
 	blocks := make([]blockStats, nBlocks)
+	errs := make([]error, nBlocks)
 
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
@@ -86,6 +97,11 @@ func Run(g *graph.Graph, dem graph.Demand, cfg Config) (Report, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			var cur uint64
+			defer anytime.RecoverInto(&errs[bi], cfg.Ctl, "simulation worker", &cur)
+			if cfg.Ctl.Stopped() {
+				return
+			}
 			n := blockSize
 			if bi == nBlocks-1 {
 				n = cfg.Sessions - bi*blockSize
@@ -97,7 +113,15 @@ func Run(g *graph.Graph, dem graph.Demand, cfg Config) (Report, error) {
 				alive = bitset.New(g.NumEdges())
 			}
 			st := &blocks[bi]
+			var callsMark int64
 			for i := 0; i < n; i++ {
+				if i > 0 && i%256 == 0 {
+					if !cfg.Ctl.Charge(256, nw.Stats.MaxFlowCalls-callsMark) {
+						break
+					}
+					callsMark = nw.Stats.MaxFlowCalls
+				}
+				cur = uint64(i)
 				if alive != nil {
 					alive.Reset()
 				}
@@ -122,22 +146,37 @@ func Run(g *graph.Graph, dem graph.Demand, cfg Config) (Report, error) {
 						}
 					}
 				}
+				st.done++
 			}
+			cfg.Ctl.Charge(uint64(st.done%256), nw.Stats.MaxFlowCalls-callsMark)
 		}(bi)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Report{}, err
+		}
+	}
 
-	rep := Report{Sessions: cfg.Sessions}
+	rep := Report{}
 	var substreams, hops, pathCount int64
 	for i := range blocks {
+		rep.Sessions += blocks[i].done
 		rep.Delivered += blocks[i].delivered
 		substreams += blocks[i].substreams
 		hops += blocks[i].hops
 		pathCount += blocks[i].pathCount
 	}
-	rep.DeliveryRate = float64(rep.Delivered) / float64(cfg.Sessions)
-	rep.StdErr = math.Sqrt(rep.DeliveryRate * (1 - rep.DeliveryRate) / float64(cfg.Sessions))
-	rep.MeanSubstreams = float64(substreams) / float64(cfg.Sessions)
+	if rep.Sessions < cfg.Sessions {
+		rep.Partial = true
+		rep.Reason = cfg.Ctl.Reason()
+	}
+	if rep.Sessions == 0 {
+		return rep, nil
+	}
+	rep.DeliveryRate = float64(rep.Delivered) / float64(rep.Sessions)
+	rep.StdErr = math.Sqrt(rep.DeliveryRate * (1 - rep.DeliveryRate) / float64(rep.Sessions))
+	rep.MeanSubstreams = float64(substreams) / float64(rep.Sessions)
 	if pathCount > 0 {
 		rep.MeanHops = float64(hops) / float64(pathCount)
 	}
