@@ -320,6 +320,106 @@ func BenchmarkBottleneckSearch(b *testing.B) {
 	}
 }
 
+// BenchmarkPlanReuse is ablation A8: the compile/evaluate split on the A3
+// instance — a cold compile (side arrays built from scratch), a cache-hit
+// compile (structural hash lookup only), and a single probability
+// evaluation against the frozen arrays.
+func BenchmarkPlanReuse(b *testing.B) {
+	g, dem, _ := clusteredInstance(b, 6)
+	b.Run("cold-compile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ResetPlanCache()
+			if _, err := CompilePlan(g, dem, Config{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	ResetPlanCache()
+	plan, err := CompilePlan(g, dem, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cached-compile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := CompilePlan(g, dem, Config{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	pf := plan.BasePFail()
+	b.Run("eval", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := plan.Eval(pf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSweepModes is the 20-point `-mode scale` sweep both ways:
+// per-point (rebuild the instance and pay a full solve at every scale
+// factor — the pre-plan behaviour) vs planned (one compile, twenty
+// probability evaluations). The planned variant asserts, via the compile
+// statistics, that the whole sweep runs exactly one side-array
+// construction: its max-flow call count equals a single cold compile's,
+// and evaluation adds none.
+func BenchmarkSweepModes(b *testing.B) {
+	g, dem, _ := clusteredInstance(b, 6)
+	const points = 20
+	scales := make([]float64, points)
+	for i := range scales {
+		scales[i] = 2 * float64(i) / float64(points-1)
+	}
+	base := make([]float64, g.NumEdges())
+	for i, e := range g.Edges() {
+		base[i] = e.PFail
+	}
+	scenarios := make([][]float64, points)
+	for i, sc := range scales {
+		pf := make([]float64, len(base))
+		for j := range pf {
+			pf[j] = base[j] * sc
+			if pf[j] >= 1 {
+				pf[j] = 0.999999
+			}
+		}
+		scenarios[i] = pf
+	}
+	ResetPlanCache()
+	ref, err := CompilePlan(g, dem, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	oneCompile := ref.MaxFlowCalls()
+
+	b.Run("per-point", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, sc := range scales {
+				ResetPlanCache()
+				inst := rescaleProbs(b, g, sc)
+				if _, err := Compute(inst, dem, Config{Engine: EngineCore}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("planned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ResetPlanCache()
+			plan, err := CompilePlan(g, dem, Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := plan.EvalBatch(scenarios); err != nil {
+				b.Fatal(err)
+			}
+			if calls := plan.MaxFlowCalls(); calls != oneCompile {
+				b.Fatalf("sweep ran %d max-flow calls, want exactly one construction (%d)", calls, oneCompile)
+			}
+		}
+	})
+}
+
 // BenchmarkChain is experiment E11: single-cut core vs the multi-cut chain
 // solver on delivery chains of growing length.
 func BenchmarkChain(b *testing.B) {

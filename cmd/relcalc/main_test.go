@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"flowrel"
 )
 
 const figure2Text = `
@@ -23,6 +25,10 @@ demand s t 1
 
 func runCLI(t *testing.T, args []string, stdin string) (string, error) {
 	t.Helper()
+	// Each real CLI invocation is a fresh process with an empty plan
+	// cache; mirror that so budgeted runs are not answered from plans
+	// compiled by earlier tests in this binary.
+	flowrel.ResetPlanCache()
 	var out strings.Builder
 	err := run(args, strings.NewReader(stdin), &out)
 	return out.String(), err

@@ -8,9 +8,17 @@
 //	                   (one enumeration via the reliability polynomial,
 //	                   then free evaluations)
 //	-mode scale        every link's own probability multiplied by the
-//	                   sweep value (one exact solve per point)
+//	                   sweep value (one compiled plan, one probability
+//	                   evaluation per point — no per-point solves)
 //	-mode bottleneck   only the discovered bottleneck links' probability
-//	                   set to the sweep value (one exact solve per point)
+//	                   set to the sweep value (same compile-once plan)
+//
+// The scale and bottleneck curves vary only probabilities, never the
+// topology, so the bottleneck decomposition is compiled once and each
+// point is a microsecond evaluation. When the instance does not admit the
+// decomposition (or the budget interrupts the compile), the sweep falls
+// back to one anytime solve per point, printing certified intervals as
+// comments for points the budget cuts short.
 //
 // Usage:
 //
@@ -89,26 +97,17 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeFlag)
 		defer cancel()
 	}
-	// solve computes one sweep point under the shared deadline and the
-	// per-point budget; a partial answer yields the certified midpoint
-	// plus a comment row with the interval.
-	solve := func(sg *flowrel.Graph, x float64) (float64, string, error) {
-		rep, err := flowrel.ComputeCtx(ctx, sg, dem, flowrel.Config{
-			Budget: flowrel.Budget{MaxConfigs: *cfgsFlag},
-		})
-		if err != nil {
-			return 0, "", err
-		}
-		if rep.Partial {
-			note := fmt.Sprintf("# partial at %.6f: certified [%.9f, %.9f], rung %s", x, rep.Lo, rep.Hi, rep.Rung)
-			return rep.Reliability, note, nil
-		}
-		return rep.Reliability, "", nil
-	}
+	budget := flowrel.Budget{MaxConfigs: *cfgsFlag}
 
 	switch *modeFlag {
 	case "uniform":
-		P, err := flowrel.Polynomial(g, dem)
+		var P flowrel.ReliabilityPolynomial
+		var err error
+		if *timeFlag > 0 || *cfgsFlag > 0 {
+			P, err = flowrel.PolynomialCtx(ctx, g, dem, budget)
+		} else {
+			P, err = flowrel.Polynomial(g, dem)
+		}
 		if err != nil {
 			return err
 		}
@@ -117,6 +116,21 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			fmt.Fprintf(stdout, "%.6f,%.9f\n", p, P.Eval(p))
 		}
 	case "scale":
+		scenario := func(base []float64, sc float64) []float64 {
+			pf := make([]float64, len(base))
+			for i, p := range base {
+				p *= sc
+				if p >= 1 {
+					p = 0.999999
+				}
+				pf[i] = p
+			}
+			return pf
+		}
+		if done, err := planSweep(ctx, stdout, g, dem, budget, "scale,reliability", "", points, scenario); done || err != nil {
+			return err
+		}
+		// Fallback: one anytime solve per point on a reweighted copy.
 		fmt.Fprintln(stdout, "scale,reliability")
 		for _, sc := range points {
 			sg, err := rebuild(g, func(e flowrel.Edge) float64 {
@@ -129,13 +143,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			if err != nil {
 				return err
 			}
-			r, note, err := solve(sg, sc)
-			if err != nil {
+			if err := solvePoint(ctx, stdout, sg, dem, budget, sc); err != nil {
 				return err
-			}
-			fmt.Fprintf(stdout, "%.6f,%.9f\n", sc, r)
-			if note != "" {
-				fmt.Fprintln(stdout, note)
 			}
 		}
 	case "bottleneck":
@@ -143,11 +152,24 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
+		cutNote := fmt.Sprintf("# bottleneck links: %v", bt.Cut)
+		scenario := func(base []float64, p float64) []float64 {
+			pf := append([]float64(nil), base...)
+			for _, e := range bt.Cut {
+				pf[e] = p
+			}
+			return pf
+		}
+		cfg := flowrel.Config{Bottleneck: bt.Cut, MaxBottleneck: *cutFlag, Budget: budget}
+		if done, err := planSweepCfg(ctx, stdout, g, dem, cfg, "p_bottleneck,reliability", cutNote, points, scenario); done || err != nil {
+			return err
+		}
+		// Fallback: one anytime solve per point on a reweighted copy.
 		inCut := map[flowrel.EdgeID]bool{}
 		for _, e := range bt.Cut {
 			inCut[e] = true
 		}
-		fmt.Fprintf(stdout, "# bottleneck links: %v\n", bt.Cut)
+		fmt.Fprintln(stdout, cutNote)
 		fmt.Fprintln(stdout, "p_bottleneck,reliability")
 		for _, p := range points {
 			sg, err := rebuild(g, func(e flowrel.Edge) float64 {
@@ -159,17 +181,62 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			if err != nil {
 				return err
 			}
-			r, note, err := solve(sg, p)
-			if err != nil {
+			if err := solvePoint(ctx, stdout, sg, dem, budget, p); err != nil {
 				return err
-			}
-			fmt.Fprintf(stdout, "%.6f,%.9f\n", p, r)
-			if note != "" {
-				fmt.Fprintln(stdout, note)
 			}
 		}
 	default:
 		return fmt.Errorf("unknown mode %q", *modeFlag)
+	}
+	return nil
+}
+
+// planSweep compiles the instance once and evaluates every sweep point
+// against the plan — no per-point max-flow work. It reports done = false
+// (printing nothing) when the instance does not compile, so the caller can
+// fall back to per-point solves.
+func planSweep(ctx context.Context, stdout io.Writer, g *flowrel.Graph, dem flowrel.Demand, budget flowrel.Budget, header, note string, points []float64, scenario func(base []float64, x float64) []float64) (bool, error) {
+	return planSweepCfg(ctx, stdout, g, dem, flowrel.Config{Budget: budget}, header, note, points, scenario)
+}
+
+func planSweepCfg(ctx context.Context, stdout io.Writer, g *flowrel.Graph, dem flowrel.Demand, cfg flowrel.Config, header, note string, points []float64, scenario func(base []float64, x float64) []float64) (bool, error) {
+	plan, err := flowrel.CompilePlanCtx(ctx, g, dem, cfg)
+	if err != nil {
+		// Structural decline or interrupted compile: let the per-point
+		// anytime path answer (it degrades gracefully and prints certified
+		// intervals when the budget cuts a point short).
+		return false, nil
+	}
+	base := plan.BasePFail()
+	scenarios := make([][]float64, len(points))
+	for i, x := range points {
+		scenarios[i] = scenario(base, x)
+	}
+	rs, err := plan.EvalBatch(scenarios)
+	if err != nil {
+		return false, err
+	}
+	if note != "" {
+		fmt.Fprintln(stdout, note)
+	}
+	fmt.Fprintln(stdout, header)
+	for i, x := range points {
+		fmt.Fprintf(stdout, "%.6f,%.9f\n", x, rs[i])
+	}
+	return true, nil
+}
+
+// solvePoint computes one sweep point under the shared deadline and the
+// per-point budget; a partial answer yields the certified midpoint plus a
+// comment row with the interval.
+func solvePoint(ctx context.Context, stdout io.Writer, sg *flowrel.Graph, dem flowrel.Demand, budget flowrel.Budget, x float64) error {
+	rep, err := flowrel.ComputeCtx(ctx, sg, dem, flowrel.Config{Budget: budget})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%.6f,%.9f\n", x, rep.Reliability)
+	if rep.Partial {
+		fmt.Fprintf(stdout, "# partial at %.6f: certified [%.9f, %.9f], rung %s\n", x, rep.Lo, rep.Hi, rep.Rung)
 	}
 	return nil
 }

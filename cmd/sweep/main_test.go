@@ -4,6 +4,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"flowrel"
 )
 
 const net = `
@@ -15,6 +17,10 @@ demand s t 1
 
 func sweepCLI(t *testing.T, args []string, stdin string) string {
 	t.Helper()
+	// Each real CLI invocation is a fresh process with an empty plan
+	// cache; mirror that so budgeted runs are not answered from plans
+	// compiled by earlier tests in this binary.
+	flowrel.ResetPlanCache()
 	var out strings.Builder
 	if err := run(args, strings.NewReader(stdin), &out); err != nil {
 		t.Fatalf("run(%v): %v", args, err)

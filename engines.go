@@ -8,7 +8,6 @@ import (
 	"flowrel/internal/anytime"
 	"flowrel/internal/assign"
 	"flowrel/internal/chain"
-	"flowrel/internal/core"
 	"flowrel/internal/mincut"
 	"flowrel/internal/reduce"
 	"flowrel/internal/reliability"
@@ -224,30 +223,34 @@ func ComputeCtx(ctx context.Context, g *Graph, dem Demand, cfg Config) (Report, 
 	return Report{}, fmt.Errorf("flowrel: unknown engine %v", cfg.Engine)
 }
 
+// computeCore answers through the plan cache: a cache hit skips the entire
+// side-array construction (zero max-flow calls) and only re-aggregates the
+// probabilities, so repeated Compute calls on the same structure cost
+// microseconds. A miss compiles, caches, and reports the compile work.
 func computeCore(g *Graph, dem Demand, cfg Config, ctl *anytime.Ctl) (Report, error) {
-	res, err := core.Reliability(g, dem, core.Options{
-		Bottleneck:       cfg.Bottleneck,
-		MaxBottleneck:    cfg.MaxBottleneck,
-		MaxSideEdges:     cfg.MaxSideEdges,
-		MaxAssignmentSet: cfg.MaxAssignmentSet,
-		Parallelism:      cfg.Parallelism,
-		Ctl:              ctl,
-	})
+	plan, hit, err := planFor(ctl, g, dem, cfg)
 	if err != nil {
 		return Report{}, err
 	}
-	return Report{
-		Reliability:  res.Reliability,
-		Engine:       EngineCore,
-		Cut:          res.Cut,
-		K:            res.K,
-		Alpha:        res.Alpha,
-		Assignments:  res.Assignments,
-		MaxFlowCalls: res.Stats.MaxFlowCalls,
-		Configs:      res.Stats.SideConfigs[0] + res.Stats.SideConfigs[1],
-		Lo:           res.Reliability,
-		Hi:           res.Reliability,
-	}, nil
+	r, err := plan.Eval(pfailOf(g))
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{
+		Reliability: r,
+		Engine:      EngineCore,
+		Cut:         append([]EdgeID(nil), plan.Cut...),
+		K:           plan.K(),
+		Alpha:       plan.Alpha,
+		Assignments: plan.Assignments,
+		Lo:          r,
+		Hi:          r,
+	}
+	if !hit {
+		rep.MaxFlowCalls = plan.Stats.MaxFlowCalls
+		rep.Configs = plan.Stats.SideConfigs[0] + plan.Stats.SideConfigs[1]
+	}
+	return rep, nil
 }
 
 func computeChain(g *Graph, dem Demand, cfg Config, ctl *anytime.Ctl) (Report, error) {

@@ -133,8 +133,15 @@ type LinkImportance = reliability.Importance
 // ∂R/∂(availability) = R(link up) − R(link down) and the achievement
 // worth R(link up) − R. Bottleneck links dominate the ranking — this is
 // the quantitative form of "which links should the operator harden first".
-// Costs 2|E| factoring computations.
+// When the instance admits the bottleneck decomposition, the structure is
+// compiled once and each conditional is a probability evaluation
+// (p(e) ∈ {0, 1}); otherwise it costs 2|E| factoring computations.
 func BirnbaumImportance(g *Graph, dem Demand) ([]LinkImportance, error) {
+	if g != nil {
+		if plan, err := CompilePlan(g, dem, Config{}); err == nil {
+			return birnbaumFromPlan(g, plan)
+		}
+	}
 	return reliability.BirnbaumImportance(g, dem, reliability.Options{})
 }
 
@@ -143,8 +150,16 @@ type UpgradePlan = reliability.UpgradePlan
 
 // SuggestUpgrades greedily picks up to budget links whose hardening
 // (p → 0) buys the most reliability, re-evaluating after every pick.
-// Optimal for budget 1, a strong heuristic beyond.
+// Optimal for budget 1, a strong heuristic beyond. On instances the
+// bottleneck decomposition admits, the whole greedy search runs against
+// one compiled plan (hardening is a probability edit), with the winning
+// candidate's value carried over as the next round's baseline.
 func SuggestUpgrades(g *Graph, dem Demand, budget int) (UpgradePlan, error) {
+	if g != nil && budget >= 1 {
+		if plan, err := CompilePlan(g, dem, Config{}); err == nil {
+			return upgradesFromPlan(plan, budget)
+		}
+	}
 	return reliability.SuggestUpgrades(g, dem, budget, reliability.Options{})
 }
 
@@ -179,14 +194,25 @@ func Polynomial(g *Graph, dem Demand) (ReliabilityPolynomial, error) {
 	return poly.Compute(g, dem, reliability.Options{})
 }
 
+// PolynomialCtx is Polynomial under a context and budget. The coefficient
+// counts certify nothing until the enumeration completes — a missing
+// configuration could shift any N_i — so an interrupted run returns an
+// error wrapping ErrInterrupted instead of a partial polynomial.
+func PolynomialCtx(ctx context.Context, g *Graph, dem Demand, b Budget) (ReliabilityPolynomial, error) {
+	return poly.Compute(g, dem, reliability.Options{Ctl: anytime.New(ctx, b)})
+}
+
 // RiskGroup is a shared-risk link group: its member links all fail
 // together with the group's probability, on top of their own independent
 // failures.
 type RiskGroup = srlg.Group
 
 // ReliabilityWithRiskGroups computes the exact reliability under
-// correlated failures, by conditioning on the 2^g group states and
-// delegating each conditional instance to the factoring engine.
+// correlated failures by conditioning on the 2^g group states. When the
+// instance admits the bottleneck decomposition each state is one
+// probability evaluation against a single compiled plan (a failed group's
+// links get p = 1); otherwise each conditional instance goes to the
+// factoring engine.
 func ReliabilityWithRiskGroups(g *Graph, dem Demand, groups []RiskGroup) (float64, error) {
 	return srlg.Reliability(g, dem, groups, nil)
 }

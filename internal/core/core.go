@@ -34,7 +34,6 @@ import (
 	"flowrel/internal/graph"
 	"flowrel/internal/maxflow"
 	"flowrel/internal/mincut"
-	"flowrel/internal/subset"
 )
 
 // SideEngine selects how the per-side realization arrays are built.
@@ -132,96 +131,53 @@ type Result struct {
 }
 
 // Reliability computes the exact reliability of g with respect to dem
-// using the bottleneck decomposition.
+// using the bottleneck decomposition. It is exactly Compile followed by
+// one Eval of the graph's own probabilities; callers with repeated
+// probability-only questions should hold on to the Plan instead.
 func Reliability(g *graph.Graph, dem graph.Demand, opt Options) (Result, error) {
-	if g == nil {
-		return Result{}, fmt.Errorf("core: nil graph")
-	}
-	if err := dem.Validate(g); err != nil {
-		return Result{}, err
-	}
-	opt.setDefaults()
-
-	var bt *mincut.Bottleneck
-	var err error
-	if opt.Bottleneck != nil {
-		bt, err = mincut.Split(g, dem.S, dem.T, opt.Bottleneck)
-	} else {
-		bt, err = mincut.Find(g, dem.S, dem.T, opt.MaxBottleneck)
-	}
+	plan, err := Compile(g, dem, opt)
 	if err != nil {
 		return Result{}, err
 	}
-	return ReliabilityWithBottleneck(g, dem, bt, opt)
+	return planResult(plan)
 }
 
 // ReliabilityWithBottleneck runs the decomposition on a pre-validated
 // bottleneck split.
 func ReliabilityWithBottleneck(g *graph.Graph, dem graph.Demand, bt *mincut.Bottleneck, opt Options) (Result, error) {
-	if err := dem.Validate(g); err != nil {
-		return Result{}, err
-	}
-	opt.setDefaults()
-
-	res := Result{
-		Cut:       bt.Cut,
-		K:         bt.K(),
-		Alpha:     bt.Alpha,
-		SideEdges: [2]int{bt.Gs.G.NumEdges(), bt.Gt.G.NumEdges()},
-	}
-
-	// §III-B: the assignment set 𝒟.
-	caps := make([]int, bt.K())
-	for i, eid := range bt.Cut {
-		caps[i] = g.Edge(eid).Cap
-	}
-	ds, err := assign.NewSet(caps, dem.D)
+	plan, err := CompileWithBottleneck(g, dem, bt, opt)
 	if err != nil {
 		return Result{}, err
 	}
-	res.Assignments = ds.Assignments
-	if ds.Len() == 0 {
-		// The cut cannot carry d even with every link alive: the
-		// reliability is trivially zero (paper, §III-A).
-		return res, nil
-	}
-	if ds.Len() > opt.MaxAssignmentSet {
-		return Result{}, fmt.Errorf("core: |𝒟| = %d exceeds MaxAssignmentSet %d (raise the limit or reduce d·k)", ds.Len(), opt.MaxAssignmentSet)
-	}
+	return planResult(plan)
+}
 
-	// §III-C: per-side realization arrays.
-	sideS, err := buildSide(bt.Gs, bt.Gs.NodeOf[dem.S], bt.XS, true, ds, &opt, &res.Stats, 0)
+// planResult evaluates a freshly compiled plan at its own base
+// probabilities and packages the decomposition description.
+func planResult(plan *Plan) (Result, error) {
+	r, err := plan.Eval(nil)
 	if err != nil {
 		return Result{}, err
 	}
-	sideT, err := buildSide(bt.Gt, bt.Gt.NodeOf[dem.T], bt.YT, false, ds, &opt, &res.Stats, 1)
-	if err != nil {
-		return Result{}, err
-	}
-
-	// §IV: accumulation over bottleneck-link configurations.
-	pCut := make([]float64, bt.K())
-	for i, eid := range bt.Cut {
-		pCut[i] = g.Edge(eid).PFail
-	}
-	switch opt.Accum {
-	case AccumZeta:
-		res.Reliability = accumulateZeta(sideS, sideT, ds, pCut)
-	case AccumDirect:
-		res.Reliability = accumulateDirect(sideS, sideT, ds, pCut)
-	default:
-		return Result{}, fmt.Errorf("core: unknown accumulation strategy %d", opt.Accum)
-	}
-	return res, nil
+	return Result{
+		Reliability: r,
+		Cut:         plan.Cut,
+		K:           plan.K(),
+		Alpha:       plan.Alpha,
+		Assignments: plan.Assignments,
+		SideEdges:   plan.SideEdges,
+		Stats:       plan.Stats,
+	}, nil
 }
 
 // sideArray is the §III-C data structure for one component: for every
 // failure configuration of the component's links, the set of assignments
-// it realizes (as a bit mask over 𝒟) and its occurrence probability.
+// it realizes (as a bit mask over 𝒟). Occurrence probabilities are *not*
+// part of it — they belong to the evaluate phase (Plan.Eval), which is
+// what makes a compiled Plan reusable across probability vectors.
 type sideArray struct {
-	m        int       // number of component links
-	realized []uint64  // indexed by configuration mask
-	probs    []float64 // indexed by configuration mask
+	m        int      // number of component links
+	realized []uint64 // indexed by configuration mask
 }
 
 // buildSide constructs the realization array for one component. terminal
@@ -261,15 +217,6 @@ func buildSide(sub *graph.Subgraph, terminal graph.NodeID, ends []graph.NodeID, 
 	sa := &sideArray{
 		m:        m,
 		realized: make([]uint64, uint64(1)<<uint(m)),
-		probs:    make([]float64, uint64(1)<<uint(m)),
-	}
-	pFail := make([]float64, m)
-	for i, e := range sub.G.Edges() {
-		pFail[i] = e.PFail
-	}
-	table := conf.NewTable(pFail)
-	if err := table.Iter(func(mask conf.Mask, p float64) { sa.probs[mask] = p }); err != nil {
-		return nil, err
 	}
 	stats.SideConfigs[sideIdx] = uint64(1) << uint(m)
 
@@ -416,78 +363,3 @@ func sideGrayChunk(nw *maxflow.Network, handles []maxflow.Handle, src, dst int32
 }
 
 func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }
-
-// accumulateZeta computes Eq. 3 using a superset-zeta aggregation: Q[X] =
-// P(side realizes every assignment in X) for all X ⊆ 𝒟 in one transform,
-// then each r_{E”} is an inclusion–exclusion sum of lattice lookups.
-func accumulateZeta(sideS, sideT *sideArray, ds *assign.Set, pCut []float64) float64 {
-	n := ds.Len()
-	qs := aggregate(sideS, n)
-	qt := aggregate(sideT, n)
-	subset.SupersetZeta(qs, n)
-	subset.SupersetZeta(qt, n)
-
-	classes := ds.Classify()
-	total := 0.0
-	for e := uint64(0); e < uint64(1)<<uint(len(pCut)); e++ {
-		dMask := classes[e]
-		if dMask == 0 {
-			continue
-		}
-		r := 0.0
-		subset.Submasks(dMask, func(x uint64) {
-			if x == 0 {
-				return
-			}
-			r -= subset.PopcountParity(x) * qs[x] * qt[x]
-		})
-		total += conf.Prob(pCut, e) * r
-	}
-	return total
-}
-
-// aggregate sums configuration probabilities by realized-assignment mask.
-func aggregate(sa *sideArray, n int) []float64 {
-	q := make([]float64, uint64(1)<<uint(n))
-	for mask, rm := range sa.realized {
-		q[rm] += sa.probs[mask]
-	}
-	return q
-}
-
-// accumulateDirect computes Eq. 3 with the paper's literal ACCUMULATION:
-// for each bottleneck configuration E” and each non-empty X ⊆ 𝒟_{E”},
-// scan both side arrays to compute p_X = P_s(⊇X)·P_t(⊇X) (Step 1), then
-// inclusion–exclusion (Step 2). Kept as the ablation baseline; its cost is
-// the paper's 2^{dk}·max(2^{|E_s|},2^{|E_t|}) bound.
-func accumulateDirect(sideS, sideT *sideArray, ds *assign.Set, pCut []float64) float64 {
-	classes := ds.Classify()
-	total := 0.0
-	for e := uint64(0); e < uint64(1)<<uint(len(pCut)); e++ {
-		dMask := classes[e]
-		if dMask == 0 {
-			continue
-		}
-		r := 0.0
-		subset.Submasks(dMask, func(x uint64) {
-			if x == 0 {
-				return
-			}
-			pX := scanSuperset(sideS, x) * scanSuperset(sideT, x)
-			r -= subset.PopcountParity(x) * pX
-		})
-		total += conf.Prob(pCut, e) * r
-	}
-	return total
-}
-
-// scanSuperset returns P(configurations whose realized set contains x).
-func scanSuperset(sa *sideArray, x uint64) float64 {
-	p := 0.0
-	for mask, rm := range sa.realized {
-		if rm&x == x {
-			p += sa.probs[mask]
-		}
-	}
-	return p
-}

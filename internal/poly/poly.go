@@ -20,6 +20,7 @@ import (
 	"math/bits"
 	"sync"
 
+	"flowrel/internal/anytime"
 	"flowrel/internal/conf"
 	"flowrel/internal/graph"
 	"flowrel/internal/maxflow"
@@ -39,6 +40,11 @@ type Polynomial struct {
 // admitting ones by operational-link count. Parallel and deterministic.
 // The graph's per-link probabilities are ignored (the polynomial treats p
 // as the variable).
+//
+// opt.Ctl makes the enumeration cancellable. The counts N_i certify
+// nothing until the enumeration is complete — a missing configuration
+// could shift any coefficient — so an interrupted run returns an error
+// wrapping anytime.ErrInterrupted rather than a partial polynomial.
 func Compute(g *graph.Graph, dem graph.Demand, opt reliability.Options) (Polynomial, error) {
 	if g == nil {
 		return Polynomial{}, fmt.Errorf("poly: nil graph")
@@ -53,9 +59,11 @@ func Compute(g *graph.Graph, dem graph.Demand, opt reliability.Options) (Polynom
 	proto, handles := maxflow.FromGraph(g)
 	s, t := int32(dem.S), int32(dem.T)
 
+	ctl := opt.Ctl
 	workers := workerCount(opt)
 	chunks := conf.SplitEnum(m)
 	partial := make([][]uint64, len(chunks))
+	errs := make([]error, len(chunks))
 
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
@@ -65,11 +73,26 @@ func Compute(g *graph.Graph, dem graph.Demand, opt reliability.Options) (Polynom
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			cur := lo
+			defer anytime.RecoverInto(&errs[ci], ctl, "poly worker", &cur)
+			if ctl.Stopped() {
+				return
+			}
 			nw := proto.Clone()
 			counts := make([]uint64, m+1)
 			prev := ^uint64(0)
 			width := uint64(1)<<uint(m) - 1
+			var sinceCheck uint64
+			callsMark := nw.Stats.MaxFlowCalls
 			for mask := lo; mask < hi; mask++ {
+				if sinceCheck >= anytime.CheckEvery {
+					if !ctl.Charge(sinceCheck, nw.Stats.MaxFlowCalls-callsMark) {
+						return
+					}
+					sinceCheck, callsMark = 0, nw.Stats.MaxFlowCalls
+				}
+				sinceCheck++
+				cur = mask
 				diff := (mask ^ prev) & width
 				for diff != 0 {
 					i := bits.TrailingZeros64(diff)
@@ -81,10 +104,19 @@ func Compute(g *graph.Graph, dem graph.Demand, opt reliability.Options) (Polynom
 					counts[bits.OnesCount64(mask)]++
 				}
 			}
+			ctl.Charge(sinceCheck, nw.Stats.MaxFlowCalls-callsMark)
 			partial[ci] = counts
 		}(ci, r[0], r[1])
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Polynomial{}, err
+		}
+	}
+	if ctl.Stopped() {
+		return Polynomial{}, fmt.Errorf("poly: enumeration interrupted: %w", ctl.Err())
+	}
 
 	P := Polynomial{M: m, Admitting: make([]uint64, m+1)}
 	for _, counts := range partial {

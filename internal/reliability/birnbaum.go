@@ -26,7 +26,10 @@ type Importance struct {
 //
 //	R = (1-p(e))·RUp(e) + p(e)·RDown(e)
 //
-// which the test suite asserts.
+// which the test suite asserts. The flowrel package wraps this with a
+// compiled-plan fast path (two probability evaluations per link on one
+// side-array construction) when the instance admits the bottleneck
+// decomposition; this function is the engine-agnostic fallback.
 func BirnbaumImportance(g *graph.Graph, dem graph.Demand, opt Options) ([]Importance, error) {
 	if err := validate(g, dem); err != nil {
 		return nil, err
@@ -105,6 +108,8 @@ func SuggestUpgrades(g *graph.Graph, dem graph.Demand, budget int, opt Options) 
 			break // nothing improves further
 		}
 		cur = hardenLink(cur, bestLink)
+		// The winning candidate's conditional IS the next round's baseline:
+		// no extra solve needed.
 		curR = bestR
 		hardened[bestLink] = true
 		plan.Links = append(plan.Links, bestLink)

@@ -19,6 +19,7 @@ import (
 	"math"
 	"math/rand"
 
+	"flowrel/internal/core"
 	"flowrel/internal/graph"
 	"flowrel/internal/maxflow"
 	"flowrel/internal/reliability"
@@ -68,7 +69,12 @@ func validateGroups(g *graph.Graph, groups []Group) error {
 
 // Reliability computes the exact reliability under the group model by
 // conditioning on group states and delegating each conditional instance to
-// engine (nil means FactoringEngine).
+// engine (nil means the compiled-plan fast path when the instance admits
+// the bottleneck decomposition, FactoringEngine otherwise). On the plan
+// path the structure is compiled once and every group state is one
+// probability evaluation — a failed group's links get p = 1, which is
+// exactly link removal — so the 2^g conditioning runs without a single
+// extra max-flow call.
 func Reliability(g *graph.Graph, dem graph.Demand, groups []Group, engine Engine) (float64, error) {
 	if g == nil {
 		return 0, fmt.Errorf("srlg: nil graph")
@@ -80,6 +86,9 @@ func Reliability(g *graph.Graph, dem graph.Demand, groups []Group, engine Engine
 		return 0, err
 	}
 	if engine == nil {
+		if plan, err := core.Compile(g, dem, core.Options{}); err == nil {
+			return reliabilityFromPlan(plan, groups)
+		}
 		engine = FactoringEngine
 	}
 	total := 0.0
@@ -109,6 +118,49 @@ func Reliability(g *graph.Graph, dem graph.Demand, groups []Group, engine Engine
 			return 0, fmt.Errorf("srlg: conditional engine: %w", err)
 		}
 		total += pState * r
+	}
+	return total, nil
+}
+
+// reliabilityFromPlan conditions on the 2^g group states against one
+// compiled plan: each state's scenario is the base probability vector with
+// the failed groups' links forced down (p = 1), and the states evaluate in
+// parallel.
+func reliabilityFromPlan(plan *core.Plan, groups []Group) (float64, error) {
+	base := plan.BasePFail()
+	states := uint64(1) << uint(len(groups))
+	weights := make([]float64, 0, states)
+	scenarios := make([][]float64, 0, states)
+	for state := uint64(0); state < states; state++ {
+		pState := 1.0
+		for gi, grp := range groups {
+			if state&(1<<uint(gi)) != 0 {
+				pState *= grp.PFail
+			} else {
+				pState *= 1 - grp.PFail
+			}
+		}
+		if pState == 0 {
+			continue
+		}
+		pf := append([]float64(nil), base...)
+		for gi, grp := range groups {
+			if state&(1<<uint(gi)) != 0 {
+				for _, eid := range grp.Links {
+					pf[eid] = 1
+				}
+			}
+		}
+		weights = append(weights, pState)
+		scenarios = append(scenarios, pf)
+	}
+	rs, err := plan.EvalBatch(scenarios, 0)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for i, r := range rs {
+		total += weights[i] * r
 	}
 	return total, nil
 }

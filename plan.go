@@ -1,0 +1,237 @@
+package flowrel
+
+import (
+	"context"
+	"fmt"
+
+	"flowrel/internal/anytime"
+	"flowrel/internal/core"
+)
+
+// Plan is a compiled reliability plan: the structure phase of the
+// bottleneck decomposition — cut search, assignment enumeration and the
+// O(2^{α|E|}·|V|·|E|) side realization arrays — run once and frozen. Every
+// subsequent probability-only question (a sweep point, a conditional with
+// some links forced up or down, a shared-risk scenario) is a Plan.Eval:
+// pure aggregation, no max-flow calls, microseconds instead of a fresh
+// solve. Plans are immutable and safe for concurrent use.
+//
+// Probabilities are evaluate-phase inputs; topology and capacities are
+// compile-phase inputs. Changing a link's failure probability needs only a
+// new vector, changing its capacity needs a new CompilePlan.
+type Plan struct {
+	core *core.Plan
+	// base holds the failure probabilities of the graph this Plan was
+	// requested for. The cached core.Plan may have been compiled from a
+	// structurally identical graph with different probabilities, so the
+	// wrapper carries its own baseline.
+	base        []float64
+	parallelism int
+	// cached records whether the compile phase was skipped entirely
+	// because the plan cache already held this structure.
+	cached bool
+}
+
+// CompilePlan compiles the structure of (g, dem) into a reusable Plan,
+// consulting the process-wide plan cache first: if the same topology,
+// capacities and demand were compiled before, no max-flow work runs at
+// all. Only the bottleneck-decomposition engine compiles to a plan; cfg's
+// Engine field is ignored and cfg.Reduce is rejected (reductions renumber
+// links, which would silently misindex every Eval vector).
+func CompilePlan(g *Graph, dem Demand, cfg Config) (*Plan, error) {
+	return CompilePlanCtx(context.Background(), g, dem, cfg)
+}
+
+// CompilePlanCtx is CompilePlan honouring a context and cfg.Budget during
+// the compile phase. An interrupted compile returns an error wrapping
+// ErrInterrupted — a half-built side array certifies nothing.
+func CompilePlanCtx(ctx context.Context, g *Graph, dem Demand, cfg Config) (*Plan, error) {
+	if err := cfg.Validate(g); err != nil {
+		return nil, err
+	}
+	if cfg.Reduce {
+		return nil, fmt.Errorf("flowrel: CompilePlan does not support Reduce; reductions renumber links, so Eval probability vectors would no longer address the original graph")
+	}
+	if g == nil {
+		return nil, fmt.Errorf("flowrel: CompilePlan on a nil graph")
+	}
+	ctl := anytime.New(ctx, cfg.Budget)
+	cp, hit, err := planFor(ctl, g, dem, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{core: cp, base: pfailOf(g), parallelism: cfg.Parallelism, cached: hit}, nil
+}
+
+// pfailOf collects the per-link failure probabilities of g, indexed by
+// link ID.
+func pfailOf(g *Graph) []float64 {
+	p := make([]float64, g.NumEdges())
+	for i, e := range g.Edges() {
+		p[i] = e.PFail
+	}
+	return p
+}
+
+// Eval returns the exact reliability under the given per-link failure
+// probabilities (indexed by link ID; nil means the probabilities of the
+// graph the Plan was compiled for). Forcing a link down is pfail[e] = 1,
+// forcing it up is pfail[e] = 0 — valid for any link, bottleneck or side.
+func (p *Plan) Eval(pfail []float64) (float64, error) {
+	if pfail == nil {
+		pfail = p.base
+	}
+	return p.core.Eval(pfail)
+}
+
+// EvalBatch evaluates many probability scenarios in parallel (nil entries
+// mean the compile-time probabilities). Results are deterministic
+// regardless of parallelism.
+func (p *Plan) EvalBatch(scenarios [][]float64) ([]float64, error) {
+	withBase := scenarios
+	copied := false
+	for i, s := range scenarios {
+		if s == nil {
+			if !copied {
+				withBase = append([][]float64(nil), scenarios...)
+				copied = true
+			}
+			withBase[i] = p.base
+		}
+	}
+	return p.core.EvalBatch(withBase, p.parallelism)
+}
+
+// Report evaluates pfail (nil = compile-time probabilities) and packages
+// the result like a Compute call with EngineCore, including the
+// decomposition description. MaxFlowCalls and Configs reflect the compile
+// phase this Plan came from; for a cache-hit Plan they are zero — the
+// evaluation itself never runs a max-flow.
+func (p *Plan) Report(pfail []float64) (Report, error) {
+	r, err := p.Eval(pfail)
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{
+		Reliability: r,
+		Engine:      EngineCore,
+		Cut:         p.Cut(),
+		K:           p.core.K(),
+		Alpha:       p.core.Alpha,
+		Assignments: p.Assignments(),
+		Lo:          r,
+		Hi:          r,
+	}
+	if !p.cached {
+		rep.MaxFlowCalls = p.core.Stats.MaxFlowCalls
+		rep.Configs = p.core.Stats.SideConfigs[0] + p.core.Stats.SideConfigs[1]
+	}
+	return rep, nil
+}
+
+// Cut returns a copy of the bottleneck link set E'.
+func (p *Plan) Cut() []EdgeID {
+	return append([]EdgeID(nil), p.core.Cut...)
+}
+
+// K returns the number of bottleneck links.
+func (p *Plan) K() int { return p.core.K() }
+
+// Alpha returns the balance max(|E_s|, |E_t|)/|E| of the split.
+func (p *Plan) Alpha() float64 { return p.core.Alpha }
+
+// Assignments returns a copy of the enumerated assignment family 𝒟.
+func (p *Plan) Assignments() []Assignment {
+	return append([]Assignment(nil), p.core.Assignments...)
+}
+
+// NumEdges returns the link count of the compiled graph; Eval vectors must
+// have exactly this length.
+func (p *Plan) NumEdges() int { return p.core.NumEdges() }
+
+// BasePFail returns a copy of the failure probabilities of the graph the
+// Plan was compiled for — the natural starting point for what-if vectors.
+func (p *Plan) BasePFail() []float64 {
+	return append([]float64(nil), p.base...)
+}
+
+// MaxFlowCalls reports the max-flow work of the compile phase that built
+// this Plan's arrays; zero when the Plan came from the cache.
+func (p *Plan) MaxFlowCalls() int64 {
+	if p.cached {
+		return 0
+	}
+	return p.core.Stats.MaxFlowCalls
+}
+
+// birnbaumFromPlan derives every link's conditionals from one compiled
+// plan: forcing a link up is p(e) = 0, forcing it down is p(e) = 1, so
+// the whole ranking is 2|E| probability evaluations and zero max-flow
+// calls.
+func birnbaumFromPlan(g *Graph, plan *Plan) ([]LinkImportance, error) {
+	pf := plan.BasePFail()
+	out := make([]LinkImportance, g.NumEdges())
+	for _, e := range g.Edges() {
+		orig := pf[e.ID]
+		pf[e.ID] = 0
+		up, err := plan.Eval(pf)
+		if err != nil {
+			return nil, err
+		}
+		pf[e.ID] = 1
+		down, err := plan.Eval(pf)
+		if err != nil {
+			return nil, err
+		}
+		pf[e.ID] = orig
+		out[e.ID] = LinkImportance{
+			Link:        e.ID,
+			Birnbaum:    up - down,
+			Improvement: up - ((1-e.PFail)*up + e.PFail*down),
+			RUp:         up,
+			RDown:       down,
+		}
+	}
+	return out, nil
+}
+
+// upgradesFromPlan runs the greedy hardening loop against one compiled
+// plan: hardening is p(e) → 0 in the probability vector, every round is
+// at most |E| evaluations, and the winning candidate's conditional IS the
+// next round's baseline — no re-solve between rounds.
+func upgradesFromPlan(plan *Plan, budget int) (UpgradePlan, error) {
+	pf := plan.BasePFail()
+	curR, err := plan.Eval(pf)
+	if err != nil {
+		return UpgradePlan{}, err
+	}
+	up := UpgradePlan{Before: curR}
+	for round := 0; round < budget; round++ {
+		bestLink := EdgeID(-1)
+		bestR := curR
+		for id := range pf {
+			if pf[id] == 0 {
+				continue // already perfect (or hardened in an earlier round)
+			}
+			orig := pf[id]
+			pf[id] = 0
+			r, err := plan.Eval(pf)
+			pf[id] = orig
+			if err != nil {
+				return UpgradePlan{}, err
+			}
+			if r > bestR+1e-15 {
+				bestR = r
+				bestLink = EdgeID(id)
+			}
+		}
+		if bestLink < 0 {
+			break // nothing improves further
+		}
+		pf[bestLink] = 0
+		curR = bestR
+		up.Links = append(up.Links, bestLink)
+		up.After = append(up.After, curR)
+	}
+	return up, nil
+}

@@ -1,0 +1,179 @@
+package flowrel
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+
+	"flowrel/internal/anytime"
+	"flowrel/internal/core"
+)
+
+// The plan cache memoizes compiled bottleneck plans by the *structure* of
+// the instance — topology, capacities, demand and the decomposition
+// bounds, but NOT the failure probabilities, which belong to the evaluate
+// phase. Repeated Compute/CompilePlan calls on the same structure (a sweep
+// that only re-weights links, a what-if loop, a dashboard refresh) skip
+// the entire O(2^{α|E|}) side-array construction and pay only the
+// microsecond evaluation. Hits return results bit-identical to a cold
+// compile, because evaluation is deterministic given the plan.
+
+// defaultPlanCacheCapacity is the default number of compiled plans kept.
+// A plan's dominant memory is its two realization arrays
+// (8·2^{|E_side|} bytes each, ≤ 8 MiB at the default MaxSideEdges 20).
+const defaultPlanCacheCapacity = 64
+
+type planCacheType struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used; values are *planEntry
+	byKey    map[string]*list.Element
+	hits     uint64
+	misses   uint64
+}
+
+type planEntry struct {
+	key  string
+	plan *core.Plan
+}
+
+var planCache = &planCacheType{
+	capacity: defaultPlanCacheCapacity,
+	order:    list.New(),
+	byKey:    make(map[string]*list.Element),
+}
+
+func (c *planCacheType) get(key string) (*core.Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		return el.Value.(*planEntry).plan, true
+	}
+	c.misses++
+	return nil, false
+}
+
+func (c *planCacheType) put(key string, p *core.Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.capacity <= 0 {
+		return
+	}
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*planEntry).plan = p
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&planEntry{key: key, plan: p})
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*planEntry).key)
+	}
+}
+
+// ResetPlanCache drops every cached compiled plan and zeroes the hit and
+// miss counters. Use it in benchmarks to measure cold compiles, or to
+// release the realization-array memory of plans no longer needed.
+func ResetPlanCache() {
+	planCache.mu.Lock()
+	defer planCache.mu.Unlock()
+	planCache.order.Init()
+	planCache.byKey = make(map[string]*list.Element)
+	planCache.hits, planCache.misses = 0, 0
+}
+
+// SetPlanCacheCapacity bounds the number of compiled plans kept (LRU
+// eviction beyond it); n ≤ 0 disables caching entirely. The default is 64.
+func SetPlanCacheCapacity(n int) {
+	planCache.mu.Lock()
+	defer planCache.mu.Unlock()
+	planCache.capacity = n
+	for planCache.order.Len() > n {
+		oldest := planCache.order.Back()
+		planCache.order.Remove(oldest)
+		delete(planCache.byKey, oldest.Value.(*planEntry).key)
+	}
+}
+
+// PlanCacheStats reports the cache's lifetime hit and miss counts and its
+// current entry count (since process start or the last ResetPlanCache).
+func PlanCacheStats() (hits, misses uint64, entries int) {
+	planCache.mu.Lock()
+	defer planCache.mu.Unlock()
+	return planCache.hits, planCache.misses, planCache.order.Len()
+}
+
+// planKey is the canonical structural hash: topology (node count plus
+// every link's endpoints), capacities, demand, and the Config fields that
+// steer the decomposition. Failure probabilities are deliberately
+// excluded — they are evaluate-phase inputs.
+func planKey(g *Graph, dem Demand, cfg Config) string {
+	h := sha256.New()
+	var buf [binary.MaxVarintLen64]byte
+	writeInt := func(v int64) {
+		n := binary.PutVarint(buf[:], v)
+		h.Write(buf[:n])
+	}
+	h.Write([]byte("flowrel-plan-v1"))
+	writeInt(int64(g.NumNodes()))
+	writeInt(int64(g.NumEdges()))
+	for _, e := range g.Edges() {
+		writeInt(int64(e.U))
+		writeInt(int64(e.V))
+		writeInt(int64(e.Cap))
+	}
+	writeInt(int64(dem.S))
+	writeInt(int64(dem.T))
+	writeInt(int64(dem.D))
+	// Effective decomposition bounds (defaults resolved, so spelling the
+	// default explicitly still hits).
+	mb, mse, mas := cfg.MaxBottleneck, cfg.MaxSideEdges, cfg.MaxAssignmentSet
+	if mb <= 0 {
+		mb = 3
+	}
+	if mse <= 0 {
+		mse = 20
+	}
+	if mas <= 0 {
+		mas = 20
+	}
+	writeInt(int64(mb))
+	writeInt(int64(mse))
+	writeInt(int64(mas))
+	if cfg.Bottleneck == nil {
+		writeInt(-1)
+	} else {
+		writeInt(int64(len(cfg.Bottleneck)))
+		for _, e := range cfg.Bottleneck {
+			writeInt(int64(e))
+		}
+	}
+	return string(h.Sum(nil))
+}
+
+// planFor returns the compiled plan for (g, dem, cfg), from cache when the
+// structure was compiled before, compiling (and caching) otherwise. The
+// second return reports a cache hit.
+func planFor(ctl *anytime.Ctl, g *Graph, dem Demand, cfg Config) (*core.Plan, bool, error) {
+	key := planKey(g, dem, cfg)
+	if p, ok := planCache.get(key); ok {
+		return p, true, nil
+	}
+	p, err := core.Compile(g, dem, core.Options{
+		Bottleneck:       cfg.Bottleneck,
+		MaxBottleneck:    cfg.MaxBottleneck,
+		MaxSideEdges:     cfg.MaxSideEdges,
+		MaxAssignmentSet: cfg.MaxAssignmentSet,
+		Parallelism:      cfg.Parallelism,
+		Ctl:              ctl,
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	planCache.put(key, p)
+	return p, false, nil
+}
