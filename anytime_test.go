@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"flowrel/internal/testutil"
 )
 
 // hardGraph builds a dense random digraph whose full enumeration space
@@ -136,10 +138,10 @@ func TestComputeCtxCompleteMatchesCompute(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Partial || got.Reliability != want.Reliability {
+	if got.Partial || !testutil.AlmostEqual(got.Reliability, want.Reliability, 0) {
 		t.Fatalf("ComputeCtx = %+v, want %+v", got, want)
 	}
-	if got.Lo != got.Reliability || got.Hi != got.Reliability {
+	if !testutil.AlmostEqual(got.Lo, got.Reliability, 0) || !testutil.AlmostEqual(got.Hi, got.Reliability, 0) {
 		t.Fatalf("complete run interval [%g, %g] not collapsed", got.Lo, got.Hi)
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"flowrel/internal/testutil"
 )
 
 func figure2Demand() (*Graph, Demand) {
@@ -42,7 +44,7 @@ func TestAutoUsesCoreOnBottleneckGraph(t *testing.T) {
 	if rep.Engine != EngineCore {
 		t.Fatalf("auto picked %v, want core", rep.Engine)
 	}
-	if rep.K != 1 || rep.Alpha != 4.0/9.0 {
+	if rep.K != 1 || !testutil.AlmostEqual(rep.Alpha, 4.0/9.0, 0) {
 		t.Fatalf("K=%d alpha=%g", rep.K, rep.Alpha)
 	}
 }

@@ -1,3 +1,8 @@
+// flowrel is pure standard library by design: the supply chain of a
+// reliability calculator should itself be auditable. That includes the
+// static-analysis suite — internal/analysis re-creates the narrow
+// go/analysis surface flowrelvet needs instead of depending on
+// golang.org/x/tools (see docs/ANALYZERS.md).
 module flowrel
 
 go 1.22

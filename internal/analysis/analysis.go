@@ -1,0 +1,162 @@
+// Package analysis is a dependency-free analysis driver for the
+// flowrelvet suite: a re-implementation of the surface of
+// golang.org/x/tools/go/analysis that this module's analyzers are written
+// against. The module deliberately has no external dependencies (the
+// solver is pure stdlib, and keeping it that way makes the supply chain
+// auditable), so instead of importing x/tools the driver re-creates the
+// three types the analyzers need — Analyzer, Pass, Diagnostic — with the
+// same field names and calling conventions. An analyzer written here can
+// be ported to the real go/analysis framework by changing one import.
+//
+// The driver loads packages with `go list -deps -test -export -json`:
+// packages inside this module are parsed and type-checked from source
+// (so analyzers see full syntax plus types.Info), while standard-library
+// dependencies are imported from the compiler's export data, exactly the
+// way `go vet` resolves them.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// An Analyzer describes one analysis: a named invariant checker that runs
+// once per package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the command line.
+	Name string
+	// Doc is the one-paragraph description printed by `flowrelvet help`.
+	Doc string
+	// Run applies the analyzer to a single type-checked package.
+	Run func(*Pass) (any, error)
+}
+
+// A Pass presents one type-checked package to an Analyzer. It mirrors
+// golang.org/x/tools/go/analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. The driver collects and sorts them.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding: a position and a message. The analyzer
+// name is attached by the driver.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // filled in by the driver
+}
+
+// PathTail reports whether the last slash-separated segment of the import
+// path equals seg. Analyzers match packages by tail segment so that the
+// same rule applies to "flowrel/internal/subset" in the repository and to
+// the mock "subset" package in an analysistest fixture tree.
+func PathTail(path, seg string) bool {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		path = path[i+1:]
+	}
+	return path == seg
+}
+
+// IsNamed reports whether t, after stripping one level of pointer
+// indirection, is a named type called name; if pkgTail is non-empty the
+// defining package's path must also end in that segment.
+func IsNamed(t types.Type, pkgTail, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != name {
+		return false
+	}
+	if pkgTail == "" {
+		return true
+	}
+	return obj.Pkg() != nil && PathTail(obj.Pkg().Path(), pkgTail)
+}
+
+// A Waiver is a //flowrelvet:<marker> comment suppressing one finding.
+// The reason is everything after the marker word; analyzers reject empty
+// reasons so every suppression is self-documenting.
+type Waiver struct {
+	Pos    token.Pos
+	Reason string
+}
+
+// WaiverSet scans one file for //flowrelvet:<marker> comments and returns
+// a map from the source line each waiver covers to the waiver. A waiver
+// covers the line immediately after the comment group it ends (the usual
+// doc-comment position) and its own line (trailing-comment position).
+func WaiverSet(fset *token.FileSet, file *ast.File, marker string) map[int]Waiver {
+	needle := "flowrelvet:" + marker
+	out := make(map[int]Waiver)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			idx := strings.Index(c.Text, needle)
+			if idx < 0 {
+				continue
+			}
+			reason := strings.TrimSpace(c.Text[idx+len(needle):])
+			w := Waiver{Pos: c.Pos(), Reason: reason}
+			line := fset.Position(c.Pos()).Line
+			endLine := fset.Position(cg.End()).Line
+			out[line] = w
+			out[endLine+1] = w
+		}
+	}
+	return out
+}
+
+// CommentBefore returns the text of the comment group that ends on the
+// line directly above line (a doc comment for the node starting at line),
+// or "".
+func CommentBefore(fset *token.FileSet, file *ast.File, line int) string {
+	for _, cg := range file.Comments {
+		if fset.Position(cg.End()).Line == line-1 {
+			return cg.Text()
+		}
+	}
+	return ""
+}
+
+// WalkStack traverses the file like ast.Inspect but also hands the
+// visitor the stack of enclosing nodes (outermost first, not including n).
+func WalkStack(file *ast.File, visit func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		ok := visit(n, stack)
+		if ok {
+			// ast.Inspect only emits the nil pop for nodes it descended
+			// into, so the stack must only grow for those.
+			stack = append(stack, n)
+		}
+		return ok
+	})
+}
+
+// enumRe matches comments that declare a loop to be an enumeration.
+var enumRe = regexp.MustCompile(`(?i)enumerat`)
+
+// EnumComment reports whether text marks an enumeration.
+func EnumComment(text string) bool { return enumRe.MatchString(text) }

@@ -1,0 +1,262 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against // want comments, mirroring the contract of
+// golang.org/x/tools/go/analysis/analysistest on the stdlib-only driver.
+//
+// Fixtures live in a GOPATH-shaped tree: <root>/src/<importpath>/*.go.
+// A fixture file marks an expected diagnostic with a trailing comment on
+// the offending line:
+//
+//	bad := a.Reliability == b.Reliability // want `exact ==`
+//
+// Each quoted (or backquoted) string is a regular expression; every
+// diagnostic on the line must match one regexp and every regexp must be
+// matched by one diagnostic. Fixture imports resolve against sibling
+// fixture packages first, then the standard library (via the go
+// command's export data).
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"flowrel/internal/analysis"
+)
+
+// Run loads each named fixture package from root/src and applies the
+// analyzer, failing t on any mismatch between diagnostics and // want
+// comments.
+func Run(t *testing.T, root string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	l := &fixtureLoader{
+		root: filepath.Join(root, "src"),
+		fset: token.NewFileSet(),
+		pkgs: make(map[string]*fixturePkg),
+	}
+	for _, pkg := range pkgs {
+		fp, err := l.load(pkg)
+		if err != nil {
+			t.Fatalf("loading fixture %q: %v", pkg, err)
+		}
+		check(t, l.fset, a, fp)
+	}
+}
+
+type fixturePkg struct {
+	path  string
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+type fixtureLoader struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*fixturePkg
+}
+
+func (l *fixtureLoader) load(path string) (*fixturePkg, error) {
+	if fp, ok := l.pkgs[path]; ok {
+		return fp, nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, ent := range ents {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".go") {
+			continue
+		}
+		af, err := parser.ParseFile(l.fset, filepath.Join(dir, ent.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, af)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: &fixtureImporter{l: l}}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking: %w", err)
+	}
+	fp := &fixturePkg{path: path, files: files, pkg: pkg, info: info}
+	l.pkgs[path] = fp
+	return fp, nil
+}
+
+// fixtureImporter resolves sibling fixture packages, then the standard
+// library.
+type fixtureImporter struct{ l *fixtureLoader }
+
+func (im *fixtureImporter) Import(path string) (*types.Package, error) {
+	dir := filepath.Join(im.l.root, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		fp, err := im.l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return fp.pkg, nil
+	}
+	return stdlibImport(im.l.fset, path)
+}
+
+// stdlib export data, shared across fixtures and tests in the process.
+var (
+	stdMu  sync.Mutex
+	stdExp = make(map[string]string) // import path -> export file
+	stdImp = make(map[*token.FileSet]types.Importer)
+)
+
+func stdlibImport(fset *token.FileSet, path string) (*types.Package, error) {
+	stdMu.Lock()
+	if _, ok := stdExp[path]; !ok {
+		out, err := exec.Command("go", "list", "-deps", "-export", "-json=ImportPath,Export", path).Output()
+		if err != nil {
+			stdMu.Unlock()
+			return nil, fmt.Errorf("resolving stdlib %q: %v", path, err)
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p struct{ ImportPath, Export string }
+			if err := dec.Decode(&p); err != nil {
+				if err == io.EOF {
+					break
+				}
+				stdMu.Unlock()
+				return nil, err
+			}
+			if p.Export != "" {
+				stdExp[p.ImportPath] = p.Export
+			}
+		}
+	}
+	imp, ok := stdImp[fset]
+	if !ok {
+		imp = importer.ForCompiler(fset, "gc", func(p string) (io.ReadCloser, error) {
+			stdMu.Lock()
+			f, ok := stdExp[p]
+			stdMu.Unlock()
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", p)
+			}
+			return os.Open(f)
+		})
+		stdImp[fset] = imp
+	}
+	stdMu.Unlock()
+	return imp.Import(path)
+}
+
+// check runs the analyzer and reconciles diagnostics with want comments.
+func check(t *testing.T, fset *token.FileSet, a *analysis.Analyzer, fp *fixturePkg) {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     fp.files,
+		Pkg:       fp.pkg,
+		TypesInfo: fp.info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s on %s: %v", a.Name, fp.path, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, file := range fp.files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				res, ok := parseWant(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, re := range res {
+					r, err := regexp.Compile(re)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, re, err)
+					}
+					wants[k] = append(wants[k], r)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, re)
+		}
+	}
+}
+
+// parseWant extracts the regexps from a `// want "re" ...` comment.
+func parseWant(text string) ([]string, bool) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, "want ") {
+		return nil, false
+	}
+	rest := strings.TrimSpace(text[len("want"):])
+	var out []string
+	for rest != "" {
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			return nil, false
+		}
+		s, err := strconv.Unquote(q)
+		if err != nil {
+			return nil, false
+		}
+		out = append(out, s)
+		rest = strings.TrimSpace(rest[len(q):])
+	}
+	return out, len(out) > 0
+}

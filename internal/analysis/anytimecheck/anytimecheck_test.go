@@ -1,0 +1,13 @@
+package anytimecheck_test
+
+import (
+	"testing"
+
+	"flowrel/internal/analysis/analysistest"
+	"flowrel/internal/analysis/anytimecheck"
+)
+
+func TestAnytimeCheck(t *testing.T) {
+	analysistest.Run(t, "../testdata", anytimecheck.Analyzer,
+		"anytimecheck/core", "anytimecheck/notpoliced")
+}

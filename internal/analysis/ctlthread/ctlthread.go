@@ -1,0 +1,196 @@
+// Package ctlthread enforces cancellation plumbing on solver entry
+// points. Every exponential engine must be stoppable from the outside:
+// an exported Compute*/Compile* function — and every reliability engine
+// returning a Result or Estimate — must accept a context.Context or an
+// *anytime.Ctl (directly, or inside an options struct), or have a
+// sibling variant that does (the Compute/ComputeCtx convenience pair).
+//
+// The second rule targets the usual way the plumbing silently breaks:
+// a library function calling context.Background() manufactures an
+// uncancellable computation no matter what the caller passed. That call
+// is only legal as the literal argument of a *Ctx sibling — the
+// convenience-wrapper pattern `func F(...) { return FCtx(
+// context.Background(), ...) }` — or under an explicit
+// //flowrelvet:context <reason> waiver.
+package ctlthread
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"flowrel/internal/analysis"
+)
+
+// Analyzer is the ctlthread pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctlthread",
+	Doc:  "solver entry points must accept and forward a context.Context or *anytime.Ctl, and never call context.Background() outside the Compute/ComputeCtx wrapper pattern",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Name() == "main" || analysis.PathTail(pass.Pkg.Path(), "anytime") {
+		// Binaries own their root context; the anytime package is the
+		// abstraction being enforced.
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue // tests may pin Background contexts freely
+		}
+		waivers := analysis.WaiverSet(pass.Fset, file, "context")
+		checkEntryPoints(pass, file)
+		checkBackground(pass, file, waivers)
+	}
+	return nil, nil
+}
+
+// checkEntryPoints applies the signature rule to exported entry points.
+func checkEntryPoints(pass *analysis.Pass, file *ast.File) {
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Recv != nil || !fn.Name.IsExported() {
+			continue
+		}
+		if !isEntryPoint(pass, fn) {
+			continue
+		}
+		obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		sig := obj.Type().(*types.Signature)
+		if signatureCancellable(sig) || hasCancellableSibling(pass, fn.Name.Name) {
+			continue
+		}
+		pass.Reportf(fn.Pos(), "exported solver entry point %s accepts no context.Context or *anytime.Ctl (directly, via an options struct, or via a %sCtx sibling); uncancellable engines break the anytime contract", fn.Name.Name, fn.Name.Name)
+	}
+}
+
+// isEntryPoint: Compute*/Compile* anywhere, plus reliability engines
+// (exported functions returning a named Result or Estimate in a package
+// whose path ends in "reliability").
+func isEntryPoint(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	name := fn.Name.Name
+	if strings.HasPrefix(name, "Compute") || strings.HasPrefix(name, "Compile") {
+		return true
+	}
+	if !analysis.PathTail(pass.Pkg.Path(), "reliability") {
+		return false
+	}
+	if fn.Type.Results == nil {
+		return false
+	}
+	for _, res := range fn.Type.Results.List {
+		tv, ok := pass.TypesInfo.Types[res.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if analysis.IsNamed(tv.Type, "", "Result") || analysis.IsNamed(tv.Type, "", "Estimate") {
+			return true
+		}
+	}
+	return false
+}
+
+// signatureCancellable reports whether any parameter carries a context:
+// a context.Context, an *anytime.Ctl, or a named struct with such a
+// field one level down (the Options pattern).
+func signatureCancellable(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		t := params.At(i).Type()
+		if cancellableType(t) {
+			return true
+		}
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if st, ok := t.Underlying().(*types.Struct); ok {
+			for j := 0; j < st.NumFields(); j++ {
+				if cancellableType(st.Field(j).Type()) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func cancellableType(t types.Type) bool {
+	return analysis.IsNamed(t, "context", "Context") || analysis.IsNamed(t, "anytime", "Ctl")
+}
+
+// hasCancellableSibling looks for an exported package-level function
+// whose name extends this one (FCtx, FOpt, FWithOptions, …) and whose
+// own signature is cancellable.
+func hasCancellableSibling(pass *analysis.Pass, name string) bool {
+	scope := pass.Pkg.Scope()
+	for _, other := range scope.Names() {
+		if other == name || !strings.HasPrefix(other, name) {
+			continue
+		}
+		fn, ok := scope.Lookup(other).(*types.Func)
+		if !ok {
+			continue
+		}
+		if signatureCancellable(fn.Type().(*types.Signature)) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkBackground flags context.Background() calls that are not the
+// direct argument of a *Ctx call.
+func checkBackground(pass *analysis.Pass, file *ast.File, waivers map[int]analysis.Waiver) {
+	analysis.WalkStack(file, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isContextBackground(pass, call) {
+			return true
+		}
+		// Legal shape: FooCtx(context.Background(), …) — the convenience
+		// wrapper delegating to its context-threading sibling.
+		if len(stack) > 0 {
+			if parent, ok := stack[len(stack)-1].(*ast.CallExpr); ok {
+				if calleeEndsCtx(parent) {
+					for _, arg := range parent.Args {
+						if arg == ast.Expr(call) {
+							return true
+						}
+					}
+				}
+			}
+		}
+		line := pass.Fset.Position(call.Pos()).Line
+		if w, ok := waivers[line]; ok {
+			if w.Reason == "" {
+				pass.Reportf(w.Pos, "flowrelvet:context waiver needs a reason")
+			}
+			return true
+		}
+		pass.Reportf(call.Pos(), "context.Background() in library code discards the caller's cancellation; thread the caller's context/Ctl, or waive with //flowrelvet:context <reason>")
+		return true
+	})
+}
+
+func isContextBackground(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Background" {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+func calleeEndsCtx(call *ast.CallExpr) bool {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return strings.HasSuffix(fn.Name, "Ctx")
+	case *ast.SelectorExpr:
+		return strings.HasSuffix(fn.Sel.Name, "Ctx")
+	}
+	return false
+}

@@ -1,0 +1,13 @@
+package ctlthread_test
+
+import (
+	"testing"
+
+	"flowrel/internal/analysis/analysistest"
+	"flowrel/internal/analysis/ctlthread"
+)
+
+func TestCtlThread(t *testing.T) {
+	analysistest.Run(t, "../testdata", ctlthread.Analyzer,
+		"ctlthread/engine", "ctlthread/reliability")
+}

@@ -1,0 +1,12 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"flowrel/internal/analysis/analysistest"
+	"flowrel/internal/analysis/floateq"
+)
+
+func TestFloatEq(t *testing.T) {
+	analysistest.Run(t, "../testdata", floateq.Analyzer, "floateq/a")
+}

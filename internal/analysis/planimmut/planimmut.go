@@ -1,0 +1,94 @@
+// Package planimmut enforces Plan immutability. The compile/evaluate
+// split (PR 2) makes a compiled Plan safe for concurrent Eval calls on
+// one guarantee: after Compile returns, nothing writes to the Plan — not
+// its fields, not the elements of its slice fields. A single assignment
+// from the evaluate phase is a data race the race detector only catches
+// if two Evals happen to collide during a test run; this analyzer
+// catches it at build time.
+//
+// The rule: no assignment (including op-assign, ++/--, and writes through
+// index expressions) whose left-hand side reaches through a value of a
+// named type `Plan`, outside a file named plan.go — the compile phase
+// lives in internal/core/plan.go and the public wrapper in plan.go, and
+// those two files are exactly where Plan construction is allowed.
+package planimmut
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+
+	"flowrel/internal/analysis"
+)
+
+// Analyzer is the planimmut pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "planimmut",
+	Doc:  "no writes to Plan fields (or elements of Plan slice fields) outside the compile phase in plan.go",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		name := filepath.Base(pass.Fset.Position(file.Pos()).Filename)
+		if name == "plan.go" {
+			continue // the compile phase: construction writes are the point
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if st.Tok == token.DEFINE {
+					return true
+				}
+				for _, lhs := range st.Lhs {
+					checkLHS(pass, lhs)
+				}
+			case *ast.IncDecStmt:
+				checkLHS(pass, st.X)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkLHS reports the assignment if the left-hand side dereferences a
+// Plan anywhere on its access path: p.F = …, p.S[i] = …, p.S[i].G = ….
+func checkLHS(pass *analysis.Pass, lhs ast.Expr) {
+	for {
+		switch e := lhs.(type) {
+		case *ast.SelectorExpr:
+			if isPlan(pass, e.X) {
+				pass.Reportf(lhs.Pos(), "write to field %s of immutable Plan outside the compile phase (plan.go); compiled plans must stay read-only for race-free concurrent Eval", e.Sel.Name)
+				return
+			}
+			lhs = e.X
+		case *ast.IndexExpr:
+			if isPlan(pass, e.X) {
+				pass.Reportf(lhs.Pos(), "write through Plan outside the compile phase (plan.go); compiled plans must stay read-only for race-free concurrent Eval")
+				return
+			}
+			lhs = e.X
+		case *ast.ParenExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		default:
+			return
+		}
+	}
+}
+
+func isPlan(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Plan"
+}

@@ -1,0 +1,12 @@
+package planimmut_test
+
+import (
+	"testing"
+
+	"flowrel/internal/analysis/analysistest"
+	"flowrel/internal/analysis/planimmut"
+)
+
+func TestPlanImmut(t *testing.T) {
+	analysistest.Run(t, "../testdata", planimmut.Analyzer, "planimmut/p")
+}

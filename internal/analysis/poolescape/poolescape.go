@@ -1,0 +1,235 @@
+// Package poolescape polices sync.Pool discipline on the evaluation
+// scratch buffers. Plan.Eval draws its per-call scratch from a sync.Pool
+// so concurrent evaluations never share mutable state; that only works if
+// every Get is paired with a Put on every path out of the function, and
+// the pooled value never outlives the call (a retained scratch buffer
+// would be handed to a concurrent Eval while still referenced).
+//
+// For each function-local variable initialized from a (*sync.Pool).Get:
+//
+//   - there must be a Put of that variable, and unless the Put is
+//     deferred, no return may sit between the Get and the Put (a plain
+//     Put after an early return leaks the buffer on that path — use
+//     defer pool.Put(v));
+//   - the variable must not be returned, and must not be stored into a
+//     field, element, or package-level variable.
+package poolescape
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"flowrel/internal/analysis"
+)
+
+// Analyzer is the poolescape pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolescape",
+	Doc:  "sync.Pool values must be Put back on all paths and must not escape the function",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil, nil
+}
+
+// pooled is one variable holding a sync.Pool Get result.
+type pooled struct {
+	obj    types.Object
+	getPos token.Pos
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	var vars []pooled
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		if !isPoolGet(pass, as.Rhs[0]) {
+			return true
+		}
+		var obj types.Object
+		if as.Tok == token.DEFINE {
+			obj = pass.TypesInfo.Defs[id]
+		} else {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj != nil {
+			vars = append(vars, pooled{obj: obj, getPos: as.Pos()})
+		}
+		return true
+	})
+
+	for _, v := range vars {
+		checkVar(pass, fn, v)
+	}
+}
+
+// isPoolGet matches pool.Get() and pool.Get().(*T).
+func isPoolGet(pass *analysis.Pass, e ast.Expr) bool {
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ta.X
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Get" {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	return ok && tv.Type != nil && analysis.IsNamed(tv.Type, "sync", "Pool")
+}
+
+func checkVar(pass *analysis.Pass, fn *ast.FuncDecl, v pooled) {
+	// Calls syntactically under a defer count as covering every path;
+	// the set also keeps them from being mistaken for plain Puts.
+	inDefer := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			ast.Inspect(d, func(m ast.Node) bool {
+				if c, ok := m.(*ast.CallExpr); ok {
+					inDefer[c] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+
+	// Returns inside nested function literals exit the closure, not fn.
+	var closures []*ast.FuncLit
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			closures = append(closures, fl)
+		}
+		return true
+	})
+	inClosure := func(pos token.Pos) bool {
+		for _, fl := range closures {
+			if fl.Pos() <= pos && pos < fl.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	var (
+		deferredPut bool
+		plainPutPos = token.NoPos
+		returnAfter = token.NoPos // first return after the Get
+	)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.CallExpr:
+			if isPutOf(pass, st, v.obj) {
+				if inDefer[st] {
+					deferredPut = true
+				} else if plainPutPos == token.NoPos {
+					plainPutPos = st.Pos()
+				}
+			}
+		case *ast.ReturnStmt:
+			if st.Pos() > v.getPos && !inClosure(st.Pos()) {
+				if returnAfter == token.NoPos || st.Pos() < returnAfter {
+					returnAfter = st.Pos()
+				}
+				for _, res := range st.Results {
+					if directUse(pass, res, v.obj) {
+						pass.Reportf(st.Pos(), "pooled %s escapes via return; a sync.Pool value must not outlive the function that Get it", v.obj.Name())
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				if !directUse(pass, rhs, v.obj) {
+					continue
+				}
+				if i < len(st.Lhs) && retainsBeyondFunc(pass, st.Lhs[i]) {
+					pass.Reportf(st.Pos(), "pooled %s stored into a retained location; a sync.Pool value must not outlive the function that Get it", v.obj.Name())
+				}
+			}
+		}
+		return true
+	})
+
+	switch {
+	case deferredPut:
+		// Covered on every path.
+	case plainPutPos == token.NoPos:
+		pass.Reportf(v.getPos, "pooled %s is never Put back; every sync.Pool Get needs a matching Put (prefer defer pool.Put)", v.obj.Name())
+	case returnAfter != token.NoPos && returnAfter < plainPutPos:
+		pass.Reportf(v.getPos, "pooled %s is not Put back on all paths: a return precedes the Put; use defer pool.Put", v.obj.Name())
+	}
+}
+
+// isPutOf matches pool.Put(v) where v is exactly the pooled variable.
+func isPutOf(pass *analysis.Pass, call *ast.CallExpr, obj types.Object) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Put" || len(call.Args) != 1 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || tv.Type == nil || !analysis.IsNamed(tv.Type, "sync", "Pool") {
+		return false
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == obj
+}
+
+// directUse reports whether e is the variable itself, its address, or a
+// composite literal carrying it — the forms that retain the value. The
+// variable appearing as a call argument is fine: the callee uses the
+// scratch, it does not keep it.
+func directUse(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[e] == obj
+	case *ast.UnaryExpr:
+		return e.Op == token.AND && directUse(pass, e.X, obj)
+	case *ast.ParenExpr:
+		return directUse(pass, e.X, obj)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if directUse(pass, elt, obj) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// retainsBeyondFunc reports whether the assignment target outlives the
+// call: a field or element write, or a package-level variable.
+func retainsBeyondFunc(pass *analysis.Pass, lhs ast.Expr) bool {
+	switch lhs := lhs.(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[lhs]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[lhs]
+		}
+		return obj != nil && obj.Parent() == pass.Pkg.Scope()
+	}
+	return false
+}

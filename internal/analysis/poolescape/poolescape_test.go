@@ -1,0 +1,12 @@
+package poolescape_test
+
+import (
+	"testing"
+
+	"flowrel/internal/analysis/analysistest"
+	"flowrel/internal/analysis/poolescape"
+)
+
+func TestPoolEscape(t *testing.T) {
+	analysistest.Run(t, "../testdata", poolescape.Analyzer, "poolescape/a")
+}

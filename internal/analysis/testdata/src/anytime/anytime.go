@@ -1,0 +1,17 @@
+// Package anytime is a fixture mock of the real anytime controller:
+// just enough surface for the analyzers' type-based checks. The import
+// path tail "anytime" is what the analyzers match on, so fixtures
+// exercise the same code paths as flowrel/internal/anytime.
+package anytime
+
+// Ctl is the mock controller.
+type Ctl struct{ stopped bool }
+
+// Check reports whether the computation may continue.
+func (c *Ctl) Check() bool { return !c.stopped }
+
+// Charge adds work to the budget and reports whether to continue.
+func (c *Ctl) Charge(configs uint64, calls int64) bool { return !c.stopped }
+
+// Stopped reports whether the controller has tripped.
+func (c *Ctl) Stopped() bool { return c.stopped }

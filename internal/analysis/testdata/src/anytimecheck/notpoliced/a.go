@@ -1,0 +1,11 @@
+// Package notpoliced sits outside the policed set: the same unbudgeted
+// enumeration that fires in core must stay silent here.
+package notpoliced
+
+func enumerateAll(k int) int {
+	n := 0
+	for e := uint64(0); e < uint64(1)<<uint(k); e++ {
+		n += int(e)
+	}
+	return n
+}

@@ -1,0 +1,55 @@
+// Package engine is the ctlthread fixture for the generic entry-point
+// and context.Background rules.
+package engine
+
+import (
+	"context"
+
+	"anytime"
+)
+
+// Options mirrors the solver's options struct: a Ctl one level down
+// makes a signature cancellable.
+type Options struct {
+	Parallelism int
+	Ctl         *anytime.Ctl
+}
+
+// Plan is a stand-in compile artifact.
+type Plan struct{ terms []float64 }
+
+func ComputeBad(k int) float64 { // want `exported solver entry point ComputeBad accepts no context.Context or \*anytime.Ctl`
+	return float64(k)
+}
+
+func ComputeGood(ctx context.Context, k int) float64 {
+	_ = ctx
+	return float64(k)
+}
+
+func CompileWithOptions(o Options) (*Plan, error) {
+	_ = o
+	return &Plan{}, nil
+}
+
+// Solve delegates to SolveCtx: the one position where calling
+// context.Background() in library code is legal.
+func Solve(k int) float64 {
+	return SolveCtx(context.Background(), k)
+}
+
+func SolveCtx(ctx context.Context, k int) float64 {
+	_ = ctx
+	return float64(k)
+}
+
+func leak() {
+	ctx := context.Background() // want `context.Background\(\) in library code discards the caller's cancellation`
+	_ = ctx
+}
+
+func waived() {
+	//flowrelvet:context fixture: this path is only reachable from the CLI root
+	ctx := context.Background()
+	_ = ctx
+}

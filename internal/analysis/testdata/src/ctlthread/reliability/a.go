@@ -1,0 +1,42 @@
+// Package reliability is the ctlthread fixture for the engine rule: in
+// a package whose path ends in "reliability", every exported function
+// returning a named Result or Estimate is a solver entry point.
+package reliability
+
+import "anytime"
+
+// Result mirrors the solver's result shape.
+type Result struct {
+	Reliability float64
+	Partial     bool
+}
+
+// Options carries the controller.
+type Options struct{ Ctl *anytime.Ctl }
+
+func Naive(k int, opt Options) (Result, error) {
+	_ = opt
+	return Result{}, nil
+}
+
+func Exhaustive(k int) (Result, error) { // want `exported solver entry point Exhaustive accepts no context.Context or \*anytime.Ctl`
+	return Result{}, nil
+}
+
+// Walk has a cancellable sibling WalkOpt: the Compute/ComputeCtx
+// convenience-pair pattern.
+func Walk(k int) (Result, error) {
+	return WalkOpt(k, Options{})
+}
+
+func WalkOpt(k int, opt Options) (Result, error) {
+	_ = opt
+	return Result{}, nil
+}
+
+func montecarlo(k int) Result { // unexported: not an entry point
+	return Result{}
+}
+
+// Helper returns no Result: not an engine.
+func Helper(k int) int { return k + 1 }

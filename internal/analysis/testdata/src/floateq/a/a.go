@@ -1,0 +1,31 @@
+// Package a is the floateq fixture.
+package a
+
+// Report mirrors the solver's result shape: its name alone marks every
+// field selection off it as reliability-carrying.
+type Report struct {
+	Reliability float64
+	Lo, Hi      float64
+	N           float64
+}
+
+func compare(a, b Report, pFail, x, y float64) []bool {
+	return []bool{
+		a.Reliability == b.Reliability, // want `exact == between reliability floats`
+		pFail != 0.3,                   // want `exact != between reliability floats`
+		a.Lo == b.Hi,                   // want `exact == between reliability floats`
+		a.N == b.N,                     // want `exact == between reliability floats`
+		x == y,                         // bland names, no reliability vocabulary: fine
+		pFail == 0,                     // exact sentinel: conditioning sets probabilities to 0
+		a.Reliability == 1,             // exact sentinel: certainly-live
+	}
+}
+
+func waived(a, b Report) bool {
+	//flowrelvet:exactfloat fixture: bit-identity across worker counts is the property under test
+	return a.Reliability == b.Reliability
+}
+
+func intsAreFine(n, m int) bool {
+	return n == m
+}

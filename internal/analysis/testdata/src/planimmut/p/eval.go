@@ -1,0 +1,26 @@
+package p
+
+// Eval only reads the Plan: legal everywhere.
+func Eval(p *Plan, x float64) float64 {
+	sum := 0.0
+	for _, c := range p.Coef {
+		sum += c * x
+	}
+	return sum + p.Alpha
+}
+
+func mutate(p *Plan) {
+	p.Alpha = 1  // want `write to field Alpha of immutable Plan`
+	p.Coef[0] = 2 // want `write to field Coef of immutable Plan`
+	p.Calls++    // want `write to field Calls of immutable Plan`
+}
+
+func mutateValue(p Plan) {
+	p.Alpha = 1 // want `write to field Alpha of immutable Plan`
+}
+
+func local(x float64) float64 {
+	sum := 0.0
+	sum += x // ordinary assignment, no Plan on the path
+	return sum
+}

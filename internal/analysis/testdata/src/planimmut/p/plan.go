@@ -1,0 +1,21 @@
+// Package p is the planimmut fixture. This file is named plan.go, so it
+// is the compile phase: construction writes here are the point.
+package p
+
+// Plan is the fixture's compiled artifact.
+type Plan struct {
+	Alpha float64
+	Coef  []float64
+	Calls int
+}
+
+// Compile builds a Plan; every write below is legal in this file.
+func Compile(k int) *Plan {
+	p := &Plan{Coef: make([]float64, k)}
+	p.Alpha = 0.5
+	for i := range p.Coef {
+		p.Coef[i] = float64(i)
+	}
+	p.Calls++
+	return p
+}

@@ -1,0 +1,59 @@
+// Package a is the poolescape fixture.
+package a
+
+import "sync"
+
+type buf struct{ xs []float64 }
+
+var pool = sync.Pool{New: func() any { return new(buf) }}
+
+var retained *buf
+
+func good(n int) float64 {
+	v := pool.Get().(*buf)
+	defer pool.Put(v)
+	v.xs = v.xs[:0]
+	return float64(n)
+}
+
+func neverPut() {
+	v := pool.Get().(*buf) // want `pooled v is never Put back`
+	v.xs = nil
+}
+
+func putMissedOnPath(cond bool) int {
+	v := pool.Get().(*buf) // want `pooled v is not Put back on all paths: a return precedes the Put`
+	if cond {
+		return 0
+	}
+	pool.Put(v)
+	return 1
+}
+
+func plainPutBeforeAnyReturn(cond bool) int {
+	v := pool.Get().(*buf)
+	v.xs = append(v.xs[:0], 1)
+	pool.Put(v)
+	if cond {
+		return 0
+	}
+	return 1
+}
+
+func escapes() *buf {
+	v := pool.Get().(*buf) // want `pooled v is never Put back`
+	return v               // want `pooled v escapes via return`
+}
+
+func stored() {
+	v := pool.Get().(*buf)
+	defer pool.Put(v)
+	retained = v // want `pooled v stored into a retained location`
+}
+
+func closureReturnIsNotAnExit() func() int {
+	v := pool.Get().(*buf)
+	f := func() int { return len(v.xs) }
+	pool.Put(v)
+	return f
+}

@@ -1,0 +1,15 @@
+// Package subset is a fixture mock of the subset-lattice kernels; a
+// call into it marks the calling loop as an inclusion–exclusion walk.
+package subset
+
+// Submasks visits every submask of m.
+func Submasks(m uint64, f func(uint64) bool) {
+	for s := m; ; s = (s - 1) & m {
+		if !f(s) || s == 0 {
+			return
+		}
+	}
+}
+
+// SupersetZeta is a no-op stand-in for the zeta transform.
+func SupersetZeta(xs []float64) {}

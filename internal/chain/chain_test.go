@@ -10,6 +10,7 @@ import (
 	"flowrel/internal/graph"
 	"flowrel/internal/overlay"
 	"flowrel/internal/reliability"
+	"flowrel/internal/testutil"
 )
 
 // threeBlocks builds s-block → cut1 → middle block → cut2 → t-block, with
@@ -297,7 +298,7 @@ func TestQuickChainParallelDeterministic(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return a.Reliability == b.Reliability
+		return testutil.AlmostEqual(a.Reliability, b.Reliability, 0)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)

@@ -10,6 +10,7 @@ import (
 	"flowrel/internal/graph"
 	"flowrel/internal/maxflow"
 	"flowrel/internal/reliability"
+	"flowrel/internal/testutil"
 )
 
 // pathGraph builds s → a → b → t with perfect links.
@@ -120,7 +121,7 @@ func TestNamesAndMappings(t *testing.T) {
 		t.Fatalf("PeerLink = %v", inst.PeerLink)
 	}
 	e := inst.G.Edge(inst.PeerLink[1])
-	if e.PFail != 0.1 {
+	if !testutil.AlmostEqual(e.PFail, 0.1, 0) {
 		t.Fatal("peer link probability lost")
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"flowrel/internal/graph"
 	"flowrel/internal/mincut"
 	"flowrel/internal/reliability"
+	"flowrel/internal/testutil"
 )
 
 // bridgeGraph: triangle {s,a,b} → bridge b→c → triangle {c,d,t}, all
@@ -309,7 +310,7 @@ func TestStatsCostModel(t *testing.T) {
 	if res.Stats.SideConfigs[0] != 8 || res.Stats.SideConfigs[1] != 8 {
 		t.Fatalf("SideConfigs = %v, want [8 8]", res.Stats.SideConfigs)
 	}
-	if res.Alpha != 3.0/8.0 {
+	if !testutil.AlmostEqual(res.Alpha, 3.0/8.0, 0) {
 		t.Fatalf("alpha = %g", res.Alpha)
 	}
 }
@@ -413,7 +414,7 @@ func TestSourceAdjacentCut(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if gray.Reliability != res.Reliability {
+	if !testutil.AlmostEqual(gray.Reliability, res.Reliability, 0) {
 		t.Fatalf("gray %.17g vs recompute %.17g", gray.Reliability, res.Reliability)
 	}
 }
@@ -430,7 +431,7 @@ func TestParallelismConsistency(t *testing.T) {
 	}
 	// Chunk boundaries are independent of the worker count, so the result
 	// is bit-identical, not merely close.
-	if r1.Reliability != r8.Reliability {
+	if !testutil.AlmostEqual(r1.Reliability, r8.Reliability, 0) {
 		t.Fatalf("parallelism changes result: %.17g vs %.17g", r1.Reliability, r8.Reliability)
 	}
 }

@@ -78,6 +78,13 @@ func ReliabilityExact(g *graph.Graph, dem graph.Demand, opt Options) (*big.Rat, 
 	total := new(big.Rat)
 	tmp := new(big.Rat)
 	for e := uint64(0); e < uint64(1)<<uint(bt.K()); e++ {
+		// Rational arithmetic makes each accumulation step orders of
+		// magnitude slower than the float path, so this enumeration
+		// charges the budget per bottleneck configuration rather than per
+		// anytime.CheckEvery batch.
+		if !opt.Ctl.Charge(1, 0) {
+			return nil, opt.Ctl.Err()
+		}
 		dMask := classes[e]
 		if dMask == 0 {
 			continue

@@ -288,6 +288,7 @@ func (p *Plan) evalZeta(sc *evalScratch) float64 {
 	subset.SupersetZeta(qt, n)
 
 	total := 0.0
+	//flowrelvet:unbounded evaluate phase: Plan.Eval is budget-free by contract — the 3^k aggregation is bounded by the compiled plan's size and the full exponential cost was charged to the Ctl during Compile.
 	for e := uint64(0); e < uint64(1)<<uint(len(sc.pCut)); e++ {
 		dMask := p.classes[e]
 		if dMask == 0 {
@@ -311,6 +312,7 @@ func (p *Plan) evalZeta(sc *evalScratch) float64 {
 // Kept as the ablation baseline.
 func (p *Plan) evalDirect(sc *evalScratch) float64 {
 	total := 0.0
+	//flowrelvet:unbounded evaluate phase: Plan.Eval is budget-free by contract — the side-array scans are bounded by the compiled plan's size and the full exponential cost was charged to the Ctl during Compile.
 	for e := uint64(0); e < uint64(1)<<uint(len(sc.pCut)); e++ {
 		dMask := p.classes[e]
 		if dMask == 0 {

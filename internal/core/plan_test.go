@@ -7,6 +7,7 @@ import (
 
 	"flowrel/internal/graph"
 	"flowrel/internal/reliability"
+	"flowrel/internal/testutil"
 )
 
 // rebuildWithProbs copies g with each link's failure probability replaced
@@ -77,7 +78,7 @@ func TestPlanEvalMatchesDirect(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: Eval(nil): %v", seed, err)
 		}
-		if got != direct.Reliability {
+		if !testutil.AlmostEqual(got, direct.Reliability, 0) {
 			t.Fatalf("seed %d: Eval(nil) %.17g != direct %.17g", seed, got, direct.Reliability)
 		}
 

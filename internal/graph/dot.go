@@ -83,5 +83,6 @@ func dotID(s string) string {
 	if plain {
 		return s
 	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
 	return `"` + strings.ReplaceAll(s, `"`, `\"`) + `"`
 }

@@ -1,0 +1,298 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDOT reads the subset of Graphviz DOT that WriteDOT emits back
+// into a File: a digraph whose node statements declare named nodes
+// (xlabel="source"/"sink" marks recovering the demand endpoints) and
+// whose edge statements carry a `label="cap, pfail"` attribute.
+// Highlight colors and layout attributes are accepted and ignored.
+//
+// DOT does not record the demanded bit-rate, so a recovered demand has
+// volume 1; a graph with no source/sink marks parses with a nil Demand.
+func ParseDOT(r io.Reader) (*File, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading DOT: %w", err)
+	}
+	return ParseDOTString(string(data))
+}
+
+// ParseDOTString is ParseDOT on a string.
+func ParseDOTString(s string) (*File, error) {
+	toks, err := dotTokenize(s)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
+	p := &dotParser{toks: toks, b: NewBuilder()}
+	if err := p.parse(); err != nil {
+		return nil, fmt.Errorf("graph: %w", err)
+	}
+	g, err := p.b.Build()
+	if err != nil {
+		return nil, err
+	}
+	f := &File{Graph: g}
+	if p.src != nil && p.sink != nil {
+		f.Demand = &Demand{S: *p.src, T: *p.sink, D: 1}
+		if err := f.Demand.Validate(g); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// DOT tokens.
+const (
+	dotEOF = iota
+	dotPunct
+	dotArrow
+	dotWord
+	dotString
+)
+
+type dotTok struct {
+	kind int
+	text string
+}
+
+func dotDelim(c byte) bool {
+	switch c {
+	case ' ', '\t', '\r', '\n', '{', '}', '[', ']', ';', ',', '=', '"':
+		return true
+	}
+	return false
+}
+
+func dotTokenize(s string) ([]dotTok, error) {
+	var toks []dotTok
+	for i := 0; i < len(s); {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			i++
+		case c == '{' || c == '}' || c == '[' || c == ']' || c == ';' || c == ',' || c == '=':
+			toks = append(toks, dotTok{dotPunct, string(c)})
+			i++
+		case c == '-' && i+1 < len(s) && s[i+1] == '>':
+			toks = append(toks, dotTok{dotArrow, "->"})
+			i += 2
+		case c == '"':
+			i++
+			var b strings.Builder
+			closed := false
+			for i < len(s) {
+				c := s[i]
+				if c == '\\' && i+1 < len(s) {
+					// WriteDOT escapes only backslash and quote; any other
+					// backslash sequence passes through verbatim.
+					switch s[i+1] {
+					case '"', '\\':
+						b.WriteByte(s[i+1])
+					default:
+						b.WriteByte('\\')
+						b.WriteByte(s[i+1])
+					}
+					i += 2
+					continue
+				}
+				if c == '"' {
+					i++
+					closed = true
+					break
+				}
+				b.WriteByte(c)
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("unterminated quoted string")
+			}
+			toks = append(toks, dotTok{dotString, b.String()})
+		default:
+			start := i
+			for i < len(s) && !dotDelim(s[i]) {
+				if s[i] == '-' && i+1 < len(s) && s[i+1] == '>' {
+					break
+				}
+				i++
+			}
+			toks = append(toks, dotTok{dotWord, s[start:i]})
+		}
+	}
+	return append(toks, dotTok{dotEOF, ""}), nil
+}
+
+type dotParser struct {
+	toks []dotTok
+	pos  int
+	b    *Builder
+	src  *NodeID
+	sink *NodeID
+}
+
+func (p *dotParser) next() dotTok {
+	t := p.toks[p.pos]
+	if t.kind != dotEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *dotParser) peek() dotTok { return p.toks[p.pos] }
+
+func (p *dotParser) peekPunct(text string) bool {
+	t := p.peek()
+	return t.kind == dotPunct && t.text == text
+}
+
+func (p *dotParser) expectPunct(text string) error {
+	if t := p.next(); t.kind != dotPunct || t.text != text {
+		return fmt.Errorf("expected %q, got %q", text, t.text)
+	}
+	return nil
+}
+
+func isDotID(t dotTok) bool { return t.kind == dotWord || t.kind == dotString }
+
+func (p *dotParser) parse() error {
+	if t := p.next(); t.kind != dotWord || t.text != "digraph" {
+		return fmt.Errorf("expected 'digraph', got %q", t.text)
+	}
+	if isDotID(p.peek()) {
+		p.next() // the graph name; File does not record it
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	for {
+		t := p.next()
+		switch {
+		case t.kind == dotEOF:
+			return fmt.Errorf("unexpected end of input inside digraph")
+		case t.kind == dotPunct && t.text == "}":
+			if end := p.next(); end.kind != dotEOF {
+				return fmt.Errorf("trailing %q after closing brace", end.text)
+			}
+			return nil
+		case t.kind == dotPunct && t.text == ";":
+			// empty statement
+		case isDotID(t):
+			if err := p.parseStmt(t); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unexpected %q", t.text)
+		}
+	}
+}
+
+// parseStmt handles one statement whose leading ID token is t: an
+// attribute default (node [...] / edge [...]), a key=value setting, a
+// node declaration, or an edge.
+func (p *dotParser) parseStmt(t dotTok) error {
+	if t.kind == dotWord && (t.text == "node" || t.text == "edge") && p.peekPunct("[") {
+		_, err := p.parseAttrs() // layout defaults: ignored
+		return err
+	}
+	if p.peekPunct("=") {
+		p.next()
+		if v := p.next(); !isDotID(v) {
+			return fmt.Errorf("expected value after %s=", t.text)
+		}
+		return nil // rankdir and friends: ignored
+	}
+	if p.peek().kind == dotArrow {
+		p.next()
+		to := p.next()
+		if !isDotID(to) {
+			return fmt.Errorf("expected node after ->, got %q", to.text)
+		}
+		var attrs map[string]string
+		if p.peekPunct("[") {
+			var err error
+			if attrs, err = p.parseAttrs(); err != nil {
+				return err
+			}
+		}
+		label, ok := attrs["label"]
+		if !ok {
+			return fmt.Errorf("edge %s -> %s has no label attribute", t.text, to.text)
+		}
+		capStr, pStr, ok := strings.Cut(label, ",")
+		if !ok {
+			return fmt.Errorf("edge label %q is not \"cap, pfail\"", label)
+		}
+		c, err := strconv.Atoi(strings.TrimSpace(capStr))
+		if err != nil {
+			return fmt.Errorf("bad capacity in edge label %q", label)
+		}
+		pf, err := strconv.ParseFloat(strings.TrimSpace(pStr), 64)
+		if err != nil {
+			return fmt.Errorf("bad failure probability in edge label %q", label)
+		}
+		p.b.AddEdge(p.nodeOf(t.text), p.nodeOf(to.text), c, pf)
+		return nil
+	}
+	// Node declaration.
+	if _, ok := p.b.Node(t.text); ok {
+		return fmt.Errorf("duplicate node %q", t.text)
+	}
+	id := p.b.AddNamedNode(t.text)
+	if p.peekPunct("[") {
+		attrs, err := p.parseAttrs()
+		if err != nil {
+			return err
+		}
+		switch attrs["xlabel"] {
+		case "source":
+			if p.src != nil {
+				return fmt.Errorf("node %q: second source mark", t.text)
+			}
+			p.src = &id
+		case "sink":
+			if p.sink != nil {
+				return fmt.Errorf("node %q: second sink mark", t.text)
+			}
+			p.sink = &id
+		}
+	}
+	return nil
+}
+
+func (p *dotParser) nodeOf(name string) NodeID {
+	if id, ok := p.b.Node(name); ok {
+		return id
+	}
+	return p.b.AddNamedNode(name)
+}
+
+func (p *dotParser) parseAttrs() (map[string]string, error) {
+	if err := p.expectPunct("["); err != nil {
+		return nil, err
+	}
+	attrs := make(map[string]string)
+	for {
+		t := p.next()
+		switch {
+		case t.kind == dotPunct && t.text == "]":
+			return attrs, nil
+		case t.kind == dotPunct && t.text == ",":
+		case isDotID(t):
+			if err := p.expectPunct("="); err != nil {
+				return nil, err
+			}
+			v := p.next()
+			if !isDotID(v) {
+				return nil, fmt.Errorf("expected value for attribute %s", t.text)
+			}
+			attrs[t.text] = v.text
+		default:
+			return nil, fmt.Errorf("unexpected %q in attribute list", t.text)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package graph
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flowrel/internal/testutil"
+)
+
+// TestParseDOTRoundTrip renders every shipped network to DOT and parses
+// it back: structure, attributes, and demand endpoints must survive.
+func TestParseDOTRoundTrip(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.g"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata networks: %v", err)
+	}
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := ParseTextString(string(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := f.Graph.WriteDOT(&sb, DOTOptions{Demand: f.Demand}); err != nil {
+			t.Fatal(err)
+		}
+		f2, err := ParseDOTString(sb.String())
+		if err != nil {
+			t.Fatalf("%s: parsing emitted DOT: %v\n%s", path, err, sb.String())
+		}
+		if f2.Graph.NumNodes() != f.Graph.NumNodes() || f2.Graph.NumEdges() != f.Graph.NumEdges() {
+			t.Fatalf("%s: shape changed: %v vs %v", path, f.Graph, f2.Graph)
+		}
+		for i, e := range f.Graph.Edges() {
+			e2 := f2.Graph.Edge(EdgeID(i))
+			if e.U != e2.U || e.V != e2.V || e.Cap != e2.Cap {
+				t.Fatalf("%s: link %d changed: %+v vs %+v", path, i, e, e2)
+			}
+			// WriteDOT prints pfail at 3 significant digits.
+			if !testutil.AlmostEqual(e.PFail, e2.PFail, 1e-3) {
+				t.Fatalf("%s: link %d pfail %g vs %g", path, i, e.PFail, e2.PFail)
+			}
+		}
+		if f.Demand != nil {
+			if f2.Demand == nil {
+				t.Fatalf("%s: demand endpoints lost", path)
+			}
+			if f2.Demand.S != f.Demand.S || f2.Demand.T != f.Demand.T {
+				t.Fatalf("%s: demand endpoints moved: %+v vs %+v", path, f.Demand, f2.Demand)
+			}
+		}
+	}
+}
+
+func TestParseDOTErrors(t *testing.T) {
+	cases := map[string]string{
+		"not dot":                 "graph g { a; }",
+		"unterminated string":     `digraph g { "a`,
+		"missing brace":           "digraph g { a;",
+		"trailing tokens":         "digraph g { } extra",
+		"edge without label":      "digraph g { a -> b; }",
+		"malformed label":         `digraph g { a -> b [label="nope"]; }`,
+		"bad capacity":            `digraph g { a -> b [label="x, 0.1"]; }`,
+		"bad probability":         `digraph g { a -> b [label="1, x"]; }`,
+		"capacity overflow":       `digraph g { a -> b [label="99999999999999999999, 0.1"]; }`,
+		"probability above one":   `digraph g { a -> b [label="1, 1.5"]; }`,
+		"duplicate node":          "digraph g { a; a; }",
+		"two sources":             `digraph g { a [xlabel="source"]; b [xlabel="source"]; }`,
+		"attr without value":      "digraph g { a [x]; }",
+	}
+	for name, src := range cases {
+		if _, err := ParseDOTString(src); err == nil {
+			t.Errorf("%s: accepted %q", name, src)
+		}
+	}
+
+	// One-sided demand marks degrade to no demand rather than an error.
+	f, err := ParseDOTString(`digraph g { a [xlabel="source"]; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Demand != nil {
+		t.Fatal("source-only mark produced a demand")
+	}
+}
+
+func TestParseDOTDemand(t *testing.T) {
+	f, err := ParseDOTString(`digraph g {
+		s [style=filled, xlabel="source"];
+		m;
+		t [xlabel="sink"];
+		s -> m [label="2, 0.1"];
+		m -> t [label="1, 0.25", color=red, penwidth=2];
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Demand == nil || f.Demand.D != 1 {
+		t.Fatalf("demand = %+v, want volume-1 demand", f.Demand)
+	}
+	s, _ := f.Graph.NodeByName("s")
+	tt, _ := f.Graph.NodeByName("t")
+	if f.Demand.S != s || f.Demand.T != tt {
+		t.Fatalf("demand endpoints %+v, want s=%d t=%d", f.Demand, s, tt)
+	}
+	if f.Graph.NumEdges() != 2 || !testutil.AlmostEqual(f.Graph.Edge(1).PFail, 0.25, 0) {
+		t.Fatalf("edges mis-parsed: %v", f.Graph)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"flowrel/internal/testutil"
 )
 
 // FuzzParseText asserts the text parser never panics on arbitrary input
@@ -61,12 +63,84 @@ func FuzzParseText(f *testing.F) {
 		}
 		for i, e := range file.Graph.Edges() {
 			e2 := file2.Graph.Edge(EdgeID(i))
-			if e.U != e2.U || e.V != e2.V || e.Cap != e2.Cap || e.PFail != e2.PFail {
+			if e.U != e2.U || e.V != e2.V || e.Cap != e2.Cap || !testutil.AlmostEqual(e.PFail, e2.PFail, 0) {
 				t.Fatalf("round trip changed link %d: %+v vs %+v", i, e, e2)
 			}
 		}
 		if (file.Demand == nil) != (file2.Demand == nil) {
 			t.Fatal("round trip changed demand presence")
+		}
+	})
+}
+
+// FuzzParseDOT asserts the DOT parser never panics on arbitrary input
+// and that write∘parse is a fixed point: anything ParseDOT accepts,
+// once re-emitted by WriteDOT, parses back to a graph that emits the
+// byte-identical DOT again.
+func FuzzParseDOT(f *testing.F) {
+	seeds := []string{
+		"",
+		"digraph flowrel {\n}\n",
+		"digraph g { a; b; a -> b [label=\"1, 0.5\"]; }",
+		"digraph g {\n  rankdir=LR;\n  node [shape=circle, fontsize=11];\n  edge [fontsize=9];\n  s [style=filled, fillcolor=\"#a7d3a6\", xlabel=\"source\"];\n  t [style=filled, fillcolor=\"#a6b8d3\", xlabel=\"sink\"];\n  s -> t [label=\"2, 0.25\", color=red, penwidth=2];\n}\n",
+		"digraph \"odd name\" { \"1st\" -> x [label=\"3, 1e-300\"]; }",
+		"digraph g { a -> b }",
+		"digraph g { a -> b [label=\"nope\"]; }",
+		"digraph g { a -> a [label=\"1, 0.1\"]; }",
+		"digraph g { a; a; }",
+		"graph g { a; }",
+		"digraph g { a [xlabel=\"source\"]; }",
+		"digraph g { \"\\\"q\\\\\" ; }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	// Seed from every shipped network description, rendered to DOT, so
+	// mutations start from the writer's own output too.
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.g"))
+	if err != nil || len(files) == 0 {
+		f.Fatalf("no testdata seeds found: %v", err)
+	}
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		gf, err := ParseTextString(string(data))
+		if err != nil {
+			f.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := gf.Graph.WriteDOT(&sb, DOTOptions{Demand: gf.Demand}); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(sb.String())
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		file, err := ParseDOTString(input)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var s1 strings.Builder
+		if err := file.Graph.WriteDOT(&s1, DOTOptions{Demand: file.Demand}); err != nil {
+			t.Fatalf("accepted graph failed to render: %v", err)
+		}
+		file2, err := ParseDOTString(s1.String())
+		if err != nil {
+			t.Fatalf("re-parse of emitted DOT failed: %v\noriginal: %q\nemitted: %q", err, input, s1.String())
+		}
+		if file2.Graph.NumNodes() != file.Graph.NumNodes() || file2.Graph.NumEdges() != file.Graph.NumEdges() {
+			t.Fatalf("round trip changed shape: %v vs %v", file.Graph, file2.Graph)
+		}
+		if (file.Demand == nil) != (file2.Demand == nil) {
+			t.Fatal("round trip changed demand presence")
+		}
+		var s2 strings.Builder
+		if err := file2.Graph.WriteDOT(&s2, DOTOptions{Demand: file2.Demand}); err != nil {
+			t.Fatal(err)
+		}
+		if s1.String() != s2.String() {
+			t.Fatalf("write∘parse is not a fixed point:\nfirst:  %q\nsecond: %q", s1.String(), s2.String())
 		}
 	})
 }

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"flowrel/internal/bitset"
+	"flowrel/internal/testutil"
 )
 
 // diamond builds s—a, s—b, a—t, b—t, a—b.
@@ -202,7 +203,7 @@ func TestInducedAndSplitByCut(t *testing.T) {
 	for subE, parE := range gs.ParentEdge {
 		pe := g.Edge(parE)
 		se := gs.G.Edge(EdgeID(subE))
-		if se.Cap != pe.Cap || se.PFail != pe.PFail {
+		if se.Cap != pe.Cap || !testutil.AlmostEqual(se.PFail, pe.PFail, 0) {
 			t.Fatal("edge attributes lost in induction")
 		}
 	}
@@ -297,7 +298,7 @@ demand s t 2
 	}
 	for i, e := range f.Graph.Edges() {
 		e2 := f2.Graph.Edge(EdgeID(i))
-		if e.Cap != e2.Cap || e.PFail != e2.PFail {
+		if e.Cap != e2.Cap || !testutil.AlmostEqual(e.PFail, e2.PFail, 0) {
 			t.Fatal("round trip lost edge attributes")
 		}
 	}
@@ -332,7 +333,7 @@ func TestParseTextDuplex(t *testing.T) {
 		t.Fatalf("links = %d, want 3 (duplex = 2 + 1)", f.Graph.NumEdges())
 	}
 	e0, e1 := f.Graph.Edge(0), f.Graph.Edge(1)
-	if e0.U != e1.V || e0.V != e1.U || e0.Cap != e1.Cap || e0.PFail != e1.PFail {
+	if e0.U != e1.V || e0.V != e1.U || e0.Cap != e1.Cap || !testutil.AlmostEqual(e0.PFail, e1.PFail, 0) {
 		t.Fatalf("duplex pair mismatch: %+v / %+v", e0, e1)
 	}
 	if _, err := ParseTextString("duplex a b 2"); err == nil {
@@ -367,7 +368,7 @@ func TestJSONRoundTrip(t *testing.T) {
 	if f2.Demand == nil || f2.Demand.D != 2 || f2.Demand.S != s || f2.Demand.T != tt {
 		t.Fatalf("JSON demand = %+v", f2.Demand)
 	}
-	if f2.Graph.Edge(4).PFail != 0.3 {
+	if !testutil.AlmostEqual(f2.Graph.Edge(4).PFail, 0.3, 0) {
 		t.Fatal("JSON round trip lost pfail")
 	}
 }
@@ -468,7 +469,7 @@ func TestQuickTextRoundTrip(t *testing.T) {
 		}
 		for i, e := range g.Edges() {
 			e2 := f2.Graph.Edge(EdgeID(i))
-			if e.Cap != e2.Cap || e.PFail != e2.PFail || e.U != e2.U || e.V != e2.V {
+			if e.Cap != e2.Cap || !testutil.AlmostEqual(e.PFail, e2.PFail, 0) || e.U != e2.U || e.V != e2.V {
 				return false
 			}
 		}

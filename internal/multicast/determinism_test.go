@@ -1,0 +1,40 @@
+package multicast
+
+import (
+	"math/rand"
+	"testing"
+
+	"flowrel/internal/overlay"
+	"flowrel/internal/reliability"
+	"flowrel/internal/testutil"
+)
+
+// TestMonteCarloRandDeterministic pins the injected-rng contract: block
+// seeds are drawn from the source up front, so the estimate matches the
+// seed wrapper exactly and is independent of worker scheduling.
+func TestMonteCarloRandDeterministic(t *testing.T) {
+	o, err := overlay.Mesh(14, 3, 2, 2, 0.15, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	viaSeed, err := MonteCarlo(o.G, o.Source, nil, o.Substreams, 4000, 11, reliability.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		viaRand, err := MonteCarloRand(o.G, o.Source, nil, o.Substreams, 4000,
+			rand.New(rand.NewSource(11)), reliability.Options{Parallelism: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !testutil.AlmostEqual(viaSeed.Reliability, viaRand.Reliability, 0) ||
+			viaSeed.Admitting != viaRand.Admitting || viaSeed.Samples != viaRand.Samples {
+			t.Fatalf("workers=%d: %+v diverged from %+v", workers, viaRand, viaSeed)
+		}
+	}
+
+	if _, err := MonteCarloRand(o.G, o.Source, nil, o.Substreams, 100, nil, reliability.Options{}); err == nil {
+		t.Fatal("MonteCarloRand accepted a nil rng")
+	}
+}

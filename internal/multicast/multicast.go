@@ -202,6 +202,16 @@ type Estimate = reliability.Estimate
 // MonteCarlo estimates the all-targets reliability by sampling;
 // deterministic per seed, any graph size.
 func MonteCarlo(g *graph.Graph, s graph.NodeID, targets []graph.NodeID, d, samples int, seed int64, opt reliability.Options) (Estimate, error) {
+	return MonteCarloRand(g, s, targets, d, samples, rand.New(rand.NewSource(seed)), opt)
+}
+
+// MonteCarloRand is MonteCarlo drawing its randomness from an injected
+// source. Each sampling block gets its own generator seeded from rng up
+// front, so the estimate is independent of worker scheduling.
+func MonteCarloRand(g *graph.Graph, s graph.NodeID, targets []graph.NodeID, d, samples int, rng *rand.Rand, opt reliability.Options) (Estimate, error) {
+	if rng == nil {
+		return Estimate{}, fmt.Errorf("multicast: MonteCarloRand wants a non-nil rng")
+	}
 	if g == nil {
 		return Estimate{}, fmt.Errorf("multicast: nil graph")
 	}
@@ -223,6 +233,10 @@ func MonteCarlo(g *graph.Graph, s graph.NodeID, targets []graph.NodeID, d, sampl
 
 	const blockSize = 1024
 	nBlocks := (samples + blockSize - 1) / blockSize
+	blockSeeds := make([]int64, nBlocks)
+	for b := range blockSeeds {
+		blockSeeds[b] = rng.Int63()
+	}
 	hits := make([]int, nBlocks)
 	done := make([]int, nBlocks)
 	errs := make([]error, nBlocks)
@@ -244,7 +258,7 @@ func MonteCarlo(g *graph.Graph, s graph.NodeID, targets []graph.NodeID, d, sampl
 			if b == nBlocks-1 {
 				n = samples - b*blockSize
 			}
-			rng := rand.New(rand.NewSource(seed + int64(b)*0x5851F42D4C957F2D))
+			rng := rand.New(rand.NewSource(blockSeeds[b]))
 			nw := proto.Clone()
 			h := 0
 			var callsMark int64

@@ -1,0 +1,115 @@
+package overlay
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"flowrel/internal/graph"
+)
+
+func renderGraph(t *testing.T, g *graph.Graph) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := (&graph.File{Graph: g}).WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestRandInjectionMatchesSeed pins the contract of the *Rand variants:
+// a fresh source seeded with s produces exactly the topology the seed
+// convenience wrapper produces, and the same source state always yields
+// the same graph.
+func TestRandInjectionMatchesSeed(t *testing.T) {
+	const seed = 77
+
+	mSeed, err := Mesh(12, 3, 2, 2, 0.1, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mRand, err := MeshRand(12, 3, 2, 2, 0.1, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderGraph(t, mSeed.G) != renderGraph(t, mRand.G) {
+		t.Fatal("MeshRand with a fresh seeded source diverged from Mesh")
+	}
+
+	cSeed, err := Clustered(6, 9, 3, 2, 2, 0.1, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cRand, err := ClusteredRand(6, 9, 3, 2, 2, 0.1, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderGraph(t, cSeed.G) != renderGraph(t, cRand.G) {
+		t.Fatal("ClusteredRand with a fresh seeded source diverged from Clustered")
+	}
+
+	chSeed, cutsSeed, err := Chain(3, 4, 3, 2, 2, 2, 0.1, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chRand, cutsRand, err := ChainRand(3, 4, 3, 2, 2, 2, 0.1, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderGraph(t, chSeed.G) != renderGraph(t, chRand.G) {
+		t.Fatal("ChainRand with a fresh seeded source diverged from Chain")
+	}
+	if len(cutsSeed) != len(cutsRand) {
+		t.Fatalf("cut chains diverged: %v vs %v", cutsSeed, cutsRand)
+	}
+	for i := range cutsSeed {
+		if len(cutsSeed[i]) != len(cutsRand[i]) {
+			t.Fatalf("cut %d diverged: %v vs %v", i, cutsSeed[i], cutsRand[i])
+		}
+		for j := range cutsSeed[i] {
+			if cutsSeed[i][j] != cutsRand[i][j] {
+				t.Fatalf("cut %d diverged: %v vs %v", i, cutsSeed[i], cutsRand[i])
+			}
+		}
+	}
+}
+
+// TestRandInjectionSharedStream checks that one injected source can feed
+// several generators in sequence: the draws advance the stream, so the
+// second topology differs from the first but the whole sequence is
+// reproducible.
+func TestRandInjectionSharedStream(t *testing.T) {
+	build := func() []string {
+		rng := rand.New(rand.NewSource(5))
+		var out []string
+		for i := 0; i < 3; i++ {
+			o, err := MeshRand(10, 2, 2, 1, 0.2, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, renderGraph(t, o.G))
+		}
+		return out
+	}
+	a, b := build(), build()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replaying the stream changed topology %d", i)
+		}
+	}
+	if a[0] == a[1] {
+		t.Fatal("successive draws from one stream produced identical topologies")
+	}
+}
+
+func TestRandInjectionNilRng(t *testing.T) {
+	if _, err := MeshRand(4, 1, 1, 1, 0.1, nil); err == nil {
+		t.Fatal("MeshRand accepted a nil rng")
+	}
+	if _, err := ClusteredRand(4, 5, 1, 1, 1, 0.1, nil); err == nil {
+		t.Fatal("ClusteredRand accepted a nil rng")
+	}
+	if _, _, err := ChainRand(2, 3, 2, 1, 1, 1, 0.1, nil); err == nil {
+		t.Fatal("ChainRand accepted a nil rng")
+	}
+}

@@ -118,10 +118,19 @@ func MultiTree(peers, trees, fanout int, pFail float64) (*Overlay, error) {
 // mesh-based systems of §II, where content flows along many partially
 // redundant routes.
 func Mesh(peers, inDeg, maxCap, d int, pFail float64, seed int64) (*Overlay, error) {
+	return MeshRand(peers, inDeg, maxCap, d, pFail, rand.New(rand.NewSource(seed)))
+}
+
+// MeshRand is Mesh drawing randomness from an injected source, so a
+// caller can share one stream across several generators (or substitute
+// a recorded one) and still get reproducible topologies.
+func MeshRand(peers, inDeg, maxCap, d int, pFail float64, rng *rand.Rand) (*Overlay, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("overlay: MeshRand wants a non-nil rng")
+	}
 	if peers < 1 || inDeg < 1 || maxCap < 1 || d < 1 {
 		return nil, fmt.Errorf("overlay: Mesh wants peers, inDeg, maxCap, d ≥ 1 (got %d, %d, %d, %d)", peers, inDeg, maxCap, d)
 	}
-	rng := rand.New(rand.NewSource(seed))
 	b := graph.NewBuilder()
 	src := b.AddNamedNode("server")
 	o := &Overlay{Source: src, Substreams: d}
@@ -153,10 +162,17 @@ func Mesh(peers, inDeg, maxCap, d int, pFail float64, seed int64) (*Overlay, err
 // graph into two components, so it is returned as the overlay's
 // Bottleneck. The demand terminal is the last sink-side node.
 func Clustered(sideNodes, sideEdges, k, d, maxCap int, pFail float64, seed int64) (*Overlay, error) {
+	return ClusteredRand(sideNodes, sideEdges, k, d, maxCap, pFail, rand.New(rand.NewSource(seed)))
+}
+
+// ClusteredRand is Clustered drawing randomness from an injected source.
+func ClusteredRand(sideNodes, sideEdges, k, d, maxCap int, pFail float64, rng *rand.Rand) (*Overlay, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("overlay: ClusteredRand wants a non-nil rng")
+	}
 	if sideNodes < 1 || k < 1 || d < 1 || maxCap < 1 {
 		return nil, fmt.Errorf("overlay: Clustered wants sideNodes, k, d, maxCap ≥ 1 (got %d, %d, %d, %d)", sideNodes, k, d, maxCap)
 	}
-	rng := rand.New(rand.NewSource(seed))
 	b := graph.NewBuilder()
 	cap := func() int { return 1 + rng.Intn(maxCap) }
 
@@ -221,10 +237,17 @@ func Clustered(sideNodes, sideEdges, k, d, maxCap int, pFail float64, seed int64
 // planted cut is a minimal s–t cut by construction (blocks are strongly
 // connected), and BottleneckChain returns them in source-to-sink order.
 func Chain(blocks, blockNodes, extraEdges, k, d, maxCap int, pFail float64, seed int64) (*Overlay, [][]graph.EdgeID, error) {
+	return ChainRand(blocks, blockNodes, extraEdges, k, d, maxCap, pFail, rand.New(rand.NewSource(seed)))
+}
+
+// ChainRand is Chain drawing randomness from an injected source.
+func ChainRand(blocks, blockNodes, extraEdges, k, d, maxCap int, pFail float64, rng *rand.Rand) (*Overlay, [][]graph.EdgeID, error) {
+	if rng == nil {
+		return nil, nil, fmt.Errorf("overlay: ChainRand wants a non-nil rng")
+	}
 	if blocks < 2 || blockNodes < 1 || k < 1 || d < 1 || maxCap < 1 {
 		return nil, nil, fmt.Errorf("overlay: Chain wants blocks ≥ 2 and blockNodes, k, d, maxCap ≥ 1 (got %d, %d, %d, %d, %d)", blocks, blockNodes, k, d, maxCap)
 	}
-	rng := rand.New(rand.NewSource(seed))
 	b := graph.NewBuilder()
 	var cuts [][]graph.EdgeID
 	var blockStart []graph.NodeID

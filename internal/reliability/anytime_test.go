@@ -9,6 +9,7 @@ import (
 
 	"flowrel/internal/anytime"
 	"flowrel/internal/graph"
+	"flowrel/internal/testutil"
 )
 
 // randomGraph builds a connected-ish random instance small enough for the
@@ -135,7 +136,7 @@ func TestFactoringCancelledAndBudget(t *testing.T) {
 		if res.Partial {
 			t.Fatal("complete factoring marked partial")
 		}
-		if res.Lo != res.Reliability || res.Hi != res.Reliability {
+		if !testutil.AlmostEqual(res.Lo, res.Reliability, 0) || !testutil.AlmostEqual(res.Hi, res.Reliability, 0) {
 			t.Fatalf("complete run interval [%g, %g] not collapsed onto %g", res.Lo, res.Hi, res.Reliability)
 		}
 		if math.Abs(res.Reliability-want) > 1e-9 {

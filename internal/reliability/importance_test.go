@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"flowrel/internal/graph"
+	"flowrel/internal/testutil"
 )
 
 func reliableDiamond(p float64) (*graph.Graph, graph.Demand) {
@@ -80,7 +81,7 @@ func TestUnreliabilityISDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.Reliability != b.Reliability {
+	if !testutil.AlmostEqual(a.Reliability, b.Reliability, 0) {
 		t.Fatalf("not deterministic: %g vs %g", a.Reliability, b.Reliability)
 	}
 }

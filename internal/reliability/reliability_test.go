@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"flowrel/internal/graph"
+	"flowrel/internal/testutil"
 )
 
 func edge(b *graph.Builder, u, v graph.NodeID, c int, p float64) {
@@ -200,7 +201,7 @@ func TestQuickNaiveParallelDeterministic(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return a.Reliability == b.Reliability
+		return testutil.AlmostEqual(a.Reliability, b.Reliability, 0)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)

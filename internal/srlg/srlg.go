@@ -92,6 +92,7 @@ func Reliability(g *graph.Graph, dem graph.Demand, groups []Group, engine Engine
 		engine = FactoringEngine
 	}
 	total := 0.0
+	//flowrelvet:unbounded each of the 2^g group states delegates to a conditional engine run that enforces its own budget
 	for state := uint64(0); state < uint64(1)<<uint(len(groups)); state++ {
 		pState := 1.0
 		down := make([]bool, g.NumEdges())
@@ -190,6 +191,16 @@ func conditional(g *graph.Graph, down []bool) (*graph.Graph, bool) {
 // MonteCarlo estimates the group-model reliability by sampling group and
 // link states jointly; deterministic per seed.
 func MonteCarlo(g *graph.Graph, dem graph.Demand, groups []Group, samples int, seed int64) (reliability.Estimate, error) {
+	return MonteCarloRand(g, dem, groups, samples, rand.New(rand.NewSource(seed)))
+}
+
+// MonteCarloRand is MonteCarlo drawing its group and link states from an
+// injected random source, so callers can share or substitute the stream
+// while keeping runs reproducible.
+func MonteCarloRand(g *graph.Graph, dem graph.Demand, groups []Group, samples int, rng *rand.Rand) (reliability.Estimate, error) {
+	if rng == nil {
+		return reliability.Estimate{}, fmt.Errorf("srlg: MonteCarloRand wants a non-nil rng")
+	}
 	if g == nil {
 		return reliability.Estimate{}, fmt.Errorf("srlg: nil graph")
 	}
@@ -207,7 +218,6 @@ func MonteCarlo(g *graph.Graph, dem graph.Demand, groups []Group, samples int, s
 	for i, e := range g.Edges() {
 		pFail[i] = e.PFail
 	}
-	rng := rand.New(rand.NewSource(seed))
 	down := make([]bool, g.NumEdges())
 	hits := 0
 	for i := 0; i < samples; i++ {

@@ -1,0 +1,23 @@
+// Package testutil holds helpers shared by test packages across the
+// module. It exists so reliability comparisons in tests go through one
+// explicit-tolerance helper instead of ad-hoc float equality — the
+// floateq analyzer (docs/ANALYZERS.md) rejects == between reliability
+// floats, because engine results are long floating-point sums whose
+// rounding depends on summation order.
+package testutil
+
+import "math"
+
+// AlmostEqual reports whether a and b agree to within tol. A tolerance
+// of 0 asserts bit-identical results — the right choice when determinism
+// of one fixed summation order is the property under test — while still
+// making the intent explicit at the call site. NaN never compares equal.
+func AlmostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	return math.Abs(a-b) <= tol
+}

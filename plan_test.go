@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"flowrel/internal/overlay"
+	"flowrel/internal/testutil"
 )
 
 // rescaleProbs rebuilds g with every link's failure probability multiplied
@@ -44,13 +45,13 @@ func TestPlanCacheHitIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if second.Reliability != first.Reliability {
+	if !testutil.AlmostEqual(second.Reliability, first.Reliability, 0) {
 		t.Fatalf("cache hit changed the answer: %.17g vs %.17g", second.Reliability, first.Reliability)
 	}
 	if second.MaxFlowCalls != 0 || second.Configs != 0 {
 		t.Fatalf("cache hit reported compile work: calls=%d configs=%d", second.MaxFlowCalls, second.Configs)
 	}
-	if second.K != first.K || second.Alpha != first.Alpha || len(second.Cut) != len(first.Cut) {
+	if second.K != first.K || !testutil.AlmostEqual(second.Alpha, first.Alpha, 0) || len(second.Cut) != len(first.Cut) {
 		t.Fatalf("cache hit changed the decomposition: %+v vs %+v", second, first)
 	}
 	hits, misses, entries := PlanCacheStats()
@@ -84,7 +85,7 @@ func TestPlanCacheStructuralKey(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Reliability != want.Reliability {
+	if !testutil.AlmostEqual(rep.Reliability, want.Reliability, 0) {
 		t.Fatalf("cache-hit eval %.17g != fresh solve %.17g", rep.Reliability, want.Reliability)
 	}
 
@@ -138,14 +139,14 @@ func TestCompilePlanPublicAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r != direct.Reliability {
+	if !testutil.AlmostEqual(r, direct.Reliability, 0) {
 		t.Fatalf("Eval(nil) %.17g != Compute %.17g", r, direct.Reliability)
 	}
 	rep, err := plan.Report(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Reliability != r || rep.Engine != EngineCore || rep.K != direct.K {
+	if !testutil.AlmostEqual(rep.Reliability, r, 0) || rep.Engine != EngineCore || rep.K != direct.K {
 		t.Fatalf("Report mismatch: %+v vs direct %+v", rep, direct)
 	}
 
@@ -174,7 +175,7 @@ func TestCompilePlanPublicAPI(t *testing.T) {
 	if rep2.MaxFlowCalls != 0 || rep2.Configs != 0 {
 		t.Fatalf("cache-hit Report shows compile work: %+v", rep2)
 	}
-	if rep2.Reliability != direct.Reliability {
+	if !testutil.AlmostEqual(rep2.Reliability, direct.Reliability, 0) {
 		t.Fatalf("cache-hit Report %.17g != direct %.17g", rep2.Reliability, direct.Reliability)
 	}
 }
