@@ -4,9 +4,11 @@ import (
 	"context"
 	"math/big"
 	"strings"
+	"time"
 
 	"flowrel/internal/anytime"
 	"flowrel/internal/reliability"
+	"flowrel/internal/stats"
 )
 
 // Budget bounds the work of an anytime computation: a configuration
@@ -48,45 +50,66 @@ func rungNote(rung, msg string) string {
 	return rung + ": " + msg
 }
 
+// traceRung fires a ladder-transition event when a tracer is installed.
+func traceRung(ctl *anytime.Ctl, rung, outcome, reason string, start time.Time) {
+	if tr := ctl.Tracer(); tr != nil {
+		tr.OnRung(stats.RungEvent{
+			Rung:     rung,
+			Outcome:  outcome,
+			Reason:   reason,
+			Duration: time.Since(start),
+		})
+	}
+}
+
 func computeLadder(g *Graph, dem Demand, cfg Config, ctl *anytime.Ctl) (Report, error) {
 	var why []string
 
 	// Rung 1: the paper's bottleneck decomposition.
 	if !ctl.Stopped() {
+		rungStart := time.Now()
 		sub := ctl.Sub(0.25)
 		rep, err := computeCore(g, dem, cfg, sub)
 		ctl.Absorb(sub)
 		if err == nil {
+			traceRung(ctl, "core", "answered", "", rungStart)
 			rep.Rung = "core"
 			return rep, nil
 		}
+		traceRung(ctl, "core", "declined", err.Error(), rungStart)
 		why = append(why, rungNote("core", err.Error()))
 	}
 
 	// Rung 2: a sequence of cuts can decompose graphs a single balanced
 	// cut cannot.
 	if !ctl.Stopped() {
+		rungStart := time.Now()
 		sub := ctl.Sub(1.0 / 3)
 		rep, err := computeChain(g, dem, cfg, sub)
 		ctl.Absorb(sub)
 		if err == nil {
+			traceRung(ctl, "chain", "answered", "", rungStart)
 			rep.Rung = "chain"
 			return rep, nil
 		}
+		traceRung(ctl, "chain", "declined", err.Error(), rungStart)
 		why = append(why, rungNote("chain", err.Error()))
 	}
 
 	// Rung 3: factoring — exact when it finishes, a certified interval
 	// when it does not.
 	best := Report{Engine: EngineAuto, Partial: true, Lo: 0, Hi: 1, Reliability: 0.5, Rung: "factoring"}
+	rungStart := time.Now()
 	sub := ctl.Sub(0.5)
 	res, err := reliability.Factoring(g, dem, reliability.Options{Parallelism: cfg.Parallelism, Ctl: sub})
 	ctl.Absorb(sub)
 	if err != nil {
 		// A panic or validation failure, not an interruption — surface it.
+		traceRung(ctl, "factoring", "error", err.Error(), rungStart)
 		return Report{}, err
 	}
 	if !res.Partial {
+		traceRung(ctl, "factoring", "answered", "", rungStart)
 		return Report{
 			Reliability:  res.Reliability,
 			Engine:       EngineFactoring,
@@ -99,16 +122,20 @@ func computeLadder(g *Graph, dem Demand, cfg Config, ctl *anytime.Ctl) (Report, 
 		}, nil
 	}
 	best.Lo, best.Hi, best.Reliability = res.Lo, res.Hi, res.Reliability
+	traceRung(ctl, "factoring", "partial", res.Reason, rungStart)
 	why = append(why, "factoring: "+res.Reason)
 
 	// Rung 4: most-probable-states — certified no matter where it stops;
 	// keep whichever interval is narrower.
+	rungStart = time.Now()
 	sub = ctl.Sub(0.5)
 	b, err := reliability.MostProbableStatesOpt(g, dem, g.NumEdges(), reliability.Options{Ctl: sub})
 	ctl.Absorb(sub)
 	if err != nil {
+		traceRung(ctl, "most-probable-states", "error", err.Error(), rungStart)
 		why = append(why, "most-probable-states: "+err.Error())
 	} else if b.Upper-b.Lower < best.Hi-best.Lo {
+		traceRung(ctl, "most-probable-states", "improved", b.Reason, rungStart)
 		best.Lo, best.Hi = b.Lower, b.Upper
 		best.Reliability = (b.Lower + b.Upper) / 2
 		best.Rung = "most-probable-states"
@@ -116,20 +143,26 @@ func computeLadder(g *Graph, dem Demand, cfg Config, ctl *anytime.Ctl) (Report, 
 		if b.Partial {
 			why = append(why, "most-probable-states: "+b.Reason)
 		}
-	} else if b.Partial {
-		why = append(why, "most-probable-states: "+b.Reason)
+	} else {
+		traceRung(ctl, "most-probable-states", "kept-previous", b.Reason, rungStart)
+		if b.Partial {
+			why = append(why, "most-probable-states: "+b.Reason)
+		}
 	}
 
 	// Rung 5: spend what remains on an importance-sampled point estimate
 	// inside the certified interval.
 	if best.Partial && best.Hi > best.Lo {
+		rungStart = time.Now()
 		sub = ctl.Sub(1)
 		est, err := reliability.UnreliabilityIS(g, dem, ladderSamples, 1, 0.3,
 			reliability.Options{Parallelism: cfg.Parallelism, Ctl: sub})
 		ctl.Absorb(sub)
 		if err != nil {
+			traceRung(ctl, "importance-sampling", "error", err.Error(), rungStart)
 			why = append(why, "importance-sampling: "+err.Error())
 		} else if est.Samples > 0 {
+			traceRung(ctl, "importance-sampling", "estimated", "", rungStart)
 			r := 1 - est.Reliability
 			if r < best.Lo {
 				r = best.Lo

@@ -43,7 +43,7 @@ import (
 
 // clusteredInstance builds the E7 workload: two clusters of the given side
 // size joined by two bottleneck links, demand d=2.
-func clusteredInstance(b *testing.B, side int) (*Graph, Demand, []EdgeID) {
+func clusteredInstance(b testing.TB, side int) (*Graph, Demand, []EdgeID) {
 	b.Helper()
 	o, err := overlay.Clustered(side, side+3, 2, 2, 2, 0.1, int64(side))
 	if err != nil {

@@ -1,0 +1,204 @@
+// Command benchgate is the CI benchmark regression gate. It reads `go
+// test -bench` output (repeated runs of the plan benchmarks), takes the
+// median ns/op per benchmark, compares the medians against the recorded
+// baselines in a BENCH_*.json file, and exits non-zero when any tracked
+// benchmark regressed past the tolerance. The measured medians are also
+// written out in the baseline's JSON shape, ready to upload as a CI
+// artifact or to commit as the next baseline.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkPlanReuse|BenchmarkSweepModes' -benchtime=1x -count=5 . > bench.txt
+//	benchgate -baseline BENCH_2.json -out BENCH_4.json bench.txt
+//
+// With no file the bench output is read from standard input. Medians —
+// not minima or means — keep one cold-cache or one preempted run from
+// tipping the gate either way.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+// trackedBenchmarks maps `go test -bench` names to the baseline JSON
+// keys of BENCH_2.json. Sub-benchmark names appear before the -N
+// GOMAXPROCS suffix.
+var trackedBenchmarks = map[string]string{
+	"BenchmarkPlanReuse/cold-compile":   "cold_solve_ns_per_op",
+	"BenchmarkPlanReuse/cached-compile": "cached_compile_ns_per_op",
+	"BenchmarkPlanReuse/eval":           "plan_eval_ns_per_op",
+	"BenchmarkSweepModes/per-point":     "sweep20_before_ns_per_op",
+	"BenchmarkSweepModes/planned":       "sweep20_after_ns_per_op",
+}
+
+// benchLine matches one result row, e.g.
+// "BenchmarkPlanReuse/eval-4   203   5852 ns/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op`)
+
+// cpuLine matches the "cpu: ..." header go test prints.
+var cpuLine = regexp.MustCompile(`^cpu:\s*(.+)$`)
+
+type baselineFile struct {
+	Description string             `json:"description"`
+	CPU         string             `json:"cpu"`
+	Go          string             `json:"go"`
+	Benchmarks  map[string]float64 `json:"benchmarks"`
+}
+
+type resultFile struct {
+	Description string             `json:"description"`
+	CPU         string             `json:"cpu"`
+	Go          string             `json:"go"`
+	Baseline    string             `json:"baseline"`
+	Tolerance   float64            `json:"tolerance"`
+	Runs        int                `json:"runs"`
+	Benchmarks  map[string]float64 `json:"benchmarks"`
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	baselinePath := fs.String("baseline", "BENCH_2.json", "baseline JSON file with a benchmarks map of ns/op")
+	outPath := fs.String("out", "", "write the measured medians as JSON to this file (the baseline's shape)")
+	tolerance := fs.Float64("tolerance", 0.30, "allowed fractional slowdown over the baseline before failing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	samples, cpu, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		return err
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %w", *baselinePath, err)
+	}
+
+	medians := map[string]float64{}
+	runs := 0
+	for bench, key := range trackedBenchmarks {
+		ss := samples[bench]
+		if len(ss) == 0 {
+			return fmt.Errorf("no samples for %s in the bench output", bench)
+		}
+		if len(ss) > runs {
+			runs = len(ss)
+		}
+		medians[key] = median(ss)
+	}
+
+	if *outPath != "" {
+		res := resultFile{
+			Description: "Measured plan-benchmark medians (benchgate). Compare against the baseline's benchmarks map.",
+			CPU:         cpu,
+			Go:          runtime.Version(),
+			Baseline:    *baselinePath,
+			Tolerance:   *tolerance,
+			Runs:        runs,
+			Benchmarks:  medians,
+		}
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+
+	var regressions []string
+	var keys []string
+	for key := range medians {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		want, ok := base.Benchmarks[key]
+		if !ok {
+			return fmt.Errorf("baseline %s has no entry for %s", *baselinePath, key)
+		}
+		got := medians[key]
+		limit := want * (1 + *tolerance)
+		status := "ok"
+		if got > limit {
+			status = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: median %.0f ns/op exceeds baseline %.0f ns/op by %.1f%% (tolerance %.0f%%)",
+					key, got, want, 100*(got/want-1), 100**tolerance))
+		}
+		fmt.Fprintf(stdout, "%-28s %12.0f ns/op  baseline %12.0f  (%+.1f%%)  %s\n",
+			key, got, want, 100*(got/want-1), status)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("benchmark regression:\n  %s", strings.Join(regressions, "\n  "))
+	}
+	return nil
+}
+
+// parseBench collects every ns/op sample per benchmark name (the -N
+// GOMAXPROCS suffix stripped) and the reported CPU model.
+func parseBench(r io.Reader) (map[string][]float64, string, error) {
+	samples := map[string][]float64{}
+	cpu := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if m := cpuLine.FindStringSubmatch(line); m != nil {
+			cpu = strings.TrimSpace(m[1])
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, "", fmt.Errorf("bad ns/op in %q: %w", line, err)
+		}
+		samples[m[1]] = append(samples[m[1]], v)
+	}
+	return samples, cpu, sc.Err()
+}
+
+// median returns the middle sample (mean of the middle two for even
+// counts); the input is not modified.
+func median(ss []float64) float64 {
+	s := append([]float64(nil), ss...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// benchOutput fabricates three runs of the tracked benchmarks with the
+// given eval ns/op values (other rows pinned at their baseline), plus
+// noise rows the parser must skip.
+func benchOutput(evals ...string) string {
+	var sb strings.Builder
+	sb.WriteString("goos: linux\ngoarch: amd64\npkg: flowrel\n")
+	sb.WriteString("cpu: Intel(R) Xeon(R) Processor @ 2.10GHz\n")
+	for _, e := range evals {
+		sb.WriteString("BenchmarkPlanReuse/cold-compile-4   \t       2\t  700000 ns/op\n")
+		sb.WriteString("BenchmarkPlanReuse/cached-compile-4 \t  100000\t    1000 ns/op\n")
+		sb.WriteString("BenchmarkPlanReuse/eval-4           \t   20000\t    " + e + " ns/op\n")
+		sb.WriteString("BenchmarkSweepModes/per-point-4     \t       1\t15000000 ns/op\n")
+		sb.WriteString("BenchmarkSweepModes/planned-4       \t       1\t 1300000 ns/op\n")
+	}
+	sb.WriteString("PASS\nok  \tflowrel\t2.0s\n")
+	return sb.String()
+}
+
+func writeBaseline(t *testing.T, dir string) string {
+	t.Helper()
+	base := map[string]any{
+		"description": "test baseline",
+		"cpu":         "test",
+		"go":          "1.22",
+		"benchmarks": map[string]float64{
+			"cold_solve_ns_per_op":     739985,
+			"cached_compile_ns_per_op": 1111,
+			"plan_eval_ns_per_op":      5852,
+			"sweep20_before_ns_per_op": 15125986,
+			"sweep20_after_ns_per_op":  1352561,
+		},
+	}
+	blob, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "baseline.json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGatePassesWithinTolerance(t *testing.T) {
+	dir := t.TempDir()
+	baseline := writeBaseline(t, dir)
+	out := filepath.Join(dir, "result.json")
+
+	// Medians: eval median of {5000, 7000, 6000} = 6000, a 2.5% slowdown
+	// over 5852 — inside the 30% tolerance.
+	var buf strings.Builder
+	err := run(
+		[]string{"-baseline", baseline, "-out", out, "-tolerance", "0.30"},
+		strings.NewReader(benchOutput("5000", "7000", "6000")),
+		&buf,
+	)
+	if err != nil {
+		t.Fatalf("gate failed inside tolerance: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "plan_eval_ns_per_op") {
+		t.Errorf("report missing plan_eval row:\n%s", buf.String())
+	}
+
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res resultFile
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Benchmarks["plan_eval_ns_per_op"] != 6000 {
+		t.Errorf("median = %v, want 6000 (middle of three runs)", res.Benchmarks["plan_eval_ns_per_op"])
+	}
+	if res.Runs != 3 {
+		t.Errorf("runs = %d, want 3", res.Runs)
+	}
+	if res.CPU != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Errorf("cpu = %q", res.CPU)
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	baseline := writeBaseline(t, dir)
+
+	// Median eval 9000 ns/op is a 54% slowdown: past tolerance.
+	var buf strings.Builder
+	err := run(
+		[]string{"-baseline", baseline, "-tolerance", "0.30"},
+		strings.NewReader(benchOutput("9000", "9000", "9000")),
+		&buf,
+	)
+	if err == nil {
+		t.Fatalf("gate passed a 54%% regression:\n%s", buf.String())
+	}
+	if !strings.Contains(err.Error(), "plan_eval_ns_per_op") {
+		t.Errorf("error does not name the regressed benchmark: %v", err)
+	}
+	if !strings.Contains(buf.String(), "REGRESSION") {
+		t.Errorf("report does not flag the regression:\n%s", buf.String())
+	}
+}
+
+func TestGateRejectsMissingSamples(t *testing.T) {
+	dir := t.TempDir()
+	baseline := writeBaseline(t, dir)
+	var buf strings.Builder
+	err := run([]string{"-baseline", baseline}, strings.NewReader("PASS\n"), &buf)
+	if err == nil || !strings.Contains(err.Error(), "no samples") {
+		t.Errorf("empty bench output must fail the gate, got %v", err)
+	}
+}
+
+func TestMedianOneOutlierDoesNotTrip(t *testing.T) {
+	dir := t.TempDir()
+	baseline := writeBaseline(t, dir)
+	// One preempted run at 60000 ns/op among five normal ones: the
+	// median ignores it.
+	var buf strings.Builder
+	err := run(
+		[]string{"-baseline", baseline},
+		strings.NewReader(benchOutput("5800", "5900", "60000", "5850", "5900")),
+		&buf,
+	)
+	if err != nil {
+		t.Fatalf("one outlier tripped the gate: %v", err)
+	}
+}

@@ -41,7 +41,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdin io.Reader, stdout io.Writer) error {
+func run(args []string, stdin io.Reader, stdout io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("relcalc", flag.ContinueOnError)
 	var (
 		engineFlag  = fs.String("engine", "auto", "engine: auto, core, chain, naive, naive-gray, factoring, exact, montecarlo")
@@ -62,9 +62,24 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		statsFlag   = fs.Bool("stats", false, "print work statistics")
 		timeoutFlag = fs.Duration("timeout", 0, "soft wall-clock budget; an interrupted run prints a certified interval instead of failing")
 		cfgsFlag    = fs.Uint64("max-configs", 0, "budget on failure configurations examined (0 = unlimited)")
+		serveFlag   = fs.String("serve", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address and keep serving after the computation until interrupted")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *serveFlag != "" {
+		ds, err := startDebugServer(*serveFlag)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "relcalc: debug server on http://%s/debug/vars and http://%s/debug/pprof/\n", ds.Addr(), ds.Addr())
+		defer func() {
+			if retErr == nil {
+				serveWait()
+			}
+			ds.Close()
+		}()
 	}
 
 	in := stdin
@@ -130,6 +145,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			MaxBottleneck: maxCut(g),
 			Parallelism:   *parFlag,
 			Budget:        budget,
+			CollectStats:  *statsFlag,
 		})
 		if err != nil {
 			return err
@@ -140,6 +156,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			"demand":      map[string]any{"s": int(dem.S), "t": int(dem.T), "d": dem.D},
 			"reliability": rep.Reliability,
 			"engine":      rep.Engine.String(),
+		}
+		if *statsFlag {
+			out["stats"] = rep.Stats
+			out["plan_cache"] = flowrel.PlanCacheSnapshot()
 		}
 		if rep.Partial {
 			out["partial"] = true
@@ -230,6 +250,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			MaxBottleneck: maxCut(g),
 			Parallelism:   *parFlag,
 			Budget:        budget,
+			CollectStats:  *statsFlag,
 		})
 		if err != nil {
 			return err
@@ -250,6 +271,20 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 		if *statsFlag {
 			fmt.Fprintf(stdout, "stats: %d max-flow calls, %d configurations\n", rep.MaxFlowCalls, rep.Configs)
+			if st := rep.Stats; st != nil {
+				fmt.Fprintf(stdout, "stats: %v total, %d augmenting paths, plan cache hit %v\n",
+					time.Duration(st.TotalNanos).Round(time.Microsecond), st.AugmentingPaths, st.PlanCacheHit)
+				for _, p := range st.Phases {
+					fmt.Fprintf(stdout, "  phase %s/%s: %v, %d max-flow calls\n",
+						p.Engine, p.Phase, time.Duration(p.DurationNanos).Round(time.Microsecond), p.MaxFlowCalls)
+				}
+				for _, r := range st.Rungs {
+					fmt.Fprintf(stdout, "  rung %s: %s (%v)\n", r.Rung, r.Outcome, time.Duration(r.DurationNanos).Round(time.Microsecond))
+				}
+			}
+			pc := flowrel.PlanCacheSnapshot()
+			fmt.Fprintf(stdout, "stats: plan cache %d hits, %d misses, %d evictions, %d deduped compiles, %d entries\n",
+				pc.Hits, pc.Misses, pc.Evictions, pc.CompileDedup, pc.Entries)
 		}
 	}
 

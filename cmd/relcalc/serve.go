@@ -1,0 +1,48 @@
+package main
+
+import (
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"os"
+	"os/signal"
+
+	"flowrel"
+)
+
+// debugServer serves the process debug endpoints — /debug/vars (expvar,
+// including the flowrel.stats and flowrel.plancache trees) and
+// /debug/pprof/* — from the default mux.
+type debugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// startDebugServer publishes the solver metrics to expvar and begins
+// serving the default mux on addr (pass "127.0.0.1:0" for an ephemeral
+// port; Addr reports the one chosen).
+func startDebugServer(addr string) (*debugServer, error) {
+	flowrel.PublishExpvar()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: http.DefaultServeMux}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns when Close is called
+	return &debugServer{ln: ln, srv: srv}, nil
+}
+
+// Addr is the bound listen address, e.g. "127.0.0.1:41227".
+func (s *debugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the port.
+func (s *debugServer) Close() error { return s.srv.Close() }
+
+// serveWait blocks the -serve mode until the user interrupts; tests
+// replace it to return immediately.
+var serveWait = func() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	defer signal.Stop(ch)
+	<-ch
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// keyPaths flattens a decoded JSON value into the sorted set of key
+// paths it contains. Array elements contribute a "path[]" marker plus
+// the union of their element keys, so the shape comparison is
+// independent of element order and count (which vary run to run).
+func keyPaths(prefix string, v any, out map[string]bool) {
+	switch val := v.(type) {
+	case map[string]any:
+		for k, sub := range val {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			out[p] = true
+			keyPaths(p, sub, out)
+		}
+	case []any:
+		out[prefix+"[]"] = true
+		for _, sub := range val {
+			keyPaths(prefix+"[]", sub, out)
+		}
+	}
+}
+
+// TestStatsJSONShape locks the field layout of `relcalc -json -stats`:
+// consumers parse this output, so key renames and removals must show up
+// as a diff against the golden file. Values are volatile (timings,
+// counts); only the key structure is compared.
+func TestStatsJSONShape(t *testing.T) {
+	out, err := runCLI(t, []string{"-json", "-stats"}, figure2Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out)
+	}
+	paths := map[string]bool{}
+	keyPaths("", decoded, paths)
+	var got []string
+	for p := range paths {
+		got = append(got, p)
+	}
+	sort.Strings(got)
+	gotText := strings.Join(got, "\n") + "\n"
+
+	golden := filepath.Join("testdata", "stats_shape.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(gotText), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if gotText != string(want) {
+		t.Errorf("-json -stats key shape changed.\ngot:\n%s\nwant:\n%s\n(run with UPDATE_GOLDEN=1 to accept)", gotText, want)
+	}
+}
+
+// TestServeMode exercises the -serve debug endpoints end to end: the
+// expvar page must carry the solver metric trees and the pprof index
+// must be mounted.
+func TestServeMode(t *testing.T) {
+	ds, err := startDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", ds.Addr(), path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	vars := get("/debug/vars")
+	for _, want := range []string{`"flowrel.stats"`, `"flowrel.plancache"`, `"hits"`} {
+		if !strings.Contains(vars, want) {
+			t.Errorf("/debug/vars missing %s", want)
+		}
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(vars), &decoded); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if _, ok := decoded["flowrel.stats"]; !ok {
+		t.Error("flowrel.stats not published")
+	}
+
+	if idx := get("/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Error("/debug/pprof/ index missing goroutine profile")
+	}
+}
+
+// TestServeFlagRuns checks the -serve flag path: the computation runs,
+// prints its result, and the (stubbed) wait returns.
+func TestServeFlagRuns(t *testing.T) {
+	old := serveWait
+	serveWait = func() {}
+	defer func() { serveWait = old }()
+
+	out, err := runCLI(t, []string{"-serve", "127.0.0.1:0"}, figure2Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "reliability = 0.882648049500") {
+		t.Errorf("-serve run missing result:\n%s", out)
+	}
+}

@@ -28,6 +28,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -37,13 +38,13 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdin io.Reader, stdout io.Writer) error {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
 		modeFlag  = fs.String("mode", "uniform", "uniform, scale, or bottleneck")
@@ -53,6 +54,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		cutFlag   = fs.Int("maxcut", 3, "bottleneck search budget")
 		timeFlag  = fs.Duration("timeout", 0, "soft wall-clock budget for the whole sweep; points past it print certified intervals as comments")
 		cfgsFlag  = fs.Uint64("max-configs", 0, "per-point configuration budget (0 = unlimited; scale/bottleneck modes)")
+		statsFlag = fs.Bool("stats", false, "print a JSON work summary (metric deltas + plan cache) to standard error after the sweep; the CSV on standard output is unchanged")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,94 +101,120 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	budget := flowrel.Budget{MaxConfigs: *cfgsFlag}
 
-	switch *modeFlag {
-	case "uniform":
-		var P flowrel.ReliabilityPolynomial
-		var err error
-		if *timeFlag > 0 || *cfgsFlag > 0 {
-			P, err = flowrel.PolynomialCtx(ctx, g, dem, budget)
-		} else {
-			P, err = flowrel.Polynomial(g, dem)
-		}
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(stdout, "p,reliability")
-		for _, p := range points {
-			fmt.Fprintf(stdout, "%.6f,%.9f\n", p, P.Eval(p))
-		}
-	case "scale":
-		scenario := func(base []float64, sc float64) []float64 {
-			pf := make([]float64, len(base))
-			for i, p := range base {
-				p *= sc
-				if p >= 1 {
-					p = 0.999999
-				}
-				pf[i] = p
+	var before flowrel.StatsReport
+	if *statsFlag {
+		before = flowrel.StatsSnapshot()
+	}
+
+	sweep := func() error {
+		switch *modeFlag {
+		case "uniform":
+			var P flowrel.ReliabilityPolynomial
+			var err error
+			if *timeFlag > 0 || *cfgsFlag > 0 {
+				P, err = flowrel.PolynomialCtx(ctx, g, dem, budget)
+			} else {
+				P, err = flowrel.Polynomial(g, dem)
 			}
-			return pf
-		}
-		if done, err := planSweep(ctx, stdout, g, dem, budget, "scale,reliability", "", points, scenario); done || err != nil {
-			return err
-		}
-		// Fallback: one anytime solve per point on a reweighted copy.
-		fmt.Fprintln(stdout, "scale,reliability")
-		for _, sc := range points {
-			sg, err := rebuild(g, func(e flowrel.Edge) float64 {
-				p := e.PFail * sc
-				if p >= 1 {
-					p = 0.999999
-				}
-				return p
-			})
 			if err != nil {
 				return err
 			}
-			if err := solvePoint(ctx, stdout, sg, dem, budget, sc); err != nil {
+			fmt.Fprintln(stdout, "p,reliability")
+			for _, p := range points {
+				fmt.Fprintf(stdout, "%.6f,%.9f\n", p, P.Eval(p))
+			}
+		case "scale":
+			scenario := func(base []float64, sc float64) []float64 {
+				pf := make([]float64, len(base))
+				for i, p := range base {
+					p *= sc
+					if p >= 1 {
+						p = 0.999999
+					}
+					pf[i] = p
+				}
+				return pf
+			}
+			if done, err := planSweep(ctx, stdout, g, dem, budget, "scale,reliability", "", points, scenario); done || err != nil {
 				return err
 			}
-		}
-	case "bottleneck":
-		bt, err := flowrel.FindBottleneck(g, dem.S, dem.T, *cutFlag)
-		if err != nil {
-			return err
-		}
-		cutNote := fmt.Sprintf("# bottleneck links: %v", bt.Cut)
-		scenario := func(base []float64, p float64) []float64 {
-			pf := append([]float64(nil), base...)
-			for _, e := range bt.Cut {
-				pf[e] = p
-			}
-			return pf
-		}
-		cfg := flowrel.Config{Bottleneck: bt.Cut, MaxBottleneck: *cutFlag, Budget: budget}
-		if done, err := planSweepCfg(ctx, stdout, g, dem, cfg, "p_bottleneck,reliability", cutNote, points, scenario); done || err != nil {
-			return err
-		}
-		// Fallback: one anytime solve per point on a reweighted copy.
-		inCut := map[flowrel.EdgeID]bool{}
-		for _, e := range bt.Cut {
-			inCut[e] = true
-		}
-		fmt.Fprintln(stdout, cutNote)
-		fmt.Fprintln(stdout, "p_bottleneck,reliability")
-		for _, p := range points {
-			sg, err := rebuild(g, func(e flowrel.Edge) float64 {
-				if inCut[e.ID] {
+			// Fallback: one anytime solve per point on a reweighted copy.
+			fmt.Fprintln(stdout, "scale,reliability")
+			for _, sc := range points {
+				sg, err := rebuild(g, func(e flowrel.Edge) float64 {
+					p := e.PFail * sc
+					if p >= 1 {
+						p = 0.999999
+					}
 					return p
+				})
+				if err != nil {
+					return err
 				}
-				return e.PFail
-			})
+				if err := solvePoint(ctx, stdout, sg, dem, budget, sc); err != nil {
+					return err
+				}
+			}
+		case "bottleneck":
+			bt, err := flowrel.FindBottleneck(g, dem.S, dem.T, *cutFlag)
 			if err != nil {
 				return err
 			}
-			if err := solvePoint(ctx, stdout, sg, dem, budget, p); err != nil {
+			cutNote := fmt.Sprintf("# bottleneck links: %v", bt.Cut)
+			scenario := func(base []float64, p float64) []float64 {
+				pf := append([]float64(nil), base...)
+				for _, e := range bt.Cut {
+					pf[e] = p
+				}
+				return pf
+			}
+			cfg := flowrel.Config{Bottleneck: bt.Cut, MaxBottleneck: *cutFlag, Budget: budget}
+			if done, err := planSweepCfg(ctx, stdout, g, dem, cfg, "p_bottleneck,reliability", cutNote, points, scenario); done || err != nil {
 				return err
 			}
+			// Fallback: one anytime solve per point on a reweighted copy.
+			inCut := map[flowrel.EdgeID]bool{}
+			for _, e := range bt.Cut {
+				inCut[e] = true
+			}
+			fmt.Fprintln(stdout, cutNote)
+			fmt.Fprintln(stdout, "p_bottleneck,reliability")
+			for _, p := range points {
+				sg, err := rebuild(g, func(e flowrel.Edge) float64 {
+					if inCut[e.ID] {
+						return p
+					}
+					return e.PFail
+				})
+				if err != nil {
+					return err
+				}
+				if err := solvePoint(ctx, stdout, sg, dem, budget, p); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("unknown mode %q", *modeFlag)
 		}
-	default:
-		return fmt.Errorf("unknown mode %q", *modeFlag)
+		return nil
+	}
+	if err := sweep(); err != nil {
+		return err
+	}
+
+	// The work summary rides on stderr so the CSV stays machine-readable:
+	// per-layer metric deltas scoped to this sweep plus the plan-cache
+	// counters (one compile + N free evaluations shows up directly here).
+	if *statsFlag {
+		summary := map[string]any{
+			"registry":   flowrel.StatsSnapshot().Delta(before),
+			"plan_cache": flowrel.PlanCacheSnapshot(),
+		}
+		enc := json.NewEncoder(stderr)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(summary); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
 	"strconv"
 	"strings"
 	"testing"
@@ -22,7 +24,7 @@ func sweepCLI(t *testing.T, args []string, stdin string) string {
 	// compiled by earlier tests in this binary.
 	flowrel.ResetPlanCache()
 	var out strings.Builder
-	if err := run(args, strings.NewReader(stdin), &out); err != nil {
+	if err := run(args, strings.NewReader(stdin), &out, io.Discard); err != nil {
 		t.Fatalf("run(%v): %v", args, err)
 	}
 	return out.String()
@@ -116,17 +118,44 @@ func TestSweepErrors(t *testing.T) {
 		{"-from", "0.5", "-to", "0.1"},
 		{"-mode", "uniform", "-to", "1.0"},
 	} {
-		if err := run(args, strings.NewReader(net), &sb); err == nil {
+		if err := run(args, strings.NewReader(net), &sb, io.Discard); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
 	}
-	if err := run(nil, strings.NewReader("edge s t 1 0.1\n"), &sb); err == nil {
+	if err := run(nil, strings.NewReader("edge s t 1 0.1\n"), &sb, io.Discard); err == nil {
 		t.Error("missing demand accepted")
 	}
-	if err := run(nil, strings.NewReader("garbage"), &sb); err == nil {
+	if err := run(nil, strings.NewReader("garbage"), &sb, io.Discard); err == nil {
 		t.Error("garbage accepted")
 	}
-	if err := run([]string{"/nonexistent.g"}, strings.NewReader(""), &sb); err == nil {
+	if err := run([]string{"/nonexistent.g"}, strings.NewReader(""), &sb, io.Discard); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+// TestStatsSummary checks -stats: the CSV on stdout is unchanged and a
+// JSON work summary (registry deltas + plan cache counters) lands on
+// stderr.
+func TestStatsSummary(t *testing.T) {
+	flowrel.ResetPlanCache()
+	var out, errOut strings.Builder
+	args := []string{"-mode", "scale", "-from", "0.5", "-to", "2", "-steps", "5", "-stats"}
+	if err := run(args, strings.NewReader(net), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "scale,reliability") {
+		t.Errorf("stdout no longer starts with the CSV header:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "registry") {
+		t.Error("stats summary leaked onto stdout")
+	}
+	var summary map[string]any
+	if err := json.Unmarshal([]byte(errOut.String()), &summary); err != nil {
+		t.Fatalf("stderr is not JSON: %v\n%s", err, errOut.String())
+	}
+	for _, key := range []string{"registry", "plan_cache"} {
+		if _, ok := summary[key]; !ok {
+			t.Errorf("summary missing %q:\n%s", key, errOut.String())
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/big"
+	"time"
 
 	"flowrel/internal/anytime"
 	"flowrel/internal/assign"
@@ -11,6 +12,7 @@ import (
 	"flowrel/internal/mincut"
 	"flowrel/internal/reduce"
 	"flowrel/internal/reliability"
+	"flowrel/internal/stats"
 )
 
 // Assignment is one distribution of the d sub-streams over the bottleneck
@@ -89,6 +91,15 @@ type Config struct {
 	// Compute ignores it only in the sense that it passes no context —
 	// the budget itself is honoured there too.
 	Budget Budget
+	// Tracer, when non-nil, receives phase, budget-consumption and
+	// ladder-rung events as the solver runs. Hooks execute on solver
+	// goroutines; keep them fast and concurrency-safe.
+	Tracer Tracer
+	// CollectStats attaches a SolveStats observability report to
+	// Report.Stats: wall time, phase timings, ladder transitions and the
+	// budget-consumption curve. Collection costs one extra tracer
+	// dispatch per event; leave it off on latency-critical paths.
+	CollectStats bool
 }
 
 // Validate rejects nonsensical configurations with actionable messages
@@ -143,6 +154,14 @@ type Report struct {
 	// Reason explains an interruption and why earlier ladder rungs did
 	// not answer.
 	Reason string
+	// Stats is the per-call observability report; nil unless
+	// Config.CollectStats was set.
+	Stats *SolveStats
+
+	// planCacheHit and augmentingPaths feed SolveStats; kept unexported
+	// so the public Report surface stays the documented fields above.
+	planCacheHit    bool
+	augmentingPaths int64
 }
 
 // Reliability computes the exact reliability of g with respect to dem with
@@ -191,6 +210,32 @@ func ComputeCtx(ctx context.Context, g *Graph, dem Demand, cfg Config) (Report, 
 		}
 	}
 	ctl := anytime.New(ctx, cfg.Budget)
+
+	// Install the tracer on the controller — the one object threaded
+	// through every engine — teeing in a recorder when the caller asked
+	// for a SolveStats report.
+	var rec *stats.Recorder
+	tr := cfg.Tracer
+	if cfg.CollectStats {
+		rec = stats.NewRecorder()
+		tr = stats.Tee(tr, rec)
+	}
+	ctl.SetTracer(tr)
+	start := time.Now()
+
+	rep, err := computeWith(g, dem, cfg, ctl)
+	if err != nil {
+		return Report{}, err
+	}
+	if rec != nil {
+		rep.Stats = solveStatsFrom(rec, time.Since(start), rep)
+	}
+	return rep, nil
+}
+
+// computeWith dispatches to the configured engine; ctl carries the
+// budget, cancellation and tracer.
+func computeWith(g *Graph, dem Demand, cfg Config, ctl *anytime.Ctl) (Report, error) {
 	switch cfg.Engine {
 	case EngineAuto:
 		return computeLadder(g, dem, cfg, ctl)
@@ -246,9 +291,11 @@ func computeCore(g *Graph, dem Demand, cfg Config, ctl *anytime.Ctl) (Report, er
 		Lo:          r,
 		Hi:          r,
 	}
+	rep.planCacheHit = hit
 	if !hit {
 		rep.MaxFlowCalls = plan.Stats.MaxFlowCalls
 		rep.Configs = plan.Stats.SideConfigs[0] + plan.Stats.SideConfigs[1]
+		rep.augmentingPaths = plan.Stats.AugmentingPaths
 	}
 	return rep, nil
 }

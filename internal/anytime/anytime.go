@@ -21,6 +21,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"flowrel/internal/stats"
 )
 
 // ErrInterrupted is wrapped by every error an engine returns when it was
@@ -75,6 +77,15 @@ type Ctl struct {
 	deadline time.Time // zero = none
 	budget   Budget
 
+	// tracer receives one ConfigEvent per amortized Charge batch — the
+	// budget consumption curve. Set it with SetTracer before any worker
+	// starts; it is inherited by Sub children so ladder rungs land on the
+	// same curve. nil (the default) costs one branch per batch.
+	tracer stats.Tracer
+	// start anchors ConfigEvent.Elapsed; Sub children share the root's
+	// start so the curve has a single time axis.
+	start time.Time
+
 	configs atomic.Uint64 // configurations examined so far
 	calls   atomic.Int64  // max-flow calls so far
 	stopped atomic.Bool
@@ -90,13 +101,33 @@ func New(ctx context.Context, b Budget) *Ctl {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	c := &Ctl{ctx: ctx, budget: b}
+	c := &Ctl{ctx: ctx, budget: b, start: time.Now()}
 	if b.SoftDeadline > 0 {
-		c.deadline = time.Now().Add(b.SoftDeadline)
+		c.deadline = c.start.Add(b.SoftDeadline)
 	}
 	// An already-expired context stops the run before any worker starts.
 	c.Check()
 	return c
+}
+
+// SetTracer installs the tracer that receives this controller's budget
+// consumption events. Call it immediately after New, before any worker
+// goroutine can Charge — the field is written without synchronization.
+// A nil controller ignores the call; a nil tracer restores the fast path.
+func (c *Ctl) SetTracer(tr stats.Tracer) {
+	if c == nil {
+		return
+	}
+	c.tracer = tr
+}
+
+// Tracer returns the installed tracer (nil for a nil controller). Engines
+// use it to fire phase events alongside their budget charges.
+func (c *Ctl) Tracer() stats.Tracer {
+	if c == nil {
+		return nil
+	}
+	return c.tracer
 }
 
 // Context returns the controller's context (context.Background() for a nil
@@ -192,6 +223,20 @@ func (c *Ctl) Charge(configs uint64, calls int64) bool {
 	if c == nil {
 		return true
 	}
+	if c.tracer != nil && (configs > 0 || calls > 0) {
+		c.tracer.OnConfig(stats.ConfigEvent{
+			Configs:      configs,
+			MaxFlowCalls: calls,
+			Elapsed:      time.Since(c.start),
+		})
+	}
+	return c.charge(configs, calls)
+}
+
+// charge records the work without firing the tracer — Absorb uses it so a
+// child's batches, already traced once as they happened, are not reported
+// a second time when folded into the parent.
+func (c *Ctl) charge(configs uint64, calls int64) bool {
 	total := c.configs.Add(configs)
 	totalCalls := c.calls.Add(calls)
 	if c.stopped.Load() {
@@ -235,7 +280,7 @@ func (c *Ctl) Sub(fraction float64) *Ctl {
 		}
 		b.MaxMaxFlowCalls = int64(float64(rem)*fraction) + 1
 	}
-	child := &Ctl{ctx: c.ctx, budget: b}
+	child := &Ctl{ctx: c.ctx, budget: b, tracer: c.tracer, start: c.start}
 	if !c.deadline.IsZero() {
 		rem := time.Until(c.deadline)
 		if rem < 0 {
@@ -257,7 +302,9 @@ func (c *Ctl) Absorb(child *Ctl) {
 	if c == nil || child == nil {
 		return
 	}
-	c.Charge(child.configs.Load(), child.calls.Load())
+	// The child's batches were traced as they happened (the child shares
+	// the parent's tracer), so absorb without re-firing OnConfig.
+	c.charge(child.configs.Load(), child.calls.Load())
 }
 
 // PanicError is a worker panic converted into an error: the process

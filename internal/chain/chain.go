@@ -26,6 +26,7 @@ import (
 	"math/bits"
 	"sort"
 	"sync"
+	"time"
 
 	"flowrel/internal/anytime"
 	"flowrel/internal/assign"
@@ -34,7 +35,29 @@ import (
 	"flowrel/internal/graph"
 	"flowrel/internal/maxflow"
 	"flowrel/internal/mincut"
+	"flowrel/internal/stats"
 )
+
+// Process-wide registry metrics, charged once per Solve (see
+// docs/OBSERVABILITY.md for the catalogue).
+var (
+	mSolves       = stats.Default.Counter("chain.solves")
+	mSolveTime    = stats.Default.Timer("chain.solve_time")
+	mMaxFlowCalls = stats.Default.Counter("chain.max_flow_calls")
+)
+
+// tracePhase fires one segment-transition phase event when a tracer is
+// installed on the controller (the nil fast path is a single branch).
+func tracePhase(ctl *anytime.Ctl, phase string, start time.Time, calls int64) {
+	if tr := ctl.Tracer(); tr != nil {
+		tr.OnPhase(stats.PhaseEvent{
+			Engine:       "chain",
+			Phase:        phase,
+			Duration:     time.Since(start),
+			MaxFlowCalls: calls,
+		})
+	}
+}
 
 // Options tunes the solver.
 type Options struct {
@@ -135,32 +158,42 @@ func Solve(g *graph.Graph, dem graph.Demand, cuts [][]graph.EdgeID, opt Options)
 
 	// dist[m] = P(reachable assignment set across the current cut = m).
 	// Start with segment 0 feeding cut 1.
+	solveStart := time.Now()
+	segStart := solveStart
 	first, calls, err := sourceDistribution(st.segs[0], st.segs[0].NodeOf[dem.S], st.tails[0], st.ds[0], dem.D, opt)
 	if err != nil {
 		return Result{}, err
 	}
 	res.MaxFlowCalls += calls
+	tracePhase(opt.Ctl, "segment/0", segStart, calls)
 	dist := applyCut(first, g, st.cuts[0], st.ds[0])
 
 	// Middle segments.
 	for i := 1; i < len(st.cuts); i++ {
+		segStart = time.Now()
 		next, calls, err := middleTransition(dist, st.segs[i],
 			st.heads[i-1], st.ds[i-1], st.tails[i], st.ds[i], dem.D, opt)
 		if err != nil {
 			return Result{}, err
 		}
 		res.MaxFlowCalls += calls
+		tracePhase(opt.Ctl, fmt.Sprintf("segment/%d", i), segStart, calls)
 		dist = applyCut(next, g, st.cuts[i], st.ds[i])
 	}
 
 	// Final segment absorbs.
 	last := len(st.cuts)
+	segStart = time.Now()
 	r, calls, err := sinkProbability(dist, st.segs[last], st.segs[last].NodeOf[dem.T], st.heads[last-1], st.ds[last-1], dem.D, opt)
 	if err != nil {
 		return Result{}, err
 	}
 	res.MaxFlowCalls += calls
+	tracePhase(opt.Ctl, fmt.Sprintf("segment/%d", last), segStart, calls)
 	res.Reliability = r
+	mSolves.Inc()
+	mSolveTime.Observe(time.Since(solveStart))
+	mMaxFlowCalls.Add(res.MaxFlowCalls)
 	return res, nil
 }
 

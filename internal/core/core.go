@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sync"
+	"time"
 
 	"flowrel/internal/anytime"
 	"flowrel/internal/assign"
@@ -34,6 +35,7 @@ import (
 	"flowrel/internal/graph"
 	"flowrel/internal/maxflow"
 	"flowrel/internal/mincut"
+	"flowrel/internal/stats"
 )
 
 // SideEngine selects how the per-side realization arrays are built.
@@ -111,6 +113,9 @@ func (o *Options) setDefaults() {
 type Stats struct {
 	MaxFlowCalls int64
 	AugmentUnits int64
+	// AugmentingPaths counts individual augmenting paths found across all
+	// max-flow solves — the inner-loop cost the call count hides.
+	AugmentingPaths int64
 	// SideConfigs is the number of failure configurations enumerated per
 	// side (2^{|E_s|} and 2^{|E_t|}).
 	SideConfigs [2]uint64
@@ -185,11 +190,13 @@ type sideArray struct {
 // are the component-side endpoints of the bottleneck links (x_i or y_i);
 // toSink selects the G_s orientation (route from terminal to the
 // bottleneck endpoints) versus G_t (from the endpoints to the terminal).
-func buildSide(sub *graph.Subgraph, terminal graph.NodeID, ends []graph.NodeID, toSink bool, ds *assign.Set, opt *Options, stats *Stats, sideIdx int) (*sideArray, error) {
+func buildSide(sub *graph.Subgraph, terminal graph.NodeID, ends []graph.NodeID, toSink bool, ds *assign.Set, opt *Options, st *Stats, sideIdx int) (*sideArray, error) {
 	m := sub.G.NumEdges()
 	if m > opt.MaxSideEdges {
 		return nil, fmt.Errorf("core: component has %d links, exceeding MaxSideEdges %d", m, opt.MaxSideEdges)
 	}
+	buildStart := time.Now()
+	callsBefore := st.MaxFlowCalls
 
 	// Prototype network: component links plus one super terminal carrying
 	// the per-assignment demand arcs.
@@ -218,7 +225,7 @@ func buildSide(sub *graph.Subgraph, terminal graph.NodeID, ends []graph.NodeID, 
 		m:        m,
 		realized: make([]uint64, uint64(1)<<uint(m)),
 	}
-	stats.SideConfigs[sideIdx] = uint64(1) << uint(m)
+	st.SideConfigs[sideIdx] = uint64(1) << uint(m)
 
 	// One worker wave: each chunk worker owns a private network clone and
 	// loops over all assignments itself (setting the demand-arc loads on
@@ -259,9 +266,10 @@ func buildSide(sub *graph.Subgraph, terminal graph.NodeID, ends []graph.NodeID, 
 				checks += int64(n)
 			}
 			mu.Lock()
-			stats.MaxFlowCalls += nw.Stats.MaxFlowCalls
-			stats.AugmentUnits += nw.Stats.AugmentUnits
-			stats.RealizationChecks += checks
+			st.MaxFlowCalls += nw.Stats.MaxFlowCalls
+			st.AugmentUnits += nw.Stats.AugmentUnits
+			st.AugmentingPaths += nw.Stats.AugmentingPaths
+			st.RealizationChecks += checks
 			mu.Unlock()
 		}(ci, r[0], r[1])
 	}
@@ -273,6 +281,15 @@ func buildSide(sub *graph.Subgraph, terminal graph.NodeID, ends []graph.NodeID, 
 	}
 	if opt.Ctl.Stopped() {
 		return nil, fmt.Errorf("core: side-array construction interrupted: %w", opt.Ctl.Err())
+	}
+	if tr := opt.Ctl.Tracer(); tr != nil {
+		tr.OnPhase(stats.PhaseEvent{
+			Engine:       "core",
+			Phase:        fmt.Sprintf("side/%d", sideIdx),
+			Duration:     time.Since(buildStart),
+			Configs:      st.SideConfigs[sideIdx],
+			MaxFlowCalls: st.MaxFlowCalls - callsBefore,
+		})
 	}
 	return sa, nil
 }

@@ -1,0 +1,18 @@
+package core
+
+import "flowrel/internal/stats"
+
+// Process-wide registry metrics (the counter catalogue lives in
+// docs/OBSERVABILITY.md). All of them are charged once per compile, per
+// side build, or per evaluation — never inside the enumeration loops — so
+// the cost is a handful of atomic adds per solver call.
+var (
+	mCompiles          = stats.Default.Counter("core.compiles")
+	mCompileTime       = stats.Default.Timer("core.compile_time")
+	mSideConfigs       = stats.Default.Counter("core.side_configs")
+	mMaxFlowCalls      = stats.Default.Counter("core.max_flow_calls")
+	mAugmentingPaths   = stats.Default.Counter("core.augmenting_paths")
+	mRealizationChecks = stats.Default.Counter("core.realization_checks")
+	mEvals             = stats.Default.Counter("core.evals")
+	mEvalBatches       = stats.Default.Counter("core.eval_batches")
+)

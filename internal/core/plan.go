@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"flowrel/internal/assign"
 	"flowrel/internal/conf"
 	"flowrel/internal/graph"
 	"flowrel/internal/mincut"
+	"flowrel/internal/stats"
 	"flowrel/internal/subset"
 )
 
@@ -72,6 +74,7 @@ func Compile(g *graph.Graph, dem graph.Demand, opt Options) (*Plan, error) {
 
 	var bt *mincut.Bottleneck
 	var err error
+	searchStart := time.Now()
 	if opt.Bottleneck != nil {
 		bt, err = mincut.Split(g, dem.S, dem.T, opt.Bottleneck)
 	} else {
@@ -79,6 +82,13 @@ func Compile(g *graph.Graph, dem graph.Demand, opt Options) (*Plan, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	if tr := opt.Ctl.Tracer(); tr != nil {
+		tr.OnPhase(stats.PhaseEvent{
+			Engine:   "core",
+			Phase:    "cut-search",
+			Duration: time.Since(searchStart),
+		})
 	}
 	return CompileWithBottleneck(g, dem, bt, opt)
 }
@@ -92,6 +102,7 @@ func CompileWithBottleneck(g *graph.Graph, dem graph.Demand, bt *mincut.Bottlene
 	if opt.Accum != AccumZeta && opt.Accum != AccumDirect {
 		return nil, fmt.Errorf("core: unknown accumulation strategy %d", opt.Accum)
 	}
+	compileStart := time.Now()
 
 	p := &Plan{
 		Cut:       append([]graph.EdgeID(nil), bt.Cut...),
@@ -139,6 +150,13 @@ func CompileWithBottleneck(g *graph.Graph, dem graph.Demand, bt *mincut.Bottlene
 	p.realized[1] = sideT.realized
 	p.sideLinks[0] = append([]graph.EdgeID(nil), bt.Gs.ParentEdge...)
 	p.sideLinks[1] = append([]graph.EdgeID(nil), bt.Gt.ParentEdge...)
+
+	mCompiles.Inc()
+	mCompileTime.Observe(time.Since(compileStart))
+	mSideConfigs.Add(int64(p.Stats.SideConfigs[0] + p.Stats.SideConfigs[1]))
+	mMaxFlowCalls.Add(p.Stats.MaxFlowCalls)
+	mAugmentingPaths.Add(p.Stats.AugmentingPaths)
+	mRealizationChecks.Add(p.Stats.RealizationChecks)
 
 	n := ds.Len()
 	p.scratch.New = func() any {
@@ -189,6 +207,7 @@ func (p *Plan) Eval(pfail []float64) (float64, error) {
 			return 0, fmt.Errorf("core: Eval probability %g for link %d outside [0, 1]", v, i)
 		}
 	}
+	mEvals.Inc()
 	if p.ds == nil {
 		return 0, nil
 	}
@@ -223,6 +242,7 @@ func (p *Plan) EvalBatch(scenarios [][]float64, parallelism int) ([]float64, err
 	if parallelism <= 0 {
 		parallelism = defaultParallelism()
 	}
+	mEvalBatches.Inc()
 	out := make([]float64, len(scenarios))
 	errs := make([]error, len(scenarios))
 	var wg sync.WaitGroup

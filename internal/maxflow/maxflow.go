@@ -49,9 +49,10 @@ type Network struct {
 
 // Stats accumulates operation counts.
 type Stats struct {
-	MaxFlowCalls int64 // completed Augment/MaxFlow invocations
-	BFSRuns      int64
-	AugmentUnits int64 // total flow units pushed
+	MaxFlowCalls    int64 // completed Augment/MaxFlow invocations
+	BFSRuns         int64
+	AugmentUnits    int64 // total flow units pushed
+	AugmentingPaths int64 // individual augmenting paths found
 }
 
 // New returns an empty network with n nodes.
@@ -260,6 +261,7 @@ func (nw *Network) Augment(s, t int32, limit int) int {
 			if d == 0 {
 				break
 			}
+			nw.Stats.AugmentingPaths++
 			total += d
 		}
 	}
@@ -326,6 +328,7 @@ func (nw *Network) MaxFlowEK(s, t int32, limit int) int {
 			nw.arcs[ai^1].cap += push
 			v = nw.arcs[ai^1].to
 		}
+		nw.Stats.AugmentingPaths++
 		total += push
 	}
 	nw.Stats.AugmentUnits += int64(total)

@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value = %d, want 42", got)
+	}
+	if again := r.Counter("x"); again != c {
+		t.Fatal("Counter(\"x\") did not return the same instance")
+	}
+}
+
+func TestDisabledRegistryDropsUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h")
+	tm := r.Timer("t")
+	r.SetEnabled(false)
+	c.Add(5)
+	h.Observe(7)
+	tm.Observe(time.Second)
+	if c.Value() != 0 || h.Count() != 0 || tm.Count() != 0 {
+		t.Fatalf("disabled registry recorded updates: c=%d h=%d t=%d", c.Value(), h.Count(), tm.Count())
+	}
+	r.SetEnabled(true)
+	c.Add(5)
+	if c.Value() != 5 {
+		t.Fatalf("re-enabled counter = %d, want 5", c.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	for _, v := range []int64{0, 1, 1, 2, 3, 4, 1000} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	if s.Count != 7 {
+		t.Fatalf("Count = %d, want 7", s.Count)
+	}
+	if s.Sum != 1011 {
+		t.Fatalf("Sum = %d, want 1011", s.Sum)
+	}
+	// 0 → bucket 0; 1,1 → bucket 1; 2,3 → bucket 2; 4 → bucket 3; 1000 → bucket 10.
+	want := map[int]int64{0: 1, 1: 2, 2: 2, 3: 1, 10: 1}
+	for b, n := range want {
+		if s.Buckets[b] != n {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", b, s.Buckets[b], n, s.Buckets)
+		}
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h")
+	c.Add(10)
+	h.Observe(4)
+	before := r.Snapshot()
+	c.Add(7)
+	h.Observe(4)
+	h.Observe(9)
+	after := r.Snapshot()
+	d := after.Delta(before)
+	if d.Counters["c"] != 7 {
+		t.Fatalf("delta counter = %d, want 7", d.Counters["c"])
+	}
+	hd := d.Histograms["h"]
+	if hd.Count != 2 || hd.Sum != 13 {
+		t.Fatalf("delta histogram count=%d sum=%d, want 2/13", hd.Count, hd.Sum)
+	}
+	if hd.Buckets[3] != 1 || hd.Buckets[4] != 1 {
+		t.Fatalf("delta buckets = %v, want one in 3 and one in 4", hd.Buckets)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("plancache.hits").Add(3)
+	r.Timer("core.compile").Observe(1500 * time.Nanosecond)
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["plancache.hits"] != 3 {
+		t.Fatalf("round-tripped counter = %d, want 3", back.Counters["plancache.hits"])
+	}
+	if back.Timers["core.compile"].Count != 1 {
+		t.Fatalf("round-tripped timer count = %d, want 1", back.Timers["core.compile"].Count)
+	}
+}
+
+func TestCounterNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b")
+	r.Counter("a")
+	names := r.CounterNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("CounterNames = %v, want [a b]", names)
+	}
+}
+
+// TestConcurrentMetrics exercises the lock-free paths under the race
+// detector: concurrent Add/Observe against concurrent Snapshot.
+func TestConcurrentMetrics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(int64(i))
+			}
+		}()
+	}
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+func TestTimerTime(t *testing.T) {
+	r := NewRegistry()
+	tm := r.Timer("t")
+	tm.Time(func() { time.Sleep(time.Millisecond) })
+	if tm.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", tm.Count())
+	}
+	if tm.TotalNanos() < int64(time.Millisecond)/2 {
+		t.Fatalf("TotalNanos = %d, implausibly small for a 1ms sleep", tm.TotalNanos())
+	}
+}

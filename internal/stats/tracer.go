@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"sync"
+	"time"
+)
+
+// PhaseEvent reports one completed solver phase: a cut search, an
+// assignment enumeration, one side-array construction, a chain segment
+// transition. Configs and MaxFlowCalls are the work done *within* the
+// phase, not cumulative totals.
+type PhaseEvent struct {
+	// Engine names the solver layer ("core", "chain", "plancache", …).
+	Engine string
+	// Phase names the step within the engine ("cut-search", "side/0", …).
+	Phase string
+	// Duration is the phase's wall-clock time.
+	Duration time.Duration
+	// Configs is the number of failure configurations examined in the phase.
+	Configs uint64
+	// MaxFlowCalls is the number of max-flow solves run in the phase.
+	MaxFlowCalls int64
+}
+
+// ConfigEvent reports one amortized budget charge from a worker loop —
+// the stream of these events is the budget consumption curve. Configs and
+// MaxFlowCalls are the batch just charged; Elapsed is measured from the
+// root controller's start, so events from ladder sub-controllers land on
+// one time axis.
+type ConfigEvent struct {
+	Configs      uint64
+	MaxFlowCalls int64
+	Elapsed      time.Duration
+}
+
+// RungEvent reports a degradation-ladder transition: a rung answered,
+// declined, or certified a partial interval.
+type RungEvent struct {
+	// Rung is "core", "chain", "factoring", "most-probable-states" or
+	// "importance-sampling".
+	Rung string
+	// Outcome is "answered", "declined" or "partial".
+	Outcome string
+	// Reason explains a decline or interruption ("" when answered).
+	Reason string
+	// Duration is the rung's wall-clock time.
+	Duration time.Duration
+}
+
+// Tracer receives solver progress events. Implementations must be safe
+// for concurrent use: worker goroutines fire OnConfig concurrently.
+//
+// A nil Tracer is the fast path — every hook site guards with a single
+// nil check, so untraced runs pay nothing beyond that branch.
+type Tracer interface {
+	OnPhase(PhaseEvent)
+	OnConfig(ConfigEvent)
+	OnRung(RungEvent)
+}
+
+// Tee combines tracers, skipping nils; it returns nil when every input is
+// nil so the nil fast path is preserved.
+func Tee(tracers ...Tracer) Tracer {
+	var live []Tracer
+	for _, t := range tracers {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return teeTracer(live)
+}
+
+type teeTracer []Tracer
+
+func (tt teeTracer) OnPhase(e PhaseEvent) {
+	for _, t := range tt {
+		t.OnPhase(e)
+	}
+}
+
+func (tt teeTracer) OnConfig(e ConfigEvent) {
+	for _, t := range tt {
+		t.OnConfig(e)
+	}
+}
+
+func (tt teeTracer) OnRung(e RungEvent) {
+	for _, t := range tt {
+		t.OnRung(e)
+	}
+}
+
+// maxCurvePoints bounds the Recorder's budget consumption curve: when the
+// buffer fills, it is compacted by merging adjacent pairs and the stride
+// doubles, so memory stays constant while the curve keeps full time span
+// at halved resolution.
+const maxCurvePoints = 256
+
+// Recorder is a Tracer that accumulates events in memory — the collector
+// behind Report.Stats and the CLI -stats output. Phase and rung events
+// are kept verbatim (their count is bounded by the solver structure); the
+// OnConfig stream is folded into a bounded cumulative curve.
+type Recorder struct {
+	mu           sync.Mutex
+	phases       []PhaseEvent
+	rungs        []RungEvent
+	curve        []CurvePoint
+	stride       int // charges folded per curve point
+	pending      int // charges folded into the trailing point so far
+	totalConfigs uint64
+	totalCalls   int64
+}
+
+// CurvePoint is one point of the recorded budget consumption curve:
+// cumulative work as of Elapsed.
+type CurvePoint struct {
+	Elapsed      time.Duration
+	Configs      uint64
+	MaxFlowCalls int64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{stride: 1} }
+
+// OnPhase implements Tracer.
+func (r *Recorder) OnPhase(e PhaseEvent) {
+	r.mu.Lock()
+	r.phases = append(r.phases, e)
+	r.mu.Unlock()
+}
+
+// OnRung implements Tracer.
+func (r *Recorder) OnRung(e RungEvent) {
+	r.mu.Lock()
+	r.rungs = append(r.rungs, e)
+	r.mu.Unlock()
+}
+
+// OnConfig implements Tracer.
+func (r *Recorder) OnConfig(e ConfigEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.totalConfigs += e.Configs
+	r.totalCalls += e.MaxFlowCalls
+	pt := CurvePoint{Elapsed: e.Elapsed, Configs: r.totalConfigs, MaxFlowCalls: r.totalCalls}
+	if r.pending > 0 && r.pending < r.stride {
+		// Fold into the trailing point: keep the latest cumulative state.
+		r.curve[len(r.curve)-1] = pt
+		r.pending++
+		return
+	}
+	if len(r.curve) == maxCurvePoints {
+		// Halve the resolution: keep every second point, double the stride.
+		kept := r.curve[:0]
+		for i := 1; i < len(r.curve); i += 2 {
+			kept = append(kept, r.curve[i])
+		}
+		r.curve = kept
+		r.stride *= 2
+	}
+	r.curve = append(r.curve, pt)
+	r.pending = 1
+}
+
+// Phases returns the recorded phase events in arrival order.
+func (r *Recorder) Phases() []PhaseEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]PhaseEvent(nil), r.phases...)
+}
+
+// Rungs returns the recorded ladder transitions in arrival order.
+func (r *Recorder) Rungs() []RungEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]RungEvent(nil), r.rungs...)
+}
+
+// Curve returns the bounded cumulative budget consumption curve.
+func (r *Recorder) Curve() []CurvePoint {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]CurvePoint(nil), r.curve...)
+}
+
+// Totals returns the cumulative configs and max-flow calls observed.
+func (r *Recorder) Totals() (configs uint64, maxFlowCalls int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.totalConfigs, r.totalCalls
+}

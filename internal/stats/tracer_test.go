@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+type countingTracer struct {
+	mu      sync.Mutex
+	phases  int
+	configs int
+	rungs   int
+}
+
+func (c *countingTracer) OnPhase(PhaseEvent) {
+	c.mu.Lock()
+	c.phases++
+	c.mu.Unlock()
+}
+
+func (c *countingTracer) OnConfig(ConfigEvent) {
+	c.mu.Lock()
+	c.configs++
+	c.mu.Unlock()
+}
+
+func (c *countingTracer) OnRung(RungEvent) {
+	c.mu.Lock()
+	c.rungs++
+	c.mu.Unlock()
+}
+
+func TestTeeNilHandling(t *testing.T) {
+	if Tee() != nil {
+		t.Fatal("Tee() should be nil")
+	}
+	if Tee(nil, nil) != nil {
+		t.Fatal("Tee(nil, nil) should be nil")
+	}
+	a := &countingTracer{}
+	if got := Tee(nil, a, nil); got != Tracer(a) {
+		t.Fatal("Tee with one live tracer should return it directly")
+	}
+	b := &countingTracer{}
+	tee := Tee(a, b)
+	tee.OnPhase(PhaseEvent{})
+	tee.OnConfig(ConfigEvent{})
+	tee.OnRung(RungEvent{})
+	for _, c := range []*countingTracer{a, b} {
+		if c.phases != 1 || c.configs != 1 || c.rungs != 1 {
+			t.Fatalf("tee fan-out: got %d/%d/%d, want 1/1/1", c.phases, c.configs, c.rungs)
+		}
+	}
+}
+
+func TestRecorderAccumulates(t *testing.T) {
+	r := NewRecorder()
+	r.OnPhase(PhaseEvent{Engine: "core", Phase: "side/0", Configs: 128})
+	r.OnRung(RungEvent{Rung: "core", Outcome: "answered"})
+	r.OnConfig(ConfigEvent{Configs: 100, MaxFlowCalls: 10, Elapsed: time.Millisecond})
+	r.OnConfig(ConfigEvent{Configs: 50, MaxFlowCalls: 5, Elapsed: 2 * time.Millisecond})
+
+	if ph := r.Phases(); len(ph) != 1 || ph[0].Phase != "side/0" {
+		t.Fatalf("Phases = %+v", ph)
+	}
+	if rg := r.Rungs(); len(rg) != 1 || rg[0].Outcome != "answered" {
+		t.Fatalf("Rungs = %+v", rg)
+	}
+	configs, calls := r.Totals()
+	if configs != 150 || calls != 15 {
+		t.Fatalf("Totals = %d/%d, want 150/15", configs, calls)
+	}
+	curve := r.Curve()
+	if len(curve) != 2 {
+		t.Fatalf("curve has %d points, want 2", len(curve))
+	}
+	last := curve[len(curve)-1]
+	if last.Configs != 150 || last.MaxFlowCalls != 15 {
+		t.Fatalf("curve tail = %+v, want cumulative 150/15", last)
+	}
+}
+
+// TestRecorderCurveBounded feeds far more charges than maxCurvePoints and
+// checks the curve stays bounded, monotone, and ends at the true totals.
+func TestRecorderCurveBounded(t *testing.T) {
+	r := NewRecorder()
+	const n = 10 * maxCurvePoints
+	for i := 1; i <= n; i++ {
+		r.OnConfig(ConfigEvent{Configs: 1, Elapsed: time.Duration(i)})
+	}
+	curve := r.Curve()
+	if len(curve) > maxCurvePoints {
+		t.Fatalf("curve has %d points, cap is %d", len(curve), maxCurvePoints)
+	}
+	if len(curve) < maxCurvePoints/4 {
+		t.Fatalf("curve has only %d points — compaction too aggressive", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Configs <= curve[i-1].Configs || curve[i].Elapsed < curve[i-1].Elapsed {
+			t.Fatalf("curve not monotone at %d: %+v then %+v", i, curve[i-1], curve[i])
+		}
+	}
+	if tail := curve[len(curve)-1]; tail.Configs != n {
+		t.Fatalf("curve tail configs = %d, want %d", tail.Configs, n)
+	}
+	configs, _ := r.Totals()
+	if configs != n {
+		t.Fatalf("Totals = %d, want %d", configs, n)
+	}
+}
+
+// TestRecorderConcurrent exercises the recorder under the race detector.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.OnConfig(ConfigEvent{Configs: 1, Elapsed: time.Duration(i)})
+				if i%100 == 0 {
+					r.OnPhase(PhaseEvent{Engine: "w", Phase: "p"})
+					_ = r.Curve()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	configs, _ := r.Totals()
+	if configs != 8*500 {
+		t.Fatalf("Totals = %d, want 4000", configs)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"flowrel/internal/anytime"
 	"flowrel/internal/core"
+	"flowrel/internal/stats"
 )
 
 // The plan cache memoizes compiled bottleneck plans by the *structure* of
@@ -31,6 +32,9 @@ type planCacheType struct {
 	byKey    map[string]*list.Element
 	hits     uint64
 	misses   uint64
+	evicts   uint64
+	dedups   uint64
+	inflight map[string]*inflightCompile
 }
 
 type planEntry struct {
@@ -38,22 +42,58 @@ type planEntry struct {
 	plan *core.Plan
 }
 
+// inflightCompile is the singleflight cell for one structural key: the
+// first caller (leader) compiles while later callers wait on done. A
+// leader failure leaves plan nil with err set; waiters then retry the
+// whole lookup so a transient cancellation doesn't poison the key.
+type inflightCompile struct {
+	done chan struct{}
+	plan *core.Plan
+	err  error
+}
+
+// Registry mirrors of the cache counters, so the expvar/-stats surfaces
+// see cache behaviour without a separate code path. The mutex-guarded
+// uint64 fields above remain the source of truth for tests (they are
+// exact regardless of stats.SetEnabled).
+var (
+	mCacheHits   = stats.Default.Counter("plancache.hits")
+	mCacheMisses = stats.Default.Counter("plancache.misses")
+	mCacheEvicts = stats.Default.Counter("plancache.evictions")
+	mCacheDedups = stats.Default.Counter("plancache.compile_dedup")
+)
+
 var planCache = &planCacheType{
 	capacity: defaultPlanCacheCapacity,
 	order:    list.New(),
 	byKey:    make(map[string]*list.Element),
+	inflight: make(map[string]*inflightCompile),
 }
 
-func (c *planCacheType) get(key string) (*core.Plan, bool) {
+// acquire resolves one lookup atomically: a cached plan (hit), an
+// in-flight compile to wait on (dedup), or leadership of a new compile
+// (miss). Counting here keeps the three outcomes mutually exclusive —
+// hits + misses + dedups equals total lookups, and misses equals
+// compiles started.
+func (c *planCacheType) acquire(key string) (p *core.Plan, hit bool, fl *inflightCompile, leader bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
 		c.order.MoveToFront(el)
 		c.hits++
-		return el.Value.(*planEntry).plan, true
+		mCacheHits.Inc()
+		return el.Value.(*planEntry).plan, true, nil, false
+	}
+	if fl, ok := c.inflight[key]; ok {
+		c.dedups++
+		mCacheDedups.Inc()
+		return nil, false, fl, false
 	}
 	c.misses++
-	return nil, false
+	mCacheMisses.Inc()
+	fl = &inflightCompile{done: make(chan struct{})}
+	c.inflight[key] = fl
+	return nil, false, fl, true
 }
 
 func (c *planCacheType) put(key string, p *core.Plan) {
@@ -68,22 +108,33 @@ func (c *planCacheType) put(key string, p *core.Plan) {
 		return
 	}
 	c.byKey[key] = c.order.PushFront(&planEntry{key: key, plan: p})
-	for c.order.Len() > c.capacity {
+	c.evictOverCapacityLocked(c.capacity)
+}
+
+// evictOverCapacityLocked trims LRU entries beyond n, counting each
+// eviction. Callers hold c.mu.
+func (c *planCacheType) evictOverCapacityLocked(n int) {
+	for c.order.Len() > n {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.byKey, oldest.Value.(*planEntry).key)
+		c.evicts++
+		mCacheEvicts.Inc()
 	}
 }
 
-// ResetPlanCache drops every cached compiled plan and zeroes the hit and
-// miss counters. Use it in benchmarks to measure cold compiles, or to
-// release the realization-array memory of plans no longer needed.
+// ResetPlanCache drops every cached compiled plan and zeroes the hit,
+// miss, eviction and dedup counters. Use it in benchmarks to measure cold
+// compiles, or to release the realization-array memory of plans no longer
+// needed. In-flight compiles are unaffected: their leaders publish into
+// the fresh cache when done.
 func ResetPlanCache() {
 	planCache.mu.Lock()
 	defer planCache.mu.Unlock()
 	planCache.order.Init()
 	planCache.byKey = make(map[string]*list.Element)
 	planCache.hits, planCache.misses = 0, 0
+	planCache.evicts, planCache.dedups = 0, 0
 }
 
 // SetPlanCacheCapacity bounds the number of compiled plans kept (LRU
@@ -92,11 +143,10 @@ func SetPlanCacheCapacity(n int) {
 	planCache.mu.Lock()
 	defer planCache.mu.Unlock()
 	planCache.capacity = n
-	for planCache.order.Len() > n {
-		oldest := planCache.order.Back()
-		planCache.order.Remove(oldest)
-		delete(planCache.byKey, oldest.Value.(*planEntry).key)
+	if n < 0 {
+		n = 0
 	}
+	planCache.evictOverCapacityLocked(n)
 }
 
 // PlanCacheStats reports the cache's lifetime hit and miss counts and its
@@ -105,6 +155,31 @@ func PlanCacheStats() (hits, misses uint64, entries int) {
 	planCache.mu.Lock()
 	defer planCache.mu.Unlock()
 	return planCache.hits, planCache.misses, planCache.order.Len()
+}
+
+// PlanCacheCounters is the full accounting snapshot of the plan cache.
+type PlanCacheCounters struct {
+	Hits         uint64 `json:"hits"`
+	Misses       uint64 `json:"misses"`
+	Evictions    uint64 `json:"evictions"`
+	CompileDedup uint64 `json:"compile_dedup"`
+	Entries      int    `json:"entries"`
+}
+
+// PlanCacheSnapshot returns every plan-cache counter at once: hits,
+// misses, LRU evictions, compiles saved by in-flight deduplication, and
+// the current entry count. Counters accumulate since process start or the
+// last ResetPlanCache.
+func PlanCacheSnapshot() PlanCacheCounters {
+	planCache.mu.Lock()
+	defer planCache.mu.Unlock()
+	return PlanCacheCounters{
+		Hits:         planCache.hits,
+		Misses:       planCache.misses,
+		Evictions:    planCache.evicts,
+		CompileDedup: planCache.dedups,
+		Entries:      planCache.order.Len(),
+	}
 }
 
 // planKey is the canonical structural hash: topology (node count plus
@@ -157,23 +232,53 @@ func planKey(g *Graph, dem Demand, cfg Config) string {
 
 // planFor returns the compiled plan for (g, dem, cfg), from cache when the
 // structure was compiled before, compiling (and caching) otherwise. The
-// second return reports a cache hit.
+// second return reports a cache hit. Concurrent calls for the same
+// structure are deduplicated: one leader compiles, the rest wait for its
+// plan (each saved compile increments the dedup counter). If the leader
+// fails — typically a budget or cancellation error scoped to *its*
+// controller — waiters retry with their own, so one caller's tight budget
+// cannot fail another's compile.
 func planFor(ctl *anytime.Ctl, g *Graph, dem Demand, cfg Config) (*core.Plan, bool, error) {
 	key := planKey(g, dem, cfg)
-	if p, ok := planCache.get(key); ok {
-		return p, true, nil
+	for {
+		p, hit, fl, leader := planCache.acquire(key)
+		if hit {
+			return p, true, nil
+		}
+		if !leader {
+			select {
+			case <-fl.done:
+			case <-ctl.Context().Done():
+				err := ctl.Err()
+				if err == nil {
+					err = ctl.Context().Err()
+				}
+				return nil, false, err
+			}
+			if fl.err == nil {
+				return fl.plan, true, nil
+			}
+			// Leader failed; loop and compile under our own controller.
+			continue
+		}
+
+		p, err := core.Compile(g, dem, core.Options{
+			Bottleneck:       cfg.Bottleneck,
+			MaxBottleneck:    cfg.MaxBottleneck,
+			MaxSideEdges:     cfg.MaxSideEdges,
+			MaxAssignmentSet: cfg.MaxAssignmentSet,
+			Parallelism:      cfg.Parallelism,
+			Ctl:              ctl,
+		})
+		fl.plan, fl.err = p, err
+		planCache.mu.Lock()
+		delete(planCache.inflight, key)
+		planCache.mu.Unlock()
+		close(fl.done)
+		if err != nil {
+			return nil, false, err
+		}
+		planCache.put(key, p)
+		return p, false, nil
 	}
-	p, err := core.Compile(g, dem, core.Options{
-		Bottleneck:       cfg.Bottleneck,
-		MaxBottleneck:    cfg.MaxBottleneck,
-		MaxSideEdges:     cfg.MaxSideEdges,
-		MaxAssignmentSet: cfg.MaxAssignmentSet,
-		Parallelism:      cfg.Parallelism,
-		Ctl:              ctl,
-	})
-	if err != nil {
-		return nil, false, err
-	}
-	planCache.put(key, p)
-	return p, false, nil
 }

@@ -1,0 +1,141 @@
+package flowrel
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// cacheTestInstance builds a tiny two-path instance whose structure is
+// distinguished by the capacity of its first link, so successive calls
+// with different caps occupy distinct plan-cache slots.
+func cacheTestInstance(t testing.TB, cap int) (*Graph, Demand) {
+	t.Helper()
+	b := NewBuilder()
+	s := b.AddNamedNode("s")
+	a := b.AddNamedNode("a")
+	tt := b.AddNamedNode("t")
+	b.AddEdge(s, a, cap, 0.1)
+	b.AddEdge(a, tt, cap, 0.1)
+	b.AddEdge(s, tt, 1, 0.2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, Demand{S: s, T: tt, D: 1}
+}
+
+// TestPlanCacheAccounting fills the cache past capacity and checks every
+// counter: evictions match the overflow, a re-compile of an evicted
+// structure counts as a miss, and hits stay hits.
+func TestPlanCacheAccounting(t *testing.T) {
+	ResetPlanCache()
+	SetPlanCacheCapacity(2)
+	t.Cleanup(func() {
+		SetPlanCacheCapacity(defaultPlanCacheCapacity)
+		ResetPlanCache()
+	})
+
+	// Four distinct structures through a capacity-2 cache: 4 misses, 2
+	// evictions (caps 1 and 2 fall out), entries pinned at 2.
+	for cap := 1; cap <= 4; cap++ {
+		g, dem := cacheTestInstance(t, cap)
+		if _, err := CompilePlan(g, dem, Config{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pc := PlanCacheSnapshot()
+	if pc.Misses != 4 || pc.Hits != 0 {
+		t.Errorf("after 4 cold compiles: hits=%d misses=%d, want 0/4", pc.Hits, pc.Misses)
+	}
+	if pc.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2", pc.Evictions)
+	}
+	if pc.Entries != 2 {
+		t.Errorf("entries = %d, want 2", pc.Entries)
+	}
+
+	// The two resident structures (caps 3 and 4) hit.
+	for cap := 3; cap <= 4; cap++ {
+		g, dem := cacheTestInstance(t, cap)
+		if _, err := CompilePlan(g, dem, Config{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pc = PlanCacheSnapshot(); pc.Hits != 2 {
+		t.Errorf("hits = %d, want 2", pc.Hits)
+	}
+
+	// An evicted structure re-compiles: a miss (not a hit), plus one more
+	// eviction to make room.
+	g, dem := cacheTestInstance(t, 1)
+	if _, err := CompilePlan(g, dem, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	pc = PlanCacheSnapshot()
+	if pc.Misses != 5 {
+		t.Errorf("re-compile after eviction: misses = %d, want 5", pc.Misses)
+	}
+	if pc.Evictions != 3 {
+		t.Errorf("evictions = %d, want 3", pc.Evictions)
+	}
+
+	// Shrinking the capacity evicts immediately.
+	SetPlanCacheCapacity(1)
+	if pc = PlanCacheSnapshot(); pc.Evictions != 4 || pc.Entries != 1 {
+		t.Errorf("after shrink: evictions=%d entries=%d, want 4/1", pc.Evictions, pc.Entries)
+	}
+
+	// The legacy accessor agrees with the snapshot.
+	hits, misses, entries := PlanCacheStats()
+	if hits != pc.Hits || misses != pc.Misses || entries != pc.Entries {
+		t.Errorf("PlanCacheStats (%d,%d,%d) disagrees with snapshot %+v", hits, misses, entries, pc)
+	}
+}
+
+// TestPlanCacheCompileDedup races many goroutines compiling the same
+// cold structure: exactly one compiles (the rest either dedup onto the
+// leader's in-flight compile or hit the freshly cached plan), and the
+// resulting plans answer identically. Run under -race this also proves
+// the singleflight path is clean.
+func TestPlanCacheCompileDedup(t *testing.T) {
+	ResetPlanCache()
+	t.Cleanup(ResetPlanCache)
+	g, dem := cacheTestInstance(t, 2)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	vals := make([]float64, workers)
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			plan, err := CompilePlan(g, dem, Config{})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			vals[i], errs[i] = plan.Eval(nil)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	for i := 1; i < workers; i++ {
+		if fmt.Sprintf("%.15g", vals[i]) != fmt.Sprintf("%.15g", vals[0]) {
+			t.Fatalf("worker %d got %v, worker 0 got %v", i, vals[i], vals[0])
+		}
+	}
+
+	pc := PlanCacheSnapshot()
+	if pc.Misses != 1 {
+		t.Errorf("misses = %d, want exactly 1 compile for %d concurrent callers", pc.Misses, workers)
+	}
+	if got := pc.Hits + pc.CompileDedup; got != workers-1 {
+		t.Errorf("hits (%d) + deduped (%d) = %d, want %d", pc.Hits, pc.CompileDedup, got, workers-1)
+	}
+}
