@@ -216,13 +216,13 @@ func BenchmarkAccumulation(b *testing.B) {
 }
 
 // BenchmarkSideArrays is ablation A2: per-configuration recompute vs
-// Gray-code incremental max-flow maintenance.
+// Gray-code incremental maintenance vs the monotone frontier walk.
 func BenchmarkSideArrays(b *testing.B) {
 	g, dem, cut := clusteredInstanceB(b, 9)
 	for _, side := range []struct {
 		name string
 		s    core.SideEngine
-	}{{"recompute", core.SideRecompute}, {"graycode", core.SideGrayCode}} {
+	}{{"binary", core.SideBinary}, {"graycode", core.SideGrayCode}, {"frontier", core.SideFrontier}} {
 		b.Run(side.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Reliability(g, dem, core.Options{
@@ -233,6 +233,21 @@ func BenchmarkSideArrays(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSideBuild isolates the side-array construction cost on the A3
+// instance: one core compile per op (no plan cache, no evaluation weight
+// to speak of), with the default frontier engine. Tracked by the bench
+// gate as side_build_ns_per_op.
+func BenchmarkSideBuild(b *testing.B) {
+	g, dem, cut := clusteredInstance(b, 6)
+	b.Run("frontier", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Compile(g, dem, core.Options{Bottleneck: cut}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func clusteredInstanceB(b *testing.B, side int) (*Graph, Demand, []EdgeID) {

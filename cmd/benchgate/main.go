@@ -8,12 +8,19 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench 'BenchmarkPlanReuse|BenchmarkSweepModes' -benchtime=1x -count=5 . > bench.txt
-//	benchgate -baseline BENCH_2.json -out BENCH_4.json bench.txt
+//	go test -run '^$' -bench 'BenchmarkPlanReuse|BenchmarkSweepModes|BenchmarkSideBuild' -benchtime=1x -count=5 . > bench.txt
+//	benchgate -baseline auto -out BENCH_5.json bench.txt
 //
 // With no file the bench output is read from standard input. Medians —
 // not minima or means — keep one cold-cache or one preempted run from
 // tipping the gate either way.
+//
+// -baseline auto (the default) picks the newest committed BENCH_*.json
+// in the working directory by its numeric suffix, so the tolerance
+// ratchets against the latest recorded run instead of a stale baseline.
+// A benchmark the baseline has never recorded is reported as "new" and
+// cannot regress — it becomes gated once a baseline containing it is
+// committed.
 package main
 
 import (
@@ -46,6 +53,7 @@ var trackedBenchmarks = map[string]string{
 	"BenchmarkPlanReuse/eval":           "plan_eval_ns_per_op",
 	"BenchmarkSweepModes/per-point":     "sweep20_before_ns_per_op",
 	"BenchmarkSweepModes/planned":       "sweep20_after_ns_per_op",
+	"BenchmarkSideBuild/frontier":       "side_build_ns_per_op",
 }
 
 // benchLine matches one result row, e.g.
@@ -74,7 +82,7 @@ type resultFile struct {
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
-	baselinePath := fs.String("baseline", "BENCH_2.json", "baseline JSON file with a benchmarks map of ns/op")
+	baselinePath := fs.String("baseline", "auto", "baseline JSON file with a benchmarks map of ns/op, or 'auto' for the newest BENCH_*.json")
 	outPath := fs.String("out", "", "write the measured medians as JSON to this file (the baseline's shape)")
 	tolerance := fs.Float64("tolerance", 0.30, "allowed fractional slowdown over the baseline before failing")
 	if err := fs.Parse(args); err != nil {
@@ -95,6 +103,13 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 
+	if *baselinePath == "auto" {
+		picked, err := newestBaseline(".")
+		if err != nil {
+			return err
+		}
+		*baselinePath = picked
+	}
 	raw, err := os.ReadFile(*baselinePath)
 	if err != nil {
 		return err
@@ -143,11 +158,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	sort.Strings(keys)
 	for _, key := range keys {
+		got := medians[key]
 		want, ok := base.Benchmarks[key]
 		if !ok {
-			return fmt.Errorf("baseline %s has no entry for %s", *baselinePath, key)
+			// Tracked but never baselined: report, don't gate. The next
+			// committed baseline picks it up.
+			fmt.Fprintf(stdout, "%-28s %12.0f ns/op  baseline %12s  %s\n", key, got, "—", "new")
+			continue
 		}
-		got := medians[key]
 		limit := want * (1 + *tolerance)
 		status := "ok"
 		if got > limit {
@@ -163,6 +181,34 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return fmt.Errorf("benchmark regression:\n  %s", strings.Join(regressions, "\n  "))
 	}
 	return nil
+}
+
+// baselineName matches committed baseline files; the numeric suffix
+// orders them (BENCH_10 beats BENCH_9 — compare numbers, not strings).
+var baselineName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// newestBaseline returns the BENCH_<n>.json in dir with the largest n.
+func newestBaseline(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, e := range entries {
+		m := baselineName.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil || n <= bestN {
+			continue
+		}
+		best, bestN = e.Name(), n
+	}
+	if best == "" {
+		return "", fmt.Errorf("no BENCH_*.json baseline found in %s (pass -baseline explicitly)", dir)
+	}
+	return best, nil
 }
 
 // parseBench collects every ns/op sample per benchmark name (the -N

@@ -21,6 +21,7 @@ func benchOutput(evals ...string) string {
 		sb.WriteString("BenchmarkPlanReuse/eval-4           \t   20000\t    " + e + " ns/op\n")
 		sb.WriteString("BenchmarkSweepModes/per-point-4     \t       1\t15000000 ns/op\n")
 		sb.WriteString("BenchmarkSweepModes/planned-4       \t       1\t 1300000 ns/op\n")
+		sb.WriteString("BenchmarkSideBuild/frontier-4       \t      10\t  120000 ns/op\n")
 	}
 	sb.WriteString("PASS\nok  \tflowrel\t2.0s\n")
 	return sb.String()
@@ -135,5 +136,46 @@ func TestMedianOneOutlierDoesNotTrip(t *testing.T) {
 	)
 	if err != nil {
 		t.Fatalf("one outlier tripped the gate: %v", err)
+	}
+}
+
+// A tracked benchmark absent from the baseline is reported as "new" and
+// never gates: the test baseline predates side_build_ns_per_op, and a
+// wild measured value for it must not trip the run.
+func TestNewBenchmarkDoesNotGate(t *testing.T) {
+	dir := t.TempDir()
+	baseline := writeBaseline(t, dir)
+	var buf strings.Builder
+	err := run(
+		[]string{"-baseline", baseline},
+		strings.NewReader(benchOutput("5800", "5900", "5850")),
+		&buf,
+	)
+	if err != nil {
+		t.Fatalf("new benchmark tripped the gate: %v\n%s", err, buf.String())
+	}
+	report := buf.String()
+	if !strings.Contains(report, "side_build_ns_per_op") || !strings.Contains(report, "new") {
+		t.Errorf("report does not mark the unbaselined benchmark as new:\n%s", report)
+	}
+}
+
+func TestNewestBaseline(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_2.json", "BENCH_4.json", "BENCH_10.json", "BENCH_x.json", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := newestBaseline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Numeric order, not lexicographic: 10 > 4 even though "10" < "4".
+	if got != "BENCH_10.json" {
+		t.Errorf("newestBaseline = %q, want BENCH_10.json", got)
+	}
+	if _, err := newestBaseline(t.TempDir()); err == nil {
+		t.Error("empty directory must be an error, not a silent default")
 	}
 }

@@ -206,9 +206,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	// per-layer metric deltas scoped to this sweep plus the plan-cache
 	// counters (one compile + N free evaluations shows up directly here).
 	if *statsFlag {
+		delta := flowrel.StatsSnapshot().Delta(before)
 		summary := map[string]any{
-			"registry":   flowrel.StatsSnapshot().Delta(before),
+			"registry":   delta,
 			"plan_cache": flowrel.PlanCacheSnapshot(),
+			// The frontier engine's pruning counters, pulled out of the
+			// registry delta so a sweep's avoided work is visible without
+			// grepping the full counter map.
+			"pruning": map[string]int64{
+				"pruned_capacity":         delta.Counters["core.pruned_capacity"],
+				"pruned_closure":          delta.Counters["core.pruned_closure"],
+				"frontier_max_flow_calls": delta.Counters["core.frontier_max_flow_calls"],
+			},
 		}
 		enc := json.NewEncoder(stderr)
 		enc.SetIndent("", "  ")

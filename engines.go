@@ -158,10 +158,18 @@ type Report struct {
 	// Config.CollectStats was set.
 	Stats *SolveStats
 
-	// planCacheHit and augmentingPaths feed SolveStats; kept unexported
-	// so the public Report surface stays the documented fields above.
+	// planCacheHit, augmentingPaths and the pruning counters feed
+	// SolveStats; kept unexported so the public Report surface stays the
+	// documented fields above.
 	planCacheHit    bool
 	augmentingPaths int64
+	// prunedCapacity / prunedClosure / frontierMaxFlowCalls describe the
+	// frontier side engine's work split: pairs discarded by the capacity
+	// bound, pairs closed from a realized submask, and the max-flow calls
+	// actually paid (all zero on a cache hit or a non-frontier engine).
+	prunedCapacity       int64
+	prunedClosure        int64
+	frontierMaxFlowCalls int64
 }
 
 // Reliability computes the exact reliability of g with respect to dem with
@@ -296,6 +304,9 @@ func computeCore(g *Graph, dem Demand, cfg Config, ctl *anytime.Ctl) (Report, er
 		rep.MaxFlowCalls = plan.Stats.MaxFlowCalls
 		rep.Configs = plan.Stats.SideConfigs[0] + plan.Stats.SideConfigs[1]
 		rep.augmentingPaths = plan.Stats.AugmentingPaths
+		rep.prunedCapacity = plan.Stats.PrunedCapacity
+		rep.prunedClosure = plan.Stats.PrunedClosure
+		rep.frontierMaxFlowCalls = plan.Stats.FrontierMaxFlowCalls
 	}
 	return rep, nil
 }

@@ -11,6 +11,9 @@
 //     (x < 1<<k and variants) — the 2^m walk idiom;
 //   - its body calls into the subset-lattice package (Submasks,
 //     SupersetZeta, …) — an inclusion–exclusion walk;
+//   - its body calls a popcount-layer iterator from the conf package
+//     (NextOfLayer, NthOfLayer, SplitLayer) — the monotone-frontier
+//     walk visits a whole binomial layer per loop;
 //   - the comment directly above it says it enumerates.
 //
 // Such a loop must contain a call to Check/Charge/Stopped on an
@@ -103,7 +106,10 @@ func isEnumLoop(pass *analysis.Pass, file *ast.File, cond ast.Expr, body *ast.Bl
 			}
 		}
 	}
-	if callsSubset(pass, body) {
+	if callsPackage(pass, body, "subset", nil) {
+		return true
+	}
+	if callsPackage(pass, body, "conf", layerIterators) {
 		return true
 	}
 	line := pass.Fset.Position(pos).Line
@@ -123,9 +129,17 @@ func containsShift(e ast.Expr) bool {
 	return found
 }
 
-// callsSubset reports whether the body calls a function declared in a
-// package whose import path ends in "subset".
-func callsSubset(pass *analysis.Pass, body *ast.BlockStmt) bool {
+// layerIterators are the conf-package functions that walk a popcount
+// layer of the configuration lattice. Plain conf helpers (Split, chunk
+// arithmetic) do not classify a loop; only the lattice walkers do.
+var layerIterators = map[string]bool{
+	"NextOfLayer": true, "NthOfLayer": true, "SplitLayer": true,
+}
+
+// callsPackage reports whether the body calls a function declared in a
+// package whose import path ends in tail. A non-nil names set restricts
+// the match to those functions.
+func callsPackage(pass *analysis.Pass, body *ast.BlockStmt, tail string, names map[string]bool) bool {
 	found := false
 	ast.Inspect(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
@@ -141,8 +155,11 @@ func callsSubset(pass *analysis.Pass, body *ast.BlockStmt) bool {
 		default:
 			return true
 		}
+		if names != nil && !names[id.Name] {
+			return true
+		}
 		if obj := pass.TypesInfo.Uses[id]; obj != nil && obj.Pkg() != nil &&
-			analysis.PathTail(obj.Pkg().Path(), "subset") {
+			analysis.PathTail(obj.Pkg().Path(), tail) {
 			found = true
 		}
 		return !found

@@ -1,0 +1,20 @@
+// Package conf is a fixture mock of the enumeration-splitting helpers;
+// a call to one of its popcount-layer iterators marks the calling loop
+// as a lattice walk.
+package conf
+
+// NextOfLayer steps to the next mask with the same popcount.
+func NextOfLayer(v uint64) uint64 {
+	c := v & -v
+	r := v + c
+	return (((v ^ r) >> 2) / c) | r
+}
+
+// NthOfLayer returns the rank-th m-bit mask with k bits set.
+func NthOfLayer(m, k int, rank uint64) uint64 { return rank }
+
+// SplitLayer partitions a popcount layer into rank ranges.
+func SplitLayer(m, layer int) [][2]uint64 { return nil }
+
+// Split partitions a dense range; calling it does NOT classify a loop.
+func Split(total uint64, chunks int) [][2]uint64 { return nil }

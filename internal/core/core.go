@@ -42,13 +42,27 @@ import (
 type SideEngine int
 
 const (
-	// SideRecompute solves every (assignment, configuration) max-flow
-	// problem from scratch.
-	SideRecompute SideEngine = iota
+	// SideFrontier (the default) enumerates configurations in
+	// popcount-ascending order and exploits the monotonicity of flow
+	// feasibility: a capacity bound discards configurations whose live
+	// links cannot carry an assignment's load, and a bit-parallel superset
+	// closure marks every configuration above an already-realized one —
+	// so max-flow is paid only on the feasibility boundary. It produces
+	// bit-identical realization arrays to SideBinary and falls back to it
+	// automatically where the layered machinery cannot win (tiny sides).
+	SideFrontier SideEngine = iota
+	// SideBinary solves every (assignment, configuration) max-flow
+	// problem from scratch, in plain binary counting order.
+	SideBinary
 	// SideGrayCode walks configurations in Gray-code order and repairs
 	// the previous flow after the single link flip.
 	SideGrayCode
 )
+
+// SideRecompute is the former name of SideBinary.
+//
+// Deprecated: use SideBinary.
+const SideRecompute = SideBinary
 
 // Accumulation selects how per-class probabilities are combined.
 type Accumulation int
@@ -122,6 +136,18 @@ type Stats struct {
 	// RealizationChecks counts (assignment, configuration) feasibility
 	// decisions — the paper's |𝒟|·2^{|E_side|} cost term.
 	RealizationChecks int64
+	// PrunedCapacity counts (assignment, configuration) pairs the frontier
+	// engine decided unrealizable because the live links' capacity sum
+	// cannot carry the assignment's load — no max-flow call needed.
+	PrunedCapacity int64
+	// PrunedClosure counts pairs decided realizable by superset closure:
+	// a submask of the configuration already realizes the assignment.
+	PrunedClosure int64
+	// FrontierMaxFlowCalls counts the max-flow invocations the frontier
+	// engine actually paid (the feasibility-boundary size, including
+	// incremental repair solves); the pruned pairs above are the calls a
+	// dense enumeration would have made instead.
+	FrontierMaxFlowCalls int64
 }
 
 // Result is the solver's answer plus the decomposition it used.
@@ -227,57 +253,49 @@ func buildSide(sub *graph.Subgraph, terminal graph.NodeID, ends []graph.NodeID, 
 	}
 	st.SideConfigs[sideIdx] = uint64(1) << uint(m)
 
-	// One worker wave: each chunk worker owns a private network clone and
-	// loops over all assignments itself (setting the demand-arc loads on
-	// its own copy), so the clone and spawn cost is paid once rather than
-	// once per assignment.
-	chunks := conf.SplitEnum(m)
-	errs := make([]error, len(chunks))
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, opt.Parallelism)
-	for ci, r := range chunks {
-		wg.Add(1)
-		go func(ci int, lo, hi uint64) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			cur := lo
-			defer anytime.RecoverInto(&errs[ci], opt.Ctl, "core side-array worker", &cur)
-			if opt.Ctl.Stopped() {
-				return
-			}
-			nw := proto.Clone()
-			var checks int64
-			for j, a := range ds.Assignments {
-				if opt.Ctl.Stopped() {
-					break
-				}
-				for i := range demandArcs {
-					nw.SetBaseCapDirected(demandArcs[i], a[i])
-				}
-				bit := uint64(1) << uint(j)
-				var n uint64
-				if opt.Side == SideGrayCode {
-					n = sideGrayChunk(nw, handles, src, dst, ds.D, bit, sa, lo, hi, opt, &cur)
-				} else {
-					n = sideBinaryChunk(nw, handles, src, dst, ds.D, bit, sa, lo, hi, opt, &cur)
-				}
-				checks += int64(n)
-			}
-			mu.Lock()
-			st.MaxFlowCalls += nw.Stats.MaxFlowCalls
-			st.AugmentUnits += nw.Stats.AugmentUnits
-			st.AugmentingPaths += nw.Stats.AugmentingPaths
-			st.RealizationChecks += checks
-			mu.Unlock()
-		}(ci, r[0], r[1])
+	engine := opt.Side
+	if engine == SideFrontier && m < frontierMinEdges {
+		// The layered walk cannot beat a straight scan over ≤ 2 configs.
+		engine = SideBinary
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	var err error
+	if engine == SideFrontier {
+		f := &frontierCtx{
+			proto:      proto,
+			handles:    handles,
+			demandArcs: demandArcs,
+			src:        src,
+			dst:        dst,
+			d:          ds.D,
+			ds:         ds,
+			opt:        opt,
+			sa:         sa,
+			caps:       make([]int, m),
+			need:       make([]int, ds.Len()),
+			allBits:    (uint64(1) << uint(ds.Len())) - 1,
 		}
+		for _, e := range sub.G.Edges() {
+			f.caps[e.ID] = e.Cap
+		}
+		// Flow that enters the super terminal straight from the real
+		// terminal (a bottleneck endpoint on the terminal itself) never
+		// crosses a side link; only the remainder bounds the live-capacity
+		// sum, so the capacity filter must use need = d − direct.
+		for j, a := range ds.Assignments {
+			direct := 0
+			for i, x := range ends {
+				if x == terminal {
+					direct += a[i]
+				}
+			}
+			f.need[j] = ds.D - direct
+		}
+		err = buildSideFrontier(f, st)
+	} else {
+		err = buildSideWave(proto, handles, demandArcs, src, dst, ds, opt, st, sa, engine)
+	}
+	if err != nil {
+		return nil, err
 	}
 	if opt.Ctl.Stopped() {
 		return nil, fmt.Errorf("core: side-array construction interrupted: %w", opt.Ctl.Err())
@@ -292,6 +310,77 @@ func buildSide(sub *graph.Subgraph, terminal graph.NodeID, ends []graph.NodeID, 
 		})
 	}
 	return sa, nil
+}
+
+// buildSideWave runs the dense enumeration engines (binary, Gray code):
+// one worker wave where each chunk worker owns a private network clone and
+// loops over all assignments itself (setting the demand-arc loads on its
+// own copy), so the clone and spawn cost is paid once rather than once per
+// assignment. Each chunk accumulates into its own Stats slot; the slots
+// are summed after the wave completes, so the hot path takes no lock.
+func buildSideWave(proto *maxflow.Network, handles []maxflow.Handle, demandArcs []maxflow.Handle, src, dst int32, ds *assign.Set, opt *Options, st *Stats, sa *sideArray, engine SideEngine) error {
+	m := sa.m
+	chunks := conf.SplitEnum(m)
+	errs := make([]error, len(chunks))
+	chunkStats := make([]Stats, len(chunks))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opt.Parallelism)
+	for ci, r := range chunks {
+		wg.Add(1)
+		go func(ci int, lo, hi uint64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cur := lo
+			defer anytime.RecoverInto(&errs[ci], opt.Ctl, "core side-array worker", &cur)
+			if opt.Ctl.Stopped() {
+				return
+			}
+			nw := proto.Clone()
+			cst := &chunkStats[ci]
+			for j, a := range ds.Assignments {
+				if opt.Ctl.Stopped() {
+					break
+				}
+				for i := range demandArcs {
+					nw.SetBaseCapDirected(demandArcs[i], a[i])
+				}
+				bit := uint64(1) << uint(j)
+				var n uint64
+				if engine == SideGrayCode {
+					n = sideGrayChunk(nw, handles, src, dst, ds.D, bit, sa, lo, hi, opt, &cur)
+				} else {
+					n = sideBinaryChunk(nw, handles, src, dst, ds.D, bit, sa, lo, hi, opt, &cur)
+				}
+				cst.RealizationChecks += int64(n)
+			}
+			cst.MaxFlowCalls = nw.Stats.MaxFlowCalls
+			cst.AugmentUnits = nw.Stats.AugmentUnits
+			cst.AugmentingPaths = nw.Stats.AugmentingPaths
+		}(ci, r[0], r[1])
+	}
+	wg.Wait()
+	for ci := range chunkStats {
+		st.add(&chunkStats[ci])
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// add accumulates the per-worker counters of o into st (SideConfigs is
+// set once by buildSide, not summed).
+func (st *Stats) add(o *Stats) {
+	st.MaxFlowCalls += o.MaxFlowCalls
+	st.AugmentUnits += o.AugmentUnits
+	st.AugmentingPaths += o.AugmentingPaths
+	st.RealizationChecks += o.RealizationChecks
+	st.PrunedCapacity += o.PrunedCapacity
+	st.PrunedClosure += o.PrunedClosure
+	st.FrontierMaxFlowCalls += o.FrontierMaxFlowCalls
 }
 
 // sideBinaryChunk solves each configuration in [lo,hi) from scratch,

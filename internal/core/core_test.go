@@ -122,7 +122,7 @@ func TestTwoBottleneckMatchesNaive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, side := range []SideEngine{SideRecompute, SideGrayCode} {
+	for _, side := range []SideEngine{SideFrontier, SideBinary, SideGrayCode} {
 		for _, acc := range []Accumulation{AccumZeta, AccumDirect} {
 			res, err := Reliability(g, dem, Options{Side: side, Accum: acc})
 			if err != nil {
@@ -247,7 +247,7 @@ func TestQuickCoreMatchesNaive(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		for _, side := range []SideEngine{SideRecompute, SideGrayCode} {
+		for _, side := range []SideEngine{SideFrontier, SideBinary, SideGrayCode} {
 			for _, acc := range []Accumulation{AccumZeta, AccumDirect} {
 				res, err := Reliability(g, dem, Options{
 					Bottleneck: cut, Side: side, Accum: acc, MaxAssignmentSet: 62,

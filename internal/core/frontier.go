@@ -1,0 +1,241 @@
+package core
+
+import (
+	"math/bits"
+	"sync"
+
+	"flowrel/internal/anytime"
+	"flowrel/internal/assign"
+	"flowrel/internal/conf"
+	"flowrel/internal/maxflow"
+	"flowrel/internal/subset"
+)
+
+// The frontier engine (SideFrontier) builds the same realization array as
+// the dense engines while paying max-flow only on the feasibility
+// boundary. It rests on one fact: realization is monotone in the link set.
+// Adding a live link never removes an s–t flow, so if configuration S
+// realizes assignment a then every superset of S does, and if the live
+// links of S cannot jointly carry a's load then no max-flow call on S can
+// succeed. Enumerating configurations in popcount-ascending layers makes
+// both directions of that fact free to apply:
+//
+//   - upward (closure): before layer ℓ is decided, every layer below it
+//     is complete, so OR-ing each mask's immediate-submask words
+//     (subset.OrZetaLayer — one uint64 OR decides all ≤64 assignments at
+//     once) marks exactly the pairs with a realized submask; they are
+//     realized with zero max-flow calls.
+//   - downward (capacity bound): Σ capacities of the live links, plus any
+//     demand that enters the super terminal directly at the real
+//     terminal, upper-bounds the max flow; assignments whose load exceeds
+//     it are unrealizable with zero max-flow calls.
+//
+// Neither filter guesses: both are exact implications of max-flow
+// feasibility, so the surviving pairs — the boundary between the two
+// regions — are the only ones solved, and the resulting array is
+// bit-identical to SideBinary's. Budget accounting is also identical:
+// every (assignment, configuration) pair is charged whether it was pruned
+// or solved, so anytime budgets and certified partial bounds see the same
+// configuration counts as the dense engines.
+//
+// Layers are processed under a barrier (closure needs layer ℓ−1 final);
+// within a layer, rank ranges from conf.SplitLayer fan out to workers.
+// Worker states — per-assignment residual networks — persist across
+// chunks and layers on a free stack, so popcount-adjacent masks warm-start
+// via maxflow.RetargetIncremental instead of re-solving from scratch.
+
+// frontierMinEdges is the smallest side the frontier engine takes on;
+// below it buildSide falls back to the plain binary walk.
+const frontierMinEdges = 2
+
+// frontierCtx carries the per-side inputs shared by all frontier workers.
+type frontierCtx struct {
+	proto      *maxflow.Network
+	handles    []maxflow.Handle
+	demandArcs []maxflow.Handle
+	src, dst   int32
+	d          int
+	ds         *assign.Set
+	opt        *Options
+	sa         *sideArray
+	caps       []int  // per side link, for the capacity bound
+	need       []int  // per assignment: d minus its direct-at-terminal demand
+	allBits    uint64 // low ds.Len() bits set
+}
+
+// frontierWorker is one worker's private state: a lazily cloned residual
+// network per assignment, each remembering the configuration and flow
+// value it last solved, so the next mask repairs instead of recomputing.
+type frontierWorker struct {
+	nets  []*maxflow.Network
+	cur   []uint64
+	val   []int
+	stats Stats
+}
+
+// buildSideFrontier drives the layered walk for one side. It returns the
+// first worker error; interruption is left for the caller to detect via
+// opt.Ctl.Stopped (matching buildSideWave).
+func buildSideFrontier(f *frontierCtx, st *Stats) error {
+	m := f.sa.m
+	n := f.ds.Len()
+
+	// Free stack of worker states: the semaphore bounds concurrency at
+	// opt.Parallelism, so at most that many states are ever created, and
+	// each keeps its warm networks across chunk and layer boundaries.
+	var (
+		poolMu  sync.Mutex
+		pool    []*frontierWorker
+		retired []*frontierWorker
+	)
+	getWorker := func() *frontierWorker {
+		poolMu.Lock()
+		defer poolMu.Unlock()
+		if k := len(pool); k > 0 {
+			w := pool[k-1]
+			pool = pool[:k-1]
+			return w
+		}
+		w := &frontierWorker{
+			nets: make([]*maxflow.Network, n),
+			cur:  make([]uint64, n),
+			val:  make([]int, n),
+		}
+		retired = append(retired, w)
+		return w
+	}
+	putWorker := func(w *frontierWorker) {
+		poolMu.Lock()
+		pool = append(pool, w)
+		poolMu.Unlock()
+	}
+
+	sem := make(chan struct{}, f.opt.Parallelism)
+	var firstErr error
+	for layer := 0; layer <= m && firstErr == nil; layer++ {
+		if f.opt.Ctl.Stopped() {
+			break
+		}
+		ranges := conf.SplitLayer(m, layer)
+		errs := make([]error, len(ranges))
+		var wg sync.WaitGroup
+		for ci, r := range ranges {
+			wg.Add(1)
+			go func(ci int, lo, hi uint64) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				cur := lo
+				defer anytime.RecoverInto(&errs[ci], f.opt.Ctl, "core frontier worker", &cur)
+				if f.opt.Ctl.Stopped() {
+					return
+				}
+				w := getWorker()
+				defer putWorker(w)
+				first := conf.NthOfLayer(m, layer, lo)
+				// Close this chunk's masks over the (complete) layers
+				// below, then decide what the closure left open.
+				subset.OrZetaLayer(f.sa.realized, first, hi-lo)
+				w.walk(f, first, hi-lo, &cur)
+			}(ci, r[0], r[1])
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				firstErr = err
+				break
+			}
+		}
+	}
+
+	// Fold the retired worker states — counters first, then each warm
+	// network's solver stats — exactly as the wave engine sums its chunks.
+	for _, w := range retired {
+		st.add(&w.stats)
+		for _, nw := range w.nets {
+			if nw != nil {
+				st.MaxFlowCalls += nw.Stats.MaxFlowCalls
+				st.AugmentUnits += nw.Stats.AugmentUnits
+				st.AugmentingPaths += nw.Stats.AugmentingPaths
+			}
+		}
+	}
+	return firstErr
+}
+
+// walk decides `count` masks of one popcount layer starting at `first`
+// (numeric order). The chunk's closure pass has already run, so
+// f.sa.realized[mask] holds the assignments realized by some submask;
+// only the rest are filtered by capacity and, surviving that, solved.
+func (w *frontierWorker) walk(f *frontierCtx, first, count uint64, cur *uint64) {
+	n := f.ds.Len()
+	mask := first
+	var sinceCheck uint64
+	callsMark := w.stats.FrontierMaxFlowCalls
+	for i := uint64(0); i < count; i++ {
+		if i > 0 {
+			mask = conf.NextOfLayer(mask)
+		}
+		*cur = mask
+		if f.opt.TestHook != nil {
+			f.opt.TestHook(mask)
+		}
+		sinceCheck += uint64(n)
+		w.stats.RealizationChecks += int64(n)
+		closure := f.sa.realized[mask]
+		w.stats.PrunedClosure += int64(bits.OnesCount64(closure))
+		if rem := f.allBits &^ closure; rem != 0 {
+			capSum := 0
+			for mm := mask; mm != 0; mm &= mm - 1 {
+				capSum += f.caps[bits.TrailingZeros64(mm)]
+			}
+			word := closure
+			for r := rem; r != 0; r &= r - 1 {
+				j := bits.TrailingZeros64(r)
+				if capSum < f.need[j] {
+					w.stats.PrunedCapacity++
+					continue
+				}
+				if w.solve(f, j, mask) {
+					word |= uint64(1) << uint(j)
+				}
+			}
+			f.sa.realized[mask] = word
+		}
+		if sinceCheck >= anytime.CheckEvery {
+			if !f.opt.Ctl.Charge(sinceCheck, w.stats.FrontierMaxFlowCalls-callsMark) {
+				return
+			}
+			sinceCheck, callsMark = 0, w.stats.FrontierMaxFlowCalls
+		}
+	}
+	f.opt.Ctl.Charge(sinceCheck, w.stats.FrontierMaxFlowCalls-callsMark)
+}
+
+// solve pays a max-flow call for one surviving (assignment, mask) pair,
+// warm-starting from wherever this worker's network for the assignment
+// last stood, and reports whether the mask realizes the assignment.
+func (w *frontierWorker) solve(f *frontierCtx, j int, mask uint64) bool {
+	nw := w.nets[j]
+	if nw == nil {
+		nw = f.proto.Clone()
+		a := f.ds.Assignments[j]
+		for i := range f.demandArcs {
+			nw.SetBaseCapDirected(f.demandArcs[i], a[i])
+		}
+		for i := range f.handles {
+			nw.SetEnabled(f.handles[i], false)
+		}
+		nw.ResetFlow()
+		w.nets[j] = nw
+	}
+	before := nw.Stats.MaxFlowCalls
+	value := nw.RetargetIncremental(f.handles, w.cur[j], mask, f.src, f.dst, w.val[j])
+	if value < f.d {
+		value += nw.Augment(f.src, f.dst, f.d-value)
+	}
+	w.stats.FrontierMaxFlowCalls += nw.Stats.MaxFlowCalls - before
+	w.cur[j] = mask
+	w.val[j] = value
+	return value >= f.d
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"flowrel/internal/anytime"
+	"flowrel/internal/graph"
+)
+
+// compileEngines is the cross-checked engine set: the frontier walk must
+// be indistinguishable from the dense engines in everything but cost.
+var compileEngines = []struct {
+	name string
+	side SideEngine
+}{
+	{"frontier", SideFrontier},
+	{"binary", SideBinary},
+	{"graycode", SideGrayCode},
+}
+
+// TestFrontierEquivalenceCorpus is the tentpole's contract on the 50-graph
+// planted-bottleneck corpus: SideFrontier, SideBinary and SideGrayCode
+// must produce bit-identical realization arrays for both sides, and charge
+// the anytime budget the identical number of configurations — pruning
+// changes what is *paid*, never what is *counted*. The frontier compile is
+// additionally audited: every (assignment, configuration) pair must be
+// accounted to exactly one of capacity-pruned, closure-pruned, or checked
+// work that the dense engines also perform.
+func TestFrontierEquivalenceCorpus(t *testing.T) {
+	const wantGraphs = 50
+	count := 0
+	for seed := int64(0); count < wantGraphs && seed < 50*wantGraphs; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(3)
+		d := 1 + rng.Intn(3)
+		g, dem, cut := plantBottleneck(rng, 2+rng.Intn(3), 2+rng.Intn(4), k, d)
+		if g.NumEdges() > 14 {
+			continue
+		}
+		type outcome struct {
+			plan    *Plan
+			charged uint64
+		}
+		var results []outcome
+		usable := true
+		for _, eng := range compileEngines {
+			ctl := anytime.New(context.Background(), anytime.Budget{})
+			opt := Options{Bottleneck: cut, MaxAssignmentSet: 62, Side: eng.side, Ctl: ctl}
+			plan, err := Compile(g, dem, opt)
+			if err != nil {
+				// The planted cut can fail minimality; fall back to
+				// discovery so every engine sees the same decomposition.
+				ctl = anytime.New(context.Background(), anytime.Budget{})
+				opt = Options{MaxAssignmentSet: 62, Side: eng.side, Ctl: ctl}
+				plan, err = Compile(g, dem, opt)
+				if err != nil {
+					usable = false
+					break
+				}
+			}
+			results = append(results, outcome{plan, ctl.Configs()})
+		}
+		if !usable {
+			continue
+		}
+		count++
+		ref := results[0]
+		for i, res := range results[1:] {
+			name := compileEngines[i+1].name
+			for side := 0; side < 2; side++ {
+				a, b := ref.plan.realized[side], res.plan.realized[side]
+				if len(a) != len(b) {
+					t.Fatalf("seed %d: %s side %d has %d configs, frontier %d", seed, name, side, len(b), len(a))
+				}
+				for m := range a {
+					if a[m] != b[m] {
+						t.Fatalf("seed %d: side %d mask %#x: frontier realized %#x, %s %#x",
+							seed, side, m, a[m], name, b[m])
+					}
+				}
+			}
+			if ref.charged != res.charged {
+				t.Fatalf("seed %d: frontier charged %d configs, %s charged %d — budgets diverge",
+					seed, ref.charged, name, res.charged)
+			}
+		}
+		// The audit: pairs the frontier skipped plus the max-flow calls it
+		// paid cannot exceed the dense pair count, and the per-pair
+		// accounting (RealizationChecks) must equal the dense engines'.
+		fst := ref.plan.Stats
+		dense := results[1].plan.Stats
+		if fst.RealizationChecks != dense.RealizationChecks {
+			t.Fatalf("seed %d: frontier checked %d pairs, binary %d", seed, fst.RealizationChecks, dense.RealizationChecks)
+		}
+		if fst.PrunedCapacity+fst.PrunedClosure > fst.RealizationChecks {
+			t.Fatalf("seed %d: pruned %d+%d pairs out of %d checked",
+				seed, fst.PrunedCapacity, fst.PrunedClosure, fst.RealizationChecks)
+		}
+		if dense.PrunedCapacity != 0 || dense.PrunedClosure != 0 || dense.FrontierMaxFlowCalls != 0 {
+			t.Fatalf("seed %d: dense engine reported frontier counters: %+v", seed, dense)
+		}
+	}
+	if count < wantGraphs {
+		t.Fatalf("corpus produced only %d usable graphs, want ≥ %d", count, wantGraphs)
+	}
+}
+
+// TestFrontierCancellation stops each engine mid-build (via the TestHook,
+// after a fixed number of visited configurations) and checks the anytime
+// contract: compile is all-or-nothing, so every engine must return an
+// error wrapping anytime.ErrInterrupted, and the configurations charged
+// before the stop can never exceed a full run's total.
+func TestFrontierCancellation(t *testing.T) {
+	g, dem, cut := twoBottleneck()
+	full, err := Reliability(g, dem, Options{Bottleneck: cut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := uint64(len(full.Assignments)) * (full.Stats.SideConfigs[0] + full.Stats.SideConfigs[1])
+	for _, eng := range compileEngines {
+		t.Run(eng.name, func(t *testing.T) {
+			ctl := anytime.New(context.Background(), anytime.Budget{})
+			var visited atomic.Int64
+			opt := Options{
+				Bottleneck: cut,
+				Side:       eng.side,
+				Ctl:        ctl,
+				TestHook: func(uint64) {
+					if visited.Add(1) == 5 {
+						ctl.Stop("test cancellation")
+					}
+				},
+			}
+			_, err := Compile(g, dem, opt)
+			if err == nil {
+				t.Fatal("interrupted compile returned a plan")
+			}
+			if !errors.Is(err, anytime.ErrInterrupted) {
+				t.Fatalf("error does not wrap ErrInterrupted: %v", err)
+			}
+			if ctl.Configs() > total {
+				t.Fatalf("interrupted run charged %d configs, full run charges %d", ctl.Configs(), total)
+			}
+		})
+	}
+}
+
+// TestFrontierFallbackTinySide: sides below frontierMinEdges silently use
+// the binary walk — same answer, no frontier counters.
+func TestFrontierFallbackTinySide(t *testing.T) {
+	// Source-adjacent cut: G_s has zero links, G_t has three.
+	b := graph.NewBuilder()
+	s := b.AddNode()
+	y1 := b.AddNode()
+	y2 := b.AddNode()
+	tt := b.AddNode()
+	c1 := b.AddEdge(s, y1, 1, 0.2)
+	c2 := b.AddEdge(s, y2, 1, 0.2)
+	b.AddEdge(y1, tt, 1, 0.1)
+	b.AddEdge(y2, tt, 1, 0.1)
+	b.AddEdge(y1, y2, 1, 0.1)
+	g := b.MustBuild()
+	dem := graph.Demand{S: s, T: tt, D: 1}
+	res, err := Reliability(g, dem, Options{Bottleneck: []graph.EdgeID{c1, c2}, Side: SideFrontier})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := Reliability(g, dem, Options{Bottleneck: []graph.EdgeID{c1, c2}, Side: SideBinary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	//flowrelvet:exactfloat identical realized arrays make the evaluation bit-identical, not merely close
+	if res.Reliability != bin.Reliability {
+		t.Fatalf("frontier %.17g vs binary %.17g", res.Reliability, bin.Reliability)
+	}
+	// G_s (0 links) fell back to binary; G_t (3 links) ran the frontier.
+	if res.Stats.FrontierMaxFlowCalls <= 0 {
+		t.Fatalf("frontier never ran on the 3-link side: %+v", res.Stats)
+	}
+}

@@ -15,4 +15,7 @@ var (
 	mRealizationChecks = stats.Default.Counter("core.realization_checks")
 	mEvals             = stats.Default.Counter("core.evals")
 	mEvalBatches       = stats.Default.Counter("core.eval_batches")
+	mPrunedCapacity    = stats.Default.Counter("core.pruned_capacity")
+	mPrunedClosure     = stats.Default.Counter("core.pruned_closure")
+	mFrontierMaxFlow   = stats.Default.Counter("core.frontier_max_flow_calls")
 )

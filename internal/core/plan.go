@@ -157,6 +157,9 @@ func CompileWithBottleneck(g *graph.Graph, dem graph.Demand, bt *mincut.Bottlene
 	mMaxFlowCalls.Add(p.Stats.MaxFlowCalls)
 	mAugmentingPaths.Add(p.Stats.AugmentingPaths)
 	mRealizationChecks.Add(p.Stats.RealizationChecks)
+	mPrunedCapacity.Add(p.Stats.PrunedCapacity)
+	mPrunedClosure.Add(p.Stats.PrunedClosure)
+	mFrontierMaxFlow.Add(p.Stats.FrontierMaxFlowCalls)
 
 	n := ds.Len()
 	p.scratch.New = func() any {

@@ -261,3 +261,38 @@ func TestPlanCompileStatsFrozen(t *testing.T) {
 		t.Fatalf("Eval changed compile stats: %+v", plan.Stats)
 	}
 }
+
+// TestPlanEvalBatchDefaultParallelism: parallelism ≤ 0 means "pick for
+// me" (GOMAXPROCS), not zero workers — a zero or negative worker count
+// must still evaluate every scenario and match the sequential answers.
+func TestPlanEvalBatchDefaultParallelism(t *testing.T) {
+	g, dem, cut := twoBottleneck()
+	plan, err := Compile(g, dem, Options{Bottleneck: cut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	scenarios := make([][]float64, 16)
+	for i := range scenarios {
+		pf := plan.BasePFail()
+		for j := range pf {
+			pf[j] = rng.Float64() * 0.9
+		}
+		scenarios[i] = pf
+	}
+	for _, par := range []int{0, -1, -64} {
+		got, err := plan.EvalBatch(scenarios, par)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		for i, pf := range scenarios {
+			want, err := plan.Eval(pf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[i] != want {
+				t.Fatalf("parallelism %d scenario %d: %.17g != %.17g", par, i, got[i], want)
+			}
+		}
+	}
+}

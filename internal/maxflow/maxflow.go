@@ -16,6 +16,7 @@ package maxflow
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"flowrel/internal/graph"
 )
@@ -403,6 +404,38 @@ func (nw *Network) EnableIncremental(h Handle) {
 	nw.enabled[h/2] = true
 	nw.arcs[h].cap = nw.base[h]
 	nw.arcs[h^1].cap = nw.base[h^1]
+}
+
+// RetargetIncremental transitions the enabled states of the edges in
+// handles from the configuration `prev` (bit i set = handles[i] enabled)
+// to `target`, preserving a feasible s→t flow of the given value across
+// the change, and returns the flow value that survives. Edges leaving the
+// configuration are removed with DisableIncremental (rerouting or
+// returning their flow); edges entering come back carrying zero flow,
+// ready for a follow-up Augment. When the configurations differ in more
+// than half the edges — or there is no flow worth preserving — the repair
+// work would rival a fresh solve, so it applies the states directly and
+// resets all flow, returning 0.
+func (nw *Network) RetargetIncremental(handles []Handle, prev, target uint64, s, t int32, value int) int {
+	diff := prev ^ target
+	if diff == 0 {
+		return value
+	}
+	if value <= 0 || 2*bits.OnesCount64(diff) > len(handles) {
+		for d := diff; d != 0; d &= d - 1 {
+			i := bits.TrailingZeros64(d)
+			nw.SetEnabled(handles[i], target&(1<<uint(i)) != 0)
+		}
+		nw.ResetFlow()
+		return 0
+	}
+	for d := prev &^ target; d != 0; d &= d - 1 {
+		value -= nw.DisableIncremental(handles[bits.TrailingZeros64(d)], s, t)
+	}
+	for e := target &^ prev; e != 0; e &= e - 1 {
+		nw.EnableIncremental(handles[bits.TrailingZeros64(e)])
+	}
+	return value
 }
 
 // removeLastPair removes the most recently added arc pair (used for the

@@ -390,3 +390,76 @@ func TestPanics(t *testing.T) {
 		}()
 	}
 }
+
+// Property: RetargetIncremental tracks a from-scratch recompute through a
+// random walk over enabled-edge bitmasks — exactly how the frontier side
+// engine drives it, except here the transitions are arbitrary rather than
+// popcount-adjacent, so both the incremental and the full-reset paths get
+// exercised. Conservation must hold after every hop.
+func TestQuickRetargetIncremental(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(7)
+		m := 1 + rng.Intn(14)
+		nw, hs := randomNetwork(rng, n, m)
+		ref := nw.Clone()
+		s, tt := int32(0), int32(n-1)
+
+		// Frontier start state: everything disabled, zero flow.
+		for _, h := range hs {
+			nw.SetEnabled(h, false)
+		}
+		nw.ResetFlow()
+		cur, value := uint64(0), 0
+		all := uint64(1)<<uint(len(hs)) - 1
+
+		for step := 0; step < 24; step++ {
+			var target uint64
+			if step%3 == 0 {
+				// Popcount-adjacent hop, the common case in the engine.
+				target = cur ^ (uint64(1) << uint(rng.Intn(len(hs))))
+			} else {
+				target = rng.Uint64() & all
+			}
+			value = nw.RetargetIncremental(hs, cur, target, s, tt, value)
+			value += nw.Augment(s, tt, -1)
+			cur = target
+			if v, err := nw.CheckConservation(s, tt); err != nil || v != value {
+				return false
+			}
+			for i, h := range hs {
+				ref.SetEnabled(h, target&(1<<uint(i)) != 0)
+			}
+			if want := ref.MaxFlow(s, tt, -1); want != value {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// RetargetIncremental with no change must be a no-op that keeps the
+// caller's flow value, and a transition from zero flow must take the
+// reset path (returning 0) regardless of the diff size.
+func TestRetargetIncrementalEdgeCases(t *testing.T) {
+	nw, hs := buildDiamond()
+	all := uint64(1)<<uint(len(hs)) - 1
+	v := nw.MaxFlow(0, 3, -1)
+	if got := nw.RetargetIncremental(hs, all, all, 0, 3, v); got != v {
+		t.Fatalf("no-op retarget changed value: %d -> %d", v, got)
+	}
+	// value=0 forces the reset path even for a single-bit diff.
+	nw.ResetFlow()
+	if got := nw.RetargetIncremental(hs, all, all&^1, 0, 3, 0); got != 0 {
+		t.Fatalf("reset path returned %d, want 0", got)
+	}
+	if nw.Enabled(hs[0]) {
+		t.Fatal("retarget did not disable handle 0")
+	}
+	if _, err := nw.CheckConservation(0, 3); err != nil {
+		t.Fatal(err)
+	}
+}

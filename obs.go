@@ -86,6 +86,14 @@ type SolveStats struct {
 	// PlanCacheHit reports whether the core engine answered from a cached
 	// compiled plan.
 	PlanCacheHit bool `json:"plan_cache_hit"`
+	// PrunedCapacity / PrunedClosure count (assignment, configuration)
+	// pairs the frontier side engine decided without a max-flow call —
+	// capacity bound (unrealizable) and superset closure (realized) — and
+	// FrontierMaxFlowCalls the solves it actually paid. All zero on a
+	// plan-cache hit or when a dense side engine ran.
+	PrunedCapacity       int64 `json:"pruned_capacity"`
+	PrunedClosure        int64 `json:"pruned_closure"`
+	FrontierMaxFlowCalls int64 `json:"frontier_max_flow_calls"`
 	// Phases lists completed solver phases in completion order.
 	Phases []PhaseStat `json:"phases"`
 	// Rungs lists degradation-ladder transitions (EngineAuto only).
@@ -124,14 +132,17 @@ type CurveStat struct {
 // accumulated events plus the per-call report fields.
 func solveStatsFrom(rec *stats.Recorder, elapsed time.Duration, rep Report) *SolveStats {
 	s := &SolveStats{
-		TotalNanos:      elapsed.Nanoseconds(),
-		Configs:         rep.Configs,
-		MaxFlowCalls:    rep.MaxFlowCalls,
-		AugmentingPaths: rep.augmentingPaths,
-		PlanCacheHit:    rep.planCacheHit,
-		Phases:          []PhaseStat{},
-		Rungs:           []RungStat{},
-		BudgetCurve:     []CurveStat{},
+		TotalNanos:           elapsed.Nanoseconds(),
+		Configs:              rep.Configs,
+		MaxFlowCalls:         rep.MaxFlowCalls,
+		AugmentingPaths:      rep.augmentingPaths,
+		PlanCacheHit:         rep.planCacheHit,
+		PrunedCapacity:       rep.prunedCapacity,
+		PrunedClosure:        rep.prunedClosure,
+		FrontierMaxFlowCalls: rep.frontierMaxFlowCalls,
+		Phases:               []PhaseStat{},
+		Rungs:                []RungStat{},
+		BudgetCurve:          []CurveStat{},
 	}
 	for _, p := range rec.Phases() {
 		s.Phases = append(s.Phases, PhaseStat{
