@@ -54,6 +54,8 @@ var trackedBenchmarks = map[string]string{
 	"BenchmarkSweepModes/per-point":     "sweep20_before_ns_per_op",
 	"BenchmarkSweepModes/planned":       "sweep20_after_ns_per_op",
 	"BenchmarkSideBuild/frontier":       "side_build_ns_per_op",
+	"BenchmarkEvalBatch/kernel":         "eval_batch_ns_per_op",
+	"BenchmarkEvalBatch/scalar":         "eval_batch_scalar_ns_per_op",
 }
 
 // benchLine matches one result row, e.g.

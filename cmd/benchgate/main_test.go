@@ -22,6 +22,8 @@ func benchOutput(evals ...string) string {
 		sb.WriteString("BenchmarkSweepModes/per-point-4     \t       1\t15000000 ns/op\n")
 		sb.WriteString("BenchmarkSweepModes/planned-4       \t       1\t 1300000 ns/op\n")
 		sb.WriteString("BenchmarkSideBuild/frontier-4       \t      10\t  120000 ns/op\n")
+		sb.WriteString("BenchmarkEvalBatch/kernel-4         \t    5000\t  260000 ns/op\t 984615 scenarios/s\n")
+		sb.WriteString("BenchmarkEvalBatch/scalar-4         \t     700\t 1600000 ns/op\t 160000 scenarios/s\n")
 	}
 	sb.WriteString("PASS\nok  \tflowrel\t2.0s\n")
 	return sb.String()

@@ -54,6 +54,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		cutFlag   = fs.Int("maxcut", 3, "bottleneck search budget")
 		timeFlag  = fs.Duration("timeout", 0, "soft wall-clock budget for the whole sweep; points past it print certified intervals as comments")
 		cfgsFlag  = fs.Uint64("max-configs", 0, "per-point configuration budget (0 = unlimited; scale/bottleneck modes)")
+		parFlag   = fs.Int("parallelism", 0, "evaluation workers for the compile-once sweep modes (0 = GOMAXPROCS; results are identical either way)")
 		statsFlag = fs.Bool("stats", false, "print a JSON work summary (metric deltas + plan cache) to standard error after the sweep; the CSV on standard output is unchanged")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -135,7 +136,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 				}
 				return pf
 			}
-			if done, err := planSweep(ctx, stdout, g, dem, budget, "scale,reliability", "", points, scenario); done || err != nil {
+			if done, err := planSweep(ctx, stdout, g, dem, flowrel.Config{Budget: budget, Parallelism: *parFlag}, "scale,reliability", "", points, scenario); done || err != nil {
 				return err
 			}
 			// Fallback: one anytime solve per point on a reweighted copy.
@@ -168,7 +169,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 				}
 				return pf
 			}
-			cfg := flowrel.Config{Bottleneck: bt.Cut, MaxBottleneck: *cutFlag, Budget: budget}
+			cfg := flowrel.Config{Bottleneck: bt.Cut, MaxBottleneck: *cutFlag, Budget: budget, Parallelism: *parFlag}
 			if done, err := planSweepCfg(ctx, stdout, g, dem, cfg, "p_bottleneck,reliability", cutNote, points, scenario); done || err != nil {
 				return err
 			}
@@ -232,8 +233,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 // against the plan — no per-point max-flow work. It reports done = false
 // (printing nothing) when the instance does not compile, so the caller can
 // fall back to per-point solves.
-func planSweep(ctx context.Context, stdout io.Writer, g *flowrel.Graph, dem flowrel.Demand, budget flowrel.Budget, header, note string, points []float64, scenario func(base []float64, x float64) []float64) (bool, error) {
-	return planSweepCfg(ctx, stdout, g, dem, flowrel.Config{Budget: budget}, header, note, points, scenario)
+func planSweep(ctx context.Context, stdout io.Writer, g *flowrel.Graph, dem flowrel.Demand, cfg flowrel.Config, header, note string, points []float64, scenario func(base []float64, x float64) []float64) (bool, error) {
+	return planSweepCfg(ctx, stdout, g, dem, cfg, header, note, points, scenario)
 }
 
 func planSweepCfg(ctx context.Context, stdout io.Writer, g *flowrel.Graph, dem flowrel.Demand, cfg flowrel.Config, header, note string, points []float64, scenario func(base []float64, x float64) []float64) (bool, error) {

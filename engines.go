@@ -170,6 +170,14 @@ type Report struct {
 	prunedCapacity       int64
 	prunedClosure        int64
 	frontierMaxFlowCalls int64
+	// kernelTerms / kernelSegments / kernelLanes describe the compiled
+	// evaluate-phase kernel of the plan that answered (all zero when the
+	// instance is outside the kernel guards, or a non-core engine ran):
+	// the flattened inclusion–exclusion table size, the realized-mask
+	// segments of the two sides, and the batch block width.
+	kernelTerms    int64
+	kernelSegments int64
+	kernelLanes    int64
 }
 
 // Reliability computes the exact reliability of g with respect to dem with
@@ -308,6 +316,12 @@ func computeCore(g *Graph, dem Demand, cfg Config, ctl *anytime.Ctl) (Report, er
 		rep.prunedClosure = plan.Stats.PrunedClosure
 		rep.frontierMaxFlowCalls = plan.Stats.FrontierMaxFlowCalls
 	}
+	// The kernel fields describe the evaluate phase this call actually
+	// ran, so they report even on a cache hit — the cached plan's tables
+	// did the work.
+	rep.kernelTerms = plan.Stats.KernelTerms
+	rep.kernelSegments = plan.Stats.KernelSegments
+	rep.kernelLanes = plan.Stats.KernelLanes
 	return rep, nil
 }
 

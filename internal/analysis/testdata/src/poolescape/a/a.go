@@ -57,3 +57,40 @@ func closureReturnIsNotAnExit() func() int {
 	pool.Put(v)
 	return f
 }
+
+// workerLoopScratch is the batch-kernel dispatch shape: each worker
+// goroutine checks out one scratch for its whole drain loop and returns
+// it on the way out. The Get/defer-Put pair lives inside the goroutine
+// closure, not the spawning function.
+func workerLoopScratch(items []float64) {
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v := pool.Get().(*buf)
+			defer pool.Put(v)
+			for range items {
+				v.xs = v.xs[:0]
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// workerLoopLeak is the same shape with the Put forgotten: one scratch
+// leaks per worker, not per batch item.
+func workerLoopLeak(items []float64) {
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v := pool.Get().(*buf) // want `pooled v is never Put back`
+			for range items {
+				v.xs = v.xs[:0]
+			}
+		}()
+	}
+	wg.Wait()
+}

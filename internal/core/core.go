@@ -148,6 +148,17 @@ type Stats struct {
 	// incremental repair solves); the pruned pairs above are the calls a
 	// dense enumeration would have made instead.
 	FrontierMaxFlowCalls int64
+	// KernelTerms is the size of the flattened inclusion–exclusion term
+	// table the compile built for the evaluate phase (zero when the
+	// instance is outside the kernel guards and evaluation stays scalar).
+	KernelTerms int64
+	// KernelSegments counts the realized-mask segments across both sides
+	// — the contiguous runs the segmented aggregation sums per Eval.
+	KernelSegments int64
+	// KernelLanes is the batch kernel's block width (8, or 1 when the
+	// eight-lane scratch would exceed the memory budget; 0 without a
+	// kernel). Like every field here it is fixed at compile time.
+	KernelLanes int64
 }
 
 // Result is the solver's answer plus the decomposition it used.

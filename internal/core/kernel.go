@@ -1,0 +1,692 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"flowrel/internal/conf"
+	"flowrel/internal/graph"
+	"flowrel/internal/subset"
+)
+
+// This file is the data-oriented evaluate phase. Compile flattens the two
+// closure-driven walks of the scalar evaluator into immutable tables:
+//
+//   - the per-bottleneck-configuration submask walk (classes[e] →
+//     subset.Submasks callbacks) becomes a term table — one (x, sign)
+//     entry per inclusion–exclusion term, grouped per configuration — so
+//     evaluation is a linear pass over two contiguous slices;
+//   - the realized arrays are grouped by realized-assignment mask into a
+//     permutation plus segment table, so aggregateInto's random scatter
+//     q[rm] += probs[mask] becomes independent segmented sums.
+//
+// Two kernels consume the tables. The one-lane kernel evaluates a single
+// scenario over plain float64 arrays. The eight-lane kernel carries eight
+// scenarios together in structure-of-arrays layout ([8]float64 lattice
+// entries — one cache line each): the doubling construction, segmented
+// aggregation, zeta transform and inclusion–exclusion all run stride-1
+// over the lane dimension, turning the scalar evaluator's single serial
+// floating-point dependency chain into eight independent ones.
+//
+// Every per-lane operation happens in exactly the one-lane kernel's
+// order, so lane l of a block evaluation is bit-identical to evaluating
+// scenario l alone — the contract TestKernelLaneEquivalence and
+// TestPlanEvalBatchDeterministic enforce. The one-lane kernel in turn
+// reproduces the original scalar evaluator (EvalScalar) bit for bit on
+// the zeta path: segment sums add in the scatter's ascending-mask order,
+// the term signs fold the parity negation (r += (-parity)·qs·qt is
+// exactly r -= parity·qs·qt), and the configuration walk keeps its
+// ascending order.
+
+// batchLanes is the wide kernel's block width.
+const batchLanes = 8
+
+// block8 is one lattice entry of the eight-lane kernel.
+type block8 = [8]float64
+
+// Kernel construction guards. Outside these bounds the plan keeps only
+// the scalar evaluator: the tables would cost more memory than the
+// locality buys back.
+const (
+	// maxKernelSideEdges bounds 2^m per side so the permutation fits
+	// uint32 and the lane-block probs arrays stay addressable.
+	maxKernelSideEdges = 26
+	// maxKernelAssignments bounds the dense lattice 2^n (counting-sort
+	// counters and the zeta-path q arrays).
+	maxKernelAssignments = 20
+	// maxKernelTerms bounds the flattened inclusion–exclusion table
+	// (Σ_e 2^|classes[e]| entries).
+	maxKernelTerms = 1 << 22
+	// maxBlockScratchFloats bounds the eight-lane scratch (in float64s,
+	// ≈32MB); past it the batch path falls back to one-lane evaluation.
+	maxBlockScratchFloats = 4 << 20
+)
+
+// kernelCfg is one bottleneck configuration E″ with a non-empty
+// assignment class: its cut mask and its term range in the term table.
+type kernelCfg struct {
+	cut      uint64
+	off, end int32
+}
+
+// evalKernel is the compile-time table set. Immutable after Compile.
+type evalKernel struct {
+	lanes int // batch block width (batchLanes, or 1 when scratch is too big)
+
+	// Inclusion–exclusion term table, grouped per configuration in
+	// ascending cut-mask order; within a configuration the terms follow
+	// the descending Submasks order of the scalar walk. termSign[t] is
+	// -PopcountParity(termX[t]).
+	cfgs     []kernelCfg
+	termX    []uint32
+	termSign []float64
+	// termXi maps each term to its index in xs, the deduplicated lattice
+	// points; the direct (sparse) path computes each point once.
+	termXi []int32
+	xs     []uint32
+
+	// Segmented aggregation, per side: perm lists the side configuration
+	// masks grouped by realized mask (ascending mask within each group —
+	// the scatter's addition order); segment s covers
+	// perm[segOff[s]:segOff[s+1]] and has realized mask segRM[s].
+	perm   [2][]uint32
+	segRM  [2][]uint32
+	segOff [2][]int32
+}
+
+// kscratch1 is the one-lane kernel's per-evaluation scratch. The zeta
+// path uses q as the dense lattice; the direct path reuses q for the
+// per-segment sums and px for the deduplicated superset probabilities.
+type kscratch1 struct {
+	probs [2][]float64
+	q     [2][]float64
+	px    [2][]float64
+	pCut  []float64
+}
+
+// kscratch8 is the eight-lane kernel's per-worker scratch (same roles,
+// lane blocks).
+type kscratch8 struct {
+	probs [2][]block8
+	q     [2][]block8
+	px    [2][]block8
+	pcF   []block8
+	pcL   []block8
+	rows  [8][]float64
+}
+
+// compileKernel flattens the compiled structure into the evaluate-phase
+// tables and returns them, or nil when the instance is outside the
+// kernel guards (the plan then keeps the scalar evaluator only). It only
+// reads the Plan; plan.go installs the result — Plan writes stay in the
+// compile phase planimmut polices.
+func (p *Plan) compileKernel() *evalKernel {
+	n := p.ds.Len()
+	if n > maxKernelAssignments || p.SideEdges[0] > maxKernelSideEdges || p.SideEdges[1] > maxKernelSideEdges {
+		return nil
+	}
+	terms := 0
+	//flowrelvet:unbounded compile phase: the 2^k·2^|𝒟| term count is bounded by the compiled plan's size and the full exponential cost was charged to the Ctl during the side builds.
+	for e := uint64(0); e < uint64(1)<<uint(len(p.Cut)); e++ {
+		dMask := p.classes[e]
+		if dMask == 0 {
+			continue
+		}
+		terms += (1 << uint(popcount(dMask))) - 1
+	}
+	if terms == 0 || terms > maxKernelTerms {
+		return nil
+	}
+
+	k := &evalKernel{
+		termX:    make([]uint32, 0, terms),
+		termSign: make([]float64, 0, terms),
+		termXi:   make([]int32, 0, terms),
+	}
+	xi := make([]int32, uint64(1)<<uint(n))
+	for i := range xi {
+		xi[i] = -1
+	}
+	//flowrelvet:unbounded compile phase: same 2^k walk as above — plan-sized, budget charged during Compile.
+	for e := uint64(0); e < uint64(1)<<uint(len(p.Cut)); e++ {
+		dMask := p.classes[e]
+		if dMask == 0 {
+			continue
+		}
+		off := int32(len(k.termX))
+		subset.Submasks(dMask, func(x uint64) {
+			if x == 0 {
+				return
+			}
+			if xi[x] < 0 {
+				xi[x] = int32(len(k.xs))
+				k.xs = append(k.xs, uint32(x))
+			}
+			k.termX = append(k.termX, uint32(x))
+			k.termSign = append(k.termSign, -subset.PopcountParity(x))
+			k.termXi = append(k.termXi, xi[x])
+		})
+		k.cfgs = append(k.cfgs, kernelCfg{cut: e, off: off, end: int32(len(k.termX))})
+	}
+
+	for side := 0; side < 2; side++ {
+		k.perm[side], k.segRM[side], k.segOff[side] = groupByRealized(p.realized[side], n)
+	}
+
+	k.lanes = batchLanes
+	if k.scratchFloats(p, n)*batchLanes > maxBlockScratchFloats {
+		k.lanes = 1
+	}
+	mKernelBuilds.Inc()
+	mKernelTermEntries.Add(int64(len(k.termX)))
+	return k
+}
+
+// scratchFloats is the per-lane float64 footprint of one evaluation
+// scratch — the block width multiplies it.
+func (k *evalKernel) scratchFloats(p *Plan, n int) int {
+	f := (1 << uint(p.SideEdges[0])) + (1 << uint(p.SideEdges[1]))
+	if p.accum == AccumDirect {
+		f += len(k.segRM[0]) + len(k.segRM[1]) + 2*len(k.xs)
+	} else {
+		f += 2 << uint(n)
+	}
+	return f + 2*len(p.Cut)
+}
+
+// groupByRealized counting-sorts the configuration masks of one side by
+// realized-assignment mask: a permutation grouped by rm (ascending mask
+// within each group, so segment sums add in the scalar scatter's order)
+// plus the distinct rm values and their segment offsets.
+func groupByRealized(realized []uint64, n int) (perm []uint32, segRM []uint32, segOff []int32) {
+	counts := make([]int32, uint64(1)<<uint(n))
+	nseg := 0
+	for _, rm := range realized {
+		if counts[rm] == 0 {
+			nseg++
+		}
+		counts[rm]++
+	}
+	segRM = make([]uint32, 0, nseg)
+	segOff = make([]int32, 0, nseg+1)
+	total := int32(0)
+	for rm, c := range counts {
+		if c == 0 {
+			continue
+		}
+		counts[rm] = total // reuse as the group's running write position
+		segRM = append(segRM, uint32(rm))
+		segOff = append(segOff, total)
+		total += c
+	}
+	segOff = append(segOff, total)
+	perm = make([]uint32, len(realized))
+	for mask, rm := range realized {
+		perm[counts[rm]] = uint32(mask)
+		counts[rm]++
+	}
+	return perm, segRM, segOff
+}
+
+func popcount(x uint64) int {
+	c := 0
+	for ; x != 0; x &= x - 1 {
+		c++
+	}
+	return c
+}
+
+func newKScratch1(p *Plan) *kscratch1 {
+	n := p.ds.Len()
+	sc := &kscratch1{
+		probs: [2][]float64{
+			make([]float64, uint64(1)<<uint(p.SideEdges[0])),
+			make([]float64, uint64(1)<<uint(p.SideEdges[1])),
+		},
+		pCut: make([]float64, len(p.Cut)),
+	}
+	for side := 0; side < 2; side++ {
+		if p.accum == AccumDirect {
+			sc.q[side] = make([]float64, len(p.kern.segRM[side]))
+			sc.px[side] = make([]float64, len(p.kern.xs))
+		} else {
+			sc.q[side] = make([]float64, uint64(1)<<uint(n))
+		}
+	}
+	return sc
+}
+
+func newKScratch8(p *Plan) *kscratch8 {
+	n := p.ds.Len()
+	sc := &kscratch8{
+		probs: [2][]block8{
+			make([]block8, uint64(1)<<uint(p.SideEdges[0])),
+			make([]block8, uint64(1)<<uint(p.SideEdges[1])),
+		},
+		pcF: make([]block8, len(p.Cut)),
+		pcL: make([]block8, len(p.Cut)),
+	}
+	for side := 0; side < 2; side++ {
+		if p.accum == AccumDirect {
+			sc.q[side] = make([]block8, len(p.kern.segRM[side]))
+			sc.px[side] = make([]block8, len(p.kern.xs))
+		} else {
+			sc.q[side] = make([]block8, uint64(1)<<uint(n))
+		}
+	}
+	return sc
+}
+
+// evalKernel1 evaluates one already-validated scenario through the
+// one-lane kernel: existing doubling fill, then segmented aggregation and
+// the term table.
+func (p *Plan) evalKernel1(sc *kscratch1, pfail []float64) float64 {
+	k := p.kern
+	for side := 0; side < 2; side++ {
+		fillConfigProbs(sc.probs[side], pfail, p.sideLinks[side])
+	}
+	for i, eid := range p.Cut {
+		sc.pCut[i] = pfail[eid]
+	}
+
+	if p.accum == AccumDirect {
+		return p.evalKernel1Direct(sc)
+	}
+
+	n := p.ds.Len()
+	qs, qt := sc.q[0], sc.q[1]
+	for side := 0; side < 2; side++ {
+		q := sc.q[side]
+		for i := range q {
+			q[i] = 0
+		}
+		probs := sc.probs[side]
+		perm, segRM, segOff := k.perm[side], k.segRM[side], k.segOff[side]
+		for s, rm := range segRM {
+			sum := 0.0
+			for _, mask := range perm[segOff[s]:segOff[s+1]] {
+				sum += probs[mask]
+			}
+			q[rm] = sum
+		}
+	}
+	subset.SupersetZeta(qs, n)
+	subset.SupersetZeta(qt, n)
+
+	total := 0.0
+	for _, cfg := range k.cfgs {
+		r := 0.0
+		for t := cfg.off; t < cfg.end; t++ {
+			x := k.termX[t]
+			r += k.termSign[t] * qs[x] * qt[x]
+		}
+		total += conf.Prob(sc.pCut, cfg.cut) * r
+	}
+	return total
+}
+
+// evalKernel1Direct is the paper-literal ACCUMULATION through the tables:
+// per-segment sums stand in for the side-array scans, each distinct
+// lattice point gets its superset probability once, then the term table
+// drives the inclusion–exclusion.
+func (p *Plan) evalKernel1Direct(sc *kscratch1) float64 {
+	k := p.kern
+	for side := 0; side < 2; side++ {
+		probs := sc.probs[side]
+		perm, segOff := k.perm[side], k.segOff[side]
+		seg := sc.q[side]
+		for s := range seg {
+			sum := 0.0
+			for _, mask := range perm[segOff[s]:segOff[s+1]] {
+				sum += probs[mask]
+			}
+			seg[s] = sum
+		}
+		segRM := k.segRM[side]
+		px := sc.px[side]
+		for i, x := range k.xs {
+			sum := 0.0
+			for s, rm := range segRM {
+				if rm&x == x {
+					sum += seg[s]
+				}
+			}
+			px[i] = sum
+		}
+	}
+
+	total := 0.0
+	pxs, pxt := sc.px[0], sc.px[1]
+	for _, cfg := range k.cfgs {
+		r := 0.0
+		for t := cfg.off; t < cfg.end; t++ {
+			i := k.termXi[t]
+			r += k.termSign[t] * pxs[i] * pxt[i]
+		}
+		total += conf.Prob(sc.pCut, cfg.cut) * r
+	}
+	return total
+}
+
+// fillConfigProbs8 is fillConfigProbs over eight lanes: probs[mask][l]
+// becomes the occurrence probability of side configuration mask under
+// scenario rows[l]. Same doubling construction, same per-lane multiply
+// order.
+func fillConfigProbs8(probs []block8, rows *[8][]float64, links []graph.EdgeID) {
+	probs[0] = block8{1, 1, 1, 1, 1, 1, 1, 1}
+	var pf, pl block8
+	for i, eid := range links {
+		for l, row := range rows {
+			pf[l] = row[eid]
+			pl[l] = 1 - pf[l]
+		}
+		half := 1 << uint(i)
+		fillStep8(probs[:half], probs[half:2*half], &pf, &pl)
+	}
+}
+
+// evalKernel8 runs the full evaluate phase for one block of eight
+// already-validated scenarios (sc.rows) and returns the per-lane
+// reliabilities.
+func (p *Plan) evalKernel8(sc *kscratch8) block8 {
+	k := p.kern
+	for side := 0; side < 2; side++ {
+		fillConfigProbs8(sc.probs[side], &sc.rows, p.sideLinks[side])
+	}
+	for i, eid := range p.Cut {
+		var fail, live block8
+		for l, row := range sc.rows {
+			fail[l] = row[eid]
+			live[l] = 1 - row[eid]
+		}
+		sc.pcF[i] = fail
+		sc.pcL[i] = live
+	}
+
+	if p.accum == AccumDirect {
+		return p.evalKernel8Direct(sc)
+	}
+
+	n := p.ds.Len()
+	qs, qt := sc.q[0], sc.q[1]
+	for side := 0; side < 2; side++ {
+		q := sc.q[side]
+		for i := range q {
+			q[i] = block8{}
+		}
+		probs := sc.probs[side]
+		perm, segRM, segOff := k.perm[side], k.segRM[side], k.segOff[side]
+		for s, rm := range segRM {
+			segSum8(&q[rm], probs, perm[segOff[s]:segOff[s+1]])
+		}
+	}
+	subset.SupersetZetaBlock(qs, n)
+	subset.SupersetZetaBlock(qt, n)
+
+	var total block8
+	for _, cfg := range k.cfgs {
+		var r block8
+		for t := cfg.off; t < cfg.end; t++ {
+			x := k.termX[t]
+			sign := k.termSign[t]
+			a := &qs[x]
+			b := &qt[x]
+			for l := 0; l < batchLanes; l++ {
+				r[l] += sign * a[l] * b[l]
+			}
+		}
+		pc := cutProb8(sc, cfg.cut)
+		for l := 0; l < batchLanes; l++ {
+			total[l] += pc[l] * r[l]
+		}
+	}
+	return total
+}
+
+// evalKernel8Direct is evalKernel1Direct over eight lanes.
+func (p *Plan) evalKernel8Direct(sc *kscratch8) block8 {
+	k := p.kern
+	for side := 0; side < 2; side++ {
+		probs := sc.probs[side]
+		perm, segOff := k.perm[side], k.segOff[side]
+		seg := sc.q[side]
+		for s := range seg {
+			segSum8(&seg[s], probs, perm[segOff[s]:segOff[s+1]])
+		}
+		segRM := k.segRM[side]
+		px := sc.px[side]
+		for i, x := range k.xs {
+			var sum block8
+			for s, rm := range segRM {
+				if rm&x == x {
+					sb := &seg[s]
+					for l := 0; l < batchLanes; l++ {
+						sum[l] += sb[l]
+					}
+				}
+			}
+			px[i] = sum
+		}
+	}
+
+	var total block8
+	pxs, pxt := sc.px[0], sc.px[1]
+	for _, cfg := range k.cfgs {
+		var r block8
+		for t := cfg.off; t < cfg.end; t++ {
+			i := k.termXi[t]
+			sign := k.termSign[t]
+			a := &pxs[i]
+			b := &pxt[i]
+			for l := 0; l < batchLanes; l++ {
+				r[l] += sign * a[l] * b[l]
+			}
+		}
+		pc := cutProb8(sc, cfg.cut)
+		for l := 0; l < batchLanes; l++ {
+			total[l] += pc[l] * r[l]
+		}
+	}
+	return total
+}
+
+// cutProb8 is the lane-block twin of conf.Prob, multiplying the per-link
+// factors in the same link order.
+func cutProb8(sc *kscratch8, cut uint64) block8 {
+	pc := block8{1, 1, 1, 1, 1, 1, 1, 1}
+	for i := range sc.pcF {
+		fac := &sc.pcF[i]
+		if cut&(uint64(1)<<uint(i)) != 0 {
+			fac = &sc.pcL[i]
+		}
+		for l := 0; l < batchLanes; l++ {
+			pc[l] *= fac[l]
+		}
+	}
+	return pc
+}
+
+// evalOneKernel evaluates a single already-validated scenario through the
+// one-lane kernel with pooled scratch.
+func (p *Plan) evalOneKernel(pfail []float64) float64 {
+	sc := p.kpool1.Get().(*kscratch1)
+	defer p.kpool1.Put(sc)
+	return p.evalKernel1(sc, pfail)
+}
+
+// BatchOptions tunes EvalBatchInto.
+type BatchOptions struct {
+	// Parallelism is the worker count; ≤ 0 means GOMAXPROCS.
+	Parallelism int
+	// Base substitutes for nil scenarios (and pads partial lane blocks);
+	// nil means the compile-time probabilities.
+	Base []float64
+}
+
+// EvalBatchInto evaluates scenarios[i] into dst[i] without allocating
+// result storage. Validation runs once up front; the hot loop is
+// unchecked. nil scenarios evaluate opt.Base. Results are deterministic —
+// bit-identical to per-scenario Eval — for any parallelism.
+func (p *Plan) EvalBatchInto(dst []float64, scenarios [][]float64, opt BatchOptions) error {
+	if len(dst) != len(scenarios) {
+		return fmt.Errorf("core: EvalBatchInto dst has %d entries for %d scenarios", len(dst), len(scenarios))
+	}
+	base := opt.Base
+	if base == nil {
+		base = p.basePFail
+	}
+	if err := p.validateVector(base, -1); err != nil {
+		return err
+	}
+	for i, pfail := range scenarios {
+		if pfail == nil {
+			continue
+		}
+		if err := p.validateVector(pfail, i); err != nil {
+			return err
+		}
+	}
+	mEvalBatches.Inc()
+	mEvals.Add(int64(len(scenarios)))
+	if p.ds == nil {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return nil
+	}
+	if len(scenarios) == 0 {
+		return nil
+	}
+	workers := opt.Parallelism
+	if workers <= 0 {
+		workers = defaultParallelism()
+	}
+	lanes := 1
+	if p.kern != nil {
+		lanes = p.kern.lanes
+	}
+	nblocks := (len(scenarios) + lanes - 1) / lanes
+	if workers > nblocks {
+		workers = nblocks
+	}
+	switch {
+	case p.kern == nil:
+		runPool(workers, func(next *atomic.Int64) {
+			sc := p.scratch.Get().(*evalScratch)
+			defer p.scratch.Put(sc)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(scenarios) {
+					return
+				}
+				if h := p.blockHook; h != nil {
+					h()
+				}
+				pfail := scenarios[i]
+				if pfail == nil {
+					pfail = base
+				}
+				dst[i] = p.evalScalarUnchecked(sc, pfail)
+			}
+		})
+	case lanes == 1:
+		runPool(workers, func(next *atomic.Int64) {
+			sc := p.kpool1.Get().(*kscratch1)
+			defer p.kpool1.Put(sc)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(scenarios) {
+					return
+				}
+				if h := p.blockHook; h != nil {
+					h()
+				}
+				pfail := scenarios[i]
+				if pfail == nil {
+					pfail = base
+				}
+				dst[i] = p.evalKernel1(sc, pfail)
+			}
+		})
+	default:
+		runPool(workers, func(next *atomic.Int64) {
+			sc := p.kpool8.Get().(*kscratch8)
+			defer p.kpool8.Put(sc)
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= nblocks {
+					return
+				}
+				if h := p.blockHook; h != nil {
+					h()
+				}
+				lo := b * batchLanes
+				hi := lo + batchLanes
+				if hi > len(scenarios) {
+					hi = len(scenarios)
+				}
+				// Partial final blocks pad with the base vector: valid
+				// inputs, results discarded.
+				for l := 0; l < batchLanes; l++ {
+					sc.rows[l] = base
+					if lo+l < hi && scenarios[lo+l] != nil {
+						sc.rows[l] = scenarios[lo+l]
+					}
+				}
+				r := p.evalKernel8(sc)
+				for l := 0; l < hi-lo; l++ {
+					dst[lo+l] = r[l]
+				}
+				for l := range sc.rows {
+					sc.rows[l] = nil
+				}
+			}
+		})
+	}
+	mEvalBlocks.Add(int64(nblocks))
+	mKernelLanes.Add(int64(nblocks * lanes))
+	if p.kern != nil {
+		mSegmentSums.Add(int64(nblocks * (len(p.kern.segRM[0]) + len(p.kern.segRM[1]))))
+	}
+	return nil
+}
+
+// validateVector checks one probability vector; i < 0 names the base.
+func (p *Plan) validateVector(pfail []float64, i int) error {
+	what := "base"
+	if i >= 0 {
+		what = fmt.Sprintf("scenario %d", i)
+	}
+	if len(pfail) != p.numEdges {
+		return fmt.Errorf("core: EvalBatch %s has %d entries, plan was compiled for %d links", what, len(pfail), p.numEdges)
+	}
+	for j, v := range pfail {
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			return fmt.Errorf("core: EvalBatch %s probability %g for link %d outside [0, 1]", what, v, j)
+		}
+	}
+	return nil
+}
+
+// runPool runs exactly `workers` goroutines, each draining work items off
+// a shared atomic counter — the bounded replacement for the old
+// goroutine-per-scenario dispatch.
+func runPool(workers int, worker func(next *atomic.Int64)) {
+	if workers <= 1 {
+		var next atomic.Int64
+		worker(&next)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker(&next)
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,70 @@
+package core
+
+// SIMD dispatch for the eight-lane kernel's two inner loops: one doubling
+// layer of the configuration-probability fill and one segmented sum. The
+// vector implementations perform exactly the scalar loop's per-lane
+// multiplies and adds in the same order — packed IEEE-754 arithmetic is
+// elementwise identical to scalar arithmetic, and no fused multiply-adds
+// are used — so the dispatch level never changes results, only speed.
+// kernel_simd_amd64.go probes the CPU at init; everything else falls back
+// to the portable loops below.
+
+const (
+	simdNone   = 0 // portable Go loops
+	simdAVX    = 1 // 256-bit lanes, two registers per block
+	simdAVX512 = 2 // 512-bit lanes, one register per block
+)
+
+// fillStep8 runs one doubling layer over lane blocks: for every mask,
+// hi[mask] = lo[mask]·pl and lo[mask] = lo[mask]·pf, per lane, in that
+// store order. len(hi) ≥ len(lo) > 0.
+func fillStep8(lo, hi []block8, pf, pl *block8) {
+	switch kernelSIMD {
+	case simdAVX512:
+		fillStepAVX512(&lo[0], &hi[0], len(lo), pf, pl)
+	case simdAVX:
+		fillStepAVX(&lo[0], &hi[0], len(lo), pf, pl)
+	default:
+		fillStepGo(lo, hi, pf, pl)
+	}
+}
+
+func fillStepGo(lo, hi []block8, pf, pl *block8) {
+	for mask := range lo {
+		lob := &lo[mask]
+		hib := &hi[mask]
+		for l := 0; l < batchLanes; l++ {
+			v := lob[l]
+			hib[l] = v * pl[l]
+			lob[l] = v * pf[l]
+		}
+	}
+}
+
+// segSum8 writes Σ_{i} probs[perm[i]] into dst, per lane, adding in
+// perm order (the grouped scatter's ascending-mask order).
+func segSum8(dst *block8, probs []block8, perm []uint32) {
+	if len(perm) == 0 {
+		*dst = block8{}
+		return
+	}
+	switch kernelSIMD {
+	case simdAVX512:
+		segSumAVX512(dst, &probs[0], &perm[0], len(perm))
+	case simdAVX:
+		segSumAVX(dst, &probs[0], &perm[0], len(perm))
+	default:
+		segSumGo(dst, probs, perm)
+	}
+}
+
+func segSumGo(dst *block8, probs []block8, perm []uint32) {
+	var sum block8
+	for _, mask := range perm {
+		pb := &probs[mask]
+		for l := 0; l < batchLanes; l++ {
+			sum[l] += pb[l]
+		}
+	}
+	*dst = sum
+}

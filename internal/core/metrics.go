@@ -18,4 +18,9 @@ var (
 	mPrunedCapacity    = stats.Default.Counter("core.pruned_capacity")
 	mPrunedClosure     = stats.Default.Counter("core.pruned_closure")
 	mFrontierMaxFlow   = stats.Default.Counter("core.frontier_max_flow_calls")
+	mKernelBuilds      = stats.Default.Counter("core.kernel_builds")
+	mKernelTermEntries = stats.Default.Counter("core.kernel_terms")
+	mEvalBlocks        = stats.Default.Counter("core.eval_blocks")
+	mKernelLanes       = stats.Default.Counter("core.kernel_lanes")
+	mSegmentSums       = stats.Default.Counter("core.eval_segment_sums")
 )

@@ -47,7 +47,19 @@ type Plan struct {
 	realized  [2][]uint64       // per side: realized-assignment mask per configuration
 	sideLinks [2][]graph.EdgeID // per side: side link index → original link ID
 	basePFail []float64         // the graph's probabilities at compile time
-	scratch   sync.Pool         // *evalScratch
+	scratch   sync.Pool         // *evalScratch (scalar evaluator)
+
+	// kern is the data-oriented evaluate phase (kernel.go): term tables
+	// and segment groupings flattened at compile time. nil when the
+	// instance is outside the kernel guards; evaluation then uses the
+	// scalar path. kpool1/kpool8 pool the one-lane and eight-lane
+	// kernel scratches.
+	kern   *evalKernel
+	kpool1 sync.Pool // *kscratch1
+	kpool8 sync.Pool // *kscratch8
+	// blockHook, when non-nil, runs once per work item inside the batch
+	// worker loops — a test seam for asserting bounded concurrency.
+	blockHook func()
 }
 
 // evalScratch holds the per-evaluation buffers so concurrent Eval calls
@@ -175,8 +187,21 @@ func CompileWithBottleneck(g *graph.Graph, dem graph.Demand, bt *mincut.Bottlene
 			pCut: make([]float64, len(p.Cut)),
 		}
 	}
+	if k := p.compileKernel(); k != nil {
+		p.kern = k
+		p.Stats.KernelTerms = int64(len(k.termX))
+		p.Stats.KernelSegments = int64(len(k.segRM[0]) + len(k.segRM[1]))
+		p.Stats.KernelLanes = int64(k.lanes)
+		p.kpool1.New = func() any { return newKScratch1(p) }
+		p.kpool8.New = func() any { return newKScratch8(p) }
+	}
 	return p, nil
 }
+
+// setBlockHook installs the bounded-concurrency test seam: the hook runs
+// once per work item inside the batch worker loops. Test-only; must be
+// called before any concurrent use of the plan.
+func (p *Plan) setBlockHook(h func()) { p.blockHook = h }
 
 // K returns the number of bottleneck links.
 func (p *Plan) K() int { return len(p.Cut) }
@@ -214,8 +239,42 @@ func (p *Plan) Eval(pfail []float64) (float64, error) {
 	if p.ds == nil {
 		return 0, nil
 	}
+	if p.kern != nil {
+		return p.evalOneKernel(pfail), nil
+	}
 	sc := p.scratch.Get().(*evalScratch)
 	defer p.scratch.Put(sc)
+	return p.evalScalarUnchecked(sc, pfail), nil
+}
+
+// EvalScalar is Eval on the scalar (pre-kernel) evaluate phase,
+// regardless of whether the plan compiled kernel tables. It is the
+// reference implementation the kernels are tested and benchmarked
+// against; the kernels reproduce it bit for bit on the zeta path.
+func (p *Plan) EvalScalar(pfail []float64) (float64, error) {
+	if pfail == nil {
+		pfail = p.basePFail
+	}
+	if len(pfail) != p.numEdges {
+		return 0, fmt.Errorf("core: Eval probability vector has %d entries, plan was compiled for %d links", len(pfail), p.numEdges)
+	}
+	for i, v := range pfail {
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			return 0, fmt.Errorf("core: Eval probability %g for link %d outside [0, 1]", v, i)
+		}
+	}
+	mEvals.Inc()
+	if p.ds == nil {
+		return 0, nil
+	}
+	sc := p.scratch.Get().(*evalScratch)
+	defer p.scratch.Put(sc)
+	return p.evalScalarUnchecked(sc, pfail), nil
+}
+
+// evalScalarUnchecked is the scalar evaluate phase on an already-
+// validated vector and a caller-owned scratch.
+func (p *Plan) evalScalarUnchecked(sc *evalScratch, pfail []float64) float64 {
 	for side := 0; side < 2; side++ {
 		fillConfigProbs(sc.probs[side], pfail, p.sideLinks[side])
 	}
@@ -224,46 +283,20 @@ func (p *Plan) Eval(pfail []float64) (float64, error) {
 	}
 	switch p.accum {
 	case AccumDirect:
-		return p.evalDirect(sc), nil
+		return p.evalDirect(sc)
 	default:
-		return p.evalZeta(sc), nil
+		return p.evalZeta(sc)
 	}
 }
 
 // EvalBatch evaluates many probability scenarios in parallel (parallelism
-// ≤ 0 means GOMAXPROCS). Each scenario is independent and deterministic,
-// so the result slice is identical for any worker count.
+// ≤ 0 means GOMAXPROCS; nil scenarios mean the compile-time
+// probabilities). Each scenario is independent and deterministic, so the
+// result slice is identical for any worker count.
 func (p *Plan) EvalBatch(scenarios [][]float64, parallelism int) ([]float64, error) {
-	for i, pfail := range scenarios {
-		if pfail == nil {
-			continue
-		}
-		if len(pfail) != p.numEdges {
-			return nil, fmt.Errorf("core: EvalBatch scenario %d has %d entries, plan was compiled for %d links", i, len(pfail), p.numEdges)
-		}
-	}
-	if parallelism <= 0 {
-		parallelism = defaultParallelism()
-	}
-	mEvalBatches.Inc()
 	out := make([]float64, len(scenarios))
-	errs := make([]error, len(scenarios))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, parallelism)
-	for i := range scenarios {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i], errs[i] = p.Eval(scenarios[i])
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := p.EvalBatchInto(out, scenarios, BatchOptions{Parallelism: parallelism}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

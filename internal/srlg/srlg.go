@@ -155,8 +155,8 @@ func reliabilityFromPlan(plan *core.Plan, groups []Group) (float64, error) {
 		weights = append(weights, pState)
 		scenarios = append(scenarios, pf)
 	}
-	rs, err := plan.EvalBatch(scenarios, 0)
-	if err != nil {
+	rs := make([]float64, len(scenarios))
+	if err := plan.EvalBatchInto(rs, scenarios, core.BatchOptions{}); err != nil {
 		return 0, err
 	}
 	total := 0.0

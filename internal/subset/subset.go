@@ -140,6 +140,41 @@ func OrZetaLayer(f []uint64, first uint64, count uint64) {
 	}
 }
 
+// Block is a fixed-width lane group for the transposed (structure-of-
+// arrays) kernels: one lattice entry holding the same coordinate of
+// several independent probability scenarios. The two widths are the
+// scalar kernel (one lane) and the batch kernel (eight lanes — one cache
+// line per lattice entry). Each lane is arithmetically independent, so a
+// lane of a Block transform computes bit-for-bit what the scalar
+// transform computes on that lane's scenario.
+type Block interface {
+	[1]float64 | [8]float64
+}
+
+// SupersetZetaBlock is SupersetZeta over lane blocks: f (indexed by masks
+// over n elements, each entry a Block of independent lanes) is
+// transformed in place so that on return f[X][l] = Σ_{Y ⊇ X} f_in[Y][l]
+// for every lane l. The loop structure — and therefore the floating-point
+// addition order within each lane — is exactly SupersetZeta's, so lane l
+// of the result is bit-identical to running the scalar transform on lane
+// l alone. O(n·2^n·lanes).
+func SupersetZetaBlock[B Block](f []B, n int) {
+	if len(f) != 1<<uint(n) {
+		panic("subset: slice length must be 2^n")
+	}
+	lanes := len(f[0])
+	for i := 0; i < n; i++ {
+		bit := 1 << uint(i)
+		for m := 0; m < len(f); m++ {
+			if m&bit == 0 {
+				for l := 0; l < lanes; l++ {
+					f[m][l] += f[m|bit][l]
+				}
+			}
+		}
+	}
+}
+
 // PopcountParity returns +1.0 for even popcount, -1.0 for odd.
 func PopcountParity(x uint64) float64 {
 	if bits.OnesCount64(x)&1 == 1 {

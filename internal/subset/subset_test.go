@@ -313,3 +313,47 @@ func TestOrZetaPanicsOnBadLength(t *testing.T) {
 	}()
 	OrZeta(make([]uint64, 3), 2)
 }
+
+// TestSupersetZetaBlockLaneIdentity: each lane of the block transform
+// must be bit-identical to running the scalar transform on that lane
+// alone — the contract the transposed evaluate kernels build on.
+func TestSupersetZetaBlockLaneIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for n := 0; n <= 6; n++ {
+		blocks := make([][8]float64, 1<<uint(n))
+		lanes := make([][]float64, 8)
+		for l := range lanes {
+			lanes[l] = make([]float64, len(blocks))
+		}
+		for m := range blocks {
+			for l := 0; l < 8; l++ {
+				v := rng.Float64()*2 - 1
+				blocks[m][l] = v
+				lanes[l][m] = v
+			}
+		}
+		SupersetZetaBlock(blocks, n)
+		for l := range lanes {
+			SupersetZeta(lanes[l], n)
+			for m := range blocks {
+				if blocks[m][l] != lanes[l][m] {
+					t.Fatalf("n=%d lane %d mask %#x: block %.17g, scalar %.17g", n, l, m, blocks[m][l], lanes[l][m])
+				}
+			}
+		}
+		one := make([][1]float64, 1<<uint(n))
+		for m := range one {
+			one[m][0] = lanes[0][m]
+		}
+		SupersetZetaBlock(one, n) // the single-lane instantiation compiles and runs
+	}
+}
+
+func TestSupersetZetaBlockPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SupersetZetaBlock(make([][8]float64, 3), 2)
+}

@@ -94,6 +94,15 @@ type SolveStats struct {
 	PrunedCapacity       int64 `json:"pruned_capacity"`
 	PrunedClosure        int64 `json:"pruned_closure"`
 	FrontierMaxFlowCalls int64 `json:"frontier_max_flow_calls"`
+	// KernelTerms / KernelSegments / KernelLanes describe the compiled
+	// evaluate-phase kernel of the answering plan (core engine only; all
+	// zero when the instance stays on the scalar evaluator): flattened
+	// inclusion–exclusion terms, realized-mask segments across both
+	// sides, and the batch block width. Reported on cache hits too — the
+	// cached plan's tables did this call's aggregation.
+	KernelTerms    int64 `json:"kernel_terms"`
+	KernelSegments int64 `json:"kernel_segments"`
+	KernelLanes    int64 `json:"kernel_lanes"`
 	// Phases lists completed solver phases in completion order.
 	Phases []PhaseStat `json:"phases"`
 	// Rungs lists degradation-ladder transitions (EngineAuto only).
@@ -140,6 +149,9 @@ func solveStatsFrom(rec *stats.Recorder, elapsed time.Duration, rep Report) *Sol
 		PrunedCapacity:       rep.prunedCapacity,
 		PrunedClosure:        rep.prunedClosure,
 		FrontierMaxFlowCalls: rep.frontierMaxFlowCalls,
+		KernelTerms:          rep.kernelTerms,
+		KernelSegments:       rep.kernelSegments,
+		KernelLanes:          rep.kernelLanes,
 		Phases:               []PhaseStat{},
 		Rungs:                []RungStat{},
 		BudgetCurve:          []CurveStat{},

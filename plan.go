@@ -85,21 +85,41 @@ func (p *Plan) Eval(pfail []float64) (float64, error) {
 }
 
 // EvalBatch evaluates many probability scenarios in parallel (nil entries
-// mean the compile-time probabilities). Results are deterministic
+// mean the probabilities of the graph the Plan was requested for).
+// Results are deterministic — bit-identical to per-scenario Eval —
 // regardless of parallelism.
 func (p *Plan) EvalBatch(scenarios [][]float64) ([]float64, error) {
-	withBase := scenarios
-	copied := false
-	for i, s := range scenarios {
-		if s == nil {
-			if !copied {
-				withBase = append([][]float64(nil), scenarios...)
-				copied = true
-			}
-			withBase[i] = p.base
-		}
+	return p.EvalBatchWith(scenarios, EvalBatchOptions{})
+}
+
+// EvalBatchOptions tunes EvalBatchWith and EvalBatchInto.
+type EvalBatchOptions struct {
+	// Parallelism is the evaluation worker count; ≤ 0 means the
+	// Config.Parallelism the Plan was compiled with (and GOMAXPROCS when
+	// that is unset too). Results do not depend on it.
+	Parallelism int
+}
+
+// EvalBatchWith is EvalBatch with explicit options.
+func (p *Plan) EvalBatchWith(scenarios [][]float64, opt EvalBatchOptions) ([]float64, error) {
+	out := make([]float64, len(scenarios))
+	if err := p.EvalBatchInto(out, scenarios, opt); err != nil {
+		return nil, err
 	}
-	return p.core.EvalBatch(withBase, p.parallelism)
+	return out, nil
+}
+
+// EvalBatchInto evaluates scenarios[i] into dst[i] (len(dst) must equal
+// len(scenarios)) without allocating result storage — the steady-state
+// form for callers that re-evaluate batches in a loop. nil scenarios
+// evaluate the Plan's base probabilities directly, with no per-call
+// copying.
+func (p *Plan) EvalBatchInto(dst []float64, scenarios [][]float64, opt EvalBatchOptions) error {
+	par := opt.Parallelism
+	if par <= 0 {
+		par = p.parallelism
+	}
+	return p.core.EvalBatchInto(dst, scenarios, core.BatchOptions{Parallelism: par, Base: p.base})
 }
 
 // Report evaluates pfail (nil = compile-time probabilities) and packages
@@ -166,24 +186,26 @@ func (p *Plan) MaxFlowCalls() int64 {
 
 // birnbaumFromPlan derives every link's conditionals from one compiled
 // plan: forcing a link up is p(e) = 0, forcing it down is p(e) = 1, so
-// the whole ranking is 2|E| probability evaluations and zero max-flow
-// calls.
+// the whole ranking is 2|E| probability evaluations — one EvalBatch
+// through the block kernels — and zero max-flow calls.
 func birnbaumFromPlan(g *Graph, plan *Plan) ([]LinkImportance, error) {
-	pf := plan.BasePFail()
+	base := plan.BasePFail()
+	scenarios := make([][]float64, 2*g.NumEdges())
+	for _, e := range g.Edges() {
+		up := append([]float64(nil), base...)
+		up[e.ID] = 0
+		down := append([]float64(nil), base...)
+		down[e.ID] = 1
+		scenarios[2*e.ID] = up
+		scenarios[2*e.ID+1] = down
+	}
+	rs, err := plan.EvalBatch(scenarios)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]LinkImportance, g.NumEdges())
 	for _, e := range g.Edges() {
-		orig := pf[e.ID]
-		pf[e.ID] = 0
-		up, err := plan.Eval(pf)
-		if err != nil {
-			return nil, err
-		}
-		pf[e.ID] = 1
-		down, err := plan.Eval(pf)
-		if err != nil {
-			return nil, err
-		}
-		pf[e.ID] = orig
+		up, down := rs[2*e.ID], rs[2*e.ID+1]
 		out[e.ID] = LinkImportance{
 			Link:        e.ID,
 			Birnbaum:    up - down,
@@ -197,8 +219,9 @@ func birnbaumFromPlan(g *Graph, plan *Plan) ([]LinkImportance, error) {
 
 // upgradesFromPlan runs the greedy hardening loop against one compiled
 // plan: hardening is p(e) → 0 in the probability vector, every round is
-// at most |E| evaluations, and the winning candidate's conditional IS the
-// next round's baseline — no re-solve between rounds.
+// one EvalBatch of at most |E| candidate scenarios, and the winning
+// candidate's conditional IS the next round's baseline — no re-solve
+// between rounds.
 func upgradesFromPlan(plan *Plan, budget int) (UpgradePlan, error) {
 	pf := plan.BasePFail()
 	curR, err := plan.Eval(pf)
@@ -207,22 +230,27 @@ func upgradesFromPlan(plan *Plan, budget int) (UpgradePlan, error) {
 	}
 	up := UpgradePlan{Before: curR}
 	for round := 0; round < budget; round++ {
-		bestLink := EdgeID(-1)
-		bestR := curR
+		var ids []EdgeID
+		var scenarios [][]float64
 		for id := range pf {
 			if pf[id] == 0 {
 				continue // already perfect (or hardened in an earlier round)
 			}
-			orig := pf[id]
-			pf[id] = 0
-			r, err := plan.Eval(pf)
-			pf[id] = orig
-			if err != nil {
-				return UpgradePlan{}, err
-			}
+			cand := append([]float64(nil), pf...)
+			cand[id] = 0
+			ids = append(ids, EdgeID(id))
+			scenarios = append(scenarios, cand)
+		}
+		rs, err := plan.EvalBatch(scenarios)
+		if err != nil {
+			return UpgradePlan{}, err
+		}
+		bestLink := EdgeID(-1)
+		bestR := curR
+		for i, r := range rs {
 			if r > bestR+1e-15 {
 				bestR = r
-				bestLink = EdgeID(id)
+				bestLink = ids[i]
 			}
 		}
 		if bestLink < 0 {
