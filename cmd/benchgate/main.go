@@ -58,9 +58,19 @@ var trackedBenchmarks = map[string]string{
 	"BenchmarkEvalBatch/scalar":         "eval_batch_scalar_ns_per_op",
 }
 
-// benchLine matches one result row, e.g.
-// "BenchmarkPlanReuse/eval-4   203   5852 ns/op".
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op`)
+// trackedAllocs maps benchmark names to allocs/op baseline keys. Alloc
+// counts are gated absolutely (any increase over the baseline fails; no
+// tolerance) because the hot-path contract is exact: zero allocations
+// per evaluate in steady state, enforced statically by hotalloc and
+// dynamically here. Requires -benchmem in the bench run; without it the
+// alloc columns are absent and these keys are simply not measured.
+var trackedAllocs = map[string]string{
+	"BenchmarkPlanReuse/eval": "eval_allocs_per_op",
+}
+
+// benchLine matches one result row, with the optional -benchmem columns:
+// "BenchmarkPlanReuse/eval-4   203   5852 ns/op   0 B/op   0 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+(\d+) allocs/op)?`)
 
 // cpuLine matches the "cpu: ..." header go test prints.
 var cpuLine = regexp.MustCompile(`^cpu:\s*(.+)$`)
@@ -100,17 +110,23 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		defer f.Close()
 		in = f
 	}
-	samples, cpu, err := parseBench(in)
+	samples, allocSamples, cpu, err := parseBench(in)
 	if err != nil {
 		return err
 	}
 
 	if *baselinePath == "auto" {
-		picked, err := newestBaseline(".")
+		picked, lingering, err := newestBaseline(".")
 		if err != nil {
 			return err
 		}
 		*baselinePath = picked
+		// Retention policy: the newest baseline plus one prior. More than
+		// that and superseded runs linger as dead weight in the tree.
+		if len(lingering) > 0 {
+			fmt.Fprintf(stdout, "warning: superseded baselines linger (keep %s and one prior): delete %s\n",
+				picked, strings.Join(lingering, ", "))
+		}
 	}
 	raw, err := os.ReadFile(*baselinePath)
 	if err != nil {
@@ -132,6 +148,15 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			runs = len(ss)
 		}
 		medians[key] = median(ss)
+	}
+	allocMedians := map[string]float64{}
+	for bench, key := range trackedAllocs {
+		ss := allocSamples[bench]
+		if len(ss) == 0 {
+			continue // run without -benchmem: alloc keys unmeasured, not an error
+		}
+		allocMedians[key] = median(ss)
+		medians[key] = allocMedians[key]
 	}
 
 	if *outPath != "" {
@@ -161,6 +186,25 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	sort.Strings(keys)
 	for _, key := range keys {
 		got := medians[key]
+		if _, isAlloc := allocMedians[key]; isAlloc {
+			// Allocation counts gate absolutely: the hot-path contract is
+			// exact, so any increase over the baseline fails regardless of
+			// tolerance. A zero baseline means zero allocations, forever.
+			want, ok := base.Benchmarks[key]
+			if !ok {
+				fmt.Fprintf(stdout, "%-28s %12.0f allocs/op  baseline %9s  %s\n", key, got, "—", "new")
+				continue
+			}
+			status := "ok"
+			if got > want {
+				status = "REGRESSION"
+				regressions = append(regressions,
+					fmt.Sprintf("%s: median %.0f allocs/op exceeds baseline %.0f allocs/op (allocation counts gate absolutely)",
+						key, got, want))
+			}
+			fmt.Fprintf(stdout, "%-28s %12.0f allocs/op  baseline %9.0f  %s\n", key, got, want, status)
+			continue
+		}
 		want, ok := base.Benchmarks[key]
 		if !ok {
 			// Tracked but never baselined: report, don't gate. The next
@@ -189,34 +233,47 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 // orders them (BENCH_10 beats BENCH_9 — compare numbers, not strings).
 var baselineName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
 
-// newestBaseline returns the BENCH_<n>.json in dir with the largest n.
-func newestBaseline(dir string) (string, error) {
+// newestBaseline returns the BENCH_<n>.json in dir with the largest n,
+// plus any baselines older than the newest and its immediate prior —
+// those are superseded and should be deleted from the tree.
+func newestBaseline(dir string) (string, []string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
-	best, bestN := "", -1
+	type found struct {
+		name string
+		n    int
+	}
+	var all []found
 	for _, e := range entries {
 		m := baselineName.FindStringSubmatch(e.Name())
 		if m == nil {
 			continue
 		}
 		n, err := strconv.Atoi(m[1])
-		if err != nil || n <= bestN {
+		if err != nil {
 			continue
 		}
-		best, bestN = e.Name(), n
+		all = append(all, found{e.Name(), n})
 	}
-	if best == "" {
-		return "", fmt.Errorf("no BENCH_*.json baseline found in %s (pass -baseline explicitly)", dir)
+	if len(all) == 0 {
+		return "", nil, fmt.Errorf("no BENCH_*.json baseline found in %s (pass -baseline explicitly)", dir)
 	}
-	return best, nil
+	sort.Slice(all, func(i, j int) bool { return all[i].n > all[j].n })
+	var lingering []string
+	for _, f := range all[min(2, len(all)):] {
+		lingering = append(lingering, f.name)
+	}
+	return all[0].name, lingering, nil
 }
 
 // parseBench collects every ns/op sample per benchmark name (the -N
-// GOMAXPROCS suffix stripped) and the reported CPU model.
-func parseBench(r io.Reader) (map[string][]float64, string, error) {
+// GOMAXPROCS suffix stripped), the allocs/op samples when the run used
+// -benchmem, and the reported CPU model.
+func parseBench(r io.Reader) (map[string][]float64, map[string][]float64, string, error) {
 	samples := map[string][]float64{}
+	allocs := map[string][]float64{}
 	cpu := ""
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
@@ -232,11 +289,18 @@ func parseBench(r io.Reader) (map[string][]float64, string, error) {
 		}
 		v, err := strconv.ParseFloat(m[2], 64)
 		if err != nil {
-			return nil, "", fmt.Errorf("bad ns/op in %q: %w", line, err)
+			return nil, nil, "", fmt.Errorf("bad ns/op in %q: %w", line, err)
 		}
 		samples[m[1]] = append(samples[m[1]], v)
+		if m[4] != "" {
+			a, err := strconv.ParseFloat(m[4], 64)
+			if err != nil {
+				return nil, nil, "", fmt.Errorf("bad allocs/op in %q: %w", line, err)
+			}
+			allocs[m[1]] = append(allocs[m[1]], a)
+		}
 	}
-	return samples, cpu, sc.Err()
+	return samples, allocs, cpu, sc.Err()
 }
 
 // median returns the middle sample (mean of the middle two for even

@@ -169,7 +169,7 @@ func TestNewestBaseline(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	got, err := newestBaseline(dir)
+	got, lingering, err := newestBaseline(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +177,65 @@ func TestNewestBaseline(t *testing.T) {
 	if got != "BENCH_10.json" {
 		t.Errorf("newestBaseline = %q, want BENCH_10.json", got)
 	}
-	if _, err := newestBaseline(t.TempDir()); err == nil {
+	// Retention is newest + one prior: BENCH_2 is superseded twice over.
+	if len(lingering) != 1 || lingering[0] != "BENCH_2.json" {
+		t.Errorf("lingering = %v, want [BENCH_2.json]", lingering)
+	}
+	if _, _, err := newestBaseline(t.TempDir()); err == nil {
 		t.Error("empty directory must be an error, not a silent default")
+	}
+}
+
+// Alloc medians gate absolutely: a zero baseline fails on the first
+// allocation regardless of tolerance, and runs without -benchmem leave
+// the alloc keys unmeasured rather than erroring.
+func TestAllocGateAbsolute(t *testing.T) {
+	dir := t.TempDir()
+	base := map[string]any{
+		"description": "test baseline",
+		"benchmarks": map[string]float64{
+			"plan_eval_ns_per_op": 5852,
+			"eval_allocs_per_op":  0,
+		},
+	}
+	blob, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := filepath.Join(dir, "baseline.json")
+	if err := os.WriteFile(baseline, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	withMem := func(allocs string) string {
+		out := benchOutput("5800", "5900", "5850")
+		return strings.ReplaceAll(out, " ns/op\n",
+			" ns/op\t       0 B/op\t       "+allocs+" allocs/op\n")
+	}
+
+	var buf strings.Builder
+	if err := run([]string{"-baseline", baseline, "-tolerance", "10.0"},
+		strings.NewReader(withMem("0")), &buf); err != nil {
+		t.Fatalf("zero allocs tripped the gate: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "eval_allocs_per_op") {
+		t.Errorf("report missing the alloc row:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	err = run([]string{"-baseline", baseline, "-tolerance", "10.0"},
+		strings.NewReader(withMem("1")), &buf)
+	if err == nil || !strings.Contains(err.Error(), "eval_allocs_per_op") {
+		t.Fatalf("one alloc over a zero baseline must fail even at 1000%% tolerance, got %v\n%s", err, buf.String())
+	}
+
+	// Without -benchmem columns the alloc keys are simply not measured.
+	buf.Reset()
+	if err := run([]string{"-baseline", baseline},
+		strings.NewReader(benchOutput("5800", "5900", "5850")), &buf); err != nil {
+		t.Fatalf("run without -benchmem failed: %v\n%s", err, buf.String())
+	}
+	if strings.Contains(buf.String(), "eval_allocs_per_op") {
+		t.Errorf("alloc row reported without -benchmem data:\n%s", buf.String())
 	}
 }

@@ -2,50 +2,93 @@
 // static analyzers: the mechanically enforced correctness invariants the
 // solver's design relies on (see docs/ANALYZERS.md).
 //
-//	flowrelvet [-c analyzer,...] [packages]
+//	flowrelvet [-c analyzer,...] [-only file,...] [-json] [packages]
 //
-// With no packages it checks ./... . Exit status: 0 clean, 1 findings,
-// 2 usage or load failure.
+// With no packages it checks ./... . -only restricts the report to
+// findings in the named files (matched by path suffix), so a pre-commit
+// hook can vet just the files it touched without narrowing the load.
+// -json emits one JSON object per finding instead of the text report;
+// CI turns that stream into GitHub annotations.
+//
+// Exit status: 0 clean, 1 findings, 2 usage, load or typecheck failure.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"flowrel/internal/analysis"
 	"flowrel/internal/analysis/anytimecheck"
+	"flowrel/internal/analysis/asmguard"
 	"flowrel/internal/analysis/ctlthread"
 	"flowrel/internal/analysis/floateq"
+	"flowrel/internal/analysis/hotalloc"
 	"flowrel/internal/analysis/planimmut"
+	"flowrel/internal/analysis/pooldiscipline"
 	"flowrel/internal/analysis/poolescape"
+	"flowrel/internal/analysis/waiverlint"
 )
 
 var all = []*analysis.Analyzer{
 	anytimecheck.Analyzer,
+	asmguard.Analyzer,
 	ctlthread.Analyzer,
 	floateq.Analyzer,
+	hotalloc.Analyzer,
 	planimmut.Analyzer,
+	pooldiscipline.Analyzer,
 	poolescape.Analyzer,
+	waiverlint.Analyzer,
 }
 
+// Exit codes: findings and operational failures are different events —
+// CI treats 1 as "the code broke an invariant" and 2 as "the checker
+// itself could not run".
+const (
+	exitClean    = 0
+	exitFindings = 1
+	exitError    = 2
+)
+
 func main() {
-	only := flag.String("c", "", "comma-separated analyzer names to run (default: all)")
-	list := flag.Bool("list", false, "list analyzers and exit")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: flowrelvet [-c analyzer,...] [packages]\n\nAnalyzers:\n")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// A finding is the JSON shape of one diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("flowrelvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("c", "", "comma-separated analyzer names to run (default: all)")
+	onlyFiles := fs.String("only", "", "comma-separated file paths; report only findings whose file matches one (suffix match)")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON stream instead of text")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: flowrelvet [-c analyzer,...] [-only file,...] [-json] [packages]\n\nAnalyzers:\n")
 		for _, a := range all {
-			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, firstLine(a.Doc))
+			fmt.Fprintf(stderr, "  %-16s %s\n", a.Name, firstLine(a.Doc))
 		}
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return exitError
+	}
 
 	if *list {
 		for _, a := range all {
-			fmt.Printf("%-14s %s\n", a.Name, firstLine(a.Doc))
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, firstLine(a.Doc))
 		}
-		return
+		return exitClean
 	}
 
 	analyzers := all
@@ -58,32 +101,72 @@ func main() {
 		for _, name := range strings.Split(*only, ",") {
 			a, ok := byName[strings.TrimSpace(name)]
 			if !ok {
-				fmt.Fprintf(os.Stderr, "flowrelvet: unknown analyzer %q\n", name)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "flowrelvet: unknown analyzer %q\n", name)
+				return exitError
 			}
 			analyzers = append(analyzers, a)
 		}
 	}
 
-	units, err := analysis.Load("", flag.Args()...)
+	units, err := analysis.Load("", fs.Args()...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "flowrelvet: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "flowrelvet: %v\n", err)
+		return exitError
 	}
-	diags, err := analysis.RunAnalyzers(units, analyzers)
+	diags, err := analysis.RunAnalyzers("", units, analyzers)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "flowrelvet: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "flowrelvet: %v\n", err)
+		return exitError
 	}
+
+	var filters []string
+	if *onlyFiles != "" {
+		for _, f := range strings.Split(*onlyFiles, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				filters = append(filters, f)
+			}
+		}
+	}
+
+	// One unit per package: with in-package tests the unit is the
+	// augmented variant, so positions cover test files too.
+	enc := json.NewEncoder(stdout)
+	reported := 0
 	for _, d := range diags {
-		// One unit per package: with in-package tests the unit is the
-		// augmented variant, so positions cover test files too.
-		fmt.Printf("%s: %s: %s\n", units[0].Fset.Position(d.Pos), d.Analyzer, d.Message)
+		pos := units[0].Fset.Position(d.Pos)
+		if len(filters) > 0 && !matchesAny(pos.Filename, filters) {
+			continue
+		}
+		reported++
+		if *jsonOut {
+			enc.Encode(finding{
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+			continue
+		}
+		fmt.Fprintf(stdout, "%s: %s: %s\n", pos, d.Analyzer, d.Message)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "flowrelvet: %d finding(s)\n", len(diags))
-		os.Exit(1)
+	if reported > 0 {
+		fmt.Fprintf(stderr, "flowrelvet: %d finding(s)\n", reported)
+		return exitFindings
 	}
+	return exitClean
+}
+
+// matchesAny reports whether the diagnostic's file matches one of the
+// -only filters: an exact path, or a suffix at a path boundary (so
+// "plan.go" matches ".../core/plan.go" but not ".../myplan.go").
+func matchesAny(file string, filters []string) bool {
+	for _, f := range filters {
+		if file == f || strings.HasSuffix(file, "/"+strings.TrimPrefix(f, "./")) {
+			return true
+		}
+	}
+	return false
 }
 
 func firstLine(s string) string {

@@ -1,0 +1,8 @@
+// Package vetme exists so flowrelvet's own tests have a package with a
+// known finding: the marker below is deliberately not one the suite
+// defines. Wildcard patterns (./...) never match testdata directories,
+// so the repository-wide vet run stays clean.
+package vetme
+
+//flowrelvet:bogus deliberately unknown marker for the exit-code test
+func Probe() int { return 1 }

@@ -31,8 +31,14 @@ type Analyzer struct {
 	Name string
 	// Doc is the one-paragraph description printed by `flowrelvet help`.
 	Doc string
-	// Run applies the analyzer to a single type-checked package.
+	// Run applies the analyzer to a single type-checked package. It may
+	// be nil for analyzers that only have a module-scoped pass.
 	Run func(*Pass) (any, error)
+	// RunModule, if set, runs once over the whole load after the
+	// per-package passes. Module-scoped analyses need the go toolchain
+	// (hotalloc replays the compiler's escape analysis), so they see the
+	// load directory and every unit at once instead of a single Pass.
+	RunModule func(dir string, units []*Package) ([]Diagnostic, error)
 }
 
 // A Pass presents one type-checked package to an Analyzer. It mirrors

@@ -215,6 +215,45 @@ func check(t *testing.T, fset *token.FileSet, a *analysis.Analyzer, fp *fixtureP
 		}
 	}
 
+	// Assembly fixtures: analyzers that read .s files (asmguard) report
+	// positions inside them, so their want comments are scanned textually
+	// — the Go parser never sees assembly sources.
+	if len(fp.files) > 0 {
+		dir := filepath.Dir(fset.Position(fp.files[0].Pos()).Filename)
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("scanning %s for asm fixtures: %v", dir, err)
+		}
+		for _, ent := range ents {
+			if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".s") {
+				continue
+			}
+			path := filepath.Join(dir, ent.Name())
+			blob, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, line := range strings.Split(string(blob), "\n") {
+				j := strings.Index(line, "// want ")
+				if j < 0 {
+					continue
+				}
+				res, ok := parseWant(line[j:])
+				if !ok {
+					continue
+				}
+				k := key{path, i + 1}
+				for _, re := range res {
+					r, err := regexp.Compile(re)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, re, err)
+					}
+					wants[k] = append(wants[k], r)
+				}
+			}
+		}
+	}
+
 	for _, d := range diags {
 		pos := fset.Position(d.Pos)
 		k := key{pos.Filename, pos.Line}
@@ -237,12 +276,19 @@ func check(t *testing.T, fset *token.FileSet, a *analysis.Analyzer, fp *fixtureP
 	}
 }
 
-// parseWant extracts the regexps from a `// want "re" ...` comment.
+// parseWant extracts the regexps from a `// want "re" ...` comment. The
+// marker may also be embedded mid-comment (`//flowrelvet:unbounded // want
+// "re"`), which is the only way to attach an expectation to a line whose
+// offending construct is itself a comment.
 func parseWant(text string) ([]string, bool) {
 	text = strings.TrimPrefix(text, "//")
 	text = strings.TrimSpace(text)
 	if !strings.HasPrefix(text, "want ") {
-		return nil, false
+		if i := strings.Index(text, "// want "); i >= 0 {
+			text = strings.TrimSpace(text[i+len("//"):])
+		} else {
+			return nil, false
+		}
 	}
 	rest := strings.TrimSpace(text[len("want"):])
 	var out []string

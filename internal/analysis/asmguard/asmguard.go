@@ -1,0 +1,293 @@
+// Package asmguard vets the hand-written assembly kernels against their
+// Go declarations, in the spirit of vet's asmdecl but specialized to the
+// invariants the evaluate kernels rely on:
+//
+//   - every TEXT symbol has a Go stub (a body-less declaration) in the
+//     same package, and every Go stub is backed by a TEXT symbol;
+//   - the declared argument size ($frame-args) matches the ABI0 layout
+//     of the stub's signature, so a signature edit cannot silently skew
+//     the frame offsets the asm reads;
+//   - every routine is NOSPLIT — the kernels run on goroutine stacks
+//     inside the evaluate loop and must not trigger a stack split;
+//   - no FMA opcodes: the portable loops do separate IEEE-754 multiply
+//     and add, so a fused contraction in the vector path would break the
+//     bit-identity contract across dispatch levels;
+//   - every vector float routine has a portable twin (<base>Go) and a
+//     dispatch function referencing both, so disabling SIMD can never
+//     remove functionality.
+//
+// Feature-probe routines that touch no float data (cpuid, xgetbv) are
+// exempt from the twin rule: bit-identity is a property of arithmetic,
+// not of CPU identification.
+package asmguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"flowrel/internal/analysis"
+)
+
+// Analyzer is the asmguard pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "asmguard",
+	Doc:  "assembly kernels must match their Go stubs (arg sizes, NOSPLIT), avoid FMA, and keep a portable twin wired into the dispatch",
+	Run:  run,
+}
+
+// knownArchs are the GOARCH suffixes recognized on .s file names.
+var knownArchs = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mips64": true, "ppc64": true,
+	"ppc64le": true, "riscv64": true, "s390x": true, "wasm": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// External test packages share the directory with their subject; the
+	// subject's unit already vetted the .s files.
+	if strings.HasSuffix(pass.Pkg.Name(), "_test") {
+		return nil, nil
+	}
+	if len(pass.Files) == 0 {
+		return nil, nil
+	}
+	dir := filepath.Dir(pass.Fset.Position(pass.Files[0].Pos()).Filename)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var asmPaths []string
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".s") {
+			continue
+		}
+		if arch := archSuffix(name); arch != "" && arch != runtime.GOARCH {
+			continue
+		}
+		asmPaths = append(asmPaths, filepath.Join(dir, name))
+	}
+	if len(asmPaths) == 0 {
+		return nil, nil
+	}
+
+	// Go-side view: stubs (no body) and full declarations by name, plus
+	// the set of names each function body references, for the dispatch
+	// check.
+	stubs := make(map[string]*ast.FuncDecl)
+	bodies := make(map[string]*ast.FuncDecl)
+	refs := make(map[string]map[string]bool) // func name -> referenced idents
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv != nil {
+				continue
+			}
+			if fn.Body == nil {
+				stubs[fn.Name.Name] = fn
+				continue
+			}
+			bodies[fn.Name.Name] = fn
+			rs := make(map[string]bool)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					rs[id.Name] = true
+				}
+				return true
+			})
+			refs[fn.Name.Name] = rs
+		}
+	}
+
+	backed := make(map[string]bool)
+	for _, path := range asmPaths {
+		routines, file, err := parseAsm(pass.Fset, path)
+		if err != nil {
+			return nil, err
+		}
+		for _, rt := range routines {
+			backed[rt.name] = true
+			checkRoutine(pass, file, rt, stubs, bodies, refs)
+		}
+	}
+
+	// Reverse direction: a stub nothing implements is a link error
+	// waiting for the first call; catch it at vet time.
+	for name, fn := range stubs {
+		if !backed[name] {
+			pass.Reportf(fn.Pos(), "Go stub %s has no TEXT implementation in the package's assembly files for %s", name, runtime.GOARCH)
+		}
+	}
+	return nil, nil
+}
+
+// archSuffix extracts a trailing _GOARCH from an .s file name, or "".
+func archSuffix(name string) string {
+	base := strings.TrimSuffix(name, ".s")
+	if i := strings.LastIndexByte(base, '_'); i >= 0 {
+		if suf := base[i+1:]; knownArchs[suf] {
+			return suf
+		}
+	}
+	return ""
+}
+
+// A routine is one TEXT block of an assembly file.
+type routine struct {
+	name     string
+	flags    string
+	argSize  int // declared -args bytes; -1 when absent
+	line     int // TEXT directive line
+	ops      []asmOp
+	floatOps bool
+}
+
+type asmOp struct {
+	op   string
+	line int
+}
+
+// textRe matches a TEXT directive: TEXT ·name(SB), FLAGS, $frame-args
+// (the flags field is optional, the -args suffix is optional).
+var textRe = regexp.MustCompile(`^TEXT\s+·([A-Za-z_][A-Za-z0-9_]*)\(SB\)\s*(?:,\s*([A-Z0-9|]+)\s*)?,\s*\$(-?\d+)(?:-(\d+))?`)
+
+// vectorFloatRe matches vector/scalar float opcodes (the VEX-prefixed
+// packed/scalar double and single forms the kernels use).
+var vectorFloatRe = regexp.MustCompile(`^V?(MOVU?|MUL|ADD|SUB|DIV|XOR|AND|OR|MIN|MAX|SQRT|ROUND)?.*P[SD]$|^V.*S[SD]$`)
+
+// fmaRe matches the x86 fused-multiply-add families.
+var fmaRe = regexp.MustCompile(`^VF(N?)M(ADD|SUB)`)
+
+// parseAsm scans one assembly file into routines and registers it with
+// the FileSet so diagnostics carry real positions.
+func parseAsm(fset *token.FileSet, path string) ([]*routine, *token.File, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	tf := fset.AddFile(path, -1, len(blob))
+	tf.SetLinesForContent(blob)
+
+	var (
+		routines []*routine
+		cur      *routine
+	)
+	for i, raw := range strings.Split(string(blob), "\n") {
+		line := raw
+		if j := strings.Index(line, "//"); j >= 0 {
+			line = line[:j]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if m := textRe.FindStringSubmatch(line); m != nil {
+			cur = &routine{name: m[1], flags: m[2], argSize: -1, line: i + 1}
+			if m[4] != "" {
+				n, _ := strconv.Atoi(m[4])
+				cur.argSize = n
+			}
+			routines = append(routines, cur)
+			continue
+		}
+		if cur == nil {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		op := fields[0]
+		if strings.HasSuffix(op, ":") { // label
+			continue
+		}
+		cur.ops = append(cur.ops, asmOp{op: op, line: i + 1})
+		if vectorFloatRe.MatchString(op) {
+			cur.floatOps = true
+		}
+	}
+	return routines, tf, nil
+}
+
+func checkRoutine(pass *analysis.Pass, tf *token.File, rt *routine, stubs, bodies map[string]*ast.FuncDecl, refs map[string]map[string]bool) {
+	at := func(line int) token.Pos { return tf.LineStart(line) }
+
+	if !strings.Contains(rt.flags, "NOSPLIT") {
+		pass.Reportf(at(rt.line), "asm routine %s is not NOSPLIT: the evaluate kernels must not trigger a stack split mid-loop", rt.name)
+	}
+	for _, op := range rt.ops {
+		if fmaRe.MatchString(op.op) {
+			pass.Reportf(at(op.line), "FMA opcode %s in %s: fused contraction breaks bit-identity with the portable twin", op.op, rt.name)
+		}
+	}
+
+	stub, ok := stubs[rt.name]
+	if !ok {
+		pass.Reportf(at(rt.line), "asm routine %s has no Go stub in this package", rt.name)
+		return
+	}
+
+	obj := pass.TypesInfo.Defs[stub.Name]
+	if obj == nil {
+		return
+	}
+	if sig, ok := obj.Type().(*types.Signature); ok {
+		want := abi0ArgBytes(sig)
+		switch {
+		case rt.argSize < 0:
+			pass.Reportf(at(rt.line), "asm routine %s declares no arg size; its Go signature needs $frame-%d", rt.name, want)
+		case int64(rt.argSize) != want:
+			pass.Reportf(at(rt.line), "asm routine %s declares arg size %d but its Go signature lays out %d bytes (ABI0)", rt.name, rt.argSize, want)
+		}
+	}
+
+	if !rt.floatOps {
+		return // feature probes need no portable twin
+	}
+	twin := ""
+	for i := len(rt.name) - 1; i > 0; i-- {
+		if fn, ok := bodies[rt.name[:i]+"Go"]; ok && fn != nil {
+			twin = rt.name[:i] + "Go"
+			break
+		}
+	}
+	if twin == "" {
+		pass.Reportf(at(rt.line), "vector routine %s has no portable twin (a <base>Go function with the same role)", rt.name)
+		return
+	}
+	for _, rs := range refs {
+		if rs[rt.name] && rs[twin] {
+			return
+		}
+	}
+	pass.Reportf(at(rt.line), "vector routine %s and its portable twin %s are not both referenced by any dispatch function", rt.name, twin)
+}
+
+// abi0ArgBytes computes the ABI0 argument-block size of a signature:
+// parameters laid out in order with their natural alignment, results
+// starting word-aligned after them.
+func abi0ArgBytes(sig *types.Signature) int64 {
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	word := sizes.Sizeof(types.Typ[types.UnsafePointer])
+	var off int64
+	add := func(t types.Type) {
+		a := sizes.Alignof(t)
+		off = (off + a - 1) / a * a
+		off += sizes.Sizeof(t)
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		add(sig.Params().At(i).Type())
+	}
+	off = (off + word - 1) / word * word
+	for i := 0; i < sig.Results().Len(); i++ {
+		add(sig.Results().At(i).Type())
+	}
+	return off
+}

@@ -1,0 +1,15 @@
+package asmguard
+
+import (
+	"runtime"
+	"testing"
+
+	"flowrel/internal/analysis/analysistest"
+)
+
+func TestAsmguard(t *testing.T) {
+	if runtime.GOARCH != "amd64" {
+		t.Skipf("fixture assembly is amd64-only; GOARCH=%s skips it entirely", runtime.GOARCH)
+	}
+	analysistest.Run(t, "../testdata", Analyzer, "asmguard/a")
+}

@@ -1,0 +1,245 @@
+// Package hotalloc is the allocation-escape gate for the evaluate hot
+// path. A function annotated //flowrelvet:hotpath promises the batch
+// throughput contract: zero heap allocations per operation in steady
+// state. The per-package pass polices the annotation itself (it must be
+// the doc comment of a function with a body, outside test files); the
+// module pass replays the compiler's escape analysis
+// (go build -gcflags=-m) over every annotated package and fails on any
+// heap allocation or parameter escape inside an annotated function that
+// is not on the committed allowlist (allowlist.go).
+//
+// Two escape shapes are structurally exempt:
+//
+//   - `"..." escapes to heap` — a constant string boxed on a panic or
+//     error path; the string is static data, the box is never built in
+//     steady state;
+//   - `leaking param content: x` — a read-only borrow of memory the
+//     caller already owns; no allocation happens at any call site.
+//
+// Everything else (`moved to heap`, `... escapes to heap`,
+// `leaking param`, `func literal escapes to heap`) must match an
+// allowlist pattern carrying a written rationale, and allowlist patterns
+// that stop matching are reported as stale so the list cannot rot.
+package hotalloc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"flowrel/internal/analysis"
+)
+
+// Marker is the annotation comment prefix this analyzer owns.
+const Marker = "//flowrelvet:hotpath"
+
+// Analyzer is the hotalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "hotalloc",
+	Doc:       "//flowrelvet:hotpath functions must be allocation-free per the compiler's escape analysis, modulo the committed allowlist",
+	Run:       run,
+	RunModule: runModule,
+}
+
+// run polices annotation placement: each //flowrelvet:hotpath comment
+// must be (part of) the doc comment of a function declaration with a
+// body, in a non-test file. Rationale and (reviewed: PR-N) hygiene on
+// the annotation text is waiverlint's job, not ours.
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		fname := pass.Fset.Position(file.Pos()).Filename
+		inTest := strings.HasSuffix(fname, "_test.go")
+
+		// Function declarations by the line their doc comment must end on.
+		funcByDocEnd := make(map[int]*ast.FuncDecl)
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok {
+				funcByDocEnd[pass.Fset.Position(fn.Pos()).Line-1] = fn
+			}
+		}
+
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, Marker) {
+					continue
+				}
+				if inTest {
+					pass.Reportf(c.Pos(), "hotpath annotation in a test file: the escape gate only builds non-test packages, so this line gates nothing")
+					continue
+				}
+				fn := funcByDocEnd[pass.Fset.Position(cg.End()).Line]
+				switch {
+				case fn == nil:
+					pass.Reportf(c.Pos(), "hotpath annotation is not attached to a function: it must be the doc comment of the declaration it gates")
+				case fn.Body == nil:
+					pass.Reportf(c.Pos(), "hotpath annotation on a declaration without a body: annotate the dispatch function, not the asm stub")
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// hasHotpathDoc reports whether fn's doc group carries the annotation.
+// The raw comment list is scanned because (*ast.CommentGroup).Text()
+// silently drops directive-shaped comments like //flowrelvet:hotpath.
+func hasHotpathDoc(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.HasPrefix(c.Text, Marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// hotFunc is one annotated function the module gate checks.
+type hotFunc struct {
+	key        string // pkgtail.name, the allowlist key
+	base       string // basename of the declaring file
+	start, end int    // line range of the declaration
+	pos        token.Pos
+}
+
+// escapeLine matches one compiler diagnostic: file.go:line:col: message.
+var escapeLine = regexp.MustCompile(`^(\S+\.go):(\d+):\d+: (.*)$`)
+
+// gated reports whether a -m message is an escape fact this gate cares
+// about (as opposed to inlining chatter or "does not escape" noise).
+func gated(msg string) bool {
+	if strings.HasPrefix(msg, "moved to heap: ") {
+		return true
+	}
+	if strings.HasPrefix(msg, "leaking param") {
+		return true
+	}
+	return strings.HasSuffix(msg, "escapes to heap")
+}
+
+// exempt reports the two structurally allocation-free escape shapes.
+func exempt(msg string) bool {
+	if strings.HasPrefix(msg, "leaking param content: ") {
+		return true
+	}
+	return strings.HasPrefix(msg, `"`) && strings.HasSuffix(msg, `" escapes to heap`)
+}
+
+func runModule(dir string, units []*analysis.Package) ([]analysis.Diagnostic, error) {
+	var (
+		funcs  []*hotFunc
+		pkgs   []string
+		seen   = make(map[string]bool)
+		byLoc  = make(map[string][]*hotFunc)       // basename -> funcs
+		counts = make(map[*hotFunc]map[string]int) // matched allowlist patterns
+	)
+	for _, u := range units {
+		if strings.HasSuffix(u.PkgPath, "_test") {
+			continue
+		}
+		tail := u.PkgPath
+		if i := strings.LastIndexByte(tail, '/'); i >= 0 {
+			tail = tail[i+1:]
+		}
+		for _, file := range u.Files {
+			fname := u.Fset.Position(file.Pos()).Filename
+			if strings.HasSuffix(fname, "_test.go") {
+				continue
+			}
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || !hasHotpathDoc(fn) {
+					continue
+				}
+				hf := &hotFunc{
+					key:   tail + "." + fn.Name.Name,
+					base:  filepath.Base(fname),
+					start: u.Fset.Position(fn.Pos()).Line,
+					end:   u.Fset.Position(fn.End()).Line,
+					pos:   fn.Pos(),
+				}
+				funcs = append(funcs, hf)
+				byLoc[hf.base] = append(byLoc[hf.base], hf)
+				if !seen[u.PkgPath] {
+					seen[u.PkgPath] = true
+					pkgs = append(pkgs, u.PkgPath)
+				}
+			}
+		}
+	}
+	if len(funcs) == 0 {
+		return nil, nil
+	}
+
+	// Replay escape analysis. -m output is replayed from the build cache
+	// on repeat runs, so this is cheap after the first invocation.
+	cmd := exec.Command("go", append([]string{"build", "-gcflags=-m"}, pkgs...)...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("hotalloc: go build -gcflags=-m: %v\n%s", err, out)
+	}
+
+	var diags []analysis.Diagnostic
+	for _, line := range strings.Split(string(out), "\n") {
+		m := escapeLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		lineNo, _ := strconv.Atoi(m[2])
+		msg := m[3]
+		if !gated(msg) || exempt(msg) {
+			continue
+		}
+		var hf *hotFunc
+		for _, cand := range byLoc[filepath.Base(m[1])] {
+			if cand.start <= lineNo && lineNo <= cand.end {
+				hf = cand
+				break
+			}
+		}
+		if hf == nil {
+			continue
+		}
+		matched := false
+		for _, pat := range allowlist[hf.key] {
+			if pat.re.MatchString(msg) {
+				if counts[hf] == nil {
+					counts[hf] = make(map[string]int)
+				}
+				counts[hf][pat.re.String()]++
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			diags = append(diags, analysis.Diagnostic{
+				Pos: hf.pos,
+				Message: fmt.Sprintf("hot path %s allocates: %s:%s: %s (not on the hotalloc allowlist — remove the allocation or add an allowlisted rationale)",
+					hf.key, m[1], m[2], msg),
+			})
+		}
+	}
+
+	// Stale allowlist entries: a pattern for a function this run analyzed
+	// that no compiler diagnostic matched means the escape it excused is
+	// gone — prune it so the allowlist stays an honest record.
+	for _, hf := range funcs {
+		for _, pat := range allowlist[hf.key] {
+			if counts[hf][pat.re.String()] == 0 {
+				diags = append(diags, analysis.Diagnostic{
+					Pos: hf.pos,
+					Message: fmt.Sprintf("stale hotalloc allowlist entry for %s: pattern %q matched no escape diagnostic; delete it from allowlist.go",
+						hf.key, pat.re.String()),
+				})
+			}
+		}
+	}
+	return diags, nil
+}

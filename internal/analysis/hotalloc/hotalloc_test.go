@@ -1,0 +1,54 @@
+package hotalloc
+
+import (
+	"strings"
+	"testing"
+
+	"flowrel/internal/analysis/analysistest"
+)
+
+func TestPlacement(t *testing.T) {
+	analysistest.Run(t, "../testdata", Analyzer, "hotalloc/p")
+}
+
+// TestGatedMessages pins the classifier: which compiler -m messages the
+// gate cares about and which shapes are structurally exempt.
+func TestGatedMessages(t *testing.T) {
+	cases := []struct {
+		msg           string
+		gate, exemptd bool
+	}{
+		{"moved to heap: next", true, false},
+		{"leaking param: p", true, false},
+		{"leaking param content: scenarios", true, true},
+		{"func literal escapes to heap", true, false},
+		{"make([]float64, n) escapes to heap", true, false},
+		{`"subset: slice length must be 2^n" escapes to heap`, true, true},
+		{"can inline cutProb8", false, false},
+		{"pfail does not escape", false, false},
+		{"inlining call to popcount", false, false},
+	}
+	for _, c := range cases {
+		if got := gated(c.msg); got != c.gate {
+			t.Errorf("gated(%q) = %v, want %v", c.msg, got, c.gate)
+		}
+		if got := exempt(c.msg); got != c.exemptd {
+			t.Errorf("exempt(%q) = %v, want %v", c.msg, got, c.exemptd)
+		}
+	}
+}
+
+// TestEscapeLine pins the diagnostic-line parser against real compiler
+// output shapes, including the package headers go build interleaves.
+func TestEscapeLine(t *testing.T) {
+	good := "internal/core/plan.go:228:7: leaking param: p"
+	m := escapeLine.FindStringSubmatch(good)
+	if m == nil || m[1] != "internal/core/plan.go" || m[2] != "228" || m[3] != "leaking param: p" {
+		t.Fatalf("escapeLine failed to parse %q: %#v", good, m)
+	}
+	for _, bad := range []string{"# flowrel/internal/core", "", "go: downloading nothing"} {
+		if escapeLine.FindStringSubmatch(strings.TrimSpace(bad)) != nil {
+			t.Errorf("escapeLine matched non-diagnostic %q", bad)
+		}
+	}
+}

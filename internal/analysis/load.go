@@ -245,12 +245,17 @@ func runGo(dir string, args ...string) ([]byte, error) {
 	return out, nil
 }
 
-// RunAnalyzers applies every analyzer to every unit and returns the
-// diagnostics sorted by position.
-func RunAnalyzers(units []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+// RunAnalyzers applies every analyzer to every unit, then every
+// module-scoped analyzer (RunModule) once over the whole load, and
+// returns the diagnostics sorted by position. dir is the module root the
+// load ran in ("" = current directory).
+func RunAnalyzers(dir string, units []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, u := range units {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer:  a,
 				Fset:      u.Fset,
@@ -266,6 +271,19 @@ func RunAnalyzers(units []*Package, analyzers []*Analyzer) ([]Diagnostic, error)
 			if _, err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, u.PkgPath, err)
 			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		ds, err := a.RunModule(dir, units)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %s (module pass): %w", a.Name, err)
+		}
+		for _, d := range ds {
+			d.Analyzer = a.Name
+			diags = append(diags, d)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {

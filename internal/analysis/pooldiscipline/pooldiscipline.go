@@ -1,0 +1,315 @@
+// Package pooldiscipline generalizes poolescape to the worker-pool
+// shapes the batch evaluate path introduced: a bounded pool of
+// goroutines (runPool) pulling work off a shared atomic counter, each
+// holding pooled per-worker scratch.
+//
+// Three rules:
+//
+//   - a worker closure handed to runPool must not reference a loop
+//     variable of an enclosing for/range statement — the pool outlives
+//     the iteration, so the capture either races or pins the wrong
+//     item;
+//   - per-worker scratch drawn from a sync.Pool inside a worker must
+//     not escape the worker: no store to a variable declared outside
+//     the closure, a field, an element, or a package-level variable;
+//   - sync/atomic counter types (atomic.Int64 and friends) must never
+//     be copied: no value assignments, value arguments, value returns,
+//     or value parameters, and no non-atomic stores to a counter
+//     lvalue. A copied counter silently forks the coordination state.
+package pooldiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"flowrel/internal/analysis"
+)
+
+// Analyzer is the pooldiscipline pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "pooldiscipline",
+	Doc:  "runPool workers must not capture loop variables, per-worker scratch must not outlive the pool, and atomic counters must not be copied",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		loopVars := collectLoopVars(pass, file)
+		checkWorkers(pass, file, loopVars)
+		checkAtomicCopies(pass, file)
+	}
+	return nil, nil
+}
+
+// collectLoopVars gathers every object declared in a for-statement init
+// or range-statement key/value position.
+func collectLoopVars(pass *analysis.Pass, file *ast.File) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	addIdent := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ForStmt:
+			if as, ok := st.Init.(*ast.AssignStmt); ok {
+				for _, lhs := range as.Lhs {
+					addIdent(lhs)
+				}
+			}
+		case *ast.RangeStmt:
+			addIdent(st.Key)
+			addIdent(st.Value)
+		}
+		return true
+	})
+	return vars
+}
+
+// checkWorkers inspects every runPool call site.
+func checkWorkers(pass *analysis.Pass, file *ast.File, loopVars map[types.Object]bool) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || calleeName(call) != "runPool" {
+			return true
+		}
+		for _, arg := range call.Args {
+			lit, ok := arg.(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			checkWorkerCaptures(pass, lit, loopVars)
+			checkWorkerScratch(pass, lit)
+		}
+		return true
+	})
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// checkWorkerCaptures flags loop variables referenced inside the worker.
+func checkWorkerCaptures(pass *analysis.Pass, lit *ast.FuncLit, loopVars map[types.Object]bool) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || !loopVars[obj] {
+			return true
+		}
+		// Declared outside the worker literal?
+		if obj.Pos() < lit.Pos() || obj.Pos() >= lit.End() {
+			pass.Reportf(id.Pos(), "runPool worker captures loop variable %s; the pool outlives the iteration — pass the item through the shared counter instead", id.Name)
+		}
+		return true
+	})
+}
+
+// checkWorkerScratch flags pooled values obtained inside the worker that
+// are stored somewhere outliving it.
+func checkWorkerScratch(pass *analysis.Pass, lit *ast.FuncLit) {
+	// Pooled objects: variables assigned from a (*sync.Pool).Get inside
+	// the worker.
+	pooled := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok && isPoolGet(pass, as.Rhs[0]) {
+			var obj types.Object
+			if as.Tok == token.DEFINE {
+				obj = pass.TypesInfo.Defs[id]
+			} else {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj != nil {
+				pooled[obj] = true
+			}
+		}
+		return true
+	})
+	if len(pooled) == 0 {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			obj := usedPooled(pass, rhs, pooled)
+			if obj == nil || i >= len(as.Lhs) {
+				continue
+			}
+			if escapesWorker(pass, as.Lhs[i], lit) {
+				pass.Reportf(as.Pos(), "per-worker scratch %s escapes the worker; pooled scratch must not outlive the pool that drained it", obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// usedPooled returns the pooled object e carries (itself, its address,
+// or via parens), or nil.
+func usedPooled(pass *analysis.Pass, e ast.Expr, pooled map[types.Object]bool) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[e]; obj != nil && pooled[obj] {
+			return obj
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return usedPooled(pass, e.X, pooled)
+		}
+	case *ast.ParenExpr:
+		return usedPooled(pass, e.X, pooled)
+	}
+	return nil
+}
+
+// escapesWorker reports whether an assignment target outlives the worker
+// literal: a field/element/deref write, a package-level variable, or any
+// variable declared outside the literal.
+func escapesWorker(pass *analysis.Pass, lhs ast.Expr, lit *ast.FuncLit) bool {
+	switch lhs := lhs.(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[lhs]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[lhs]
+		}
+		if obj == nil {
+			return false
+		}
+		if obj.Parent() == pass.Pkg.Scope() {
+			return true
+		}
+		return obj.Pos() < lit.Pos() || obj.Pos() >= lit.End()
+	}
+	return false
+}
+
+// isPoolGet matches pool.Get() and pool.Get().(*T).
+func isPoolGet(pass *analysis.Pass, e ast.Expr) bool {
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ta.X
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Get" {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	return ok && tv.Type != nil && analysis.IsNamed(tv.Type, "sync", "Pool")
+}
+
+// atomicTypeName returns the sync/atomic counter type name of t (after
+// no pointer stripping — a *atomic.Int64 is the correct shape), or "".
+func atomicTypeName(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return ""
+	}
+	switch obj.Name() {
+	case "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Bool", "Value", "Pointer":
+		return obj.Name()
+	}
+	return ""
+}
+
+// checkAtomicCopies flags every context that copies an atomic counter by
+// value or stores to one non-atomically.
+func checkAtomicCopies(pass *analysis.Pass, file *ast.File) {
+	isAtomic := func(e ast.Expr) string {
+		tv, ok := pass.TypesInfo.Types[e]
+		if !ok || tv.Type == nil {
+			return ""
+		}
+		return atomicTypeName(tv.Type)
+	}
+	// A fresh composite literal is initialization, not a copy of shared
+	// state; it is caught as a non-atomic store when assigned over a
+	// live counter.
+	isCopy := func(e ast.Expr) string {
+		if _, ok := e.(*ast.CompositeLit); ok {
+			return ""
+		}
+		return isAtomic(e)
+	}
+	checkFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			tv, ok := pass.TypesInfo.Types[f.Type]
+			if !ok || tv.Type == nil {
+				continue
+			}
+			if name := atomicTypeName(tv.Type); name != "" {
+				pass.Reportf(f.Pos(), "atomic.%s passed by value; a copied counter forks the coordination state — use *atomic.%s", name, name)
+			}
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				// Discarding into _ copies nothing observable.
+				if len(st.Lhs) == len(st.Rhs) {
+					if id, ok := st.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+				}
+				if name := isCopy(rhs); name != "" {
+					pass.Reportf(rhs.Pos(), "atomic.%s copied by value; share the counter through a pointer", name)
+				}
+			}
+			for _, lhs := range st.Lhs {
+				if name := isAtomic(lhs); name != "" && st.Tok != token.DEFINE {
+					pass.Reportf(lhs.Pos(), "non-atomic store to atomic.%s; use its Store method", name)
+				}
+			}
+		case *ast.CallExpr:
+			for _, arg := range st.Args {
+				if name := isCopy(arg); name != "" {
+					pass.Reportf(arg.Pos(), "atomic.%s copied by value into a call; pass *atomic.%s", name, name)
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range st.Results {
+				if name := isCopy(res); name != "" {
+					pass.Reportf(res.Pos(), "atomic.%s copied by value out of a return; return *atomic.%s", name, name)
+				}
+			}
+		case *ast.FuncDecl:
+			checkFields(st.Type.Params)
+			checkFields(st.Type.Results)
+		case *ast.FuncLit:
+			checkFields(st.Type.Params)
+			checkFields(st.Type.Results)
+		}
+		return true
+	})
+}

@@ -1,0 +1,11 @@
+package pooldiscipline
+
+import (
+	"testing"
+
+	"flowrel/internal/analysis/analysistest"
+)
+
+func TestPoolDiscipline(t *testing.T) {
+	analysistest.Run(t, "../testdata", Analyzer, "pooldiscipline/p")
+}

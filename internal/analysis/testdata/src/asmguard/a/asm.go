@@ -1,0 +1,64 @@
+package a
+
+type block8 [8]float64
+
+var hasAVX bool
+
+// Backed by TEXT, correct sizes, portable twin, dispatcher below: clean.
+//
+//go:noescape
+func goodAVX(dst *block8, n int)
+
+// TEXT declares 24 arg bytes; the signature lays out 16.
+//
+//go:noescape
+func badSizeAVX(dst *block8, n int)
+
+// TEXT omits NOSPLIT.
+//
+//go:noescape
+func noSplitAVX(dst *block8, n int)
+
+// TEXT body uses a fused multiply-add.
+//
+//go:noescape
+func fmaAVX(dst *block8, n int)
+
+// Vector routine with no <base>Go twin anywhere in the package.
+//
+//go:noescape
+func lonelyAVX(dst *block8, n int)
+
+// Integer-only feature probe: exempt from the twin rule.
+func probe() (lo, hi uint32)
+
+// Stub with no TEXT behind it: a link error caught at vet time.
+func ghostStub(dst *block8, n int) // want `no TEXT implementation`
+
+func goodGo(dst *block8, n int) {
+	for i := 0; i < n; i++ {
+		dst[0] *= 2
+	}
+}
+
+func badSizeGo(dst *block8, n int)  { goodGo(dst, n) }
+func noSplitGo(dst *block8, n int)  { goodGo(dst, n) }
+func fmaGo(dst *block8, n int)      { goodGo(dst, n) }
+func unwiredGo(dst *block8, n int)  { goodGo(dst, n) }
+func unwiredAVX(dst *block8, n int) // twin exists but nothing dispatches over both
+
+func dispatch(dst *block8, n int) {
+	if hasAVX {
+		goodAVX(dst, n)
+		badSizeAVX(dst, n)
+		noSplitAVX(dst, n)
+		fmaAVX(dst, n)
+		lonelyAVX(dst, n)
+	} else {
+		goodGo(dst, n)
+		badSizeGo(dst, n)
+		noSplitGo(dst, n)
+		fmaGo(dst, n)
+	}
+	_, _ = probe()
+}

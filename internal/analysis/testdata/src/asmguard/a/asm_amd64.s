@@ -1,0 +1,45 @@
+// Fixture assembly exercising every asmguard rule.
+
+#include "textflag.h"
+
+TEXT ·goodAVX(SB), NOSPLIT, $0-16
+	MOVQ   dst+0(FP), DI
+	MOVQ   n+8(FP), CX
+	VMULPD Y0, Y0, Y0
+	VZEROUPPER
+	RET
+
+TEXT ·badSizeAVX(SB), NOSPLIT, $0-24 // want `declares arg size 24 but its Go signature lays out 16`
+	MOVQ   dst+0(FP), DI
+	VMULPD Y0, Y0, Y0
+	RET
+
+TEXT ·noSplitAVX(SB), $0-16 // want `not NOSPLIT`
+	MOVQ   dst+0(FP), DI
+	VMULPD Y0, Y0, Y0
+	RET
+
+TEXT ·fmaAVX(SB), NOSPLIT, $0-16
+	MOVQ        dst+0(FP), DI
+	VFMADD231PD Y0, Y1, Y2 // want `FMA opcode VFMADD231PD`
+	RET
+
+TEXT ·lonelyAVX(SB), NOSPLIT, $0-16 // want `no portable twin`
+	MOVQ   dst+0(FP), DI
+	VMULPD Y0, Y0, Y0
+	RET
+
+TEXT ·unwiredAVX(SB), NOSPLIT, $0-16 // want `not both referenced by any dispatch function`
+	MOVQ   dst+0(FP), DI
+	VMULPD Y0, Y0, Y0
+	RET
+
+TEXT ·probe(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	MOVL AX, lo+0(FP)
+	MOVL DX, hi+4(FP)
+	RET
+
+TEXT ·ghost(SB), NOSPLIT, $0-8 // want `no Go stub`
+	MOVL AX, ret+0(FP)
+	RET

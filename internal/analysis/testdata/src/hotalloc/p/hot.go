@@ -1,0 +1,25 @@
+package p
+
+//flowrelvet:hotpath inner accumulation loop, no allocations (reviewed: PR-8)
+func hot(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// A longer doc comment carrying the annotation mid-group is fine too.
+//
+//flowrelvet:hotpath scatter loop over a caller-owned buffer (reviewed: PR-8)
+func hotDoc(dst, src []float64) {
+	for i := range dst {
+		dst[i] = src[i]
+	}
+}
+
+//flowrelvet:hotpath stray annotation gating nothing // want `not attached to a function`
+var notAFunc = 3
+
+//flowrelvet:hotpath stub has nothing to gate // want `declaration without a body`
+func stub(xs []float64) float64

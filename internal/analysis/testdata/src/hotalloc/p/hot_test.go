@@ -1,0 +1,10 @@
+package p
+
+//flowrelvet:hotpath benchmarks are not built by the gate // want `test file`
+func hotTestOnly(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

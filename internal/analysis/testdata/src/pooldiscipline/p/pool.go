@@ -1,0 +1,76 @@
+package p
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var scratchPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// runPool mirrors the core worker pool: a bounded set of workers pulling
+// item indices off one shared atomic counter.
+func runPool(workers int, worker func(next *atomic.Int64)) {
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		worker(&next)
+	}
+}
+
+func cleanWorkers(dst []float64, items [][]float64) {
+	runPool(4, func(next *atomic.Int64) {
+		buf := scratchPool.Get().(*[]float64)
+		defer scratchPool.Put(buf)
+		for {
+			i := next.Add(1) - 1
+			if i >= int64(len(items)) {
+				return
+			}
+			dst[i] = float64(len(items[i]))
+		}
+	})
+}
+
+func capturesLoopVar(batches [][][]float64) {
+	for _, batch := range batches {
+		runPool(2, func(next *atomic.Int64) {
+			_ = batch // want `captures loop variable batch`
+		})
+	}
+	for i := 0; i < len(batches); i++ {
+		runPool(2, func(next *atomic.Int64) {
+			_ = batches[i] // want `captures loop variable i`
+		})
+	}
+}
+
+var leakedScratch *[]float64
+
+func scratchOutlivesPool(sink []*[]float64) {
+	var kept *[]float64
+	runPool(2, func(next *atomic.Int64) {
+		buf := scratchPool.Get().(*[]float64)
+		defer scratchPool.Put(buf)
+		leakedScratch = buf // want `scratch buf escapes the worker`
+		sink[0] = buf       // want `scratch buf escapes the worker`
+		kept = buf          // want `scratch buf escapes the worker`
+	})
+	_ = kept
+}
+
+func counterCopies() {
+	var next atomic.Int64
+	snapshot := next // want `atomic.Int64 copied by value`
+	_ = snapshot
+	readCounter(next)     // want `copied by value into a call`
+	next = atomic.Int64{} // want `non-atomic store to atomic.Int64`
+	_ = next.Load()
+}
+
+func readCounter(c atomic.Int64) int64 { // want `atomic.Int64 passed by value`
+	return c.Load()
+}
+
+func returnsCounter() atomic.Int64 { // want `atomic.Int64 passed by value`
+	var c atomic.Int64
+	return c // want `copied by value out of a return`
+}

@@ -1,0 +1,55 @@
+package p
+
+import "context"
+
+func loops(items []int) int {
+	s := 0
+	//flowrelvet:unbounded bounded by construction: len(items) <= 8 here (reviewed: PR-3)
+	for _, it := range items {
+		s += it
+	}
+	//flowrelvet:unbounded // want `missing a rationale` `missing its review tag`
+	for i := 0; i < 8; i++ {
+		s += i
+	}
+	//flowrelvet:unbounded tiny fixed walk // want `missing its review tag`
+	for i := 0; i < 8; i++ {
+		s += i
+	}
+	return s
+}
+
+//flowrelvet:unbounded the loop this excused is long gone (reviewed: PR-2) // want `orphaned flowrelvet:unbounded`
+var notALoop = 3
+
+//flowrelvet:bogus something plausible (reviewed: PR-1) // want `unknown flowrelvet marker`
+func g() {}
+
+func compares(a, b float64) bool {
+	//flowrelvet:exactfloat bit-identity is the property under test (reviewed: PR-5)
+	return a == b
+}
+
+func orphanFloat(a, b float64) float64 {
+	//flowrelvet:exactfloat nothing below compares floats (reviewed: PR-5) // want `orphaned flowrelvet:exactfloat`
+	return a + b
+}
+
+func background() context.Context {
+	//flowrelvet:context this helper owns its own lifetime (reviewed: PR-2)
+	return context.Background()
+}
+
+func orphanContext() int {
+	//flowrelvet:context the call this excused was inlined away (reviewed: PR-2) // want `orphaned flowrelvet:context`
+	return 7
+}
+
+//flowrelvet:hotpath placement is hotalloc's job, hygiene is ours // want `missing its review tag`
+func hot(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

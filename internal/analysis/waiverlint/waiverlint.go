@@ -1,0 +1,146 @@
+// Package waiverlint enforces the lifecycle policy on //flowrelvet:
+// waiver comments. A waiver that silences an analyzer is a standing
+// exception to an invariant, so it must document itself:
+//
+//   - a rationale — prose after the marker saying why the exception is
+//     sound;
+//   - a review tag — "(reviewed: PR-N)" naming the PR whose review
+//     accepted the exception, so every waiver can be traced to a
+//     decision;
+//   - adjacency — the waived construct must still be there. A waiver
+//     whose loop, comparison, or call has been refactored away is
+//     reported as orphaned, because an unanchored waiver silently
+//     blesses whatever code drifts under it next.
+//
+// The adjacency rule is marker-specific: unbounded must sit on a
+// for/range statement, exactfloat on an ==/!= comparison, context on a
+// call. hotpath placement is policed by the hotalloc analyzer (it owns
+// the annotation), so here hotpath waivers only get the rationale and
+// review-tag checks. Unknown markers are reported outright.
+package waiverlint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+
+	"flowrel/internal/analysis"
+)
+
+// Analyzer is the waiverlint pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "waiverlint",
+	Doc:  "every //flowrelvet: waiver needs a rationale, a (reviewed: PR-N) tag, and an adjacent construct it still waives",
+	Run:  run,
+}
+
+// knownMarkers maps each marker to whether waiverlint owns its
+// adjacency check (hotalloc owns hotpath placement).
+var knownMarkers = map[string]bool{
+	"unbounded":  true,
+	"exactfloat": true,
+	"context":    true,
+	"hotpath":    false,
+}
+
+const prefix = "//flowrelvet:"
+
+// reviewedRe matches the review tag a waiver must carry.
+var reviewedRe = regexp.MustCompile(`\(reviewed: PR-\d+\)`)
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		anchors := collectAnchors(pass, file)
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, prefix) {
+					continue
+				}
+				checkWaiver(pass, c, cg, anchors)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// anchorSet records, per source line, which waivable constructs start
+// there.
+type anchorSet struct {
+	loops    map[int]bool // for/range statements
+	compares map[int]bool // ==/!= comparisons
+	calls    map[int]bool // call expressions
+}
+
+func collectAnchors(pass *analysis.Pass, file *ast.File) anchorSet {
+	a := anchorSet{
+		loops:    make(map[int]bool),
+		compares: make(map[int]bool),
+		calls:    make(map[int]bool),
+	}
+	line := func(p token.Pos) int { return pass.Fset.Position(p).Line }
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			a.loops[line(n.Pos())] = true
+		case *ast.BinaryExpr:
+			if n.Op == token.EQL || n.Op == token.NEQ {
+				a.compares[line(n.Pos())] = true
+			}
+		case *ast.CallExpr:
+			a.calls[line(n.Pos())] = true
+		}
+		return true
+	})
+	return a
+}
+
+func checkWaiver(pass *analysis.Pass, c *ast.Comment, cg *ast.CommentGroup, anchors anchorSet) {
+	rest := c.Text[len(prefix):]
+	marker := rest
+	if i := strings.IndexByte(marker, ' '); i >= 0 {
+		marker = marker[:i]
+	}
+	adjacency, known := knownMarkers[marker]
+	if !known {
+		pass.Reportf(c.Pos(), "unknown flowrelvet marker %q; the suite defines unbounded, exactfloat, context and hotpath", marker)
+		return
+	}
+
+	// The waiver's content: everything after the marker word, cut at an
+	// embedded "//" so trailing commentary (or a fixture's want
+	// expectation) is not mistaken for rationale.
+	content := strings.TrimPrefix(rest, marker)
+	if i := strings.Index(content, "//"); i >= 0 {
+		content = content[:i]
+	}
+	hasTag := reviewedRe.MatchString(content)
+	rationale := strings.TrimSpace(reviewedRe.ReplaceAllString(content, ""))
+	if rationale == "" {
+		pass.Reportf(c.Pos(), "flowrelvet:%s waiver is missing a rationale; say why the exception is sound", marker)
+	}
+	if !hasTag {
+		pass.Reportf(c.Pos(), "flowrelvet:%s waiver is missing its review tag; append (reviewed: PR-N) naming the PR that accepted it", marker)
+	}
+
+	if !adjacency {
+		return
+	}
+	// The lines a waiver covers, mirroring WaiverSet: its own line (a
+	// trailing comment) and the line after its comment group ends.
+	own := pass.Fset.Position(c.Pos()).Line
+	next := pass.Fset.Position(cg.End()).Line + 1
+	covered := func(m map[int]bool) bool { return m[own] || m[next] }
+	orphaned := false
+	switch marker {
+	case "unbounded":
+		orphaned = !covered(anchors.loops)
+	case "exactfloat":
+		orphaned = !covered(anchors.compares)
+	case "context":
+		orphaned = !covered(anchors.calls)
+	}
+	if orphaned {
+		pass.Reportf(c.Pos(), "orphaned flowrelvet:%s waiver: no waivable construct on the line it covers — delete it or move it back beside the code it excuses", marker)
+	}
+}

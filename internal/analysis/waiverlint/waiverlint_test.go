@@ -1,0 +1,11 @@
+package waiverlint
+
+import (
+	"testing"
+
+	"flowrel/internal/analysis/analysistest"
+)
+
+func TestWaiverLint(t *testing.T) {
+	analysistest.Run(t, "../testdata", Analyzer, "waiverlint/p")
+}

@@ -320,7 +320,7 @@ func applyCut(dist []float64, g *graph.Graph, cut []graph.EdgeID, ds *assign.Set
 	}
 	classes := ds.Classify()
 	out := make([]float64, len(dist))
-	//flowrelvet:unbounded single O(2^k)·|dist| fold over one cut; the segment enumerations that drive it charge the budget
+	//flowrelvet:unbounded single O(2^k)·|dist| fold over one cut; the segment enumerations that drive it charge the budget (reviewed: PR-3)
 	for e := uint64(0); e < uint64(1)<<uint(len(cut)); e++ {
 		pe := conf.Prob(pCut, e)
 		if pe == 0 {

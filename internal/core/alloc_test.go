@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+)
+
+// The dynamic twin of the hotalloc static gate: after one warm-up call
+// populates the scratch pools, the evaluate hot paths must run without a
+// single heap allocation per operation. A real regression allocates at
+// least once per run and fails loudly; the < 1 threshold only tolerates
+// a GC emptying a sync.Pool mid-measurement, which shows up as a
+// fractional average over the 200 runs.
+
+func TestPlanEvalZeroAllocs(t *testing.T) {
+	g, dem, cut := twoBottleneck()
+	plan, err := Compile(g, dem, Options{Bottleneck: cut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := plan.BasePFail()
+	if _, err := plan.Eval(pf); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := plan.Eval(pf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs >= 1 {
+		t.Errorf("Plan.Eval allocates %.2f times per op in steady state, want 0", allocs)
+	}
+}
+
+func TestEvalBatchIntoZeroAllocs(t *testing.T) {
+	g, dem, cut := twoBottleneck()
+	plan, err := Compile(g, dem, Options{Bottleneck: cut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios := make([][]float64, 32)
+	for i := range scenarios {
+		scenarios[i] = plan.BasePFail()
+	}
+	dst := make([]float64, len(scenarios))
+	opt := BatchOptions{Parallelism: 1} // the inline drain fast path
+	if err := plan.EvalBatchInto(dst, scenarios, opt); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := plan.EvalBatchInto(dst, scenarios, opt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs >= 1 {
+		t.Errorf("EvalBatchInto (preallocated dst, parallelism 1) allocates %.2f times per op, want 0", allocs)
+	}
+}
+
+// The scalar path (no kernel) must hold the same contract: a plan whose
+// decomposition is trivially zero never builds a kernel, and the pooled
+// evalScratch branch of drain is the one exercised.
+func TestEvalScalarPathZeroAllocs(t *testing.T) {
+	g, dem, cut := twoBottleneck()
+	plan, err := Compile(g, dem, Options{Bottleneck: cut, Accum: AccumDirect})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := plan.BasePFail()
+	if _, err := plan.Eval(pf); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := plan.Eval(pf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs >= 1 {
+		t.Errorf("Plan.Eval (direct accumulation) allocates %.2f times per op, want 0", allocs)
+	}
+}

@@ -173,7 +173,7 @@ func TestFrontierFallbackTinySide(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	//flowrelvet:exactfloat identical realized arrays make the evaluation bit-identical, not merely close
+	//flowrelvet:exactfloat identical realized arrays make the evaluation bit-identical, not merely close (reviewed: PR-5)
 	if res.Reliability != bin.Reliability {
 		t.Fatalf("frontier %.17g vs binary %.17g", res.Reliability, bin.Reliability)
 	}

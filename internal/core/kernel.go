@@ -128,7 +128,7 @@ func (p *Plan) compileKernel() *evalKernel {
 		return nil
 	}
 	terms := 0
-	//flowrelvet:unbounded compile phase: the 2^k·2^|𝒟| term count is bounded by the compiled plan's size and the full exponential cost was charged to the Ctl during the side builds.
+	//flowrelvet:unbounded compile phase: the 2^k·2^|𝒟| term count is bounded by the compiled plan's size and the full exponential cost was charged to the Ctl during the side builds (reviewed: PR-7).
 	for e := uint64(0); e < uint64(1)<<uint(len(p.Cut)); e++ {
 		dMask := p.classes[e]
 		if dMask == 0 {
@@ -149,7 +149,7 @@ func (p *Plan) compileKernel() *evalKernel {
 	for i := range xi {
 		xi[i] = -1
 	}
-	//flowrelvet:unbounded compile phase: same 2^k walk as above — plan-sized, budget charged during Compile.
+	//flowrelvet:unbounded compile phase: same 2^k walk as above — plan-sized, budget charged during Compile (reviewed: PR-7).
 	for e := uint64(0); e < uint64(1)<<uint(len(p.Cut)); e++ {
 		dMask := p.classes[e]
 		if dMask == 0 {
@@ -282,6 +282,8 @@ func newKScratch8(p *Plan) *kscratch8 {
 // evalKernel1 evaluates one already-validated scenario through the
 // one-lane kernel: existing doubling fill, then segmented aggregation and
 // the term table.
+//
+//flowrelvet:hotpath one-lane evaluate kernel: runs once per scenario on caller-owned scratch; any heap traffic here is paid per evaluation (reviewed: PR-8)
 func (p *Plan) evalKernel1(sc *kscratch1, pfail []float64) float64 {
 	k := p.kern
 	for side := 0; side < 2; side++ {
@@ -331,6 +333,8 @@ func (p *Plan) evalKernel1(sc *kscratch1, pfail []float64) float64 {
 // per-segment sums stand in for the side-array scans, each distinct
 // lattice point gets its superset probability once, then the term table
 // drives the inclusion–exclusion.
+//
+//flowrelvet:hotpath direct-accumulation twin of the one-lane kernel, same per-scenario cost profile (reviewed: PR-8)
 func (p *Plan) evalKernel1Direct(sc *kscratch1) float64 {
 	k := p.kern
 	for side := 0; side < 2; side++ {
@@ -374,6 +378,8 @@ func (p *Plan) evalKernel1Direct(sc *kscratch1) float64 {
 // becomes the occurrence probability of side configuration mask under
 // scenario rows[l]. Same doubling construction, same per-lane multiply
 // order.
+//
+//flowrelvet:hotpath doubling fill feeding the eight-lane kernel: O(2^m) inner loop per block (reviewed: PR-8)
 func fillConfigProbs8(probs []block8, rows *[8][]float64, links []graph.EdgeID) {
 	probs[0] = block8{1, 1, 1, 1, 1, 1, 1, 1}
 	var pf, pl block8
@@ -390,6 +396,8 @@ func fillConfigProbs8(probs []block8, rows *[8][]float64, links []graph.EdgeID) 
 // evalKernel8 runs the full evaluate phase for one block of eight
 // already-validated scenarios (sc.rows) and returns the per-lane
 // reliabilities.
+//
+//flowrelvet:hotpath eight-lane evaluate kernel: the batch throughput path, one call per lane block (reviewed: PR-8)
 func (p *Plan) evalKernel8(sc *kscratch8) block8 {
 	k := p.kern
 	for side := 0; side < 2; side++ {
@@ -446,6 +454,8 @@ func (p *Plan) evalKernel8(sc *kscratch8) block8 {
 }
 
 // evalKernel8Direct is evalKernel1Direct over eight lanes.
+//
+//flowrelvet:hotpath direct-accumulation twin of the eight-lane kernel (reviewed: PR-8)
 func (p *Plan) evalKernel8Direct(sc *kscratch8) block8 {
 	k := p.kern
 	for side := 0; side < 2; side++ {
@@ -494,6 +504,8 @@ func (p *Plan) evalKernel8Direct(sc *kscratch8) block8 {
 
 // cutProb8 is the lane-block twin of conf.Prob, multiplying the per-link
 // factors in the same link order.
+//
+//flowrelvet:hotpath per-configuration cut probability, called 2^k times per lane block (reviewed: PR-8)
 func cutProb8(sc *kscratch8, cut uint64) block8 {
 	pc := block8{1, 1, 1, 1, 1, 1, 1, 1}
 	for i := range sc.pcF {
@@ -510,6 +522,8 @@ func cutProb8(sc *kscratch8, cut uint64) block8 {
 
 // evalOneKernel evaluates a single already-validated scenario through the
 // one-lane kernel with pooled scratch.
+//
+//flowrelvet:hotpath pooled-scratch helper behind Plan.Eval: Get/Put must be the only pool traffic, never a fresh scratch in steady state (reviewed: PR-8)
 func (p *Plan) evalOneKernel(pfail []float64) float64 {
 	sc := p.kpool1.Get().(*kscratch1)
 	defer p.kpool1.Put(sc)
@@ -529,6 +543,8 @@ type BatchOptions struct {
 // result storage. Validation runs once up front; the hot loop is
 // unchecked. nil scenarios evaluate opt.Base. Results are deterministic —
 // bit-identical to per-scenario Eval — for any parallelism.
+//
+//flowrelvet:hotpath batch entry point: validation and worker setup may allocate only on the error path or once per batch, never per scenario (reviewed: PR-8)
 func (p *Plan) EvalBatchInto(dst []float64, scenarios [][]float64, opt BatchOptions) error {
 	if len(dst) != len(scenarios) {
 		return fmt.Errorf("core: EvalBatchInto dst has %d entries for %d scenarios", len(dst), len(scenarios))
@@ -571,78 +587,16 @@ func (p *Plan) EvalBatchInto(dst []float64, scenarios [][]float64, opt BatchOpti
 	if workers > nblocks {
 		workers = nblocks
 	}
-	switch {
-	case p.kern == nil:
+	if workers == 1 {
+		// Single-worker fast path: drain inline on the calling goroutine.
+		// No worker goroutines and no closure means no per-call heap
+		// allocation — the shape the hotalloc gate and the AllocsPerRun
+		// regression tests hold to zero steady-state allocations.
+		var next atomic.Int64
+		p.drain(&next, dst, scenarios, base, nblocks)
+	} else {
 		runPool(workers, func(next *atomic.Int64) {
-			sc := p.scratch.Get().(*evalScratch)
-			defer p.scratch.Put(sc)
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(scenarios) {
-					return
-				}
-				if h := p.blockHook; h != nil {
-					h()
-				}
-				pfail := scenarios[i]
-				if pfail == nil {
-					pfail = base
-				}
-				dst[i] = p.evalScalarUnchecked(sc, pfail)
-			}
-		})
-	case lanes == 1:
-		runPool(workers, func(next *atomic.Int64) {
-			sc := p.kpool1.Get().(*kscratch1)
-			defer p.kpool1.Put(sc)
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(scenarios) {
-					return
-				}
-				if h := p.blockHook; h != nil {
-					h()
-				}
-				pfail := scenarios[i]
-				if pfail == nil {
-					pfail = base
-				}
-				dst[i] = p.evalKernel1(sc, pfail)
-			}
-		})
-	default:
-		runPool(workers, func(next *atomic.Int64) {
-			sc := p.kpool8.Get().(*kscratch8)
-			defer p.kpool8.Put(sc)
-			for {
-				b := int(next.Add(1)) - 1
-				if b >= nblocks {
-					return
-				}
-				if h := p.blockHook; h != nil {
-					h()
-				}
-				lo := b * batchLanes
-				hi := lo + batchLanes
-				if hi > len(scenarios) {
-					hi = len(scenarios)
-				}
-				// Partial final blocks pad with the base vector: valid
-				// inputs, results discarded.
-				for l := 0; l < batchLanes; l++ {
-					sc.rows[l] = base
-					if lo+l < hi && scenarios[lo+l] != nil {
-						sc.rows[l] = scenarios[lo+l]
-					}
-				}
-				r := p.evalKernel8(sc)
-				for l := 0; l < hi-lo; l++ {
-					dst[lo+l] = r[l]
-				}
-				for l := range sc.rows {
-					sc.rows[l] = nil
-				}
-			}
+			p.drain(next, dst, scenarios, base, nblocks)
 		})
 	}
 	mEvalBlocks.Add(int64(nblocks))
@@ -654,39 +608,148 @@ func (p *Plan) EvalBatchInto(dst []float64, scenarios [][]float64, opt BatchOpti
 }
 
 // validateVector checks one probability vector; i < 0 names the base.
+// The vector's name is only built on the error path: the happy path runs
+// once per scenario per batch and must not allocate.
 func (p *Plan) validateVector(pfail []float64, i int) error {
-	what := "base"
-	if i >= 0 {
-		what = fmt.Sprintf("scenario %d", i)
-	}
 	if len(pfail) != p.numEdges {
-		return fmt.Errorf("core: EvalBatch %s has %d entries, plan was compiled for %d links", what, len(pfail), p.numEdges)
+		return fmt.Errorf("core: EvalBatch %s has %d entries, plan was compiled for %d links", vectorName(i), len(pfail), p.numEdges)
 	}
 	for j, v := range pfail {
 		if math.IsNaN(v) || v < 0 || v > 1 {
-			return fmt.Errorf("core: EvalBatch %s probability %g for link %d outside [0, 1]", what, v, j)
+			return fmt.Errorf("core: EvalBatch %s probability %g for link %d outside [0, 1]", vectorName(i), v, j)
 		}
 	}
 	return nil
 }
 
+func vectorName(i int) string {
+	if i < 0 {
+		return "base"
+	}
+	return fmt.Sprintf("scenario %d", i)
+}
+
+// drain is the batch worker body: one pooled scratch checked out for the
+// whole loop, work items handed out by the shared atomic counter. The
+// counter is compared in 64 bits so the poisoned value runPool stores on
+// a worker panic stops every drain loop on 32-bit targets too.
+//
+//flowrelvet:hotpath batch drain loop: pooled per-worker scratch, no per-item allocation; error paths were rejected by EvalBatchInto before the loop started (reviewed: PR-8)
+func (p *Plan) drain(next *atomic.Int64, dst []float64, scenarios [][]float64, base []float64, nblocks int) {
+	switch {
+	case p.kern == nil:
+		sc := p.scratch.Get().(*evalScratch)
+		defer p.scratch.Put(sc)
+		for {
+			i := next.Add(1) - 1
+			if i >= int64(len(scenarios)) {
+				return
+			}
+			if h := p.blockHook; h != nil {
+				h()
+			}
+			pfail := scenarios[i]
+			if pfail == nil {
+				pfail = base
+			}
+			dst[i] = p.evalScalarUnchecked(sc, pfail)
+		}
+	case p.kern.lanes == 1:
+		sc := p.kpool1.Get().(*kscratch1)
+		defer p.kpool1.Put(sc)
+		for {
+			i := next.Add(1) - 1
+			if i >= int64(len(scenarios)) {
+				return
+			}
+			if h := p.blockHook; h != nil {
+				h()
+			}
+			pfail := scenarios[i]
+			if pfail == nil {
+				pfail = base
+			}
+			dst[i] = p.evalKernel1(sc, pfail)
+		}
+	default:
+		sc := p.kpool8.Get().(*kscratch8)
+		defer p.kpool8.Put(sc)
+		for {
+			b := next.Add(1) - 1
+			if b >= int64(nblocks) {
+				return
+			}
+			if h := p.blockHook; h != nil {
+				h()
+			}
+			lo := int(b) * batchLanes
+			hi := lo + batchLanes
+			if hi > len(scenarios) {
+				hi = len(scenarios)
+			}
+			// Partial final blocks pad with the base vector: valid
+			// inputs, results discarded.
+			for l := 0; l < batchLanes; l++ {
+				sc.rows[l] = base
+				if lo+l < hi && scenarios[lo+l] != nil {
+					sc.rows[l] = scenarios[lo+l]
+				}
+			}
+			r := p.evalKernel8(sc)
+			for l := 0; l < hi-lo; l++ {
+				dst[lo+l] = r[l]
+			}
+			for l := range sc.rows {
+				sc.rows[l] = nil
+			}
+		}
+	}
+}
+
+// poisonCounter is stored into the work counter when a worker panics:
+// far past any real item count, so surviving workers see an exhausted
+// batch at their next Add and exit instead of finishing the work, yet
+// far enough from MaxInt64 that their increments cannot overflow.
+const poisonCounter = int64(1) << 62
+
 // runPool runs exactly `workers` goroutines, each draining work items off
 // a shared atomic counter — the bounded replacement for the old
-// goroutine-per-scenario dispatch.
+// goroutine-per-scenario dispatch. A panic in any worker is re-raised on
+// the calling goroutine once every worker has exited; the counter is
+// poisoned first so the surviving workers stop drawing new items instead
+// of completing a batch whose result will never be seen.
+//
+//flowrelvet:hotpath worker-pool dispatch: the goroutines and the closure are one allocation per batch, amortized over every item in it (reviewed: PR-8)
 func runPool(workers int, worker func(next *atomic.Int64)) {
+	var next atomic.Int64
 	if workers <= 1 {
-		var next atomic.Int64
 		worker(&next)
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
+	var (
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicVal any
+	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicVal == nil {
+						panicVal = r
+					}
+					panicMu.Unlock()
+					next.Store(poisonCounter)
+				}
+			}()
 			worker(&next)
 		}()
 	}
 	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
 }

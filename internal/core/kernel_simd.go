@@ -18,6 +18,8 @@ const (
 // fillStep8 runs one doubling layer over lane blocks: for every mask,
 // hi[mask] = lo[mask]·pl and lo[mask] = lo[mask]·pf, per lane, in that
 // store order. len(hi) ≥ len(lo) > 0.
+//
+//flowrelvet:hotpath SIMD dispatch for the doubling fill: branch, never allocate (reviewed: PR-8)
 func fillStep8(lo, hi []block8, pf, pl *block8) {
 	switch kernelSIMD {
 	case simdAVX512:
@@ -29,6 +31,7 @@ func fillStep8(lo, hi []block8, pf, pl *block8) {
 	}
 }
 
+//flowrelvet:hotpath portable twin of the fill-step vector routines (reviewed: PR-8)
 func fillStepGo(lo, hi []block8, pf, pl *block8) {
 	for mask := range lo {
 		lob := &lo[mask]
@@ -43,6 +46,8 @@ func fillStepGo(lo, hi []block8, pf, pl *block8) {
 
 // segSum8 writes Σ_{i} probs[perm[i]] into dst, per lane, adding in
 // perm order (the grouped scatter's ascending-mask order).
+//
+//flowrelvet:hotpath SIMD dispatch for the segmented sum (reviewed: PR-8)
 func segSum8(dst *block8, probs []block8, perm []uint32) {
 	if len(perm) == 0 {
 		*dst = block8{}
@@ -58,6 +63,7 @@ func segSum8(dst *block8, probs []block8, perm []uint32) {
 	}
 }
 
+//flowrelvet:hotpath portable twin of the segment-sum vector routines (reviewed: PR-8)
 func segSumGo(dst *block8, probs []block8, perm []uint32) {
 	var sum block8
 	for _, mask := range perm {

@@ -223,6 +223,8 @@ func (p *Plan) BasePFail() []float64 {
 // no max-flow calls — so an Eval costs microseconds where a fresh solve
 // costs the full side-array construction. Conditioning a link up or down
 // is pfail[e] = 0 or 1; capacities cannot change without recompiling.
+//
+//flowrelvet:hotpath the public evaluate entry point: after validation, one pooled scratch and zero heap allocations in steady state (reviewed: PR-8)
 func (p *Plan) Eval(pfail []float64) (float64, error) {
 	if pfail == nil {
 		pfail = p.basePFail
@@ -274,6 +276,8 @@ func (p *Plan) EvalScalar(pfail []float64) (float64, error) {
 
 // evalScalarUnchecked is the scalar evaluate phase on an already-
 // validated vector and a caller-owned scratch.
+//
+//flowrelvet:hotpath scalar evaluate phase on caller-owned scratch (reviewed: PR-8)
 func (p *Plan) evalScalarUnchecked(sc *evalScratch, pfail []float64) float64 {
 	for side := 0; side < 2; side++ {
 		fillConfigProbs(sc.probs[side], pfail, p.sideLinks[side])
@@ -307,6 +311,8 @@ func (p *Plan) EvalBatch(scenarios [][]float64, parallelism int) ([]float64, err
 // the per-link factors in link order, making each entry bit-identical to
 // the conf.Table.Prob product the eager solver used — at O(2^m) total
 // instead of O(m·2^m).
+//
+//flowrelvet:hotpath O(2^m) doubling fill, the largest single loop of every evaluation (reviewed: PR-8)
 func fillConfigProbs(probs []float64, pfail []float64, links []graph.EdgeID) {
 	probs[0] = 1
 	for i, eid := range links {
@@ -323,6 +329,8 @@ func fillConfigProbs(probs []float64, pfail []float64, links []graph.EdgeID) {
 
 // aggregateInto sums configuration probabilities by realized-assignment
 // mask: q[rm] = P(side configuration realizes exactly the set rm).
+//
+//flowrelvet:hotpath per-evaluation scatter over the side array (reviewed: PR-8)
 func aggregateInto(q []float64, realized []uint64, probs []float64) {
 	for i := range q {
 		q[i] = 0
@@ -335,6 +343,8 @@ func aggregateInto(q []float64, realized []uint64, probs []float64) {
 // evalZeta computes Eq. 3 with the superset-zeta aggregation: Q[X] =
 // P(side realizes every assignment in X) in one transform, then each
 // r_{E”} is an inclusion–exclusion sum of lattice lookups.
+//
+//flowrelvet:hotpath zeta accumulation: Plan.Eval's default inner phase (reviewed: PR-8)
 func (p *Plan) evalZeta(sc *evalScratch) float64 {
 	n := p.ds.Len()
 	qs, qt := sc.q[0], sc.q[1]
@@ -344,7 +354,7 @@ func (p *Plan) evalZeta(sc *evalScratch) float64 {
 	subset.SupersetZeta(qt, n)
 
 	total := 0.0
-	//flowrelvet:unbounded evaluate phase: Plan.Eval is budget-free by contract — the 3^k aggregation is bounded by the compiled plan's size and the full exponential cost was charged to the Ctl during Compile.
+	//flowrelvet:unbounded evaluate phase: Plan.Eval is budget-free by contract — the 3^k aggregation is bounded by the compiled plan's size and the full exponential cost was charged to the Ctl during Compile (reviewed: PR-3).
 	for e := uint64(0); e < uint64(1)<<uint(len(sc.pCut)); e++ {
 		dMask := p.classes[e]
 		if dMask == 0 {
@@ -366,9 +376,11 @@ func (p *Plan) evalZeta(sc *evalScratch) float64 {
 // each bottleneck configuration E” and each non-empty X ⊆ 𝒟_{E”}, scan
 // both side arrays for p_X = P_s(⊇X)·P_t(⊇X), then inclusion–exclusion.
 // Kept as the ablation baseline.
+//
+//flowrelvet:hotpath direct accumulation: the ablation twin of evalZeta, same allocation contract (reviewed: PR-8)
 func (p *Plan) evalDirect(sc *evalScratch) float64 {
 	total := 0.0
-	//flowrelvet:unbounded evaluate phase: Plan.Eval is budget-free by contract — the side-array scans are bounded by the compiled plan's size and the full exponential cost was charged to the Ctl during Compile.
+	//flowrelvet:unbounded evaluate phase: Plan.Eval is budget-free by contract — the side-array scans are bounded by the compiled plan's size and the full exponential cost was charged to the Ctl during Compile (reviewed: PR-3).
 	for e := uint64(0); e < uint64(1)<<uint(len(sc.pCut)); e++ {
 		dMask := p.classes[e]
 		if dMask == 0 {
@@ -388,6 +400,8 @@ func (p *Plan) evalDirect(sc *evalScratch) float64 {
 }
 
 // scanSuperset returns P(configurations whose realized set contains x).
+//
+//flowrelvet:hotpath side-array scan called per inclusion-exclusion term on the direct path (reviewed: PR-8)
 func scanSuperset(realized []uint64, probs []float64, x uint64) float64 {
 	p := 0.0
 	for mask, rm := range realized {

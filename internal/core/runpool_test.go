@@ -1,0 +1,116 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunPoolZeroItems: every worker starts, sees an exhausted counter,
+// and exits; the pool returns without hanging or skipping workers.
+func TestRunPoolZeroItems(t *testing.T) {
+	var started atomic.Int64
+	runPool(4, func(next *atomic.Int64) {
+		started.Add(1)
+		for {
+			if next.Add(1)-1 >= 0 { // zero items: first draw already past the end
+				return
+			}
+		}
+	})
+	if started.Load() != 4 {
+		t.Fatalf("%d workers ran, want 4", started.Load())
+	}
+}
+
+// TestRunPoolWorkersExceedItems: EvalBatchInto clamps the worker count
+// to the block count, and a tiny batch at huge parallelism still
+// produces the exact per-scenario results.
+func TestRunPoolWorkersExceedItems(t *testing.T) {
+	g, dem, cut := twoBottleneck()
+	plan, err := Compile(g, dem, Options{Bottleneck: cut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios := make([][]float64, 3)
+	for i := range scenarios {
+		scenarios[i] = plan.BasePFail()
+	}
+	want, err := plan.Eval(scenarios[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, len(scenarios))
+	if err := plan.EvalBatchInto(dst, scenarios, BatchOptions{Parallelism: 64}); err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range dst {
+		if got != want {
+			t.Fatalf("scenario %d: %.17g != Eval's %.17g", i, got, want)
+		}
+	}
+}
+
+// TestRunPoolPanicPropagates: a panic in one worker is re-raised on the
+// caller, and the poisoned counter stops the surviving workers from
+// draining the rest of the batch (without poisoning, the loop below
+// would spin for 2^40 increments and the test would time out).
+func TestRunPoolPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic did not propagate to the caller")
+		}
+		if r != "boom" {
+			t.Fatalf("propagated %v, want the worker's own panic value", r)
+		}
+	}()
+	runPool(4, func(next *atomic.Int64) {
+		i := next.Add(1) - 1
+		if i == 0 {
+			panic("boom")
+		}
+		for {
+			if next.Add(1)-1 >= int64(1)<<40 {
+				return
+			}
+		}
+	})
+}
+
+// TestRunPoolSingleWorkerPanic: the workers <= 1 path runs inline on the
+// calling goroutine, so its panic propagates undecorated.
+func TestRunPoolSingleWorkerPanic(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "inline" {
+			t.Fatalf("recovered %v, want the inline worker's panic", r)
+		}
+	}()
+	runPool(1, func(next *atomic.Int64) { panic("inline") })
+}
+
+// TestEvalBatchPanicPropagates: a panic inside the evaluate loop (via
+// the per-block test hook) crosses the pool boundary back to the
+// EvalBatchInto caller instead of crashing an anonymous worker.
+func TestEvalBatchPanicPropagates(t *testing.T) {
+	g, dem, cut := twoBottleneck()
+	plan, err := Compile(g, dem, Options{Bottleneck: cut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios := make([][]float64, 256)
+	for i := range scenarios {
+		scenarios[i] = plan.BasePFail()
+	}
+	plan.setBlockHook(func() { panic("hook") })
+	defer plan.setBlockHook(nil)
+	dst := make([]float64, len(scenarios))
+	defer func() {
+		if r := recover(); r != "hook" {
+			t.Fatalf("recovered %v, want the hook's panic", r)
+		}
+	}()
+	if err := plan.EvalBatchInto(dst, scenarios, BatchOptions{Parallelism: 2}); err != nil {
+		t.Fatal(err)
+	}
+	t.Fatal("EvalBatchInto returned normally past a panicking block hook")
+}

@@ -92,7 +92,7 @@ func Reliability(g *graph.Graph, dem graph.Demand, groups []Group, engine Engine
 		engine = FactoringEngine
 	}
 	total := 0.0
-	//flowrelvet:unbounded each of the 2^g group states delegates to a conditional engine run that enforces its own budget
+	//flowrelvet:unbounded each of the 2^g group states delegates to a conditional engine run that enforces its own budget (reviewed: PR-3)
 	for state := uint64(0); state < uint64(1)<<uint(len(groups)); state++ {
 		pState := 1.0
 		down := make([]bool, g.NumEdges())

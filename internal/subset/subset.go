@@ -65,7 +65,7 @@ func InclusionExclusion(pAll []float64, u uint64) float64 {
 	}
 	total := 0.0
 	// Enumerate non-empty submasks of u.
-	//flowrelvet:unbounded leaf lattice kernel: |U| ≤ k ≤ MaxBottleneck, so the walk is at most 2^k ≈ 8 steps; the enclosing engine charges its Ctl per bottleneck configuration.
+	//flowrelvet:unbounded leaf lattice kernel: |U| ≤ k ≤ MaxBottleneck, so the walk is at most 2^k ≈ 8 steps; the enclosing engine charges its Ctl per bottleneck configuration (reviewed: PR-3).
 	for x := u; ; x = (x - 1) & u {
 		if x != 0 {
 			if bits.OnesCount64(x)&1 == 1 {
@@ -84,7 +84,7 @@ func InclusionExclusion(pAll []float64, u uint64) float64 {
 // Submasks calls visit for every submask of u (including 0 and u itself),
 // in decreasing numeric order.
 func Submasks(u uint64, visit func(x uint64)) {
-	//flowrelvet:unbounded leaf lattice kernel shared by every engine: |u| is an assignment-class mask bounded by MaxAssignmentSet, and the caller charges its Ctl around the enclosing enumeration.
+	//flowrelvet:unbounded leaf lattice kernel shared by every engine: |u| is an assignment-class mask bounded by MaxAssignmentSet, and the caller charges its Ctl around the enclosing enumeration (reviewed: PR-3).
 	for x := u; ; x = (x - 1) & u {
 		visit(x)
 		if x == 0 {
