@@ -21,6 +21,14 @@
 // A benchmark the baseline has never recorded is reported as "new" and
 // cannot regress — it becomes gated once a baseline containing it is
 // committed.
+//
+// -loadgen FILE additionally gates the service metrics from a loadgen
+// JSON summary (see cmd/loadgen) against the same baseline: qps is
+// higher-is-better (a drop past the tolerance fails), p99_us is
+// lower-is-better, and error_rate gates absolutely like allocation
+// counts. When -loadgen is given the bench output may be empty (e.g.
+// /dev/null), so the CI service-smoke job can gate a pure service run
+// without re-running the micro-benchmarks.
 package main
 
 import (
@@ -68,6 +76,35 @@ var trackedAllocs = map[string]string{
 	"BenchmarkPlanReuse/eval": "eval_allocs_per_op",
 }
 
+// metricKind states which direction of drift counts as a regression for
+// a baseline key.
+type metricKind int
+
+const (
+	// lowerIsBetter is the ns/op (and p99_us) rule: the measurement may
+	// exceed the baseline by at most the tolerance.
+	lowerIsBetter metricKind = iota
+	// higherIsBetter is the throughput rule: the measurement may fall
+	// below the baseline by at most the tolerance.
+	higherIsBetter
+	// absoluteCeiling gates with no tolerance: any increase over the
+	// baseline fails (allocs/op, error_rate).
+	absoluteCeiling
+)
+
+// loadgenMetrics maps loadgen summary fields to baseline keys with their
+// gating direction.
+var loadgenMetrics = []struct {
+	field string // field in the loadgen JSON summary
+	key   string // key in the baseline's benchmarks map
+	kind  metricKind
+	unit  string
+}{
+	{"qps", "service_qps", higherIsBetter, "req/s"},
+	{"p99_us", "service_p99_us", lowerIsBetter, "µs"},
+	{"error_rate", "service_error_rate", absoluteCeiling, "ratio"},
+}
+
 // benchLine matches one result row, with the optional -benchmem columns:
 // "BenchmarkPlanReuse/eval-4   203   5852 ns/op   0 B/op   0 allocs/op".
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+(\d+) allocs/op)?`)
@@ -89,6 +126,7 @@ type resultFile struct {
 	Baseline    string             `json:"baseline"`
 	Tolerance   float64            `json:"tolerance"`
 	Runs        int                `json:"runs"`
+	Loadgen     string             `json:"loadgen,omitempty"`
 	Benchmarks  map[string]float64 `json:"benchmarks"`
 }
 
@@ -97,6 +135,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	baselinePath := fs.String("baseline", "auto", "baseline JSON file with a benchmarks map of ns/op, or 'auto' for the newest BENCH_*.json")
 	outPath := fs.String("out", "", "write the measured medians as JSON to this file (the baseline's shape)")
 	tolerance := fs.Float64("tolerance", 0.30, "allowed fractional slowdown over the baseline before failing")
+	loadgenPath := fs.String("loadgen", "", "loadgen JSON summary whose service metrics (qps, p99_us, error_rate) gate against the baseline")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -138,16 +177,24 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 
 	medians := map[string]float64{}
+	kinds := map[string]metricKind{}
+	units := map[string]string{}
 	runs := 0
-	for bench, key := range trackedBenchmarks {
-		ss := samples[bench]
-		if len(ss) == 0 {
-			return fmt.Errorf("no samples for %s in the bench output", bench)
+	// With -loadgen an empty bench input is legitimate (a pure service
+	// gate); without it, a tracked benchmark with no samples means the
+	// bench run itself is broken and must fail loudly.
+	if len(samples) > 0 || *loadgenPath == "" {
+		for bench, key := range trackedBenchmarks {
+			ss := samples[bench]
+			if len(ss) == 0 {
+				return fmt.Errorf("no samples for %s in the bench output", bench)
+			}
+			if len(ss) > runs {
+				runs = len(ss)
+			}
+			medians[key] = median(ss)
+			units[key] = "ns/op"
 		}
-		if len(ss) > runs {
-			runs = len(ss)
-		}
-		medians[key] = median(ss)
 	}
 	allocMedians := map[string]float64{}
 	for bench, key := range trackedAllocs {
@@ -157,6 +204,23 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 		allocMedians[key] = median(ss)
 		medians[key] = allocMedians[key]
+		kinds[key] = absoluteCeiling
+		units[key] = "allocs/op"
+	}
+	if *loadgenPath != "" {
+		metrics, err := readLoadgen(*loadgenPath)
+		if err != nil {
+			return err
+		}
+		for _, m := range loadgenMetrics {
+			v, ok := metrics[m.field]
+			if !ok {
+				return fmt.Errorf("%s: summary carries no %q field", *loadgenPath, m.field)
+			}
+			medians[m.key] = v
+			kinds[m.key] = m.kind
+			units[m.key] = m.unit
+		}
 	}
 
 	if *outPath != "" {
@@ -167,6 +231,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			Baseline:    *baselinePath,
 			Tolerance:   *tolerance,
 			Runs:        runs,
+			Loadgen:     *loadgenPath,
 			Benchmarks:  medians,
 		}
 		blob, err := json.MarshalIndent(res, "", "  ")
@@ -186,47 +251,64 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	sort.Strings(keys)
 	for _, key := range keys {
 		got := medians[key]
-		if _, isAlloc := allocMedians[key]; isAlloc {
-			// Allocation counts gate absolutely: the hot-path contract is
-			// exact, so any increase over the baseline fails regardless of
-			// tolerance. A zero baseline means zero allocations, forever.
-			want, ok := base.Benchmarks[key]
-			if !ok {
-				fmt.Fprintf(stdout, "%-28s %12.0f allocs/op  baseline %9s  %s\n", key, got, "—", "new")
-				continue
-			}
-			status := "ok"
-			if got > want {
-				status = "REGRESSION"
-				regressions = append(regressions,
-					fmt.Sprintf("%s: median %.0f allocs/op exceeds baseline %.0f allocs/op (allocation counts gate absolutely)",
-						key, got, want))
-			}
-			fmt.Fprintf(stdout, "%-28s %12.0f allocs/op  baseline %9.0f  %s\n", key, got, want, status)
-			continue
-		}
+		unit := units[key]
 		want, ok := base.Benchmarks[key]
 		if !ok {
 			// Tracked but never baselined: report, don't gate. The next
 			// committed baseline picks it up.
-			fmt.Fprintf(stdout, "%-28s %12.0f ns/op  baseline %12s  %s\n", key, got, "—", "new")
+			fmt.Fprintf(stdout, "%-28s %12.2f %-9s  baseline %12s  %s\n", key, got, unit, "—", "new")
 			continue
 		}
-		limit := want * (1 + *tolerance)
 		status := "ok"
-		if got > limit {
-			status = "REGRESSION"
-			regressions = append(regressions,
-				fmt.Sprintf("%s: median %.0f ns/op exceeds baseline %.0f ns/op by %.1f%% (tolerance %.0f%%)",
-					key, got, want, 100*(got/want-1), 100**tolerance))
+		var why string
+		switch kinds[key] {
+		case absoluteCeiling:
+			// No tolerance: the contract is exact (zero allocations per
+			// eval, zero errors under the smoke load), so any increase
+			// over the baseline fails outright.
+			if got > want {
+				why = fmt.Sprintf("%s: %.2f %s exceeds baseline %.2f (%s gates absolutely)",
+					key, got, unit, want, unit)
+			}
+		case higherIsBetter:
+			if got < want*(1-*tolerance) {
+				why = fmt.Sprintf("%s: %.0f %s fell %.1f%% below baseline %.0f (tolerance %.0f%%)",
+					key, got, unit, 100*(1-got/want), want, 100**tolerance)
+			}
+		default: // lowerIsBetter
+			if got > want*(1+*tolerance) {
+				why = fmt.Sprintf("%s: %.0f %s exceeds baseline %.0f by %.1f%% (tolerance %.0f%%)",
+					key, got, unit, want, 100*(got/want-1), 100**tolerance)
+			}
 		}
-		fmt.Fprintf(stdout, "%-28s %12.0f ns/op  baseline %12.0f  (%+.1f%%)  %s\n",
-			key, got, want, 100*(got/want-1), status)
+		if why != "" {
+			status = "REGRESSION"
+			regressions = append(regressions, why)
+		}
+		delta := "     —"
+		if want != 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(got/want-1))
+		}
+		fmt.Fprintf(stdout, "%-28s %12.2f %-9s  baseline %12.2f  (%s)  %s\n",
+			key, got, unit, want, delta, status)
 	}
 	if len(regressions) > 0 {
 		return fmt.Errorf("benchmark regression:\n  %s", strings.Join(regressions, "\n  "))
 	}
 	return nil
+}
+
+// readLoadgen parses a loadgen JSON summary into its numeric fields.
+func readLoadgen(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var fields map[string]float64
+	if err := json.Unmarshal(raw, &fields); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return fields, nil
 }
 
 // baselineName matches committed baseline files; the numeric suffix

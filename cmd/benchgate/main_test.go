@@ -239,3 +239,119 @@ func TestAllocGateAbsolute(t *testing.T) {
 		t.Errorf("alloc row reported without -benchmem data:\n%s", buf.String())
 	}
 }
+
+// writeLoadgenSummary writes a loadgen JSON summary for gate tests.
+func writeLoadgenSummary(t *testing.T, dir string, qps, p99 float64, errorRate float64) string {
+	t.Helper()
+	blob, err := json.Marshal(map[string]float64{
+		"duration_s": 5, "requests": qps * 5, "errors": errorRate * qps * 5,
+		"qps": qps, "p50_us": p99 / 4, "p90_us": p99 / 2, "p99_us": p99,
+		"max_us": p99 * 2, "error_rate": errorRate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "loadgen.json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func writeServiceBaseline(t *testing.T, dir string) string {
+	t.Helper()
+	blob, err := json.Marshal(map[string]any{
+		"description": "service baseline",
+		"benchmarks": map[string]float64{
+			"service_qps":        2000,
+			"service_p99_us":     20000,
+			"service_error_rate": 0,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "service_baseline.json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestLoadgenGateDirections pins each metric kind's direction: qps gates
+// higher-is-better (only a drop fails), p99 gates lower-is-better (only
+// growth fails), and error_rate gates absolutely.
+func TestLoadgenGateDirections(t *testing.T) {
+	dir := t.TempDir()
+	baseline := writeServiceBaseline(t, dir)
+
+	cases := []struct {
+		name           string
+		qps, p99, errs float64
+		wantFail       string // substring of the error, "" for pass
+	}{
+		{"within tolerance", 1800, 22000, 0, ""},
+		{"qps improved far past baseline", 9000, 20000, 0, ""},
+		{"p99 improved far below baseline", 2000, 1000, 0, ""},
+		{"qps collapsed", 900, 20000, 0, "service_qps"},
+		{"p99 blew up", 2000, 90000, 0, "service_p99_us"},
+		{"errors appeared", 2000, 20000, 0.01, "service_error_rate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			summary := writeLoadgenSummary(t, t.TempDir(), tc.qps, tc.p99, tc.errs)
+			var buf strings.Builder
+			err := run([]string{"-baseline", baseline, "-tolerance", "0.50", "-loadgen", summary},
+				strings.NewReader(""), &buf)
+			if tc.wantFail == "" {
+				if err != nil {
+					t.Fatalf("gate failed: %v\n%s", err, buf.String())
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantFail) {
+				t.Fatalf("want failure naming %s, got %v\n%s", tc.wantFail, err, buf.String())
+			}
+		})
+	}
+}
+
+// TestLoadgenAllowsEmptyBenchInput: with -loadgen the bench input may be
+// empty (the service-smoke job pipes /dev/null); without it that is
+// still a hard error.
+func TestLoadgenAllowsEmptyBenchInput(t *testing.T) {
+	dir := t.TempDir()
+	baseline := writeServiceBaseline(t, dir)
+	summary := writeLoadgenSummary(t, dir, 2000, 20000, 0)
+
+	var buf strings.Builder
+	if err := run([]string{"-baseline", baseline, "-loadgen", summary},
+		strings.NewReader(""), &buf); err != nil {
+		t.Fatalf("empty bench input with -loadgen failed: %v\n%s", err, buf.String())
+	}
+	for _, key := range []string{"service_qps", "service_p99_us", "service_error_rate"} {
+		if !strings.Contains(buf.String(), key) {
+			t.Errorf("report missing %s:\n%s", key, buf.String())
+		}
+	}
+
+	if err := run([]string{"-baseline", baseline}, strings.NewReader(""), &buf); err == nil {
+		t.Error("empty bench input without -loadgen must still fail")
+	}
+}
+
+// TestLoadgenMissingField: a truncated summary (no qps) is a loud error,
+// not a silently unguarded gate.
+func TestLoadgenMissingField(t *testing.T) {
+	dir := t.TempDir()
+	baseline := writeServiceBaseline(t, dir)
+	path := filepath.Join(dir, "partial.json")
+	if err := os.WriteFile(path, []byte(`{"p99_us": 100}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	err := run([]string{"-baseline", baseline, "-loadgen", path}, strings.NewReader(""), &buf)
+	if err == nil || !strings.Contains(err.Error(), "qps") {
+		t.Errorf("missing qps field must fail the gate, got %v", err)
+	}
+}

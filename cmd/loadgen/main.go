@@ -1,0 +1,321 @@
+// Command loadgen is the closed-loop load driver for relcalcd: it
+// submits one topology, then fires a mixed eval/evalbatch workload at a
+// target QPS for a fixed duration and reports the latency distribution
+// as machine-readable JSON. The CI service-smoke job boots relcalcd on
+// an ephemeral port, runs loadgen for a few seconds, and feeds the
+// summary to benchgate, which fails the build when throughput drops or
+// tail latency grows past the committed baseline.
+//
+// Closed-loop means each worker waits for its response before taking the
+// next send token, so offered load never outruns the server by more than
+// the worker count — the same discipline relcalcd's admission gate
+// assumes of well-behaved clients.
+//
+// Usage:
+//
+//	loadgen -addr 127.0.0.1:8080 -topology testdata/figure4.g \
+//	        -duration 5s -qps 2000 -batch 16 -mix 0.2 -out loadgen.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flowrel"
+	"flowrel/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// summary is the machine-readable result benchgate consumes.
+type summary struct {
+	DurationS float64 `json:"duration_s"`
+	Requests  int64   `json:"requests"`
+	Errors    int64   `json:"errors"`
+	QPS       float64 `json:"qps"`
+	P50US     int64   `json:"p50_us"`
+	P90US     int64   `json:"p90_us"`
+	P99US     int64   `json:"p99_us"`
+	MaxUS     int64   `json:"max_us"`
+	ErrorRate float64 `json:"error_rate"`
+}
+
+func run(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8080", "relcalcd address (host:port)")
+		topoPath = fs.String("topology", "testdata/figure4.g", "topology file (.g text format) to submit")
+		duration = fs.Duration("duration", 5*time.Second, "measurement window")
+		qps      = fs.Float64("qps", 1000, "target request rate (closed-loop ceiling)")
+		workers  = fs.Int("workers", 8, "concurrent client connections")
+		batch    = fs.Int("batch", 16, "scenarios per evalbatch request")
+		mix      = fs.Float64("mix", 0.2, "fraction of requests that are evalbatch (rest are single evals)")
+		out      = fs.String("out", "", "write the JSON summary to this file (default stdout)")
+		warmup   = fs.Duration("warmup", 500*time.Millisecond, "unmeasured warmup before the window")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *qps <= 0 || *workers < 1 || *duration <= 0 {
+		return fmt.Errorf("need positive -qps, -workers and -duration")
+	}
+	if *mix < 0 || *mix > 1 {
+		return fmt.Errorf("-mix must be in [0,1]")
+	}
+
+	base := "http://" + *addr
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	if err := waitReady(client, base, 10*time.Second); err != nil {
+		return err
+	}
+	handle, links, err := submitTopology(client, base, *topoPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "loadgen: plan %s (%d links), driving %.0f qps for %v (mix %.0f%% batch×%d)\n",
+		handle, links, *qps, *duration, *mix*100, *batch)
+
+	evalBody, batchBody, err := requestBodies(links, *batch)
+	if err != nil {
+		return err
+	}
+
+	res := drive(client, base, handle, driveConfig{
+		Duration: *duration,
+		Warmup:   *warmup,
+		QPS:      *qps,
+		Workers:  *workers,
+		Mix:      *mix,
+		Eval:     evalBody,
+		Batch:    batchBody,
+	})
+
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		os.Stdout.Write(blob)
+		return nil
+	}
+	return os.WriteFile(*out, blob, 0o644)
+}
+
+// waitReady polls /readyz until the server answers 200.
+func waitReady(client *http.Client, base string, patience time.Duration) error {
+	deadline := time.Now().Add(patience)
+	for {
+		resp, err := client.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("server never became ready: %w", err)
+			}
+			return fmt.Errorf("server never became ready (last /readyz status %d)", resp.StatusCode)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// submitTopology posts the .g file and returns the plan handle and link
+// count (needed to size scenario vectors).
+func submitTopology(client *http.Client, base, path string) (handle string, links int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", 0, err
+	}
+	defer f.Close()
+	file, err := flowrel.ParseText(f)
+	if err != nil {
+		return "", 0, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	topo, err := json.Marshal(file)
+	if err != nil {
+		return "", 0, err
+	}
+	body, err := json.Marshal(map[string]any{"topology": json.RawMessage(topo)})
+	if err != nil {
+		return "", 0, err
+	}
+	resp, err := client.Post(base+"/v1/topologies", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return "", 0, fmt.Errorf("submit: status %d: %s", resp.StatusCode, msg)
+	}
+	var sub struct {
+		Handle string `json:"handle"`
+		Links  int    `json:"links"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		return "", 0, err
+	}
+	return sub.Handle, sub.Links, nil
+}
+
+// requestBodies pre-encodes the eval and evalbatch payloads once; the
+// driver reuses them for every request so encoding cost stays off the
+// latency it measures. Scenarios perturb one link per scenario so the
+// batch exercises distinct inputs rather than the memoised base case.
+func requestBodies(links, batch int) (evalBody, batchBody []byte, err error) {
+	evalBody, err = json.Marshal(map[string]any{})
+	if err != nil {
+		return nil, nil, err
+	}
+	scenarios := make([][]float64, batch)
+	for i := range scenarios {
+		v := make([]float64, links)
+		v[i%links] = math.Min(0.9, 0.05*float64(i+1))
+		scenarios[i] = v
+	}
+	batchBody, err = json.Marshal(map[string]any{"scenarios": scenarios})
+	if err != nil {
+		return nil, nil, err
+	}
+	return evalBody, batchBody, nil
+}
+
+type driveConfig struct {
+	Duration time.Duration
+	Warmup   time.Duration
+	QPS      float64
+	Workers  int
+	Mix      float64
+	Eval     []byte
+	Batch    []byte
+}
+
+// drive runs the closed-loop workload and aggregates the summary. A
+// ticker feeds send tokens at the target rate; each worker takes a
+// token, fires one request, and records the latency — so when the server
+// slows down, the offered rate drops with it instead of queueing
+// unboundedly on the client.
+func drive(client *http.Client, base, handle string, cfg driveConfig) summary {
+	var (
+		hist     stats.FineHistogram
+		requests atomic.Int64
+		errs     atomic.Int64
+	)
+	evalURL := base + "/v1/plans/" + handle + "/eval"
+	batchURL := base + "/v1/plans/" + handle + "/evalbatch"
+
+	// Sub-millisecond tickers coalesce under scheduler jitter and silently
+	// underdeliver; pace at ≥ 1ms and release a batch of tokens per tick
+	// instead.
+	interval := time.Duration(float64(time.Second) / cfg.QPS)
+	perTick := 1
+	if interval < time.Millisecond {
+		perTick = int(math.Ceil(float64(time.Millisecond) / float64(interval)))
+		interval = time.Duration(float64(interval) * float64(perTick))
+	}
+	tokens := make(chan int, cfg.Workers+perTick)
+	stop := make(chan struct{})
+
+	var measuring atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seq := range tokens {
+				url, body := evalURL, cfg.Eval
+				// Deterministic mix, spread evenly through the sequence:
+				// request seq is a batch exactly when the running total
+				// ⌊seq·mix⌋ ticks up at this step.
+				if math.Floor(float64(seq+1)*cfg.Mix) > math.Floor(float64(seq)*cfg.Mix) {
+					url, body = batchURL, cfg.Batch
+				}
+				start := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				elapsed := time.Since(start)
+				ok := err == nil && resp.StatusCode == http.StatusOK
+				if err == nil {
+					io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+					resp.Body.Close()
+				}
+				if measuring.Load() {
+					requests.Add(1)
+					if ok {
+						hist.Observe(elapsed.Microseconds())
+					} else {
+						errs.Add(1)
+					}
+				}
+			}
+		}()
+	}
+
+	// Token source: one token per interval; drop tokens nobody is free to
+	// take (closed loop — the backlog never grows past the channel).
+	ticker := time.NewTicker(interval)
+	go func() {
+		defer ticker.Stop()
+		seq := 0
+		for {
+			select {
+			case <-ticker.C:
+				for i := 0; i < perTick; i++ {
+					select {
+					case tokens <- seq:
+						seq++
+					default:
+					}
+				}
+			case <-stop:
+				close(tokens)
+				return
+			}
+		}
+	}()
+
+	time.Sleep(cfg.Warmup)
+	measuring.Store(true)
+	windowStart := time.Now()
+	time.Sleep(cfg.Duration)
+	measuring.Store(false)
+	window := time.Since(windowStart)
+	close(stop)
+	wg.Wait()
+
+	n := requests.Load()
+	e := errs.Load()
+	out := summary{
+		DurationS: window.Seconds(),
+		Requests:  n,
+		Errors:    e,
+		QPS:       float64(n) / window.Seconds(),
+		P50US:     hist.Quantile(0.50),
+		P90US:     hist.Quantile(0.90),
+		P99US:     hist.Quantile(0.99),
+		MaxUS:     hist.Max(),
+	}
+	if n > 0 {
+		out.ErrorRate = float64(e) / float64(n)
+	}
+	return out
+}

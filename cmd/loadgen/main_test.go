@@ -1,0 +1,194 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubServer fakes just enough of the relcalcd API for the driver: ready
+// after `notReadyFor` probes, a fixed handle on submit, and configurable
+// eval behaviour.
+type stubServer struct {
+	notReadyFor  int32
+	evalStatus   int
+	batchStatus  int
+	evals        atomic.Int64
+	batches      atomic.Int64
+	readyzProbes atomic.Int64
+}
+
+func (s *stubServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.readyzProbes.Add(1) <= int64(s.notReadyFor) {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("POST /v1/topologies", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"handle": "stubhandle", "links": 9}) //nolint:errcheck
+	})
+	mux.HandleFunc("POST /v1/plans/{handle}/eval", func(w http.ResponseWriter, r *http.Request) {
+		s.evals.Add(1)
+		status := s.evalStatus
+		if status == 0 {
+			status = http.StatusOK
+		}
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(map[string]any{"reliability": 0.5}) //nolint:errcheck
+	})
+	mux.HandleFunc("POST /v1/plans/{handle}/evalbatch", func(w http.ResponseWriter, r *http.Request) {
+		s.batches.Add(1)
+		status := s.batchStatus
+		if status == 0 {
+			status = http.StatusOK
+		}
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(map[string]any{"reliabilities": []float64{0.5}}) //nolint:errcheck
+	})
+	return mux
+}
+
+func runAgainst(t *testing.T, stub *stubServer, extraArgs ...string) summary {
+	t.Helper()
+	srv := httptest.NewServer(stub.handler())
+	t.Cleanup(srv.Close)
+	out := filepath.Join(t.TempDir(), "summary.json")
+	args := append([]string{
+		"-addr", strings.TrimPrefix(srv.URL, "http://"),
+		"-topology", "../../testdata/figure2.g",
+		"-duration", "300ms",
+		"-warmup", "50ms",
+		"-qps", "400",
+		"-workers", "4",
+		"-batch", "4",
+		"-out", out,
+	}, extraArgs...)
+	if err := run(args, os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res summary
+	if err := json.Unmarshal(blob, &res); err != nil {
+		t.Fatalf("summary is not valid JSON: %v\n%s", err, blob)
+	}
+	return res
+}
+
+// TestDriverHappyPath runs the closed loop against a healthy stub and
+// checks the summary: traffic flowed, both request kinds were exercised,
+// no errors, and the quantiles are ordered.
+func TestDriverHappyPath(t *testing.T) {
+	stub := &stubServer{notReadyFor: 2} // exercise the readyz poll too
+	res := runAgainst(t, stub, "-mix", "0.3")
+
+	if res.Requests == 0 {
+		t.Fatal("no requests measured")
+	}
+	if res.Errors != 0 || res.ErrorRate != 0 {
+		t.Errorf("errors=%d error_rate=%v against a healthy stub", res.Errors, res.ErrorRate)
+	}
+	if res.QPS <= 0 {
+		t.Errorf("qps = %v, want > 0", res.QPS)
+	}
+	if res.P50US > res.P99US || res.P99US > res.MaxUS {
+		t.Errorf("quantiles out of order: p50=%d p99=%d max=%d", res.P50US, res.P99US, res.MaxUS)
+	}
+	if stub.evals.Load() == 0 || stub.batches.Load() == 0 {
+		t.Errorf("mix not exercised: %d evals, %d batches", stub.evals.Load(), stub.batches.Load())
+	}
+	if stub.readyzProbes.Load() < 3 {
+		t.Errorf("readyz polled %d times, want ≥ 3 (two unready probes)", stub.readyzProbes.Load())
+	}
+}
+
+// TestDriverCountsErrors makes the stub fail every eval and checks the
+// error accounting feeds through to error_rate.
+func TestDriverCountsErrors(t *testing.T) {
+	stub := &stubServer{evalStatus: http.StatusInternalServerError}
+	res := runAgainst(t, stub, "-mix", "0")
+
+	if res.Requests == 0 {
+		t.Fatal("no requests measured")
+	}
+	if res.Errors != res.Requests {
+		t.Errorf("errors=%d of %d requests, want all", res.Errors, res.Requests)
+	}
+	if res.ErrorRate < 0.999 {
+		t.Errorf("error_rate = %v, want 1", res.ErrorRate)
+	}
+}
+
+// TestDriverRejectsBadFlags pins the flag validation.
+func TestDriverRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-qps", "0"},
+		{"-duration", "-1s"},
+		{"-mix", "1.5"},
+		{"-workers", "0"},
+	} {
+		if err := run(args, os.Stderr); err == nil {
+			t.Errorf("run(%v) accepted invalid flags", args)
+		}
+	}
+}
+
+// TestDriverClosedLoopCeiling: with a slow stub and one worker, the
+// measured rate stays near the service rate rather than the offered
+// rate — the closed-loop property the admission gate relies on.
+func TestDriverClosedLoopCeiling(t *testing.T) {
+	stub := &stubServer{}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		if r.URL.Path == "/v1/topologies" {
+			json.NewEncoder(w).Encode(map[string]any{"handle": "h", "links": 2}) //nolint:errcheck
+			return
+		}
+		time.Sleep(20 * time.Millisecond) // service rate ≈ 50/s per worker
+		stub.evals.Add(1)
+		json.NewEncoder(w).Encode(map[string]any{"reliability": 1}) //nolint:errcheck
+	}))
+	t.Cleanup(srv.Close)
+
+	out := filepath.Join(t.TempDir(), "summary.json")
+	err := run([]string{
+		"-addr", strings.TrimPrefix(srv.URL, "http://"),
+		"-topology", "../../testdata/figure2.g",
+		"-duration", "400ms",
+		"-warmup", "0s",
+		"-qps", "5000", // offered far above what one slow worker can serve
+		"-workers", "1",
+		"-mix", "0",
+		"-out", out,
+	}, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res summary
+	if err := json.Unmarshal(blob, &res); err != nil {
+		t.Fatal(err)
+	}
+	// One worker at ~50/s: anywhere near the 5000 target would mean the
+	// client queued open-loop. Allow generous slack for scheduler noise.
+	if res.QPS > 200 {
+		t.Errorf("closed loop leaked: measured %.0f qps with a 50/s server", res.QPS)
+	}
+}

@@ -3,31 +3,34 @@ package main
 import (
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
 	"os"
 	"os/signal"
 
 	"flowrel"
+	"flowrel/internal/debughttp"
 )
 
 // debugServer serves the process debug endpoints — /debug/vars (expvar,
 // including the flowrel.stats and flowrel.plancache trees) and
-// /debug/pprof/* — from the default mux.
+// /debug/pprof/* — from its own mux. Not http.DefaultServeMux: the
+// default mux is a process-wide singleton, so registering there would
+// fight with any other server in the process (relcalcd mounts the same
+// debug tree, and the test binary starts several debug servers).
 type debugServer struct {
 	ln  net.Listener
 	srv *http.Server
 }
 
 // startDebugServer publishes the solver metrics to expvar and begins
-// serving the default mux on addr (pass "127.0.0.1:0" for an ephemeral
-// port; Addr reports the one chosen).
+// serving a private debug mux on addr (pass "127.0.0.1:0" for an
+// ephemeral port; Addr reports the one chosen).
 func startDebugServer(addr string) (*debugServer, error) {
 	flowrel.PublishExpvar()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: http.DefaultServeMux}
+	srv := &http.Server{Handler: debughttp.NewMux()}
 	go srv.Serve(ln) //nolint:errcheck // Serve returns when Close is called
 	return &debugServer{ln: ln, srv: srv}, nil
 }

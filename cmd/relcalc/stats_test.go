@@ -121,6 +121,46 @@ func TestServeMode(t *testing.T) {
 	}
 }
 
+// TestServeModeOwnsItsMux pins the fix for the DefaultServeMux fight:
+// two debug servers must start in one process (each owns a private mux,
+// so the second registration no longer panics or cross-serves), and
+// handlers registered on http.DefaultServeMux must NOT leak into the
+// debug server's routing.
+func TestServeModeOwnsItsMux(t *testing.T) {
+	a, err := startDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := startDebugServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("second debug server in one process: %v", err)
+	}
+	defer b.Close()
+
+	for _, ds := range []*debugServer{a, b} {
+		resp, err := http.Get(fmt.Sprintf("http://%s/debug/vars", ds.Addr()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s /debug/vars: status %d", ds.Addr(), resp.StatusCode)
+		}
+	}
+
+	// A stray global registration must stay invisible to the debug mux.
+	http.HandleFunc("/relcalc-test-global-handler", func(w http.ResponseWriter, r *http.Request) {})
+	resp, err := http.Get(fmt.Sprintf("http://%s/relcalc-test-global-handler", a.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("global DefaultServeMux handler leaked into the debug server (status %d, want 404)", resp.StatusCode)
+	}
+}
+
 // TestServeFlagRuns checks the -serve flag path: the computation runs,
 // prints its result, and the (stubbed) wait returns.
 func TestServeFlagRuns(t *testing.T) {

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errSaturated is returned by admit when both the worker slots and the
+// wait queue are full; the handler maps it to 429 + Retry-After.
+var errSaturated = errors.New("relcalcd: worker slots and queue full")
+
+// admission is the service's bounded worker/queue gate. Compute requests
+// (compile, eval, evalbatch) must admit() before touching a plan:
+// `workers` requests run concurrently, up to `queue` more wait for a
+// slot, and everything beyond that is rejected immediately — the
+// closed-loop behaviour that keeps tail latency bounded under overload
+// instead of collapsing into an unbounded goroutine pileup.
+//
+// Saturation (the wait queue at capacity) also flips /readyz to 503, so
+// a load balancer drains the instance before clients see 429s.
+type admission struct {
+	slots    chan struct{}
+	queue    int64
+	queued   atomic.Int64
+	inflight atomic.Int64
+	rejected atomic.Int64
+}
+
+func newAdmission(workers, queue int) *admission {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &admission{slots: make(chan struct{}, workers), queue: int64(queue)}
+}
+
+// admit blocks until a worker slot frees (queueing at most `queue`
+// waiters) or ctx is cancelled. On success the caller must invoke the
+// returned release exactly once. errSaturated means the request never
+// queued; a ctx error means the client went away while queued.
+func (a *admission) admit(ctx context.Context) (release func(), err error) {
+	release = func() {
+		a.inflight.Add(-1)
+		<-a.slots
+	}
+	// Fast path: a free slot, no queueing.
+	select {
+	case a.slots <- struct{}{}:
+		a.inflight.Add(1)
+		return release, nil
+	default:
+	}
+	if a.queued.Add(1) > a.queue {
+		a.queued.Add(-1)
+		a.rejected.Add(1)
+		return nil, errSaturated
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		a.inflight.Add(1)
+		return release, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// saturated reports whether the wait queue is at capacity — the /readyz
+// criterion. A zero-length queue is saturated whenever all slots are
+// busy.
+func (a *admission) saturated() bool {
+	if a.queue == 0 {
+		return len(a.slots) == cap(a.slots)
+	}
+	return a.queued.Load() >= a.queue
+}
+
+// admissionCounters is the snapshot surfaced on /statsz.
+type admissionCounters struct {
+	Workers  int   `json:"workers"`
+	Queue    int   `json:"queue"`
+	Inflight int64 `json:"inflight"`
+	Queued   int64 `json:"queued"`
+	Rejected int64 `json:"rejected"`
+}
+
+func (a *admission) counters() admissionCounters {
+	return admissionCounters{
+		Workers:  cap(a.slots),
+		Queue:    int(a.queue),
+		Inflight: a.inflight.Load(),
+		Queued:   a.queued.Load(),
+		Rejected: a.rejected.Load(),
+	}
+}

@@ -1,0 +1,293 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"flowrel"
+)
+
+// swapCompile substitutes the compile entry point for the duration of a
+// test, restoring the real one afterwards.
+func swapCompile(t *testing.T, fn func(context.Context, *flowrel.Graph, flowrel.Demand, flowrel.Config) (*flowrel.Plan, error)) {
+	t.Helper()
+	prev := compilePlanCtx
+	compilePlanCtx = fn
+	t.Cleanup(func() { compilePlanCtx = prev })
+}
+
+// submitBody is a minimal valid submission (two parallel s→t links).
+func submitBody(t *testing.T) []byte {
+	t.Helper()
+	b := flowrel.NewBuilder()
+	s := b.AddNamedNode("s")
+	tt := b.AddNamedNode("t")
+	b.AddEdge(s, tt, 1, 0.1)
+	b.AddEdge(s, tt, 1, 0.1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dem := flowrel.Demand{S: s, T: tt, D: 1}
+	topo, err := json.Marshal(&flowrel.File{Graph: g, Demand: &dem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(map[string]any{"topology": json.RawMessage(topo)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// getStatus GETs a path and returns the status code plus Retry-After.
+func getStatus(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode, resp.Header.Get("Retry-After")
+}
+
+// TestAdmissionOverloadSheds429 drives one worker + one queue slot into
+// saturation with blocked compiles and checks the full overload ladder:
+// the third concurrent request is rejected with 429 + Retry-After while
+// /readyz reports 503, and once the compiles unblock the earlier two
+// requests complete normally and readiness recovers.
+func TestAdmissionOverloadSheds429(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 4)
+	swapCompile(t, func(ctx context.Context, g *flowrel.Graph, dem flowrel.Demand, cfg flowrel.Config) (*flowrel.Plan, error) {
+		entered <- struct{}{}
+		<-gate
+		return flowrel.CompilePlan(g, dem, cfg)
+	})
+
+	srv := newTestServer(t, serverConfig{Workers: 1, Queue: 1})
+	body := submitBody(t)
+
+	type result struct {
+		status int
+	}
+	results := make(chan result, 2)
+	var wg sync.WaitGroup
+	post := func() {
+		defer wg.Done()
+		resp, err := http.Post(srv.URL+"/v1/topologies", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Error(err)
+			results <- result{0}
+			return
+		}
+		resp.Body.Close()
+		results <- result{resp.StatusCode}
+	}
+
+	// Request A takes the only worker slot and blocks inside compile.
+	wg.Add(1)
+	go post()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("request A never reached the compile")
+	}
+
+	// Request B occupies the single queue slot. It never reaches the
+	// compile while A blocks, so poll readiness: /readyz flips to 503
+	// once the queue is full.
+	wg.Add(1)
+	go post()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if status, retry := getStatus(t, srv.URL+"/readyz"); status == http.StatusServiceUnavailable {
+			if retry == "" {
+				t.Error("saturated /readyz carries no Retry-After")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("/readyz never reported saturation")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Request C finds slots and queue full: immediate 429.
+	resp, err := http.Post(srv.URL+"/v1/topologies", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow request: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 carries no Retry-After")
+	}
+
+	// Unblock the compiles: A and B drain and both succeed.
+	close(gate)
+	wg.Wait()
+	close(results)
+	for r := range results {
+		if r.status != http.StatusOK {
+			t.Errorf("queued request finished with status %d, want 200", r.status)
+		}
+	}
+
+	// Readiness recovers once the queue drains.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		if status, _ := getStatus(t, srv.URL+"/readyz"); status == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("/readyz never recovered after drain")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The shed request is visible in the admission counters.
+	var statsz struct {
+		Admission admissionCounters `json:"admission"`
+	}
+	resp, err = http.Get(srv.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&statsz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if statsz.Admission.Rejected != 1 {
+		t.Errorf("rejected counter = %d, want 1", statsz.Admission.Rejected)
+	}
+}
+
+// TestClientDisconnectCancelsCompile verifies the request context is
+// threaded into the compile: when the client goes away mid-compile, the
+// compile's ctx fires and the worker slot frees for the next request.
+func TestClientDisconnectCancelsCompile(t *testing.T) {
+	entered := make(chan struct{})
+	cancelled := make(chan struct{})
+	swapCompile(t, func(ctx context.Context, g *flowrel.Graph, dem flowrel.Demand, cfg flowrel.Config) (*flowrel.Plan, error) {
+		close(entered)
+		<-ctx.Done()
+		close(cancelled)
+		return nil, ctx.Err()
+	})
+
+	srv := newTestServer(t, serverConfig{Workers: 1})
+	body := submitBody(t)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		srv.URL+"/v1/topologies", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("compile never started")
+	}
+	cancel() // the client disconnects mid-compile
+
+	select {
+	case <-cancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("compile context was not cancelled on client disconnect")
+	}
+	if err := <-done; err == nil {
+		t.Error("cancelled client request unexpectedly succeeded")
+	}
+
+	// The slot the cancelled request held must be free again: a fresh
+	// request (real compile) completes.
+	swapCompile(t, flowrel.CompilePlanCtx)
+	resp, err := http.Post(srv.URL+"/v1/topologies", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("follow-up request: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestClientDisconnectWhileQueued verifies a queued request that gives up
+// leaves the queue: its slot is returned, so the gate does not leak
+// capacity.
+func TestClientDisconnectWhileQueued(t *testing.T) {
+	adm := newAdmission(1, 2)
+
+	release, err := adm.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := adm.admit(ctx)
+		errc <- err
+	}()
+
+	// Wait for the waiter to be counted, then abandon it.
+	deadline := time.Now().Add(5 * time.Second)
+	for adm.counters().Queued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("cancelled waiter admitted")
+	}
+
+	// The queue slot must be back: a fresh waiter queues (rather than
+	// being shed) and admits once the worker frees.
+	if got := adm.counters().Queued; got != 0 {
+		t.Fatalf("queued = %d after cancellation, want 0", got)
+	}
+	admitted := make(chan struct{})
+	go func() {
+		r2, err := adm.admit(context.Background())
+		if err != nil {
+			t.Error(err)
+			close(admitted)
+			return
+		}
+		close(admitted)
+		r2()
+	}()
+	select {
+	case <-admitted:
+		t.Fatal("waiter admitted while the worker slot was held")
+	case <-time.After(10 * time.Millisecond):
+	}
+	release()
+	select {
+	case <-admitted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never admitted after release")
+	}
+}

@@ -1,0 +1,92 @@
+// Command relcalcd is the reliability query server: the compile/evaluate
+// split as a service. Clients submit a topology once (POST
+// /v1/topologies), get back a plan handle, and then answer
+// probability-vector queries against the compiled plan in microseconds —
+// single evaluations (POST /v1/plans/{handle}/eval) or scenario batches
+// through the block kernels (POST /v1/plans/{handle}/evalbatch).
+//
+// Compiles are deduplicated process-wide through the sharded plan cache
+// (structural-hash keyed singleflight), every request runs under the
+// anytime admission budget it declares (max_configs, soft_deadline_ms),
+// and a bounded worker/queue gate sheds overload as 429 + Retry-After
+// instead of letting tail latency collapse. See docs/SERVICE.md for the
+// API reference and capacity-planning notes.
+//
+// Usage:
+//
+//	relcalcd -addr 127.0.0.1:8080
+//	relcalcd -addr 127.0.0.1:0 -addr-file /tmp/relcalcd.addr   # ephemeral port, written to the file
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "relcalcd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stderr *os.File) error {
+	fs := flag.NewFlagSet("relcalcd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8080", "listen address (use port 0 for an ephemeral port)")
+		addrFile = fs.String("addr-file", "", "write the bound listen address to this file once serving (for scripts driving an ephemeral port)")
+		workers  = fs.Int("workers", 16, "concurrently executing compute requests")
+		queue    = fs.Int("queue", 64, "requests allowed to wait for a worker slot before 429s")
+		maxPlans = fs.Int("max-plans", 4096, "plan handles kept (LRU eviction beyond)")
+		maxBatch = fs.Int("max-batch", 4096, "scenarios per evalbatch request")
+		deadline = fs.Duration("compile-deadline", 5*time.Second, "default compile budget for submissions that declare none")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := newServer(serverConfig{
+		Workers:         *workers,
+		Queue:           *queue,
+		MaxPlans:        *maxPlans,
+		MaxBatch:        *maxBatch,
+		DefaultDeadline: *deadline,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			ln.Close()
+			return fmt.Errorf("writing -addr-file: %w", err)
+		}
+	}
+	fmt.Fprintf(stderr, "relcalcd: serving on http://%s (workers=%d queue=%d)\n", bound, *workers, *queue)
+
+	httpSrv := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		fmt.Fprintf(stderr, "relcalcd: %v, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return httpSrv.Shutdown(ctx)
+	}
+}

@@ -1,0 +1,514 @@
+package main
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"flowrel"
+	"flowrel/internal/debughttp"
+	"flowrel/internal/stats"
+)
+
+// compilePlanCtx is the compile entry point; a variable so tests can
+// substitute a blocking or failing compile without building pathological
+// topologies.
+var compilePlanCtx = flowrel.CompilePlanCtx
+
+// serverConfig sizes one relcalcd instance.
+type serverConfig struct {
+	// Workers bounds concurrently executing compute requests; Queue
+	// bounds how many more may wait for a slot before 429s start.
+	Workers int
+	Queue   int
+	// MaxPlans bounds the handle registry (LRU eviction beyond it). The
+	// compiled arrays themselves live in the process-wide plan cache;
+	// a registry entry is just the handle → plan binding.
+	MaxPlans int
+	// MaxBatch bounds the scenario count of one evalbatch request.
+	MaxBatch int
+	// MaxBodyBytes bounds request bodies (topologies and batches).
+	MaxBodyBytes int64
+	// DefaultDeadline is the compile budget applied when a submission
+	// carries none, so an adversarial topology cannot pin a worker
+	// forever.
+	DefaultDeadline time.Duration
+}
+
+func (c serverConfig) withDefaults() serverConfig {
+	if c.Workers <= 0 {
+		c.Workers = 16
+	}
+	if c.Queue < 0 {
+		c.Queue = 0
+	}
+	if c.MaxPlans <= 0 {
+		c.MaxPlans = 4096
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4096
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 5 * time.Second
+	}
+	return c
+}
+
+// planRecord binds one handle to a compiled plan and its submission
+// metadata.
+type planRecord struct {
+	handle  string
+	plan    *flowrel.Plan
+	nodes   int
+	links   int
+	demand  demandSpec
+	cached  bool
+	created time.Time
+}
+
+// server is one relcalcd instance: a handle registry over the shared
+// plan cache, an admission gate, and per-endpoint latency histograms.
+type server struct {
+	cfg serverConfig
+	adm *admission
+	mux *http.ServeMux
+
+	mu    sync.Mutex
+	byH   map[string]*list.Element // values are *planRecord wrapped in list elements
+	order *list.List               // front = most recently used
+
+	start time.Time
+
+	latCompile   stats.FineHistogram // µs
+	latEval      stats.FineHistogram // µs
+	latEvalBatch stats.FineHistogram // µs
+	requests     stats.Counter
+	errorsTotal  stats.Counter
+
+	// resultPool recycles evalbatch result buffers so the steady-state
+	// batch path allocates only what JSON encoding itself needs.
+	resultPool sync.Pool
+}
+
+func newServer(cfg serverConfig) *server {
+	cfg = cfg.withDefaults()
+	s := &server{
+		cfg:   cfg,
+		adm:   newAdmission(cfg.Workers, cfg.Queue),
+		mux:   http.NewServeMux(),
+		byH:   make(map[string]*list.Element),
+		order: list.New(),
+		start: time.Now(),
+	}
+	s.resultPool.New = func() any { b := make([]float64, 0, 256); return &b }
+	flowrel.PublishExpvar()
+
+	s.mux.HandleFunc("POST /v1/topologies", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/plans/{handle}", s.handlePlanInfo)
+	s.mux.HandleFunc("POST /v1/plans/{handle}/eval", s.handleEval)
+	s.mux.HandleFunc("POST /v1/plans/{handle}/evalbatch", s.handleEvalBatch)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.Handle("/debug/", debughttp.NewMux())
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// ---- wire types ----
+
+type budgetSpec struct {
+	MaxConfigs     uint64 `json:"max_configs,omitempty"`
+	MaxFlowCalls   int64  `json:"max_flow_calls,omitempty"`
+	SoftDeadlineMS int64  `json:"soft_deadline_ms,omitempty"`
+}
+
+func (b *budgetSpec) toBudget(def time.Duration) flowrel.Budget {
+	out := flowrel.Budget{}
+	if b != nil {
+		out.MaxConfigs = b.MaxConfigs
+		out.MaxMaxFlowCalls = b.MaxFlowCalls
+		out.SoftDeadline = time.Duration(b.SoftDeadlineMS) * time.Millisecond
+	}
+	if out.SoftDeadline == 0 {
+		out.SoftDeadline = def
+	}
+	return out
+}
+
+type demandSpec struct {
+	S string `json:"s"`
+	T string `json:"t"`
+	D int    `json:"d"`
+}
+
+type submitRequest struct {
+	Topology         json.RawMessage `json:"topology"`
+	Budget           *budgetSpec     `json:"budget,omitempty"`
+	MaxBottleneck    int             `json:"max_bottleneck,omitempty"`
+	MaxSideEdges     int             `json:"max_side_edges,omitempty"`
+	MaxAssignmentSet int             `json:"max_assignment_set,omitempty"`
+	Parallelism      int             `json:"parallelism,omitempty"`
+}
+
+type submitResponse struct {
+	Handle    string  `json:"handle"`
+	Cached    bool    `json:"cached"`
+	Nodes     int     `json:"nodes"`
+	Links     int     `json:"links"`
+	K         int     `json:"k"`
+	Alpha     float64 `json:"alpha"`
+	CompileUS int64   `json:"compile_us"`
+}
+
+type evalRequest struct {
+	PFail []float64 `json:"pfail"`
+}
+
+type evalResponse struct {
+	Handle      string  `json:"handle"`
+	Reliability float64 `json:"reliability"`
+}
+
+type evalBatchRequest struct {
+	Scenarios [][]float64 `json:"scenarios"`
+}
+
+type evalBatchResponse struct {
+	Handle        string    `json:"handle"`
+	Reliabilities []float64 `json:"reliabilities"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// ---- helpers ----
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v) //nolint:errcheck // client disconnects surface in the server log, not here
+}
+
+func (s *server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	s.errorsTotal.Inc()
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// failSaturated is the 429 path: Retry-After tells closed-loop clients
+// when to come back; one second is the admission queue's natural drain
+// horizon for microsecond evals behind a stuck compile.
+func (s *server) failSaturated(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	s.fail(w, http.StatusTooManyRequests, "server saturated: worker slots and queue full")
+}
+
+// admitCompute runs the admission gate for one compute request. On nil
+// release the response has already been written.
+func (s *server) admitCompute(w http.ResponseWriter, r *http.Request) func() {
+	release, err := s.adm.admit(r.Context())
+	if err == nil {
+		return release
+	}
+	if errors.Is(err, errSaturated) {
+		s.failSaturated(w)
+	} else {
+		// The client went away while queued; status is a formality.
+		s.fail(w, http.StatusServiceUnavailable, "request cancelled while queued: %v", err)
+	}
+	return nil
+}
+
+// handleFor resolves a plan handle, refreshing its LRU position.
+func (s *server) handleFor(handle string) (*planRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.byH[handle]
+	if !ok {
+		return nil, false
+	}
+	s.order.MoveToFront(el)
+	return el.Value.(*planRecord), true
+}
+
+// remember stores a plan record, evicting the least recently used handle
+// beyond MaxPlans. Re-registering an existing handle refreshes it.
+func (s *server) remember(rec *planRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byH[rec.handle]; ok {
+		el.Value = rec
+		s.order.MoveToFront(el)
+		return
+	}
+	s.byH[rec.handle] = s.order.PushFront(rec)
+	for s.order.Len() > s.cfg.MaxPlans {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.byH, oldest.Value.(*planRecord).handle)
+	}
+}
+
+func (s *server) planCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.order.Len()
+}
+
+// planHandle derives the registry handle: the structural cache hash
+// (topology + capacities + demand + decomposition bounds — the key the
+// sharded plan cache dedups compiles by) extended with a hash of the
+// submission's failure probabilities, because the probabilities are the
+// evaluate-phase baseline the handle's nil-pfail queries resolve to.
+func planHandle(g *flowrel.Graph, dem flowrel.Demand, cfg flowrel.Config) string {
+	structural := flowrel.StructuralHash(g, dem, cfg)
+	h := sha256.New()
+	var buf [8]byte
+	for _, e := range g.Edges() {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(e.PFail*1e18)))
+		h.Write(buf[:])
+	}
+	return structural[:24] + hex.EncodeToString(h.Sum(nil))[:8]
+}
+
+// ---- handlers ----
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	release := s.admitCompute(w, r)
+	if release == nil {
+		return
+	}
+	defer release()
+
+	var req submitRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if len(req.Topology) == 0 {
+		s.fail(w, http.StatusBadRequest, "missing topology")
+		return
+	}
+	var file flowrel.File
+	if err := json.Unmarshal(req.Topology, &file); err != nil {
+		s.fail(w, http.StatusBadRequest, "decoding topology: %v", err)
+		return
+	}
+	if file.Demand == nil {
+		s.fail(w, http.StatusBadRequest, "topology carries no demand (s, t, d)")
+		return
+	}
+	g, dem := file.Graph, *file.Demand
+
+	cfg := flowrel.Config{
+		MaxBottleneck:    req.MaxBottleneck,
+		MaxSideEdges:     req.MaxSideEdges,
+		MaxAssignmentSet: req.MaxAssignmentSet,
+		Parallelism:      req.Parallelism,
+		Budget:           req.Budget.toBudget(s.cfg.DefaultDeadline),
+	}
+
+	start := time.Now()
+	plan, err := compilePlanCtx(r.Context(), g, dem, cfg)
+	elapsed := time.Since(start)
+	if err != nil {
+		switch {
+		case r.Context().Err() != nil:
+			// Client disconnected mid-compile; the controller cancelled
+			// the compile and nobody reads this response.
+			s.fail(w, http.StatusServiceUnavailable, "client cancelled: %v", err)
+		case errors.Is(err, flowrel.ErrInterrupted):
+			// The request's own budget ran out before the compile
+			// finished: retryable with a bigger budget (or later, when
+			// the structure is warm in the cache from a luckier caller).
+			w.Header().Set("Retry-After", "1")
+			s.fail(w, http.StatusTooManyRequests, "compile budget exhausted: %v", err)
+		default:
+			s.fail(w, http.StatusUnprocessableEntity, "compile: %v", err)
+		}
+		return
+	}
+	s.latCompile.Observe(elapsed.Microseconds())
+
+	names := nodeNames(&file)
+	rec := &planRecord{
+		handle:  planHandle(g, dem, cfg),
+		plan:    plan,
+		nodes:   g.NumNodes(),
+		links:   g.NumEdges(),
+		demand:  demandSpec{S: names[dem.S], T: names[dem.T], D: dem.D},
+		cached:  plan.Cached(),
+		created: start,
+	}
+	s.remember(rec)
+
+	writeJSON(w, http.StatusOK, submitResponse{
+		Handle:    rec.handle,
+		Cached:    rec.cached,
+		Nodes:     rec.nodes,
+		Links:     rec.links,
+		K:         plan.K(),
+		Alpha:     plan.Alpha(),
+		CompileUS: elapsed.Microseconds(),
+	})
+}
+
+func (s *server) handlePlanInfo(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	rec, ok := s.handleFor(r.PathValue("handle"))
+	if !ok {
+		s.fail(w, http.StatusNotFound, "unknown plan handle %q", r.PathValue("handle"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"handle":       rec.handle,
+		"nodes":        rec.nodes,
+		"links":        rec.links,
+		"k":            rec.plan.K(),
+		"alpha":        rec.plan.Alpha(),
+		"cut":          rec.plan.Cut(),
+		"demand":       rec.demand,
+		"cached":       rec.cached,
+		"created_unix": rec.created.Unix(),
+	})
+}
+
+func (s *server) handleEval(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	rec, ok := s.handleFor(r.PathValue("handle"))
+	if !ok {
+		s.fail(w, http.StatusNotFound, "unknown plan handle %q", r.PathValue("handle"))
+		return
+	}
+	release := s.admitCompute(w, r)
+	if release == nil {
+		return
+	}
+	defer release()
+
+	var req evalRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	start := time.Now()
+	rel, err := rec.plan.Eval(req.PFail)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "eval: %v", err)
+		return
+	}
+	s.latEval.Observe(time.Since(start).Microseconds())
+	writeJSON(w, http.StatusOK, evalResponse{Handle: rec.handle, Reliability: rel})
+}
+
+func (s *server) handleEvalBatch(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	rec, ok := s.handleFor(r.PathValue("handle"))
+	if !ok {
+		s.fail(w, http.StatusNotFound, "unknown plan handle %q", r.PathValue("handle"))
+		return
+	}
+	release := s.admitCompute(w, r)
+	if release == nil {
+		return
+	}
+	defer release()
+
+	var req evalBatchRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if len(req.Scenarios) == 0 {
+		s.fail(w, http.StatusBadRequest, "empty scenario batch")
+		return
+	}
+	if len(req.Scenarios) > s.cfg.MaxBatch {
+		s.fail(w, http.StatusBadRequest, "batch of %d scenarios exceeds the limit %d; split the request", len(req.Scenarios), s.cfg.MaxBatch)
+		return
+	}
+
+	bufp := s.resultPool.Get().(*[]float64)
+	if cap(*bufp) < len(req.Scenarios) {
+		*bufp = make([]float64, len(req.Scenarios))
+	}
+	dst := (*bufp)[:len(req.Scenarios)]
+
+	start := time.Now()
+	err := rec.plan.EvalBatchInto(dst, req.Scenarios, flowrel.EvalBatchOptions{})
+	if err != nil {
+		*bufp = dst[:0]
+		s.resultPool.Put(bufp)
+		s.fail(w, http.StatusBadRequest, "evalbatch: %v", err)
+		return
+	}
+	s.latEvalBatch.Observe(time.Since(start).Microseconds())
+	writeJSON(w, http.StatusOK, evalBatchResponse{Handle: rec.handle, Reliabilities: dst})
+	*bufp = dst[:0]
+	s.resultPool.Put(bufp)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.adm.saturated() {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "saturated")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_s":   int64(time.Since(s.start).Seconds()),
+		"requests":   s.requests.Value(),
+		"errors":     s.errorsTotal.Value(),
+		"plans":      s.planCount(),
+		"admission":  s.adm.counters(),
+		"plan_cache": flowrel.PlanCacheSnapshot(),
+		"latency_us": map[string]stats.FineSnapshot{
+			"compile":   s.latCompile.FineSnapshot(),
+			"eval":      s.latEval.FineSnapshot(),
+			"evalbatch": s.latEvalBatch.FineSnapshot(),
+		},
+	})
+}
+
+// nodeNames returns the display name of every node in the file (the
+// submitted name, or a stable fallback for anonymous nodes).
+func nodeNames(f *flowrel.File) []string {
+	names := make([]string, f.Graph.NumNodes())
+	for i := range names {
+		if nm := f.Graph.NodeName(flowrel.NodeID(i)); nm != "" {
+			names[i] = nm
+		} else {
+			names[i] = fmt.Sprintf("n%d", i)
+		}
+	}
+	return names
+}

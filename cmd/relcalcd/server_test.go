@@ -1,0 +1,411 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"flowrel"
+)
+
+// loadTopology reads a testdata graph and returns its JSON encoding plus
+// the parsed file for direct-library comparison.
+func loadTopology(t *testing.T, path string) (json.RawMessage, *flowrel.File) {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	file, err := flowrel.ParseText(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob, file
+}
+
+func newTestServer(t *testing.T, cfg serverConfig) *httptest.Server {
+	t.Helper()
+	flowrel.ResetPlanCache()
+	t.Cleanup(flowrel.ResetPlanCache)
+	srv := httptest.NewServer(newServer(cfg))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// postJSON sends v (pre-encoded JSON or a marshalable value) and decodes
+// the JSON response into out (unless nil), returning the status code.
+func postJSON(t *testing.T, url string, v any, out any) int {
+	t.Helper()
+	var body []byte
+	switch b := v.(type) {
+	case json.RawMessage:
+		body = b
+	case []byte:
+		body = b
+	default:
+		var err error
+		body, err = json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding response from %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func submit(t *testing.T, srv *httptest.Server, topology json.RawMessage) submitResponse {
+	t.Helper()
+	var res submitResponse
+	req := map[string]any{"topology": topology}
+	if status := postJSON(t, srv.URL+"/v1/topologies", req, &res); status != http.StatusOK {
+		t.Fatalf("submit: status %d", status)
+	}
+	if res.Handle == "" {
+		t.Fatal("submit returned an empty handle")
+	}
+	return res
+}
+
+// TestSubmitEvalRoundTrip drives the full query API against figure4 and
+// cross-checks every answer against the in-process library.
+func TestSubmitEvalRoundTrip(t *testing.T) {
+	topo, file := loadTopology(t, "../../testdata/figure4.g")
+	srv := newTestServer(t, serverConfig{})
+
+	res := submit(t, srv, topo)
+	if res.Links != file.Graph.NumEdges() || res.Nodes != file.Graph.NumNodes() {
+		t.Errorf("submit reported %d nodes / %d links, want %d / %d",
+			res.Nodes, res.Links, file.Graph.NumNodes(), file.Graph.NumEdges())
+	}
+
+	plan, err := flowrel.CompilePlan(file.Graph, *file.Demand, flowrel.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBase, err := plan.Eval(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Single eval, base probabilities (pfail omitted).
+	var ev evalResponse
+	if status := postJSON(t, srv.URL+"/v1/plans/"+res.Handle+"/eval", map[string]any{}, &ev); status != http.StatusOK {
+		t.Fatalf("eval: status %d", status)
+	}
+	if math.Abs(ev.Reliability-wantBase) > 1e-15 {
+		t.Errorf("eval(base) = %v, library says %v", ev.Reliability, wantBase)
+	}
+
+	// Single eval, explicit vector with one link forced down.
+	down := plan.BasePFail()
+	down[0] = 1
+	wantDown, err := plan.Eval(down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status := postJSON(t, srv.URL+"/v1/plans/"+res.Handle+"/eval", evalRequest{PFail: down}, &ev); status != http.StatusOK {
+		t.Fatalf("eval(down): status %d", status)
+	}
+	if math.Abs(ev.Reliability-wantDown) > 1e-15 {
+		t.Errorf("eval(link0 down) = %v, library says %v", ev.Reliability, wantDown)
+	}
+
+	// Batch: base (null), the down vector, and an all-up vector.
+	up := make([]float64, file.Graph.NumEdges())
+	scenarios := [][]float64{nil, down, up}
+	var bv evalBatchResponse
+	if status := postJSON(t, srv.URL+"/v1/plans/"+res.Handle+"/evalbatch",
+		evalBatchRequest{Scenarios: scenarios}, &bv); status != http.StatusOK {
+		t.Fatalf("evalbatch: status %d", status)
+	}
+	if len(bv.Reliabilities) != 3 {
+		t.Fatalf("evalbatch returned %d results, want 3", len(bv.Reliabilities))
+	}
+	wantBatch, err := plan.EvalBatch(scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantBatch {
+		if math.Abs(bv.Reliabilities[i]-wantBatch[i]) > 1e-15 {
+			t.Errorf("evalbatch[%d] = %v, library says %v", i, bv.Reliabilities[i], wantBatch[i])
+		}
+	}
+
+	// Resubmitting the same topology returns the same handle, served from
+	// the plan cache.
+	res2 := submit(t, srv, topo)
+	if res2.Handle != res.Handle {
+		t.Errorf("resubmission changed the handle: %s vs %s", res2.Handle, res.Handle)
+	}
+	if !res2.Cached {
+		t.Error("resubmission was not served from the plan cache")
+	}
+
+	// Plan metadata.
+	resp, err := http.Get(srv.URL + "/v1/plans/" + res.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if info["handle"] != res.Handle {
+		t.Errorf("plan info handle = %v", info["handle"])
+	}
+	if dem, ok := info["demand"].(map[string]any); !ok || dem["s"] != "s" || dem["t"] != "t" {
+		t.Errorf("plan info demand = %v, want s→t", info["demand"])
+	}
+
+	// Liveness and stats surfaces.
+	for _, path := range []string{"/healthz", "/readyz", "/statsz", "/debug/vars"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestEvalValidation covers the 4xx surface: unknown handles, malformed
+// bodies, wrong vector lengths, oversized and empty batches, and
+// demand-less topologies.
+func TestEvalValidation(t *testing.T) {
+	topo, file := loadTopology(t, "../../testdata/figure2.g")
+	srv := newTestServer(t, serverConfig{MaxBatch: 4})
+	res := submit(t, srv, topo)
+
+	if status := postJSON(t, srv.URL+"/v1/plans/nosuchhandle/eval", map[string]any{}, nil); status != http.StatusNotFound {
+		t.Errorf("unknown handle eval: status %d, want 404", status)
+	}
+	if status := postJSON(t, srv.URL+"/v1/topologies", []byte(`{"topology": 42}`), nil); status != http.StatusBadRequest {
+		t.Errorf("malformed topology: status %d, want 400", status)
+	}
+	if status := postJSON(t, srv.URL+"/v1/topologies", []byte(`{}`), nil); status != http.StatusBadRequest {
+		t.Errorf("missing topology: status %d, want 400", status)
+	}
+
+	// Topology without a demand line.
+	var naked flowrel.File
+	naked.Graph = file.Graph
+	blob, err := json.Marshal(&naked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status := postJSON(t, srv.URL+"/v1/topologies", map[string]any{"topology": json.RawMessage(blob)}, nil); status != http.StatusBadRequest {
+		t.Errorf("demand-less topology: status %d, want 400", status)
+	}
+
+	// Wrong eval vector length.
+	if status := postJSON(t, srv.URL+"/v1/plans/"+res.Handle+"/eval",
+		evalRequest{PFail: []float64{0.5}}, nil); status != http.StatusBadRequest {
+		t.Errorf("short pfail vector: status %d, want 400", status)
+	}
+
+	// Batch limits.
+	if status := postJSON(t, srv.URL+"/v1/plans/"+res.Handle+"/evalbatch",
+		evalBatchRequest{}, nil); status != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d, want 400", status)
+	}
+	big := make([][]float64, 5) // MaxBatch is 4
+	if status := postJSON(t, srv.URL+"/v1/plans/"+res.Handle+"/evalbatch",
+		evalBatchRequest{Scenarios: big}, nil); status != http.StatusBadRequest {
+		t.Errorf("oversized batch: status %d, want 400", status)
+	}
+}
+
+// TestCompileBudgetExhaustion429 maps an exhausted per-request anytime
+// budget to 429 + Retry-After through the real compile path: MaxConfigs 1
+// cannot cover figure4's side lattices, so the compile is interrupted and
+// the request is told to retry (with a bigger budget, or once a luckier
+// caller has warmed the cache).
+func TestCompileBudgetExhaustion429(t *testing.T) {
+	topo, _ := loadTopology(t, "../../testdata/figure4.g")
+	srv := newTestServer(t, serverConfig{})
+
+	body := map[string]any{
+		"topology": topo,
+		"budget":   budgetSpec{MaxConfigs: 1},
+	}
+	blob, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/topologies", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("budget-exhausted compile: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without a Retry-After header")
+	}
+	var e errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Error, "budget") {
+		t.Errorf("error %q does not name the budget", e.Error)
+	}
+}
+
+// TestPlanRegistryLRU bounds the handle registry: with MaxPlans 2, the
+// first of three submitted structures is forgotten (404) while the later
+// two still answer.
+func TestPlanRegistryLRU(t *testing.T) {
+	srv := newTestServer(t, serverConfig{MaxPlans: 2})
+
+	handles := make([]string, 3)
+	for i := range handles {
+		b := flowrel.NewBuilder()
+		s := b.AddNamedNode("s")
+		tt := b.AddNamedNode("t")
+		b.AddEdge(s, tt, i+1, 0.1) // capacity varies → distinct structure
+		b.AddEdge(s, tt, 1, 0.2)
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dem := flowrel.Demand{S: s, T: tt, D: 1}
+		file := &flowrel.File{Graph: g, Demand: &dem}
+		blob, err := json.Marshal(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = submit(t, srv, blob).Handle
+	}
+
+	status := postJSON(t, srv.URL+"/v1/plans/"+handles[0]+"/eval", map[string]any{}, nil)
+	if status != http.StatusNotFound {
+		t.Errorf("evicted handle: status %d, want 404", status)
+	}
+	for _, h := range handles[1:] {
+		if status := postJSON(t, srv.URL+"/v1/plans/"+h+"/eval", map[string]any{}, nil); status != http.StatusOK {
+			t.Errorf("resident handle %s: status %d, want 200", h, status)
+		}
+	}
+}
+
+// TestHandleDependsOnProbabilities pins the handle derivation: same
+// structure with different failure probabilities must yield different
+// handles (each handle's nil-pfail baseline is its own submission), while
+// the underlying structural compile is shared through the plan cache.
+func TestHandleDependsOnProbabilities(t *testing.T) {
+	srv := newTestServer(t, serverConfig{})
+
+	build := func(pfail float64) json.RawMessage {
+		b := flowrel.NewBuilder()
+		s := b.AddNamedNode("s")
+		tt := b.AddNamedNode("t")
+		b.AddEdge(s, tt, 1, pfail)
+		b.AddEdge(s, tt, 1, 0.2)
+		g, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dem := flowrel.Demand{S: s, T: tt, D: 1}
+		blob, err := json.Marshal(&flowrel.File{Graph: g, Demand: &dem})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+
+	a := submit(t, srv, build(0.1))
+	b := submit(t, srv, build(0.3))
+	if a.Handle == b.Handle {
+		t.Fatal("different failure probabilities produced the same handle")
+	}
+	if !b.Cached {
+		t.Error("structurally identical resubmission did not hit the plan cache")
+	}
+
+	// Each handle's nil-pfail eval answers its own baseline.
+	var ra, rb evalResponse
+	if status := postJSON(t, srv.URL+"/v1/plans/"+a.Handle+"/eval", map[string]any{}, &ra); status != http.StatusOK {
+		t.Fatalf("eval a: %d", status)
+	}
+	if status := postJSON(t, srv.URL+"/v1/plans/"+b.Handle+"/eval", map[string]any{}, &rb); status != http.StatusOK {
+		t.Fatalf("eval b: %d", status)
+	}
+	if math.Abs(ra.Reliability-rb.Reliability) < 1e-12 {
+		t.Errorf("baselines coincide (%v); the handles are not carrying their own probabilities", ra.Reliability)
+	}
+}
+
+// TestStatszShape checks the operational snapshot carries the sections
+// capacity planning reads: admission counters, plan-cache counters and
+// per-endpoint latency quantiles.
+func TestStatszShape(t *testing.T) {
+	topo, _ := loadTopology(t, "../../testdata/figure2.g")
+	srv := newTestServer(t, serverConfig{})
+	res := submit(t, srv, topo)
+	for i := 0; i < 3; i++ {
+		if status := postJSON(t, srv.URL+"/v1/plans/"+res.Handle+"/eval", map[string]any{}, nil); status != http.StatusOK {
+			t.Fatalf("eval %d: status %d", i, status)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var statsz struct {
+		Requests  int64             `json:"requests"`
+		Plans     int               `json:"plans"`
+		Admission admissionCounters `json:"admission"`
+		PlanCache struct {
+			Misses uint64 `json:"misses"`
+			Shards int    `json:"shards"`
+		} `json:"plan_cache"`
+		LatencyUS map[string]struct {
+			Count int64 `json:"count"`
+			P99   int64 `json:"p99"`
+		} `json:"latency_us"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&statsz); err != nil {
+		t.Fatal(err)
+	}
+	if statsz.Requests < 4 || statsz.Plans != 1 {
+		t.Errorf("requests=%d plans=%d, want ≥4 and 1", statsz.Requests, statsz.Plans)
+	}
+	if statsz.Admission.Workers <= 0 {
+		t.Error("admission counters missing")
+	}
+	if statsz.PlanCache.Misses == 0 || statsz.PlanCache.Shards == 0 {
+		t.Errorf("plan cache section incomplete: %+v", statsz.PlanCache)
+	}
+	lat, ok := statsz.LatencyUS["eval"]
+	if !ok || lat.Count != 3 {
+		t.Errorf("eval latency histogram count = %+v, want 3 observations", lat)
+	}
+	if _, ok := statsz.LatencyUS["compile"]; !ok {
+		t.Error("compile latency histogram missing")
+	}
+}

@@ -1,0 +1,37 @@
+// Package debughttp builds the process debug endpoints — /debug/vars
+// (expvar) and /debug/pprof/* — on a private *http.ServeMux instead of
+// http.DefaultServeMux.
+//
+// The net/http/pprof import registers its handlers on the default mux as
+// a side effect, which is a process-wide singleton: two servers in one
+// process (relcalc -serve and relcalcd's /debug/ tree, or two test
+// fixtures in one package) would fight over the same registrations, and
+// any stray http.ListenAndServe in a dependency would silently expose
+// the profiles. Every binary that wants the debug tree mounts NewMux()
+// explicitly instead.
+package debughttp
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewMux returns a fresh mux serving the standard debug tree:
+//
+//	/debug/vars      expvar JSON (including the flowrel.stats and
+//	                 flowrel.plancache trees once PublishExpvar ran)
+//	/debug/pprof/    profile index, plus cmdline/profile/symbol/trace
+//
+// Each call returns an independent mux, so multiple servers in one
+// process never share handler registrations.
+func NewMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,60 @@
+package debughttp
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) string {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestNewMuxServesDebugTree checks both endpoint families answer, and —
+// the point of the package — that two muxes coexist in one process
+// without fighting over global registrations.
+func TestNewMuxServesDebugTree(t *testing.T) {
+	a := httptest.NewServer(NewMux())
+	defer a.Close()
+	b := httptest.NewServer(NewMux()) // would panic at registration time on a shared mux
+	defer b.Close()
+
+	for _, srv := range []*httptest.Server{a, b} {
+		if body := get(t, srv, "/debug/vars"); !strings.Contains(body, "memstats") {
+			t.Error("/debug/vars missing memstats")
+		}
+		if body := get(t, srv, "/debug/pprof/"); !strings.Contains(body, "goroutine") {
+			t.Error("/debug/pprof/ index missing goroutine profile")
+		}
+	}
+}
+
+// TestNewMuxDoesNotServeBeyondDebug pins the mux to the debug tree: no
+// catch-all root handler sneaks in.
+func TestNewMuxDoesNotServeBeyondDebug(t *testing.T) {
+	srv := httptest.NewServer(NewMux())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /: status %d, want 404", resp.StatusCode)
+	}
+}

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestFineIndexRoundTrip(t *testing.T) {
+	// Every bucket's lower bound must map back to that bucket, and bucket
+	// boundaries must be monotone.
+	prev := int64(-1)
+	for i := 0; i < fineBuckets; i++ {
+		lo := fineLowerBound(i)
+		if got := fineIndex(lo); got != i {
+			t.Fatalf("fineIndex(fineLowerBound(%d)=%d) = %d", i, lo, got)
+		}
+		if lo <= prev && i > 0 {
+			t.Fatalf("bucket %d lower bound %d not increasing past %d", i, lo, prev)
+		}
+		prev = lo
+	}
+	// Small values are exact.
+	for v := int64(0); v < fineMinors; v++ {
+		if got := fineMidpoint(fineIndex(v)); got != v {
+			t.Errorf("small value %d represented as %d", v, got)
+		}
+	}
+	// Negative values clamp to bucket 0.
+	if got := fineIndex(-5); got != 0 {
+		t.Errorf("fineIndex(-5) = %d, want 0", got)
+	}
+	// The largest int64 must stay in range.
+	if got := fineIndex(math.MaxInt64); got >= fineBuckets {
+		t.Errorf("fineIndex(MaxInt64) = %d out of %d buckets", got, fineBuckets)
+	}
+}
+
+func TestFineHistogramQuantileUniform(t *testing.T) {
+	// 1..100_000 observed once each: every quantile is known exactly, and
+	// the log-linear buckets must land within 3.5% of it.
+	var h FineHistogram
+	const n = 100_000
+	for v := int64(1); v <= n; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != n {
+		t.Fatalf("count = %d, want %d", h.Count(), n)
+	}
+	if h.Max() != n {
+		t.Fatalf("max = %d, want %d", h.Max(), n)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		want := q * n
+		got := float64(h.Quantile(q))
+		if rel := math.Abs(got-want) / want; rel > 0.035 {
+			t.Errorf("q=%v: got %v, want ≈%v (rel err %.3f)", q, got, want, rel)
+		}
+	}
+	if got := h.Quantile(1); got < n/2 {
+		t.Errorf("q=1 returned %d, far below max", got)
+	}
+}
+
+func TestFineHistogramEmptyAndClamp(t *testing.T) {
+	var h FineHistogram
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	h.Observe(42)
+	if got := h.Quantile(2); got == 0 {
+		t.Error("q>1 must clamp to the top, not report empty")
+	}
+	if got := h.Quantile(-1); got == 0 && h.Count() > 0 {
+		t.Error("q≤0 must clamp to the bottom rank, not report empty")
+	}
+}
+
+func TestFineHistogramSnapshotShape(t *testing.T) {
+	var h FineHistogram
+	for v := int64(0); v < 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.FineSnapshot()
+	if s.Count != 1000 || s.Max != 999 {
+		t.Errorf("snapshot count/max = %d/%d, want 1000/999", s.Count, s.Max)
+	}
+	if !(s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.P999) {
+		t.Errorf("quantiles not monotone: %+v", s)
+	}
+	if s.Mean < 450 || s.Mean > 550 {
+		t.Errorf("mean = %v, want ≈499.5", s.Mean)
+	}
+}
+
+func TestFineHistogramConcurrent(t *testing.T) {
+	// Concurrency smoke (meaningful under -race): total count and sum
+	// must be exact regardless of interleaving.
+	var h FineHistogram
+	const workers, per = 8, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(int64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Errorf("count = %d, want %d", h.Count(), workers*per)
+	}
+	wantSum := int64(workers*per) * int64(workers*per-1) / 2
+	if h.Sum() != wantSum {
+		t.Errorf("sum = %d, want %d", h.Sum(), wantSum)
+	}
+	if h.Max() != int64(workers*per-1) {
+		t.Errorf("max = %d, want %d", h.Max(), workers*per-1)
+	}
+}

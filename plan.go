@@ -149,6 +149,11 @@ func (p *Plan) Report(pfail []float64) (Report, error) {
 	return rep, nil
 }
 
+// Cached reports whether the compile phase was skipped entirely because
+// the plan cache already held this structure (from an earlier CompilePlan
+// or a concurrent one this call deduplicated onto).
+func (p *Plan) Cached() bool { return p.cached }
+
 // Cut returns a copy of the bottleneck link set E'.
 func (p *Plan) Cut() []EdgeID {
 	return append([]EdgeID(nil), p.core.Cut...)

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"sync"
 
 	"flowrel/internal/anytime"
@@ -19,15 +20,29 @@ import (
 // the entire O(2^{α|E|}) side-array construction and pay only the
 // microsecond evaluation. Hits return results bit-identical to a cold
 // compile, because evaluation is deterministic given the plan.
+//
+// The cache is striped into planCacheShards independent shards, selected
+// by the first byte of the structural hash. Each shard owns its mutex,
+// LRU list and in-flight compile table, so a hot structural key — one
+// subscriber topology every edge server asks about — serializes only the
+// callers that actually share it; lookups and compiles of distinct keys
+// on distinct shards never touch the same lock.
 
 // defaultPlanCacheCapacity is the default number of compiled plans kept.
 // A plan's dominant memory is its two realization arrays
 // (8·2^{|E_side|} bytes each, ≤ 8 MiB at the default MaxSideEdges 20).
 const defaultPlanCacheCapacity = 64
 
-type planCacheType struct {
+// planCacheShards is the default stripe count (a power of two; the shard
+// index is the first byte of the SHA-256 structural key masked down).
+const planCacheShards = 16
+
+// planShard is one stripe of the cache: a self-contained LRU with its own
+// lock, counters and singleflight table. All cross-shard state lives in
+// planCacheType; a shard never takes another shard's lock.
+type planShard struct {
 	mu       sync.Mutex
-	capacity int
+	capacity int        // per-shard entry bound; ≤ 0 disables caching in this shard
 	order    *list.List // front = most recently used; values are *planEntry
 	byKey    map[string]*list.Element
 	hits     uint64
@@ -35,6 +50,11 @@ type planCacheType struct {
 	evicts   uint64
 	dedups   uint64
 	inflight map[string]*inflightCompile
+}
+
+type planCacheType struct {
+	shards   []*planShard
+	capacity int // configured total capacity, split across shards
 }
 
 type planEntry struct {
@@ -54,8 +74,8 @@ type inflightCompile struct {
 
 // Registry mirrors of the cache counters, so the expvar/-stats surfaces
 // see cache behaviour without a separate code path. The mutex-guarded
-// uint64 fields above remain the source of truth for tests (they are
-// exact regardless of stats.SetEnabled).
+// uint64 fields on the shards remain the source of truth for tests (they
+// are exact regardless of stats.SetEnabled).
 var (
 	mCacheHits   = stats.Default.Counter("plancache.hits")
 	mCacheMisses = stats.Default.Counter("plancache.misses")
@@ -63,62 +83,113 @@ var (
 	mCacheDedups = stats.Default.Counter("plancache.compile_dedup")
 )
 
-var planCache = &planCacheType{
-	capacity: defaultPlanCacheCapacity,
-	order:    list.New(),
-	byKey:    make(map[string]*list.Element),
-	inflight: make(map[string]*inflightCompile),
+// newPlanCache builds a cache with the given stripe count (rounded up to
+// a power of two) and total capacity.
+func newPlanCache(shards, capacity int) *planCacheType {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	c := &planCacheType{shards: make([]*planShard, n)}
+	for i := range c.shards {
+		c.shards[i] = &planShard{
+			order:    list.New(),
+			byKey:    make(map[string]*list.Element),
+			inflight: make(map[string]*inflightCompile),
+		}
+	}
+	c.setCapacity(capacity)
+	return c
 }
 
-// acquire resolves one lookup atomically: a cached plan (hit), an
-// in-flight compile to wait on (dedup), or leadership of a new compile
-// (miss). Counting here keeps the three outcomes mutually exclusive —
-// hits + misses + dedups equals total lookups, and misses equals
-// compiles started.
-func (c *planCacheType) acquire(key string) (p *core.Plan, hit bool, fl *inflightCompile, leader bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.byKey[key]; ok {
-		c.order.MoveToFront(el)
-		c.hits++
+var planCache = newPlanCache(planCacheShards, defaultPlanCacheCapacity)
+
+// shardIndex maps a structural key to its stripe. SHA-256 output is
+// uniform, so the first byte alone spreads keys evenly.
+func (c *planCacheType) shardIndex(key string) int {
+	if len(key) == 0 {
+		return 0
+	}
+	return int(key[0]) & (len(c.shards) - 1)
+}
+
+// shardFor returns the stripe owning key.
+func (c *planCacheType) shardFor(key string) *planShard {
+	return c.shards[c.shardIndex(key)]
+}
+
+// setCapacity records the total capacity and splits it across shards,
+// evicting per shard as needed. With a single shard the per-shard bound
+// equals the total, preserving the exact global-LRU semantics; with many
+// shards each holds at most ⌈capacity/shards⌉ entries, so the total stays
+// within one rounding step of the configured bound.
+func (c *planCacheType) setCapacity(n int) {
+	c.capacity = n
+	per := 0
+	if n > 0 {
+		per = (n + len(c.shards) - 1) / len(c.shards)
+	}
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.capacity = per
+		evictTo := per
+		if n <= 0 {
+			evictTo = 0
+		}
+		s.evictOverCapacityLocked(evictTo)
+		s.mu.Unlock()
+	}
+}
+
+// acquire resolves one lookup atomically within the key's shard: a cached
+// plan (hit), an in-flight compile to wait on (dedup), or leadership of a
+// new compile (miss). Counting here keeps the three outcomes mutually
+// exclusive — hits + misses + dedups equals total lookups, and misses
+// equals compiles started.
+func (s *planShard) acquire(key string) (p *core.Plan, hit bool, fl *inflightCompile, leader bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byKey[key]; ok {
+		s.order.MoveToFront(el)
+		s.hits++
 		mCacheHits.Inc()
 		return el.Value.(*planEntry).plan, true, nil, false
 	}
-	if fl, ok := c.inflight[key]; ok {
-		c.dedups++
+	if fl, ok := s.inflight[key]; ok {
+		s.dedups++
 		mCacheDedups.Inc()
 		return nil, false, fl, false
 	}
-	c.misses++
+	s.misses++
 	mCacheMisses.Inc()
 	fl = &inflightCompile{done: make(chan struct{})}
-	c.inflight[key] = fl
+	s.inflight[key] = fl
 	return nil, false, fl, true
 }
 
-func (c *planCacheType) put(key string, p *core.Plan) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.capacity <= 0 {
+func (s *planShard) put(key string, p *core.Plan) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.capacity <= 0 {
 		return
 	}
-	if el, ok := c.byKey[key]; ok {
+	if el, ok := s.byKey[key]; ok {
 		el.Value.(*planEntry).plan = p
-		c.order.MoveToFront(el)
+		s.order.MoveToFront(el)
 		return
 	}
-	c.byKey[key] = c.order.PushFront(&planEntry{key: key, plan: p})
-	c.evictOverCapacityLocked(c.capacity)
+	s.byKey[key] = s.order.PushFront(&planEntry{key: key, plan: p})
+	s.evictOverCapacityLocked(s.capacity)
 }
 
 // evictOverCapacityLocked trims LRU entries beyond n, counting each
-// eviction. Callers hold c.mu.
-func (c *planCacheType) evictOverCapacityLocked(n int) {
-	for c.order.Len() > n {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.byKey, oldest.Value.(*planEntry).key)
-		c.evicts++
+// eviction. Callers hold s.mu.
+func (s *planShard) evictOverCapacityLocked(n int) {
+	for s.order.Len() > n {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.byKey, oldest.Value.(*planEntry).key)
+		s.evicts++
 		mCacheEvicts.Inc()
 	}
 }
@@ -129,32 +200,31 @@ func (c *planCacheType) evictOverCapacityLocked(n int) {
 // needed. In-flight compiles are unaffected: their leaders publish into
 // the fresh cache when done.
 func ResetPlanCache() {
-	planCache.mu.Lock()
-	defer planCache.mu.Unlock()
-	planCache.order.Init()
-	planCache.byKey = make(map[string]*list.Element)
-	planCache.hits, planCache.misses = 0, 0
-	planCache.evicts, planCache.dedups = 0, 0
+	for _, s := range planCache.shards {
+		s.mu.Lock()
+		s.order.Init()
+		s.byKey = make(map[string]*list.Element)
+		s.hits, s.misses = 0, 0
+		s.evicts, s.dedups = 0, 0
+		s.mu.Unlock()
+	}
 }
 
 // SetPlanCacheCapacity bounds the number of compiled plans kept (LRU
-// eviction beyond it); n ≤ 0 disables caching entirely. The default is 64.
+// eviction beyond it); n ≤ 0 disables caching entirely. The default is
+// 64. The bound is split evenly across the cache's shards, so with the
+// default 16 stripes the total entry count stays within ⌈n/16⌉·16 of the
+// requested bound.
 func SetPlanCacheCapacity(n int) {
-	planCache.mu.Lock()
-	defer planCache.mu.Unlock()
-	planCache.capacity = n
-	if n < 0 {
-		n = 0
-	}
-	planCache.evictOverCapacityLocked(n)
+	planCache.setCapacity(n)
 }
 
 // PlanCacheStats reports the cache's lifetime hit and miss counts and its
-// current entry count (since process start or the last ResetPlanCache).
+// current entry count (since process start or the last ResetPlanCache),
+// summed across shards.
 func PlanCacheStats() (hits, misses uint64, entries int) {
-	planCache.mu.Lock()
-	defer planCache.mu.Unlock()
-	return planCache.hits, planCache.misses, planCache.order.Len()
+	pc := PlanCacheSnapshot()
+	return pc.Hits, pc.Misses, pc.Entries
 }
 
 // PlanCacheCounters is the full accounting snapshot of the plan cache.
@@ -164,22 +234,27 @@ type PlanCacheCounters struct {
 	Evictions    uint64 `json:"evictions"`
 	CompileDedup uint64 `json:"compile_dedup"`
 	Entries      int    `json:"entries"`
+	Shards       int    `json:"shards"`
 }
 
 // PlanCacheSnapshot returns every plan-cache counter at once: hits,
-// misses, LRU evictions, compiles saved by in-flight deduplication, and
-// the current entry count. Counters accumulate since process start or the
-// last ResetPlanCache.
+// misses, LRU evictions, compiles saved by in-flight deduplication, the
+// current entry count, and the shard count. Counters accumulate since
+// process start or the last ResetPlanCache and are summed across shards;
+// the aggregate is not a single atomic cut across stripes, but each
+// shard's contribution is internally consistent.
 func PlanCacheSnapshot() PlanCacheCounters {
-	planCache.mu.Lock()
-	defer planCache.mu.Unlock()
-	return PlanCacheCounters{
-		Hits:         planCache.hits,
-		Misses:       planCache.misses,
-		Evictions:    planCache.evicts,
-		CompileDedup: planCache.dedups,
-		Entries:      planCache.order.Len(),
+	pc := PlanCacheCounters{Shards: len(planCache.shards)}
+	for _, s := range planCache.shards {
+		s.mu.Lock()
+		pc.Hits += s.hits
+		pc.Misses += s.misses
+		pc.Evictions += s.evicts
+		pc.CompileDedup += s.dedups
+		pc.Entries += s.order.Len()
+		s.mu.Unlock()
 	}
+	return pc
 }
 
 // planKey is the canonical structural hash: topology (node count plus
@@ -230,18 +305,28 @@ func planKey(g *Graph, dem Demand, cfg Config) string {
 	return string(h.Sum(nil))
 }
 
+// StructuralHash returns the hex-encoded structural cache key of
+// (g, dem, cfg): the hash the plan cache shards and deduplicates compiles
+// by. Two instances share a hash exactly when they share topology,
+// capacities, demand and decomposition bounds — failure probabilities do
+// not contribute. Services use it as a stable plan handle.
+func StructuralHash(g *Graph, dem Demand, cfg Config) string {
+	return hex.EncodeToString([]byte(planKey(g, dem, cfg)))
+}
+
 // planFor returns the compiled plan for (g, dem, cfg), from cache when the
 // structure was compiled before, compiling (and caching) otherwise. The
 // second return reports a cache hit. Concurrent calls for the same
-// structure are deduplicated: one leader compiles, the rest wait for its
-// plan (each saved compile increments the dedup counter). If the leader
-// fails — typically a budget or cancellation error scoped to *its*
-// controller — waiters retry with their own, so one caller's tight budget
-// cannot fail another's compile.
+// structure are deduplicated within its shard: one leader compiles, the
+// rest wait for its plan (each saved compile increments the dedup
+// counter). If the leader fails — typically a budget or cancellation
+// error scoped to *its* controller — waiters retry with their own, so one
+// caller's tight budget cannot fail another's compile.
 func planFor(ctl *anytime.Ctl, g *Graph, dem Demand, cfg Config) (*core.Plan, bool, error) {
 	key := planKey(g, dem, cfg)
+	shard := planCache.shardFor(key)
 	for {
-		p, hit, fl, leader := planCache.acquire(key)
+		p, hit, fl, leader := shard.acquire(key)
 		if hit {
 			return p, true, nil
 		}
@@ -271,14 +356,14 @@ func planFor(ctl *anytime.Ctl, g *Graph, dem Demand, cfg Config) (*core.Plan, bo
 			Ctl:              ctl,
 		})
 		fl.plan, fl.err = p, err
-		planCache.mu.Lock()
-		delete(planCache.inflight, key)
-		planCache.mu.Unlock()
+		shard.mu.Lock()
+		delete(shard.inflight, key)
+		shard.mu.Unlock()
 		close(fl.done)
 		if err != nil {
 			return nil, false, err
 		}
-		planCache.put(key, p)
+		shard.put(key, p)
 		return p, false, nil
 	}
 }

@@ -2,6 +2,7 @@ package flowrel
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 )
@@ -25,16 +26,23 @@ func cacheTestInstance(t testing.TB, cap int) (*Graph, Demand) {
 	return g, Demand{S: s, T: tt, D: 1}
 }
 
+// withPlanCacheShards swaps the process cache for a fresh one with the
+// given stripe count for the duration of the test. Counters start at
+// zero; the original cache (and whatever it held) is restored afterwards.
+func withPlanCacheShards(t *testing.T, shards, capacity int) {
+	t.Helper()
+	old := planCache
+	planCache = newPlanCache(shards, capacity)
+	t.Cleanup(func() { planCache = old })
+}
+
 // TestPlanCacheAccounting fills the cache past capacity and checks every
 // counter: evictions match the overflow, a re-compile of an evicted
-// structure counts as a miss, and hits stay hits.
+// structure counts as a miss, and hits stay hits. A single shard pins the
+// exact global-LRU semantics; the sharded default only changes which
+// entries share an LRU list, not what counts as a hit or a miss.
 func TestPlanCacheAccounting(t *testing.T) {
-	ResetPlanCache()
-	SetPlanCacheCapacity(2)
-	t.Cleanup(func() {
-		SetPlanCacheCapacity(defaultPlanCacheCapacity)
-		ResetPlanCache()
-	})
+	withPlanCacheShards(t, 1, 2)
 
 	// Four distinct structures through a capacity-2 cache: 4 misses, 2
 	// evictions (caps 1 and 2 fall out), entries pinned at 2.
@@ -137,5 +145,216 @@ func TestPlanCacheCompileDedup(t *testing.T) {
 	}
 	if got := pc.Hits + pc.CompileDedup; got != workers-1 {
 		t.Errorf("hits (%d) + deduped (%d) = %d, want %d", pc.Hits, pc.CompileDedup, got, workers-1)
+	}
+}
+
+// distinctShardInstances returns two cache-test capacities whose
+// structural keys land on different shards of the current cache, plus
+// those keys. With 16 stripes and a uniform hash this needs only a
+// handful of candidates.
+func distinctShardInstances(t *testing.T) (capA, capB int, keyA, keyB string) {
+	t.Helper()
+	firstCap, firstKey := 0, ""
+	for cap := 1; cap <= 64; cap++ {
+		g, dem := cacheTestInstance(t, cap)
+		key := planKey(g, dem, Config{})
+		if firstCap == 0 {
+			firstCap, firstKey = cap, key
+			continue
+		}
+		if planCache.shardIndex(key) != planCache.shardIndex(firstKey) {
+			return firstCap, cap, firstKey, key
+		}
+	}
+	t.Fatal("no two instances landed on distinct shards among 64 candidates")
+	return 0, 0, "", ""
+}
+
+// TestPlanCacheShardIndependence is the non-contention regression test:
+// two hot keys whose structural hashes land on different shard indices
+// must resolve to different shard objects — and therefore different
+// mutexes — so a compile or lookup storm on one cannot serialize the
+// other. Asserted structurally via the shard index, not via timing.
+func TestPlanCacheShardIndependence(t *testing.T) {
+	withPlanCacheShards(t, planCacheShards, defaultPlanCacheCapacity)
+	_, capB, keyA, keyB := distinctShardInstances(t)
+
+	sa, sb := planCache.shardFor(keyA), planCache.shardFor(keyB)
+	if sa == sb {
+		t.Fatalf("keys with shard indices %d and %d resolved to the same shard object",
+			planCache.shardIndex(keyA), planCache.shardIndex(keyB))
+	}
+	if &sa.mu == &sb.mu {
+		t.Fatal("distinct shards share a mutex")
+	}
+
+	// Holding shard A's lock must not block shard B's lookups: take A's
+	// mutex directly, then complete a full compile on B. This would
+	// deadlock (and fail the test timeout) on a single-lock cache; on the
+	// striped cache it is pure structure, no timing assertion needed.
+	sa.mu.Lock()
+	done := make(chan error, 1)
+	go func() {
+		g, dem := cacheTestInstance(t, capB)
+		_, err := CompilePlan(g, dem, Config{})
+		done <- err
+	}()
+	if err := <-done; err != nil {
+		sa.mu.Unlock()
+		t.Fatal(err)
+	}
+	sa.mu.Unlock()
+
+	sb.mu.Lock()
+	got := sb.misses
+	sb.mu.Unlock()
+	if got != 1 {
+		t.Errorf("shard B misses = %d, want 1 (the compile that ran while shard A's lock was held)", got)
+	}
+}
+
+// TestPlanCacheShardedHammer drives concurrent hits, misses and evictions
+// across many keys and a tiny per-shard capacity, then checks the global
+// accounting invariant: every lookup is exactly one of hit, miss or
+// dedup, regardless of which shard it landed on. Run under -race this is
+// the striped cache's concurrency soak.
+func TestPlanCacheShardedHammer(t *testing.T) {
+	withPlanCacheShards(t, planCacheShards, 4) // per-shard capacity 1 → constant eviction pressure
+
+	const workers = 8
+	const rounds = 12
+	const structures = 10
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				cap := 1 + (w+r)%structures
+				g, dem := cacheTestInstance(t, cap)
+				plan, err := CompilePlan(g, dem, Config{})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := plan.Eval(nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	pc := PlanCacheSnapshot()
+	if total := pc.Hits + pc.Misses + pc.CompileDedup; total != workers*rounds {
+		t.Errorf("hits+misses+dedups = %d, want %d lookups", total, workers*rounds)
+	}
+	if pc.Misses == 0 {
+		t.Error("no misses recorded across a cold hammer")
+	}
+	if pc.Entries > planCacheShards {
+		t.Errorf("entries = %d exceeds the per-shard bound × shards = %d", pc.Entries, planCacheShards)
+	}
+}
+
+// TestPlanCacheLeaderErrorRetryPerShard simulates a failed singleflight
+// leader on a specific shard — err set, entry removed, done closed, the
+// order the real leader path uses — and checks a waiter retries on that
+// same shard: one dedup (the wait on the doomed leader) followed by one
+// miss (its own successful compile), with the neighbouring shard's
+// counters untouched.
+func TestPlanCacheLeaderErrorRetryPerShard(t *testing.T) {
+	withPlanCacheShards(t, planCacheShards, defaultPlanCacheCapacity)
+	capA, capB, keyA, keyB := distinctShardInstances(t)
+	_ = capB
+
+	shard := planCache.shardFor(keyA)
+	other := planCache.shardFor(keyB)
+
+	// Install a doomed in-flight compile for keyA, as if a leader with an
+	// exhausted budget were mid-flight.
+	fl := &inflightCompile{done: make(chan struct{}), err: fmt.Errorf("simulated leader budget exhaustion")}
+	shard.mu.Lock()
+	shard.inflight[keyA] = fl
+	shard.mu.Unlock()
+
+	// The waiter joins the in-flight compile, sees the leader fail, and
+	// retries under its own controller.
+	done := make(chan error, 1)
+	go func() {
+		g, dem := cacheTestInstance(t, capA)
+		plan, err := CompilePlan(g, dem, Config{})
+		if err == nil {
+			_, err = plan.Eval(nil)
+		}
+		done <- err
+	}()
+
+	// Wait until the waiter has joined (its acquire bumps the shard's
+	// dedup counter), then fail the leader the way planFor does: remove
+	// the in-flight entry, then close done.
+	for {
+		shard.mu.Lock()
+		joined := shard.dedups > 0
+		if joined {
+			delete(shard.inflight, keyA)
+		}
+		shard.mu.Unlock()
+		if joined {
+			break
+		}
+		runtime.Gosched()
+	}
+	close(fl.done)
+
+	if err := <-done; err != nil {
+		t.Fatalf("waiter after leader failure: %v", err)
+	}
+
+	shard.mu.Lock()
+	dedups, misses, hits := shard.dedups, shard.misses, shard.hits
+	shard.mu.Unlock()
+	if dedups != 1 || misses != 1 || hits != 0 {
+		t.Errorf("failed-leader shard counters hits=%d misses=%d dedups=%d, want 0/1/1", hits, misses, dedups)
+	}
+	other.mu.Lock()
+	otherTotal := other.hits + other.misses + other.dedups
+	other.mu.Unlock()
+	if otherTotal != 0 {
+		t.Errorf("unrelated shard saw %d lookups, want 0", otherTotal)
+	}
+}
+
+// TestStructuralHashMatchesCacheKey pins the exported handle to the
+// internal cache key: same structure → same hash regardless of failure
+// probabilities, different capacity → different hash.
+func TestStructuralHashMatchesCacheKey(t *testing.T) {
+	g1, dem := cacheTestInstance(t, 2)
+	h1 := StructuralHash(g1, dem, Config{})
+	if len(h1) != 64 { // hex-encoded SHA-256
+		t.Fatalf("hash length = %d, want 64", len(h1))
+	}
+
+	// Same structure, different probabilities: the builder below differs
+	// from cacheTestInstance only in PFail values.
+	b := NewBuilder()
+	s := b.AddNamedNode("s")
+	a := b.AddNamedNode("a")
+	tt := b.AddNamedNode("t")
+	b.AddEdge(s, a, 2, 0.5)
+	b.AddEdge(a, tt, 2, 0.5)
+	b.AddEdge(s, tt, 1, 0.5)
+	g2, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 := StructuralHash(g2, dem, Config{}); h2 != h1 {
+		t.Errorf("hash depends on failure probabilities: %s vs %s", h1, h2)
+	}
+
+	g3, dem3 := cacheTestInstance(t, 3)
+	if h3 := StructuralHash(g3, dem3, Config{}); h3 == h1 {
+		t.Error("distinct capacities produced the same structural hash")
 	}
 }
