@@ -29,6 +29,14 @@
 // counts. When -loadgen is given the bench output may be empty (e.g.
 // /dev/null), so the CI service-smoke job can gate a pure service run
 // without re-running the micro-benchmarks.
+//
+// -churn FILE gates the delta-compile metrics from a churnbench JSON
+// summary (see cmd/churnbench): churn_stream_ns_per_mutation is
+// lower-is-better, and delta_vs_cold_speedup gates as an absolute floor
+// — the measured speedup may never fall below the baseline's recorded
+// value, with no tolerance, because the ratio of two same-machine
+// measurements is already machine-independent. Like -loadgen, -churn
+// permits an empty bench input.
 package main
 
 import (
@@ -90,6 +98,11 @@ const (
 	// absoluteCeiling gates with no tolerance: any increase over the
 	// baseline fails (allocs/op, error_rate).
 	absoluteCeiling
+	// absoluteFloor gates with no tolerance in the other direction: any
+	// drop below the baseline fails. Used for same-machine ratios
+	// (delta_vs_cold_speedup), where runner speed cancels out and the
+	// baseline value is a contract, not a measurement to drift from.
+	absoluteFloor
 )
 
 // loadgenMetrics maps loadgen summary fields to baseline keys with their
@@ -103,6 +116,18 @@ var loadgenMetrics = []struct {
 	{"qps", "service_qps", higherIsBetter, "req/s"},
 	{"p99_us", "service_p99_us", lowerIsBetter, "µs"},
 	{"error_rate", "service_error_rate", absoluteCeiling, "ratio"},
+}
+
+// churnMetrics maps churnbench summary fields to baseline keys with
+// their gating direction.
+var churnMetrics = []struct {
+	field string
+	key   string
+	kind  metricKind
+	unit  string
+}{
+	{"churn_stream_ns_per_mutation", "churn_stream_ns_per_mutation", lowerIsBetter, "ns/mut"},
+	{"delta_vs_cold_speedup", "delta_vs_cold_speedup", absoluteFloor, "x"},
 }
 
 // benchLine matches one result row, with the optional -benchmem columns:
@@ -127,6 +152,7 @@ type resultFile struct {
 	Tolerance   float64            `json:"tolerance"`
 	Runs        int                `json:"runs"`
 	Loadgen     string             `json:"loadgen,omitempty"`
+	Churn       string             `json:"churn,omitempty"`
 	Benchmarks  map[string]float64 `json:"benchmarks"`
 }
 
@@ -136,6 +162,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	outPath := fs.String("out", "", "write the measured medians as JSON to this file (the baseline's shape)")
 	tolerance := fs.Float64("tolerance", 0.30, "allowed fractional slowdown over the baseline before failing")
 	loadgenPath := fs.String("loadgen", "", "loadgen JSON summary whose service metrics (qps, p99_us, error_rate) gate against the baseline")
+	churnPath := fs.String("churn", "", "churnbench JSON summary whose delta-compile metrics (churn_stream_ns_per_mutation, delta_vs_cold_speedup) gate against the baseline")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -180,10 +207,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	kinds := map[string]metricKind{}
 	units := map[string]string{}
 	runs := 0
-	// With -loadgen an empty bench input is legitimate (a pure service
-	// gate); without it, a tracked benchmark with no samples means the
-	// bench run itself is broken and must fail loudly.
-	if len(samples) > 0 || *loadgenPath == "" {
+	// With -loadgen or -churn an empty bench input is legitimate (a pure
+	// service or churn gate); without either, a tracked benchmark with no
+	// samples means the bench run itself is broken and must fail loudly.
+	if len(samples) > 0 || (*loadgenPath == "" && *churnPath == "") {
 		for bench, key := range trackedBenchmarks {
 			ss := samples[bench]
 			if len(ss) == 0 {
@@ -222,6 +249,21 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			units[m.key] = m.unit
 		}
 	}
+	if *churnPath != "" {
+		metrics, err := readLoadgen(*churnPath)
+		if err != nil {
+			return err
+		}
+		for _, m := range churnMetrics {
+			v, ok := metrics[m.field]
+			if !ok {
+				return fmt.Errorf("%s: summary carries no %q field", *churnPath, m.field)
+			}
+			medians[m.key] = v
+			kinds[m.key] = m.kind
+			units[m.key] = m.unit
+		}
+	}
 
 	if *outPath != "" {
 		res := resultFile{
@@ -232,6 +274,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			Tolerance:   *tolerance,
 			Runs:        runs,
 			Loadgen:     *loadgenPath,
+			Churn:       *churnPath,
 			Benchmarks:  medians,
 		}
 		blob, err := json.MarshalIndent(res, "", "  ")
@@ -268,6 +311,15 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			// over the baseline fails outright.
 			if got > want {
 				why = fmt.Sprintf("%s: %.2f %s exceeds baseline %.2f (%s gates absolutely)",
+					key, got, unit, want, unit)
+			}
+		case absoluteFloor:
+			// No tolerance: the baseline value is a recorded contract
+			// (e.g. the delta path must stay ≥10× over cold recompile),
+			// and the ratio cancels machine speed, so any shortfall is a
+			// real regression.
+			if got < want {
+				why = fmt.Sprintf("%s: %.2f %s falls below baseline %.2f (%s gates absolutely)",
 					key, got, unit, want, unit)
 			}
 		case higherIsBetter:

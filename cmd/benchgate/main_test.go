@@ -340,6 +340,111 @@ func TestLoadgenAllowsEmptyBenchInput(t *testing.T) {
 	}
 }
 
+func writeChurnBaseline(t *testing.T, dir string) string {
+	t.Helper()
+	blob, err := json.Marshal(map[string]any{
+		"description": "churn baseline",
+		"benchmarks": map[string]float64{
+			"churn_stream_ns_per_mutation": 16000,
+			"delta_vs_cold_speedup":        10,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "churn_baseline.json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func writeChurnSummary(t *testing.T, dir string, streamNs, speedup float64) string {
+	t.Helper()
+	blob, err := json.Marshal(map[string]float64{
+		"churn_stream_ns_per_mutation":   streamNs,
+		"cold_recompile_ns_per_mutation": streamNs * speedup,
+		"delta_vs_cold_speedup":          speedup,
+		"mutations":                      200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "churn.json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestChurnGateDirections pins the churn metrics' directions: the stream
+// cost gates lower-is-better with tolerance, and the speedup gates as an
+// absolute floor — even a hair under the baseline fails regardless of
+// tolerance, while any value at or above it passes.
+func TestChurnGateDirections(t *testing.T) {
+	dir := t.TempDir()
+	baseline := writeChurnBaseline(t, dir)
+
+	cases := []struct {
+		name     string
+		streamNs float64
+		speedup  float64
+		wantFail string // substring of the error, "" for pass
+	}{
+		{"at the floor", 15000, 10, ""},
+		{"speedup well above floor", 12000, 13, ""},
+		{"stream slower inside tolerance", 18000, 11, ""},
+		{"stream cost blew up", 40000, 11, "churn_stream_ns_per_mutation"},
+		{"speedup dipped below floor", 15000, 9.97, "delta_vs_cold_speedup"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			summary := writeChurnSummary(t, t.TempDir(), tc.streamNs, tc.speedup)
+			var buf strings.Builder
+			err := run([]string{"-baseline", baseline, "-tolerance", "0.50", "-churn", summary},
+				strings.NewReader(""), &buf)
+			if tc.wantFail == "" {
+				if err != nil {
+					t.Fatalf("gate failed: %v\n%s", err, buf.String())
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantFail) {
+				t.Fatalf("want failure naming %s, got %v\n%s", tc.wantFail, err, buf.String())
+			}
+		})
+	}
+}
+
+// TestChurnAllowsEmptyBenchInput: like -loadgen, -churn legitimizes an
+// empty bench input, and a truncated summary fails loudly.
+func TestChurnAllowsEmptyBenchInput(t *testing.T) {
+	dir := t.TempDir()
+	baseline := writeChurnBaseline(t, dir)
+	summary := writeChurnSummary(t, dir, 15000, 11)
+
+	var buf strings.Builder
+	if err := run([]string{"-baseline", baseline, "-churn", summary},
+		strings.NewReader(""), &buf); err != nil {
+		t.Fatalf("empty bench input with -churn failed: %v\n%s", err, buf.String())
+	}
+	for _, key := range []string{"churn_stream_ns_per_mutation", "delta_vs_cold_speedup"} {
+		if !strings.Contains(buf.String(), key) {
+			t.Errorf("report missing %s:\n%s", key, buf.String())
+		}
+	}
+
+	partial := filepath.Join(dir, "partial.json")
+	if err := os.WriteFile(partial, []byte(`{"churn_stream_ns_per_mutation": 100}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	err := run([]string{"-baseline", baseline, "-churn", partial}, strings.NewReader(""), &buf)
+	if err == nil || !strings.Contains(err.Error(), "delta_vs_cold_speedup") {
+		t.Errorf("missing speedup field must fail the gate, got %v", err)
+	}
+}
+
 // TestLoadgenMissingField: a truncated summary (no qps) is a loud error,
 // not a silently unguarded gate.
 func TestLoadgenMissingField(t *testing.T) {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -21,6 +22,12 @@ import (
 // substitute a blocking or failing compile without building pathological
 // topologies.
 var compilePlanCtx = flowrel.CompilePlanCtx
+
+// mutatePlanCtx is the delta-compile entry point, a test seam like
+// compilePlanCtx.
+var mutatePlanCtx = func(ctx context.Context, p *flowrel.Plan, m flowrel.Mutation, b flowrel.Budget) (*flowrel.Plan, error) {
+	return p.MutateCtx(ctx, m, b)
+}
 
 // serverConfig sizes one relcalcd instance.
 type serverConfig struct {
@@ -74,6 +81,9 @@ type planRecord struct {
 	demand  demandSpec
 	cached  bool
 	created time.Time
+	// cfg is the submission's decomposition configuration, kept so
+	// mutation successors derive their handles under the same bounds.
+	cfg flowrel.Config
 }
 
 // server is one relcalcd instance: a handle registry over the shared
@@ -90,6 +100,7 @@ type server struct {
 	start time.Time
 
 	latCompile   stats.FineHistogram // µs
+	latMutate    stats.FineHistogram // µs
 	latEval      stats.FineHistogram // µs
 	latEvalBatch stats.FineHistogram // µs
 	requests     stats.Counter
@@ -115,6 +126,7 @@ func newServer(cfg serverConfig) *server {
 
 	s.mux.HandleFunc("POST /v1/topologies", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/plans/{handle}", s.handlePlanInfo)
+	s.mux.HandleFunc("POST /v1/plans/{handle}/mutate", s.handleMutate)
 	s.mux.HandleFunc("POST /v1/plans/{handle}/eval", s.handleEval)
 	s.mux.HandleFunc("POST /v1/plans/{handle}/evalbatch", s.handleEvalBatch)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -172,6 +184,30 @@ type submitResponse struct {
 	K         int     `json:"k"`
 	Alpha     float64 `json:"alpha"`
 	CompileUS int64   `json:"compile_us"`
+}
+
+type mutateRequest struct {
+	// Kind is "capacity", "add" or "remove".
+	Kind string `json:"kind"`
+	// Link names the mutated link by ID for capacity and remove.
+	Link int `json:"link,omitempty"`
+	// U, V, Cap and PFail describe an added link; Cap is also the new
+	// capacity of a capacity mutation.
+	U      int         `json:"u,omitempty"`
+	V      int         `json:"v,omitempty"`
+	Cap    int         `json:"cap,omitempty"`
+	PFail  float64     `json:"pfail,omitempty"`
+	Budget *budgetSpec `json:"budget,omitempty"`
+}
+
+type mutateResponse struct {
+	Handle   string `json:"handle"`
+	Parent   string `json:"parent"`
+	Version  int    `json:"version"`
+	Cached   bool   `json:"cached"`
+	Nodes    int    `json:"nodes"`
+	Links    int    `json:"links"`
+	MutateUS int64  `json:"mutate_us"`
 }
 
 type evalRequest struct {
@@ -356,6 +392,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		demand:  demandSpec{S: names[dem.S], T: names[dem.T], D: dem.D},
 		cached:  plan.Cached(),
 		created: start,
+		cfg:     cfg,
 	}
 	s.remember(rec)
 
@@ -386,7 +423,87 @@ func (s *server) handlePlanInfo(w http.ResponseWriter, r *http.Request) {
 		"cut":          rec.plan.Cut(),
 		"demand":       rec.demand,
 		"cached":       rec.cached,
+		"version":      rec.plan.Version(),
 		"created_unix": rec.created.Unix(),
+	})
+}
+
+// handleMutate derives a successor plan from a registered one after a
+// single-link change, delta-compiling against the parent instead of
+// recompiling the topology. The successor gets its own handle (the
+// mutated structure's hash — never the parent's) and both plans stay
+// registered, so clients can track a churning overlay as a chain of
+// cheap mutations and keep querying any version.
+func (s *server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	s.requests.Inc()
+	rec, ok := s.handleFor(r.PathValue("handle"))
+	if !ok {
+		s.fail(w, http.StatusNotFound, "unknown plan handle %q", r.PathValue("handle"))
+		return
+	}
+	release := s.admitCompute(w, r)
+	if release == nil {
+		return
+	}
+	defer release()
+
+	var req mutateRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	var mut flowrel.Mutation
+	switch req.Kind {
+	case "capacity":
+		mut = flowrel.Mutation{Kind: flowrel.MutateCapacity, Link: flowrel.EdgeID(req.Link), Cap: req.Cap}
+	case "add":
+		mut = flowrel.Mutation{Kind: flowrel.MutateAdd, U: flowrel.NodeID(req.U), V: flowrel.NodeID(req.V), Cap: req.Cap, PFail: req.PFail}
+	case "remove":
+		mut = flowrel.Mutation{Kind: flowrel.MutateRemove, Link: flowrel.EdgeID(req.Link)}
+	default:
+		s.fail(w, http.StatusBadRequest, "unknown mutation kind %q (want capacity, add or remove)", req.Kind)
+		return
+	}
+
+	start := time.Now()
+	child, err := mutatePlanCtx(r.Context(), rec.plan, mut, req.Budget.toBudget(s.cfg.DefaultDeadline))
+	elapsed := time.Since(start)
+	if err != nil {
+		switch {
+		case r.Context().Err() != nil:
+			s.fail(w, http.StatusServiceUnavailable, "client cancelled: %v", err)
+		case errors.Is(err, flowrel.ErrInterrupted):
+			w.Header().Set("Retry-After", "1")
+			s.fail(w, http.StatusTooManyRequests, "mutation budget exhausted: %v", err)
+		default:
+			s.fail(w, http.StatusUnprocessableEntity, "mutate: %v", err)
+		}
+		return
+	}
+	s.latMutate.Observe(elapsed.Microseconds())
+
+	g2 := child.Graph()
+	childRec := &planRecord{
+		handle:  planHandle(g2, child.Demand(), rec.cfg),
+		plan:    child,
+		nodes:   g2.NumNodes(),
+		links:   g2.NumEdges(),
+		demand:  rec.demand, // mutations change links, never nodes
+		cached:  child.Cached(),
+		created: start,
+		cfg:     rec.cfg,
+	}
+	s.remember(childRec)
+
+	writeJSON(w, http.StatusOK, mutateResponse{
+		Handle:   childRec.handle,
+		Parent:   rec.handle,
+		Version:  child.Version(),
+		Cached:   childRec.cached,
+		Nodes:    childRec.nodes,
+		Links:    childRec.links,
+		MutateUS: elapsed.Microseconds(),
 	})
 }
 
@@ -493,6 +610,7 @@ func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		"plan_cache": flowrel.PlanCacheSnapshot(),
 		"latency_us": map[string]stats.FineSnapshot{
 			"compile":   s.latCompile.FineSnapshot(),
+			"mutate":    s.latMutate.FineSnapshot(),
 			"eval":      s.latEval.FineSnapshot(),
 			"evalbatch": s.latEvalBatch.FineSnapshot(),
 		},

@@ -409,3 +409,97 @@ func TestStatszShape(t *testing.T) {
 		t.Error("compile latency histogram missing")
 	}
 }
+
+// TestMutateEndpoint walks a mutation chain over the wire: each POST to
+// /v1/plans/{h}/mutate registers a successor under its own handle, both
+// generations stay queryable, and the successors' answers match the
+// in-process library on the mutated graphs.
+func TestMutateEndpoint(t *testing.T) {
+	topo, file := loadTopology(t, "../../testdata/figure4.g")
+	srv := newTestServer(t, serverConfig{})
+	res := submit(t, srv, topo)
+
+	// Capacity bump on link 0, then a fresh parallel link.
+	muts := []mutateRequest{
+		{Kind: "capacity", Link: 0, Cap: file.Graph.Edge(0).Cap + 1},
+		{Kind: "add", U: int(file.Demand.S), V: int(file.Demand.T), Cap: 1, PFail: 0.5},
+	}
+	g := file.Graph
+	parent := res.Handle
+	for i, mq := range muts {
+		var mr mutateResponse
+		if status := postJSON(t, srv.URL+"/v1/plans/"+parent+"/mutate", mq, &mr); status != http.StatusOK {
+			t.Fatalf("mutate %d: status %d", i, status)
+		}
+		if mr.Handle == parent || mr.Handle == "" {
+			t.Fatalf("mutate %d: successor handle %q aliases parent %q", i, mr.Handle, parent)
+		}
+		if mr.Parent != parent {
+			t.Fatalf("mutate %d: parent %q, want %q", i, mr.Parent, parent)
+		}
+		if mr.Version != i+1 {
+			t.Fatalf("mutate %d: version %d, want %d", i, mr.Version, i+1)
+		}
+
+		// The successor answers for the mutated graph.
+		var mut flowrel.Mutation
+		switch mq.Kind {
+		case "capacity":
+			mut = flowrel.Mutation{Kind: flowrel.MutateCapacity, Link: flowrel.EdgeID(mq.Link), Cap: mq.Cap}
+		case "add":
+			mut = flowrel.Mutation{Kind: flowrel.MutateAdd, U: flowrel.NodeID(mq.U), V: flowrel.NodeID(mq.V), Cap: mq.Cap, PFail: mq.PFail}
+		}
+		g2, _, err := mut.Apply(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := flowrel.CompilePlan(g2, *file.Demand, flowrel.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantR, err := want.Eval(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ev evalResponse
+		if status := postJSON(t, srv.URL+"/v1/plans/"+mr.Handle+"/eval", map[string]any{}, &ev); status != http.StatusOK {
+			t.Fatalf("eval of successor %d: status %d", i, status)
+		}
+		if math.Abs(ev.Reliability-wantR) > 1e-15 {
+			t.Fatalf("mutate %d: successor eval %v, library says %v", i, ev.Reliability, wantR)
+		}
+		g, parent = g2, mr.Handle
+	}
+
+	// The original plan is still registered and still answers.
+	var ev evalResponse
+	if status := postJSON(t, srv.URL+"/v1/plans/"+res.Handle+"/eval", map[string]any{}, &ev); status != http.StatusOK {
+		t.Fatalf("eval of original after mutations: status %d", status)
+	}
+}
+
+// TestMutateEndpointValidation covers the failure surface: unknown
+// handles, malformed kinds, invalid link IDs and exhausted budgets.
+func TestMutateEndpointValidation(t *testing.T) {
+	topo, _ := loadTopology(t, "../../testdata/figure4.g")
+	srv := newTestServer(t, serverConfig{})
+	res := submit(t, srv, topo)
+
+	var er errorResponse
+	if status := postJSON(t, srv.URL+"/v1/plans/nope/mutate", mutateRequest{Kind: "capacity"}, &er); status != http.StatusNotFound {
+		t.Errorf("unknown handle: status %d, want 404", status)
+	}
+	if status := postJSON(t, srv.URL+"/v1/plans/"+res.Handle+"/mutate", mutateRequest{Kind: "tweak"}, &er); status != http.StatusBadRequest {
+		t.Errorf("unknown kind: status %d, want 400", status)
+	}
+	if status := postJSON(t, srv.URL+"/v1/plans/"+res.Handle+"/mutate", mutateRequest{Kind: "remove", Link: 9999}, &er); status != http.StatusUnprocessableEntity {
+		t.Errorf("out-of-range link: status %d, want 422", status)
+	}
+	if !strings.Contains(er.Error, "mutate") {
+		t.Errorf("422 error %q does not name the mutate phase", er.Error)
+	}
+	req := mutateRequest{Kind: "capacity", Link: 0, Cap: 5, Budget: &budgetSpec{MaxConfigs: 1}}
+	if status := postJSON(t, srv.URL+"/v1/plans/"+res.Handle+"/mutate", req, &er); status != http.StatusTooManyRequests {
+		t.Errorf("exhausted budget: status %d, want 429", status)
+	}
+}

@@ -109,3 +109,65 @@ func Transform(g *graph.Graph, dem graph.Demand, peers []Peer) (*Instance, error
 	inst.Demand = graph.Demand{S: inst.InOf[dem.S], T: inst.OutOf[dem.T], D: dem.D}
 	return inst, nil
 }
+
+// Churn events as single-link mutations. In the node-split model a peer
+// leaving or rejoining IS a mutation of its internal link, so the delta
+// compiler (core.MutatePlan) absorbs peer churn without re-running the
+// transformation: apply the returned mutation to the instance graph (or a
+// descendant of it) and patch the plan.
+//
+// Leave and SetRelay name the internal link by its ID in inst.G; after
+// earlier mutations renumbered links, translate the ID through the
+// composed remap before use. Rejoin names only node IDs, which mutations
+// never renumber, so it applies to any descendant graph.
+
+// Leave returns the mutation for peer v churning out: its internal link
+// is removed, taking every path through the peer with it.
+func (inst *Instance) Leave(v graph.NodeID) (graph.Mutation, error) {
+	link, err := inst.peerLink(v)
+	if err != nil {
+		return graph.Mutation{}, err
+	}
+	return graph.Mutation{Kind: graph.MutateRemove, Link: link}, nil
+}
+
+// Rejoin returns the mutation for peer v churning back in: its internal
+// link is re-added with the relay capacity and failure probability the
+// transformation gave it. The new link lands at the end of the link
+// numbering — a rejoined peer is the same peer but not the same link ID.
+func (inst *Instance) Rejoin(v graph.NodeID) (graph.Mutation, error) {
+	link, err := inst.peerLink(v)
+	if err != nil {
+		return graph.Mutation{}, err
+	}
+	e := inst.G.Edge(link)
+	return graph.Mutation{Kind: graph.MutateAdd, U: inst.InOf[v], V: inst.OutOf[v], Cap: e.Cap, PFail: e.PFail}, nil
+}
+
+// SetRelay returns the mutation for peer v changing its forwarding
+// capacity; relay follows the Transform convention (0, or anything above
+// the demand bit-rate, means "unlimited", i.e. the bit-rate itself).
+func (inst *Instance) SetRelay(v graph.NodeID, relay int) (graph.Mutation, error) {
+	link, err := inst.peerLink(v)
+	if err != nil {
+		return graph.Mutation{}, err
+	}
+	if relay < 0 {
+		return graph.Mutation{}, fmt.Errorf("churn: peer %d negative relay capacity", v)
+	}
+	if relay == 0 || relay > inst.Demand.D {
+		relay = inst.Demand.D
+	}
+	return graph.Mutation{Kind: graph.MutateCapacity, Link: link, Cap: relay}, nil
+}
+
+// peerLink resolves a fallible original node to its internal link.
+func (inst *Instance) peerLink(v graph.NodeID) (graph.EdgeID, error) {
+	if int(v) < 0 || int(v) >= len(inst.PeerLink) {
+		return -1, fmt.Errorf("churn: node %d outside the original graph", v)
+	}
+	if inst.PeerLink[v] < 0 {
+		return -1, fmt.Errorf("churn: node %d is not a fallible peer", v)
+	}
+	return inst.PeerLink[v], nil
+}

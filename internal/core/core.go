@@ -148,6 +148,10 @@ type Stats struct {
 	// incremental repair solves); the pruned pairs above are the calls a
 	// dense enumeration would have made instead.
 	FrontierMaxFlowCalls int64
+	// DeltaReused counts (assignment, configuration) decisions a delta
+	// compile (MutatePlan) inherited from the parent plan — copied or
+	// index-remapped instead of re-decided. Zero for cold compiles.
+	DeltaReused int64
 	// KernelTerms is the size of the flattened inclusion–exclusion term
 	// table the compile built for the evaluate phase (zero when the
 	// instance is outside the kernel guards and evaluation stays scalar).
@@ -235,28 +239,7 @@ func buildSide(sub *graph.Subgraph, terminal graph.NodeID, ends []graph.NodeID, 
 	buildStart := time.Now()
 	callsBefore := st.MaxFlowCalls
 
-	// Prototype network: component links plus one super terminal carrying
-	// the per-assignment demand arcs.
-	proto := maxflow.New(sub.G.NumNodes())
-	super := proto.AddNode()
-	handles := make([]maxflow.Handle, m)
-	for _, e := range sub.G.Edges() {
-		handles[e.ID] = proto.AddDirected(int32(e.U), int32(e.V), e.Cap)
-	}
-	demandArcs := make([]maxflow.Handle, len(ends))
-	for i, x := range ends {
-		if toSink {
-			demandArcs[i] = proto.AddDirected(int32(x), super, 0)
-		} else {
-			demandArcs[i] = proto.AddDirected(super, int32(x), 0)
-		}
-	}
-	var src, dst int32
-	if toSink {
-		src, dst = int32(terminal), super
-	} else {
-		src, dst = super, int32(terminal)
-	}
+	proto, handles, demandArcs, src, dst := sideProto(sub, terminal, ends, toSink)
 
 	sa := &sideArray{
 		m:        m,
@@ -282,24 +265,11 @@ func buildSide(sub *graph.Subgraph, terminal graph.NodeID, ends []graph.NodeID, 
 			opt:        opt,
 			sa:         sa,
 			caps:       make([]int, m),
-			need:       make([]int, ds.Len()),
+			need:       sideNeeds(ds, ends, terminal),
 			allBits:    (uint64(1) << uint(ds.Len())) - 1,
 		}
 		for _, e := range sub.G.Edges() {
 			f.caps[e.ID] = e.Cap
-		}
-		// Flow that enters the super terminal straight from the real
-		// terminal (a bottleneck endpoint on the terminal itself) never
-		// crosses a side link; only the remainder bounds the live-capacity
-		// sum, so the capacity filter must use need = d − direct.
-		for j, a := range ds.Assignments {
-			direct := 0
-			for i, x := range ends {
-				if x == terminal {
-					direct += a[i]
-				}
-			}
-			f.need[j] = ds.D - direct
 		}
 		err = buildSideFrontier(f, st)
 	} else {
@@ -321,6 +291,52 @@ func buildSide(sub *graph.Subgraph, terminal graph.NodeID, ends []graph.NodeID, 
 		})
 	}
 	return sa, nil
+}
+
+// sideProto builds the prototype max-flow network for one component: the
+// component links plus one super terminal carrying the per-assignment
+// demand arcs. Shared by the cold side build and the delta rebuild so
+// both solve on byte-identical networks.
+func sideProto(sub *graph.Subgraph, terminal graph.NodeID, ends []graph.NodeID, toSink bool) (proto *maxflow.Network, handles, demandArcs []maxflow.Handle, src, dst int32) {
+	proto = maxflow.New(sub.G.NumNodes())
+	super := proto.AddNode()
+	handles = make([]maxflow.Handle, sub.G.NumEdges())
+	for _, e := range sub.G.Edges() {
+		handles[e.ID] = proto.AddDirected(int32(e.U), int32(e.V), e.Cap)
+	}
+	demandArcs = make([]maxflow.Handle, len(ends))
+	for i, x := range ends {
+		if toSink {
+			demandArcs[i] = proto.AddDirected(int32(x), super, 0)
+		} else {
+			demandArcs[i] = proto.AddDirected(super, int32(x), 0)
+		}
+	}
+	if toSink {
+		src, dst = int32(terminal), super
+	} else {
+		src, dst = super, int32(terminal)
+	}
+	return proto, handles, demandArcs, src, dst
+}
+
+// sideNeeds computes the per-assignment net demand that must cross the
+// side links. Flow that enters the super terminal straight from the real
+// terminal (a bottleneck endpoint on the terminal itself) never crosses a
+// side link; only the remainder bounds the live-capacity sum, so the
+// capacity filter must use need = d − direct.
+func sideNeeds(ds *assign.Set, ends []graph.NodeID, terminal graph.NodeID) []int {
+	need := make([]int, ds.Len())
+	for j, a := range ds.Assignments {
+		direct := 0
+		for i, x := range ends {
+			if x == terminal {
+				direct += a[i]
+			}
+		}
+		need[j] = ds.D - direct
+	}
+	return need
 }
 
 // buildSideWave runs the dense enumeration engines (binary, Gray code):
@@ -392,6 +408,7 @@ func (st *Stats) add(o *Stats) {
 	st.PrunedCapacity += o.PrunedCapacity
 	st.PrunedClosure += o.PrunedClosure
 	st.FrontierMaxFlowCalls += o.FrontierMaxFlowCalls
+	st.DeltaReused += o.DeltaReused
 }
 
 // sideBinaryChunk solves each configuration in [lo,hi) from scratch,

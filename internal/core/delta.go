@@ -1,0 +1,647 @@
+package core
+
+import (
+	"math/bits"
+
+	"flowrel/internal/anytime"
+	"flowrel/internal/assign"
+	"flowrel/internal/graph"
+	"flowrel/internal/mincut"
+)
+
+// Delta-compile support: MutatePlan (plan.go) patches a compiled plan
+// after a single-link mutation instead of recompiling from scratch. The
+// helpers here classify how much of the parent survives and rebuild the
+// touched side's realization array; they never write Plan fields — all
+// assembly stays in plan.go, where the planimmut analyzer allows it.
+//
+// Why the parent transfers at all:
+//
+//   - The cut search (mincut.Find) is capacity-blind, so a capacity
+//     mutation provably keeps the parent's winning cut; for add/remove
+//     the search re-runs and the parent survives exactly when the winner
+//     is the parent's cut under the link-ID remap.
+//   - With the cut and its capacities unchanged, the assignment family 𝒟
+//     and the bottleneck-subset classes are identical; both are shared
+//     pointer-wise (they are immutable after compile).
+//   - A mutation on one side cannot change the other side's max flows:
+//     that side's realization array transfers verbatim.
+//   - On the touched side, feasibility is monotone in both the link set
+//     and the link capacities, so the parent's array brackets the new
+//     one: removing a link is a pure index extraction (zero max-flow
+//     calls), adding a link copies half the array, and a capacity change
+//     re-solves only configurations containing the changed link whose
+//     bit the parent cannot already decide.
+//
+// Budget parity: a cold compile charges its Ctl exactly
+// (2^{|E_s|} + 2^{|E_t|})·|𝒟| configurations — one per (assignment,
+// configuration) pair, pruned or solved. The delta path charges the same
+// totals (bulk for transferred regions, per-mask for walked ones), so an
+// anytime budget buys the same configuration count either way; only the
+// max-flow call count differs, which is the point.
+
+// deltaMode selects the touched-side walk variant.
+type deltaMode int
+
+const (
+	// deltaAdd: the mutated link is new; it is the side's top bit, and
+	// the half of the array without it transfers verbatim.
+	deltaAdd deltaMode = iota
+	// deltaGrow: the mutated link's capacity did not shrink; realized
+	// bits transfer, unrealized ones are re-decided.
+	deltaGrow
+	// deltaShrink: the capacity shrank; unrealized bits transfer,
+	// realized ones are re-decided (closure hits excepted).
+	deltaShrink
+)
+
+// remapCutLinks maps a parent-graph cut through the mutation's link
+// remap. ok is false when a cut link was removed — the parent's cut no
+// longer exists in the mutated graph.
+func remapCutLinks(cut []graph.EdgeID, remap []graph.EdgeID) ([]graph.EdgeID, bool) {
+	out := make([]graph.EdgeID, len(cut))
+	for i, id := range cut {
+		nid := remap[id]
+		if nid < 0 {
+			return nil, false
+		}
+		out[i] = nid
+	}
+	return out, true
+}
+
+// equalCuts compares two sorted cut link-ID lists.
+func equalCuts(a, b []graph.EdgeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// cutContains reports whether the sorted cut holds the link.
+func cutContains(cut []graph.EdgeID, link graph.EdgeID) bool {
+	for _, id := range cut {
+		if id == link {
+			return true
+		}
+	}
+	return false
+}
+
+// locateSideLink finds a parent-graph link in the parent plan's side
+// tables, returning the side index and the link's side-bit position.
+func locateSideLink(parent *Plan, link graph.EdgeID) (side, j int, ok bool) {
+	for s := 0; s < 2; s++ {
+		for i, id := range parent.sideLinks[s] {
+			if id == link {
+				return s, i, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// sideAligned verifies that a side of the mutated split lists exactly the
+// remap image of the parent's side links, in the parent's order (skip is
+// the parent index of a removed link, or -1). graph.Induced preserves
+// parent edge order, so this holds by construction whenever the cut
+// survived; the check is the cheap O(m) certificate that lets the
+// realization arrays transfer index-for-index, and any mismatch drops the
+// mutation to a cold recompile instead of a silent corruption.
+func sideAligned(parentLinks, remap, newLinks []graph.EdgeID, skip int) bool {
+	k := 0
+	for i, old := range parentLinks {
+		if i == skip {
+			continue
+		}
+		nid := remap[old]
+		if nid < 0 || k >= len(newLinks) || newLinks[k] != nid {
+			return false
+		}
+		k++
+	}
+	return k == len(newLinks)
+}
+
+// newDeltaSide builds the sequential solver context for one touched side
+// of the mutated graph: the same prototype network, capacity vector and
+// need vector a cold frontier build would use.
+func newDeltaSide(sub *graph.Subgraph, terminal graph.NodeID, ends []graph.NodeID, toSink bool, ds *assign.Set, opt *Options) *frontierCtx {
+	proto, handles, demandArcs, src, dst := sideProto(sub, terminal, ends, toSink)
+	f := &frontierCtx{
+		proto:      proto,
+		handles:    handles,
+		demandArcs: demandArcs,
+		src:        src,
+		dst:        dst,
+		d:          ds.D,
+		ds:         ds,
+		opt:        opt,
+		caps:       make([]int, len(handles)),
+		need:       sideNeeds(ds, ends, terminal),
+		allBits:    (uint64(1) << uint(ds.Len())) - 1,
+	}
+	for _, e := range sub.G.Edges() {
+		f.caps[e.ID] = e.Cap
+	}
+	return f
+}
+
+// extractRemovedInto fills the child side's realization array after link
+// j was removed: child configuration c is the parent configuration with a
+// zero inserted at bit j (a disabled link and an absent link induce the
+// same network), so every entry is a pure index remap.
+//
+//flowrelvet:hotpath pure index-remap fill over the child side's configurations, zero allocations and zero max-flow calls (reviewed: PR-10)
+func extractRemovedInto(dst, src []uint64, j int) {
+	lowMask := uint64(1)<<uint(j) - 1
+	for c := range dst {
+		cm := uint64(c)
+		dst[c] = src[(cm&lowMask)|(cm&^lowMask)<<1]
+	}
+}
+
+// immediateClosure ORs the realization words of the mask's immediate
+// submasks (drop one live link). When the walk visits masks in an order
+// where every immediate submask is already final, the result is exactly
+// the set of assignments realized by some proper submask — the superset
+// closure the frontier engine computes layer by layer.
+//
+// full stops the scan as soon as the closure saturates — every assignment
+// is already covered, so further submask words cannot add bits.
+//
+//flowrelvet:hotpath one uint64 OR per live link on the delta walk's feasibility boundary (reviewed: PR-10)
+func immediateClosure(realized []uint64, mask, full uint64) uint64 {
+	var w uint64
+	for mm := mask; mm != 0; mm &= mm - 1 {
+		w |= realized[mask&^(mm&-mm)]
+		if w == full {
+			break
+		}
+	}
+	return w
+}
+
+// walkDelta re-decides the touched-side configurations that contain the
+// mutated link (side bit j), in ascending numeric order of the remaining
+// bits — every immediate submask of a visited mask either lacks bit j
+// (transferred, final) or was visited earlier, so the closure is always
+// exact. out must already hold the transferred entries: the low half for
+// add, or the parent's own array for capacity modes — capacity walks
+// copy-on-first-write, so the returned slice IS the parent array when no
+// word changed (the caller shares it pointer-wise) and a private copy
+// otherwise. Each visited mask charges for itself and its j-less twin,
+// keeping the side's total at 2^m·|𝒟| exactly as a cold build would
+// charge. The bool is false when the budget interrupts the walk.
+//
+// The entry point runs monotonicity-collapsed fast scans; walkDeltaFrom
+// is the reference per-mask loop it defers to for test hooks and for the
+// one case the scans cannot patch locally (a shrink dropping a bit,
+// which invalidates closures of every superset).
+//
+// The fast scans rest on two consequences of the realization arrays
+// being exact and therefore monotone (S ⊆ S' implies realized(S) ⊆
+// realized(S')):
+//
+//   - The immediate-submask closure collapses to single array words:
+//     for grow the closure is contained in parent[mask], for add it
+//     equals the j-less twin, and for shrink no bit needs re-proving
+//     when parent[mask] ⊆ twin.
+//   - Infeasibility certifies downward. Grow and add scan top-down and
+//     remember, per assignment, the maximal masks a solve proved
+//     infeasible; any later (smaller) candidate contained in one is
+//     decided without a solve. Feasible solves need no bookkeeping at
+//     all: every superset was already decided by its own exact solve.
+//
+// Final words are bit-identical to the reference loop's in every case —
+// each bit is either copied from an exact parent word or re-derived by
+// an exact max-flow solve — and the charge totals are identical because
+// both paths charge 2·|𝒟| per visited mask on the same cadence. A
+// shrink whose re-proof fails hands the remaining masks to the
+// reference loop instead of patching closures.
+//
+//flowrelvet:hotpath one or two array words per configuration replace the per-mask closure scan, and downward infeasibility certificates replace re-confirming solves; bit-exact against walkDeltaFrom by monotonicity (reviewed: PR-10)
+func walkDelta(f *frontierCtx, w *frontierWorker, out []uint64, j int, mode deltaMode, cur *uint64) ([]uint64, bool) {
+	owned := mode == deltaAdd
+	ensureOwned := func() {
+		if !owned {
+			out = append([]uint64(nil), out...)
+			owned = true
+		}
+	}
+	if f.opt.TestHook != nil {
+		ensureOwned()
+		return out, walkDeltaFrom(f, w, out, j, mode, cur, 0, 0, w.stats.FrontierMaxFlowCalls)
+	}
+	m := len(f.handles)
+	n := f.ds.Len()
+	half := uint64(1) << uint(m-1)
+	lowMask := uint64(1)<<uint(j) - 1
+	jBit := uint64(1) << uint(j)
+	step := 2 * uint64(n)
+	var sinceCheck uint64
+	callsMark := w.stats.FrontierMaxFlowCalls
+	var checks, reused, prunedClo, prunedCap int64
+	flush := func() bool {
+		w.stats.RealizationChecks += checks
+		w.stats.DeltaReused += reused
+		w.stats.PrunedClosure += prunedClo
+		w.stats.PrunedCapacity += prunedCap
+		checks, reused, prunedClo, prunedCap = 0, 0, 0, 0
+		ok := f.opt.Ctl.Charge(sinceCheck, w.stats.FrontierMaxFlowCalls-callsMark)
+		sinceCheck, callsMark = 0, w.stats.FrontierMaxFlowCalls
+		return ok
+	}
+
+	if mode == deltaShrink {
+		for ww := uint64(0); ww < half; ww++ {
+			mask := (ww & lowMask) | (ww&^lowMask)<<1 | jBit
+			checks += int64(step)
+			sinceCheck += step
+			word := out[mask]
+			twin := out[mask&^jBit]
+			switch {
+			case word == 0:
+				reused += int64(step)
+			case word&^twin == 0:
+				// Every parent bit is justified by the j-less twin alone:
+				// the closure equals the parent word and nothing is
+				// re-decided.
+				reused += int64(n) + int64(bits.OnesCount64(f.allBits&^word))
+				prunedClo += int64(bits.OnesCount64(word))
+			default:
+				// Some parent bit is not twin-justified: run the exact
+				// immediate closure for this mask. Bits it cannot justify
+				// are re-proved under the smaller capacity; a failed
+				// re-proof invalidates superset closures, so the reference
+				// loop takes over from the next mask.
+				closure := immediateClosure(out, mask, f.allBits)
+				reused += int64(n) + int64(bits.OnesCount64(f.allBits&^word))
+				prunedClo += int64(bits.OnesCount64(closure))
+				nw := closure
+				if cand := word &^ closure; cand != 0 {
+					*cur = mask
+					capSum := 0
+					for mm := mask; mm != 0; mm &= mm - 1 {
+						capSum += f.caps[bits.TrailingZeros64(mm)]
+					}
+					for r := cand; r != 0; r &= r - 1 {
+						j2 := bits.TrailingZeros64(r)
+						if capSum < f.need[j2] {
+							prunedCap++
+							continue
+						}
+						if w.solve(f, j2, mask) {
+							nw |= uint64(1) << uint(j2)
+						}
+					}
+				}
+				if nw != word {
+					ensureOwned()
+					out[mask] = nw
+					if !flush() {
+						return out, false
+					}
+					return out, walkDeltaFrom(f, w, out, j, mode, cur, ww+1, 0, w.stats.FrontierMaxFlowCalls)
+				}
+			}
+			if sinceCheck >= anytime.CheckEvery && !flush() {
+				return out, false
+			}
+		}
+		return out, flush()
+	}
+
+	// Grow and add: top-down scan with downward infeasibility
+	// certificates. certs[r] holds maximal masks where assignment r was
+	// solved infeasible under the mutated capacities; the list stays an
+	// antichain because covered candidates never solve. The cap bounds
+	// the containment scan on adversarial instances — beyond it the scan
+	// degrades to solving, never past the reference loop's work.
+	const certCap = 32
+	certs := make([][]uint64, n)
+	for ww := half; ww > 0; {
+		ww--
+		mask := (ww & lowMask) | (ww&^lowMask)<<1 | jBit
+		checks += int64(step)
+		sinceCheck += step
+		var word uint64
+		if mode == deltaGrow {
+			word = out[mask]
+		} else {
+			word = out[mask&^jBit]
+		}
+		if cand := f.allBits &^ word; cand == 0 {
+			reused += int64(step)
+		} else {
+			if mode == deltaGrow {
+				reused += int64(n) + int64(bits.OnesCount64(word))
+				prunedClo += int64(bits.OnesCount64(out[mask&^jBit]))
+			} else {
+				reused += int64(n)
+				prunedClo += int64(bits.OnesCount64(word))
+			}
+			capSum := -1
+			for r := cand; r != 0; r &= r - 1 {
+				j2 := bits.TrailingZeros64(r)
+				cl := certs[j2]
+				covered := false
+				for i := len(cl) - 1; i >= 0; i-- {
+					if mask&^cl[i] == 0 {
+						covered = true
+						break
+					}
+				}
+				if covered {
+					reused++
+					continue
+				}
+				if capSum < 0 {
+					capSum = 0
+					for mm := mask; mm != 0; mm &= mm - 1 {
+						capSum += f.caps[bits.TrailingZeros64(mm)]
+					}
+				}
+				if capSum < f.need[j2] {
+					prunedCap++
+					continue
+				}
+				*cur = mask
+				if w.solve(f, j2, mask) {
+					word |= uint64(1) << uint(j2)
+				} else if len(cl) < certCap {
+					certs[j2] = append(cl, mask)
+				}
+			}
+		}
+		if mode == deltaAdd {
+			out[mask] = word
+		} else if word != out[mask] {
+			ensureOwned()
+			out[mask] = word
+		}
+		if sinceCheck >= anytime.CheckEvery && !flush() {
+			return out, false
+		}
+	}
+	return out, flush()
+}
+
+// walkDeltaFrom is the reference per-mask delta walk, resumable at an
+// arbitrary compressed index with carried charge state. walkDelta runs it
+// outright when a test hook needs every mask visited in order, and
+// resumes it mid-walk when a shrink drops a bit.
+func walkDeltaFrom(f *frontierCtx, w *frontierWorker, out []uint64, j int, mode deltaMode, cur *uint64, start, sinceCheck uint64, callsMark int64) bool {
+	m := len(f.handles)
+	n := f.ds.Len()
+	half := uint64(1) << uint(m-1)
+	lowMask := uint64(1)<<uint(j) - 1
+	jBit := uint64(1) << uint(j)
+	for ww := start; ww < half; ww++ {
+		mask := (ww & lowMask) | (ww&^lowMask)<<1 | jBit
+		*cur = mask
+		if f.opt.TestHook != nil {
+			f.opt.TestHook(mask)
+		}
+		sinceCheck += 2 * uint64(n)
+		w.stats.RealizationChecks += 2 * int64(n)
+		parentWord := out[mask]
+		var word, candidates uint64
+		var skip bool
+		// Saturation shortcuts — exact consequences of monotonicity, no
+		// closure or capacity scan needed: growing capacity keeps a fully
+		// realized parent mask fully realized; shrinking keeps a fully
+		// unrealized one at zero; and for a new link, a fully realized
+		// j-less twin forces the superset mask to full via the closure.
+		switch mode {
+		case deltaAdd:
+			if tw := out[mask&^jBit]; tw == f.allBits {
+				word, skip = tw, true
+			}
+		case deltaGrow:
+			if parentWord == f.allBits {
+				word, skip = parentWord, true
+			}
+		default: // deltaShrink
+			if parentWord == 0 {
+				word, skip = 0, true
+			}
+		}
+		if skip {
+			w.stats.DeltaReused += 2 * int64(n)
+		} else {
+			closure := immediateClosure(out, mask, f.allBits)
+			w.stats.PrunedClosure += int64(bits.OnesCount64(closure))
+			switch mode {
+			case deltaAdd:
+				// No parent entry exists for this mask; only the closure
+				// transfers. The j-less twin transferred verbatim.
+				word = closure
+				candidates = f.allBits &^ closure
+				w.stats.DeltaReused += int64(n)
+			case deltaGrow:
+				// More capacity never breaks a flow: parent-realized bits
+				// stand. Parent-unrealized bits outside the closure must be
+				// re-decided under the larger capacity.
+				word = parentWord | closure
+				candidates = f.allBits &^ word
+				w.stats.DeltaReused += int64(n) + int64(bits.OnesCount64(parentWord))
+			default: // deltaShrink
+				// Less capacity never creates a flow: parent-unrealized bits
+				// stand (at zero). Parent-realized bits survive via the
+				// closure or must be re-proved under the smaller capacity.
+				word = closure
+				candidates = parentWord &^ closure
+				w.stats.DeltaReused += int64(n) + int64(bits.OnesCount64(f.allBits&^parentWord))
+			}
+		}
+		if candidates != 0 {
+			capSum := 0
+			for mm := mask; mm != 0; mm &= mm - 1 {
+				capSum += f.caps[bits.TrailingZeros64(mm)]
+			}
+			for r := candidates; r != 0; r &= r - 1 {
+				j2 := bits.TrailingZeros64(r)
+				if capSum < f.need[j2] {
+					w.stats.PrunedCapacity++
+					continue
+				}
+				if w.solve(f, j2, mask) {
+					word |= uint64(1) << uint(j2)
+				}
+			}
+		}
+		out[mask] = word
+		if sinceCheck >= anytime.CheckEvery {
+			if !f.opt.Ctl.Charge(sinceCheck, w.stats.FrontierMaxFlowCalls-callsMark) {
+				return false
+			}
+			sinceCheck, callsMark = 0, w.stats.FrontierMaxFlowCalls
+		}
+	}
+	return f.opt.Ctl.Charge(sinceCheck, w.stats.FrontierMaxFlowCalls-callsMark)
+}
+
+// deltaSideState is the warm solver state one delta walk leaves behind for
+// the next: the side's solver context (prototype network, handles,
+// capacity and need vectors) and the worker whose per-assignment residual
+// networks still hold the flows of the last walked configurations. A
+// successor capacity mutation on the same side patches the changed link's
+// capacity into the context and the warm networks (repairing their flows
+// incrementally) and walks from there — no network clones, no from-scratch
+// solves. The state is handed down the plan chain through an atomic
+// pointer: exactly one successor consumes it, everyone else builds fresh,
+// and either way the walk's results are bit-identical (max-flow values do
+// not depend on the starting flow).
+type deltaSideState struct {
+	f *frontierCtx
+	w *frontierWorker
+	// dead counts permanently disabled arcs left behind by removed links.
+	// Adoption stops (and the chain restarts fresh) once they would
+	// outnumber the live side links, bounding the networks' growth under
+	// sustained churn.
+	dead int
+}
+
+// sameSideNodes certifies that two side subgraphs list the same parent
+// nodes in the same order. graph.Induced numbers local nodes by ascending
+// parent ID, so equal ParentNode slices mean identical local numbering —
+// the condition for a warm prototype network built against prev to stay
+// valid for sub.
+func sameSideNodes(sub, prev *graph.Subgraph) bool {
+	if prev == nil || len(sub.ParentNode) != len(prev.ParentNode) {
+		return false
+	}
+	for i := range sub.ParentNode {
+		if sub.ParentNode[i] != prev.ParentNode[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// adoptAddedLink extends a warm side state with the side's newly added
+// link (last in sub's edge list, the walk's new top bit): one arc appended
+// to the prototype (enabled, like every prototype arc) and to each warm
+// network (disabled, carrying zero flow — consistent with the warm
+// configuration masks, which predate the link). The add walk then
+// retargets from the parent's flows instead of solving every network from
+// scratch. Returns false — with st untouched — when the state cannot be
+// certified against the new subgraph.
+func adoptAddedLink(st *deltaSideState, sub, prev *graph.Subgraph) bool {
+	if !sameSideNodes(sub, prev) {
+		return false
+	}
+	f := st.f
+	e := sub.G.Edge(graph.EdgeID(sub.G.NumEdges() - 1))
+	h := f.proto.AddDirected(int32(e.U), int32(e.V), e.Cap)
+	for _, nw := range st.w.nets {
+		if nw == nil {
+			continue
+		}
+		// Clones stay in arc-lockstep with the prototype, so the appended
+		// arc receives the same handle value everywhere.
+		nw.SetEnabled(nw.AddDirected(int32(e.U), int32(e.V), e.Cap), false)
+	}
+	f.handles = append(f.handles, h)
+	f.caps = append(f.caps, e.Cap)
+	return true
+}
+
+// adoptRemovedLink retires side bit j from a warm side state: the arc is
+// permanently disabled in the prototype and every warm network (repairing
+// each warm flow incrementally), the handle and capacity vectors contract,
+// and the warm configuration masks shift down past the vacated bit. The
+// removal itself never walks — the transform only keeps the chain warm for
+// the next mutation on this side. Returns false — with st untouched — when
+// the state cannot be certified or the dead-arc bound is hit.
+func adoptRemovedLink(st *deltaSideState, sub, prev *graph.Subgraph, j int) bool {
+	if st.dead+1 > len(st.f.handles) || !sameSideNodes(sub, prev) {
+		return false
+	}
+	f, w := st.f, st.w
+	dead := f.handles[j]
+	jBit := uint64(1) << uint(j)
+	lowMask := jBit - 1
+	for j2, nw := range w.nets {
+		if nw == nil {
+			continue
+		}
+		if c := w.cur[j2]; c&jBit != 0 {
+			w.val[j2] -= nw.DisableIncremental(dead, f.src, f.dst)
+		}
+		c := w.cur[j2]
+		w.cur[j2] = (c & lowMask) | (c>>(uint(j)+1))<<uint(j)
+	}
+	f.proto.SetEnabled(dead, false)
+	f.handles = append(f.handles[:j], f.handles[j+1:]...)
+	f.caps = append(f.caps[:j], f.caps[j+1:]...)
+	st.dead++
+	return true
+}
+
+// netStats is a snapshot of the cumulative solver counters across a
+// worker's warm networks. Warm states outlive a single walk, so each walk
+// folds only the difference against its starting snapshot.
+type netStats struct {
+	calls, units, paths int64
+}
+
+// snapshotNets sums the worker's networks' cumulative solver stats.
+func snapshotNets(w *frontierWorker) netStats {
+	var s netStats
+	for _, nw := range w.nets {
+		if nw != nil {
+			s.calls += nw.Stats.MaxFlowCalls
+			s.units += nw.Stats.AugmentUnits
+			s.paths += nw.Stats.AugmentingPaths
+		}
+	}
+	return s
+}
+
+// foldWorker folds a delta worker's counters and its warm networks' solver
+// stats into st, counting network work only past the base snapshot —
+// exactly this walk's share when the worker was inherited warm.
+func foldWorker(st *Stats, w *frontierWorker, base netStats) {
+	st.add(&w.stats)
+	now := snapshotNets(w)
+	st.MaxFlowCalls += now.calls - base.calls
+	st.AugmentUnits += now.units - base.units
+	st.AugmentingPaths += now.paths - base.paths
+}
+
+// patchSplitCapacity rebuilds the parent's bottleneck split after a
+// capacity change on a non-cut link without re-running mincut.Split: every
+// validation Split performs (minimal cut, two components, link
+// orientation) is topology-only, so the parent's split stays valid
+// verbatim and only the touched side's subgraph needs the new capacity.
+// Returns nil when the link is not on a side (the caller then falls back
+// to the full Split).
+func patchSplitCapacity(pb *mincut.Bottleneck, parent *Plan, mut graph.Mutation) *mincut.Bottleneck {
+	side, j, ok := locateSideLink(parent, mut.Link)
+	if !ok {
+		return nil
+	}
+	subs := [2]*graph.Subgraph{pb.Gs, pb.Gt}
+	old := subs[side]
+	g2, err := old.G.WithCapacity(graph.EdgeID(j), mut.Cap)
+	if err != nil {
+		return nil
+	}
+	subs[side] = &graph.Subgraph{
+		G:          g2,
+		NodeOf:     old.NodeOf,
+		ParentNode: old.ParentNode,
+		ParentEdge: old.ParentEdge,
+	}
+	return &mincut.Bottleneck{
+		Cut: pb.Cut, Gs: subs[0], Gt: subs[1],
+		XS: pb.XS, YT: pb.YT, Alpha: pb.Alpha,
+	}
+}

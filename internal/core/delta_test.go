@@ -1,0 +1,254 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"flowrel/internal/anytime"
+	"flowrel/internal/graph"
+)
+
+// randomMutation draws a valid single-link mutation against g: mostly
+// capacity changes (the common churn event), with add/remove mixed in.
+// Adds are suppressed once the graph is large enough that the compile
+// guards could differ between runs.
+func randomMutation(rng *rand.Rand, g *graph.Graph, d int) graph.Mutation {
+	roll := rng.Intn(4)
+	if roll == 2 && g.NumEdges() >= 15 {
+		roll = 0
+	}
+	if roll == 3 && g.NumEdges() <= 2 {
+		roll = 0
+	}
+	switch roll {
+	case 2:
+		u := graph.NodeID(rng.Intn(g.NumNodes()))
+		v := graph.NodeID(rng.Intn(g.NumNodes()))
+		for v == u {
+			v = graph.NodeID(rng.Intn(g.NumNodes()))
+		}
+		return graph.Mutation{Kind: graph.MutateAdd, U: u, V: v, Cap: 1 + rng.Intn(d+1), PFail: rng.Float64() * 0.9}
+	case 3:
+		return graph.Mutation{Kind: graph.MutateRemove, Link: graph.EdgeID(rng.Intn(g.NumEdges()))}
+	default:
+		return graph.Mutation{Kind: graph.MutateCapacity, Link: graph.EdgeID(rng.Intn(g.NumEdges())), Cap: rng.Intn(d + 2)}
+	}
+}
+
+// assertPlansEqual checks every observable of the two plans bit for bit:
+// decomposition, realization arrays, kernel tables, budget charges and
+// evaluation results.
+func assertPlansEqual(t *testing.T, seed int64, step int, delta, cold *Plan, chargedDelta, chargedCold uint64) {
+	t.Helper()
+	if !equalCuts(delta.Cut, cold.Cut) {
+		t.Fatalf("seed %d step %d: delta cut %v, cold cut %v", seed, step, delta.Cut, cold.Cut)
+	}
+	if math.Float64bits(delta.Alpha) != math.Float64bits(cold.Alpha) {
+		t.Fatalf("seed %d step %d: delta alpha %v, cold alpha %v", seed, step, delta.Alpha, cold.Alpha)
+	}
+	if len(delta.Assignments) != len(cold.Assignments) {
+		t.Fatalf("seed %d step %d: |𝒟| delta %d, cold %d", seed, step, len(delta.Assignments), len(cold.Assignments))
+	}
+	for side := 0; side < 2; side++ {
+		if len(delta.sideLinks[side]) != len(cold.sideLinks[side]) {
+			t.Fatalf("seed %d step %d: side %d has %d links delta, %d cold", seed, step, side, len(delta.sideLinks[side]), len(cold.sideLinks[side]))
+		}
+		for i := range delta.sideLinks[side] {
+			if delta.sideLinks[side][i] != cold.sideLinks[side][i] {
+				t.Fatalf("seed %d step %d: side %d link %d: delta %d, cold %d", seed, step, side, i, delta.sideLinks[side][i], cold.sideLinks[side][i])
+			}
+		}
+		a, b := delta.realized[side], cold.realized[side]
+		if len(a) != len(b) {
+			t.Fatalf("seed %d step %d: side %d has %d configs delta, %d cold", seed, step, side, len(a), len(b))
+		}
+		for m := range a {
+			if a[m] != b[m] {
+				t.Fatalf("seed %d step %d: side %d mask %#x: delta realized %#x, cold %#x", seed, step, side, m, a[m], b[m])
+			}
+		}
+	}
+	if (delta.kern == nil) != (cold.kern == nil) {
+		t.Fatalf("seed %d step %d: delta kernel %v, cold kernel %v", seed, step, delta.kern != nil, cold.kern != nil)
+	}
+	if delta.kern != nil {
+		if delta.kern.lanes != cold.kern.lanes || len(delta.kern.termX) != len(cold.kern.termX) {
+			t.Fatalf("seed %d step %d: kernel shape diverges", seed, step)
+		}
+		for side := 0; side < 2; side++ {
+			if len(delta.kern.segRM[side]) != len(cold.kern.segRM[side]) {
+				t.Fatalf("seed %d step %d: side %d segment count delta %d, cold %d", seed, step, side, len(delta.kern.segRM[side]), len(cold.kern.segRM[side]))
+			}
+			for i := range delta.kern.segRM[side] {
+				if delta.kern.segRM[side][i] != cold.kern.segRM[side][i] || delta.kern.perm[side][i] != cold.kern.perm[side][i] {
+					t.Fatalf("seed %d step %d: side %d kernel segment tables diverge at %d", seed, step, side, i)
+				}
+			}
+		}
+	}
+	if chargedDelta != chargedCold {
+		t.Fatalf("seed %d step %d: delta charged %d configs, cold charged %d — budgets diverge", seed, step, chargedDelta, chargedCold)
+	}
+	if delta.Stats.RealizationChecks != cold.Stats.RealizationChecks {
+		t.Fatalf("seed %d step %d: delta checked %d pairs, cold %d", seed, step, delta.Stats.RealizationChecks, cold.Stats.RealizationChecks)
+	}
+	rd, err := delta.Eval(nil)
+	if err != nil {
+		t.Fatalf("seed %d step %d: delta Eval: %v", seed, step, err)
+	}
+	rc, err := cold.Eval(nil)
+	if err != nil {
+		t.Fatalf("seed %d step %d: cold Eval: %v", seed, step, err)
+	}
+	if math.Float64bits(rd) != math.Float64bits(rc) {
+		t.Fatalf("seed %d step %d: delta Eval %v, cold Eval %v", seed, step, rd, rc)
+	}
+	rds, _ := delta.EvalScalar(nil)
+	rcs, _ := cold.EvalScalar(nil)
+	if math.Float64bits(rds) != math.Float64bits(rcs) {
+		t.Fatalf("seed %d step %d: delta EvalScalar %v, cold EvalScalar %v", seed, step, rds, rcs)
+	}
+}
+
+// TestMutateEquivalenceCorpus is the delta-compile contract on the
+// planted-bottleneck corpus: across ≥50 graphs, a chained stream of
+// random single-link mutations (capacity change, add, remove) through
+// MutatePlan must be bit-identical to a cold compile after every step —
+// same realization arrays, same kernel tables, same Eval results, and
+// the identical number of configurations charged to the anytime budget.
+// The chain continues from the *delta* plan, so reuse errors compound
+// instead of washing out.
+func TestMutateEquivalenceCorpus(t *testing.T) {
+	const wantGraphs = 50
+	const steps = 6
+	count := 0
+	kinds := [3]int{}
+	for seed := int64(0); count < wantGraphs && seed < 50*wantGraphs; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(3)
+		d := 1 + rng.Intn(3)
+		g, dem, _ := plantBottleneck(rng, 2+rng.Intn(3), 2+rng.Intn(4), k, d)
+		if g.NumEdges() > 12 {
+			continue
+		}
+		ctl := anytime.New(context.Background(), anytime.Budget{})
+		parent, err := Compile(g, dem, Options{MaxAssignmentSet: 62, Ctl: ctl})
+		if err != nil {
+			continue
+		}
+		count++
+		if parent.Version() != 0 {
+			t.Fatalf("seed %d: cold compile has version %d", seed, parent.Version())
+		}
+		for step := 0; step < steps; step++ {
+			mut := randomMutation(rng, g, d)
+			g2, remap, err := mut.Apply(g)
+			if err != nil {
+				t.Fatalf("seed %d step %d: %v applied to a valid graph: %v", seed, step, mut, err)
+			}
+			ctlCold := anytime.New(context.Background(), anytime.Budget{})
+			cold, errCold := Compile(g2, dem, Options{MaxAssignmentSet: 62, Ctl: ctlCold})
+			ctlDelta := anytime.New(context.Background(), anytime.Budget{})
+			delta, errDelta := MutatePlan(parent, g, g2, dem, mut, remap, Options{MaxAssignmentSet: 62, Ctl: ctlDelta})
+			if errCold != nil {
+				// The mutation broke the instance (disconnected it, or
+				// pushed it over a guard): the delta path must refuse it
+				// the same way, and the stream continues from the parent.
+				if errDelta == nil {
+					t.Fatalf("seed %d step %d: cold compile failed (%v) but MutatePlan succeeded for %v", seed, step, errCold, mut)
+				}
+				continue
+			}
+			if errDelta != nil {
+				t.Fatalf("seed %d step %d: MutatePlan failed for %v: %v", seed, step, mut, errDelta)
+			}
+			kinds[mut.Kind]++
+			if delta.Version() != parent.Version()+1 {
+				t.Fatalf("seed %d step %d: version %d after parent %d", seed, step, delta.Version(), parent.Version())
+			}
+			assertPlansEqual(t, seed, step, delta, cold, ctlDelta.Configs(), ctlCold.Configs())
+			g, parent = g2, delta
+		}
+	}
+	if count < wantGraphs {
+		t.Fatalf("corpus produced only %d usable graphs, want ≥ %d", count, wantGraphs)
+	}
+	for kind, n := range kinds {
+		if n == 0 {
+			t.Fatalf("mutation stream never exercised kind %v", graph.MutationKind(kind))
+		}
+	}
+}
+
+// TestMutateReusesParentWork pins the point of the delta path: on a
+// two-sided instance, a capacity change on one side must transfer the
+// other side's array pointer-for-pointer, inherit decisions from the
+// parent, and pay strictly fewer max-flow calls than the cold compile.
+func TestMutateReusesParentWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g, dem, _ := plantBottleneck(rng, 3, 5, 2, 2)
+	parent, err := Compile(g, dem, Options{MaxAssignmentSet: 62})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parent.ds == nil {
+		t.Skip("trivial instance")
+	}
+	// Pick a side link and nudge its capacity.
+	link := parent.sideLinks[0][0]
+	mut := graph.Mutation{Kind: graph.MutateCapacity, Link: link, Cap: g.Edge(link).Cap + 1}
+	g2, remap, err := mut.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := MutatePlan(parent, g, g2, dem, mut, remap, Options{MaxAssignmentSet: 62})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Compile(g2, dem, Options{MaxAssignmentSet: 62})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &delta.realized[1][0] != &parent.realized[1][0] {
+		t.Fatal("untouched side was rebuilt, not shared")
+	}
+	if delta.Stats.DeltaReused == 0 {
+		t.Fatal("delta compile inherited no decisions")
+	}
+	coldCalls := cold.Stats.MaxFlowCalls + cold.Stats.FrontierMaxFlowCalls
+	deltaCalls := delta.Stats.MaxFlowCalls + delta.Stats.FrontierMaxFlowCalls
+	if deltaCalls >= coldCalls {
+		t.Fatalf("delta paid %d max-flow calls, cold %d — no reuse", deltaCalls, coldCalls)
+	}
+	assertPlansEqual(t, 7, 0, delta, cold, 0, 0)
+}
+
+// TestMutateBudgetInterruption: an exhausted anytime budget must abort
+// the delta compile with ErrInterrupted — the transfers charge the same
+// configuration totals a cold build would, so a budget too small for a
+// cold compile is too small for a mutation too.
+func TestMutateBudgetInterruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g, dem, _ := plantBottleneck(rng, 3, 5, 2, 2)
+	parent, err := Compile(g, dem, Options{MaxAssignmentSet: 62})
+	if err != nil || parent.ds == nil {
+		t.Skipf("unusable instance: %v", err)
+	}
+	link := parent.sideLinks[0][0]
+	mut := graph.Mutation{Kind: graph.MutateCapacity, Link: link, Cap: g.Edge(link).Cap + 1}
+	g2, remap, err := mut.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := anytime.New(context.Background(), anytime.Budget{MaxConfigs: 2})
+	_, err = MutatePlan(parent, g, g2, dem, mut, remap, Options{MaxAssignmentSet: 62, Ctl: ctl})
+	if err == nil {
+		t.Fatal("exhausted budget produced a plan")
+	}
+	if !errors.Is(err, anytime.ErrInterrupted) {
+		t.Fatalf("interruption error does not wrap ErrInterrupted: %v", err)
+	}
+}

@@ -184,6 +184,44 @@ func (p *Plan) compileKernel() *evalKernel {
 	return k
 }
 
+// compileKernelDelta builds the evaluate-phase tables for a mutated plan,
+// sharing every table the mutation cannot touch: the term tables depend
+// only on the bottleneck classes (identical by construction — the delta
+// path shares the parent's assignment set), and the untouched side's
+// segment grouping depends only on its realization array, which
+// transferred verbatim. Only the touched side's grouping is recomputed,
+// from the same groupByRealized a cold compile runs, so the resulting
+// kernel is entry-for-entry identical to a cold build's. Like
+// compileKernel it only reads the plans; plan.go installs the result.
+func (p *Plan) compileKernelDelta(parent *Plan, touched int) *evalKernel {
+	pk := parent.kern
+	if pk == nil {
+		// The parent was outside the kernel guards; re-derive from
+		// scratch — the mutation may have moved the instance inside them.
+		return p.compileKernel()
+	}
+	n := p.ds.Len()
+	if n > maxKernelAssignments || p.SideEdges[0] > maxKernelSideEdges || p.SideEdges[1] > maxKernelSideEdges {
+		return nil
+	}
+	k := &evalKernel{
+		cfgs:     pk.cfgs,
+		termX:    pk.termX,
+		termSign: pk.termSign,
+		termXi:   pk.termXi,
+		xs:       pk.xs,
+	}
+	other := 1 - touched
+	k.perm[other], k.segRM[other], k.segOff[other] = pk.perm[other], pk.segRM[other], pk.segOff[other]
+	k.perm[touched], k.segRM[touched], k.segOff[touched] = groupByRealized(p.realized[touched], n)
+	k.lanes = batchLanes
+	if k.scratchFloats(p, n)*batchLanes > maxBlockScratchFloats {
+		k.lanes = 1
+	}
+	mKernelBuilds.Inc()
+	return k
+}
+
 // scratchFloats is the per-lane float64 footprint of one evaluation
 // scratch — the block width multiplies it.
 func (k *evalKernel) scratchFloats(p *Plan, n int) int {

@@ -23,4 +23,8 @@ var (
 	mEvalBlocks        = stats.Default.Counter("core.eval_blocks")
 	mKernelLanes       = stats.Default.Counter("core.kernel_lanes")
 	mSegmentSums       = stats.Default.Counter("core.eval_segment_sums")
+	mDeltaCompiles     = stats.Default.Counter("core.delta_compiles")
+	mDeltaFallbacks    = stats.Default.Counter("core.delta_fallbacks")
+	mDeltaReused       = stats.Default.Counter("core.delta_reused_checks")
+	mDeltaTime         = stats.Default.Timer("core.delta_compile_time")
 )

@@ -4,11 +4,14 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"flowrel/internal/anytime"
 	"flowrel/internal/assign"
 	"flowrel/internal/conf"
 	"flowrel/internal/graph"
+	"flowrel/internal/maxflow"
 	"flowrel/internal/mincut"
 	"flowrel/internal/stats"
 	"flowrel/internal/subset"
@@ -40,7 +43,9 @@ type Plan struct {
 	// Stats is the work of the compile phase; Eval adds nothing to it.
 	Stats Stats
 
-	numEdges  int // links in the original graph
+	numEdges  int                // links in the original graph
+	version   int                // 0 for a cold compile; parent version + 1 after MutatePlan
+	bt        *mincut.Bottleneck // the validated split, retained so MutatePlan can patch it
 	ds        *assign.Set
 	classes   []uint64 // ds.Classify(), indexed by bottleneck subset mask
 	accum     Accumulation
@@ -60,6 +65,14 @@ type Plan struct {
 	// blockHook, when non-nil, runs once per work item inside the batch
 	// worker loops — a test seam for asserting bounded concurrency.
 	blockHook func()
+
+	// deltaState hands each side's warm delta-solver state down the
+	// mutation chain (delta.go). It is solver scratch, not observable plan
+	// state: consuming or storing it never changes what the plan computes,
+	// and the atomic pointer keeps concurrent MutatePlan calls on the same
+	// parent race-free — exactly one consumes the warm state, the rest
+	// build fresh, with bit-identical results either way.
+	deltaState [2]atomic.Pointer[deltaSideState]
 }
 
 // evalScratch holds the per-evaluation buffers so concurrent Eval calls
@@ -121,6 +134,7 @@ func CompileWithBottleneck(g *graph.Graph, dem graph.Demand, bt *mincut.Bottlene
 		Alpha:     bt.Alpha,
 		SideEdges: [2]int{bt.Gs.G.NumEdges(), bt.Gt.G.NumEdges()},
 		numEdges:  g.NumEdges(),
+		bt:        bt,
 		accum:     opt.Accum,
 	}
 	p.basePFail = make([]float64, g.NumEdges())
@@ -173,7 +187,15 @@ func CompileWithBottleneck(g *graph.Graph, dem graph.Demand, bt *mincut.Bottlene
 	mPrunedClosure.Add(p.Stats.PrunedClosure)
 	mFrontierMaxFlow.Add(p.Stats.FrontierMaxFlowCalls)
 
-	n := ds.Len()
+	p.installEvalPhase(p.compileKernel())
+	return p, nil
+}
+
+// installEvalPhase wires the evaluate phase onto a structurally complete
+// plan: the pooled scalar scratch and, when k is non-nil, the kernel
+// tables with their scratch pools.
+func (p *Plan) installEvalPhase(k *evalKernel) {
+	n := p.ds.Len()
 	p.scratch.New = func() any {
 		return &evalScratch{
 			probs: [2][]float64{
@@ -187,7 +209,7 @@ func CompileWithBottleneck(g *graph.Graph, dem graph.Demand, bt *mincut.Bottlene
 			pCut: make([]float64, len(p.Cut)),
 		}
 	}
-	if k := p.compileKernel(); k != nil {
+	if k != nil {
 		p.kern = k
 		p.Stats.KernelTerms = int64(len(k.termX))
 		p.Stats.KernelSegments = int64(len(k.segRM[0]) + len(k.segRM[1]))
@@ -195,13 +217,376 @@ func CompileWithBottleneck(g *graph.Graph, dem graph.Demand, bt *mincut.Bottlene
 		p.kpool1.New = func() any { return newKScratch1(p) }
 		p.kpool8.New = func() any { return newKScratch8(p) }
 	}
+}
+
+// MutatePlan compiles the successor of parent after the single-link
+// mutation mut. gOld is the graph parent was compiled from; g and remap
+// must be mut.Apply's results on it. When the mutation leaves the
+// bottleneck cut (and its capacities) intact, the unaffected side's
+// realization array and the shared assignment structures transfer from
+// the parent and only the touched side is patched — re-running max-flow
+// solely for configurations whose feasibility the mutation could change;
+// otherwise it falls back to a cold compile on the re-searched cut. The
+// result is always bit-identical to CompileWithBottleneck on the mutated
+// graph, charges opt.Ctl the same configuration totals, and is a new
+// immutable Plan — the parent is never written.
+func MutatePlan(parent *Plan, gOld, g *graph.Graph, dem graph.Demand, mut graph.Mutation, remap []graph.EdgeID, opt Options) (*Plan, error) {
+	if parent == nil {
+		return nil, fmt.Errorf("core: MutatePlan requires a parent plan")
+	}
+	if gOld == nil || g == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+	switch mut.Kind {
+	case graph.MutateCapacity, graph.MutateAdd, graph.MutateRemove:
+	default:
+		return nil, fmt.Errorf("core: unknown mutation kind %d", int(mut.Kind))
+	}
+	if len(remap) != gOld.NumEdges() {
+		return nil, fmt.Errorf("core: MutatePlan remap has %d entries for %d parent links", len(remap), gOld.NumEdges())
+	}
+	if err := dem.Validate(g); err != nil {
+		return nil, err
+	}
+	opt.setDefaults()
+	if opt.Accum != AccumZeta && opt.Accum != AccumDirect {
+		return nil, fmt.Errorf("core: unknown accumulation strategy %d", opt.Accum)
+	}
+	start := time.Now()
+	child, err := mutateCompile(parent, gOld, g, dem, mut, remap, opt)
+	if err != nil {
+		return nil, err
+	}
+	child.version = parent.version + 1
+	mDeltaTime.Observe(time.Since(start))
+	return child, nil
+}
+
+// mutateCompile is MutatePlan after validation: classify how much of the
+// parent survives, then patch or fall back.
+func mutateCompile(parent *Plan, gOld, g *graph.Graph, dem graph.Demand, mut graph.Mutation, remap []graph.EdgeID, opt Options) (*Plan, error) {
+	if parent.ds == nil {
+		// Trivial parent (its cut cannot carry the demand): there are no
+		// realization arrays to transfer, so compile the child cold.
+		mDeltaFallbacks.Inc()
+		return Compile(g, dem, opt)
+	}
+
+	// Re-establish the bottleneck on the mutated graph. The cut search is
+	// capacity-blind, so a capacity mutation provably keeps the parent's
+	// winning cut and the search is skipped (mincut never charges the
+	// budget, so skipping it preserves cold-compile charge parity); a
+	// topology mutation re-runs the search and the parent survives only
+	// if the winner is its own cut under the link-ID remap.
+	searchStart := time.Now()
+	var bt *mincut.Bottleneck
+	var err error
+	switch {
+	case opt.Bottleneck != nil:
+		bt, err = mincut.Split(g, dem.S, dem.T, opt.Bottleneck)
+	case mut.Kind == graph.MutateCapacity:
+		// Split's validation is topology-only, so when the parent kept its
+		// split the capacity change patches it in place of re-deriving it.
+		if pb := parent.bt; pb != nil && !cutContains(parent.Cut, mut.Link) {
+			bt = patchSplitCapacity(pb, parent, mut)
+		}
+		if bt == nil {
+			bt, err = mincut.Split(g, dem.S, dem.T, parent.Cut)
+		}
+	default:
+		bt, err = mincut.Find(g, dem.S, dem.T, opt.MaxBottleneck)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if tr := opt.Ctl.Tracer(); tr != nil {
+		tr.OnPhase(stats.PhaseEvent{
+			Engine:   "core",
+			Phase:    "cut-search",
+			Duration: time.Since(searchStart),
+		})
+	}
+
+	cut2, ok := remapCutLinks(parent.Cut, remap)
+	if !ok || !equalCuts(bt.Cut, cut2) {
+		// The bottleneck moved or a cut link vanished: nothing below the
+		// cut survives.
+		mDeltaFallbacks.Inc()
+		return CompileWithBottleneck(g, dem, bt, opt)
+	}
+	if mut.Kind == graph.MutateCapacity && cutContains(parent.Cut, mut.Link) {
+		// Same cut, new capacity on it: the assignment family 𝒟 changes
+		// wholesale and both sides' arrays are indexed by it.
+		mDeltaFallbacks.Inc()
+		return CompileWithBottleneck(g, dem, bt, opt)
+	}
+
+	// Locate the touched side and the mutated link's side-bit position.
+	var touched, j int
+	switch mut.Kind {
+	case graph.MutateAdd:
+		// The new link has the highest parent ID, and Induced preserves
+		// parent order, so it must sit last in its side's link list.
+		newID := graph.EdgeID(g.NumEdges() - 1)
+		if idx := len(bt.Gs.ParentEdge) - 1; idx >= 0 && bt.Gs.ParentEdge[idx] == newID {
+			touched, j = 0, idx
+		} else if idx := len(bt.Gt.ParentEdge) - 1; idx >= 0 && bt.Gt.ParentEdge[idx] == newID {
+			touched, j = 1, idx
+		} else {
+			mDeltaFallbacks.Inc()
+			return CompileWithBottleneck(g, dem, bt, opt)
+		}
+	default:
+		var onSide bool
+		touched, j, onSide = locateSideLink(parent, mut.Link)
+		if !onSide {
+			mDeltaFallbacks.Inc()
+			return CompileWithBottleneck(g, dem, bt, opt)
+		}
+	}
+	sideNew := [2][]graph.EdgeID{bt.Gs.ParentEdge, bt.Gt.ParentEdge}
+	other := 1 - touched
+	skip, tail := -1, 0
+	if mut.Kind == graph.MutateRemove {
+		skip = j
+	}
+	if mut.Kind == graph.MutateAdd {
+		tail = 1
+	}
+	touchedNew := sideNew[touched]
+	if !sideAligned(parent.sideLinks[other], remap, sideNew[other], -1) ||
+		!sideAligned(parent.sideLinks[touched], remap, touchedNew[:len(touchedNew)-tail], skip) {
+		mDeltaFallbacks.Inc()
+		return CompileWithBottleneck(g, dem, bt, opt)
+	}
+
+	// Same guards, same messages, same order as a cold compile.
+	ds := parent.ds
+	if ds.Len() > opt.MaxAssignmentSet {
+		return nil, fmt.Errorf("core: |𝒟| = %d exceeds MaxAssignmentSet %d (raise the limit or reduce d·k)", ds.Len(), opt.MaxAssignmentSet)
+	}
+	for _, sub := range [2]*graph.Subgraph{bt.Gs, bt.Gt} {
+		if m := sub.G.NumEdges(); m > opt.MaxSideEdges {
+			return nil, fmt.Errorf("core: component has %d links, exceeding MaxSideEdges %d", m, opt.MaxSideEdges)
+		}
+	}
+
+	p := &Plan{
+		Cut:         append([]graph.EdgeID(nil), bt.Cut...),
+		Alpha:       bt.Alpha,
+		Assignments: ds.Assignments,
+		SideEdges:   [2]int{bt.Gs.G.NumEdges(), bt.Gt.G.NumEdges()},
+		numEdges:    g.NumEdges(),
+		bt:          bt,
+		accum:       opt.Accum,
+	}
+	if mut.Kind == graph.MutateCapacity {
+		// A capacity change keeps every failure probability; share the
+		// parent's vector (immutable after compile, like the realization
+		// arrays below).
+		p.basePFail = parent.basePFail
+	} else {
+		p.basePFail = make([]float64, g.NumEdges())
+		for i, e := range g.Edges() {
+			p.basePFail[i] = e.PFail
+		}
+	}
+	p.ds = ds
+	p.classes = parent.classes
+	n := uint64(ds.Len())
+
+	// Untouched side: the realization array transfers verbatim (shared —
+	// both plans are immutable after compile). Charge exactly what a cold
+	// enumeration of this side would have charged.
+	p.realized[other] = parent.realized[other]
+	p.sideLinks[other] = sideNew[other]
+	otherConfigs := uint64(1) << uint(len(sideNew[other]))
+	p.Stats.SideConfigs[other] = otherConfigs
+	p.Stats.RealizationChecks += int64(otherConfigs * n)
+	p.Stats.DeltaReused += int64(otherConfigs * n)
+	if !opt.Ctl.Charge(otherConfigs*n, 0) {
+		return nil, fmt.Errorf("core: delta compile interrupted: %w", opt.Ctl.Err())
+	}
+
+	// Touched side: patch against the parent array.
+	buildStart := time.Now()
+	mTouched := len(touchedNew)
+	configs := uint64(1) << uint(mTouched)
+	p.Stats.SideConfigs[touched] = configs
+	var out []uint64
+	var st *deltaSideState
+	switch {
+	case mut.Kind == graph.MutateRemove:
+		// Pure index extraction — no solving for the array itself: charge
+		// the child side's full enumeration up front, then fill.
+		if !opt.Ctl.Charge(configs*n, 0) {
+			return nil, fmt.Errorf("core: delta compile interrupted: %w", opt.Ctl.Err())
+		}
+		out = make([]uint64, configs)
+		extractRemovedInto(out, parent.realized[touched], j)
+		p.Stats.RealizationChecks += int64(configs * n)
+		p.Stats.DeltaReused += int64(configs * n)
+		// The warm solver state survives the removal when the dead arc can
+		// be retired in place; the incremental flow repairs it pays for are
+		// the state's only max-flow work, counted against this plan.
+		if st0 := parent.deltaState[touched].Swap(nil); st0 != nil {
+			var prevSub *graph.Subgraph
+			if pb := parent.bt; pb != nil {
+				prevSub = [2]*graph.Subgraph{pb.Gs, pb.Gt}[touched]
+			}
+			sub := [2]*graph.Subgraph{bt.Gs, bt.Gt}[touched]
+			netBase := snapshotNets(st0.w)
+			if adoptRemovedLink(st0, sub, prevSub, j) {
+				now := snapshotNets(st0.w)
+				p.Stats.MaxFlowCalls += now.calls - netBase.calls
+				p.Stats.AugmentUnits += now.units - netBase.units
+				p.Stats.AugmentingPaths += now.paths - netBase.paths
+				st = st0
+			}
+		}
+	case mut.Kind == graph.MutateCapacity && mut.Cap == gOld.Edge(mut.Link).Cap:
+		// The capacity did not actually change: the whole side transfers,
+		// shared pointer-wise like the untouched side, charged in bulk.
+		if !opt.Ctl.Charge(configs*n, 0) {
+			return nil, fmt.Errorf("core: delta compile interrupted: %w", opt.Ctl.Err())
+		}
+		out = parent.realized[touched]
+		p.Stats.RealizationChecks += int64(configs * n)
+		p.Stats.DeltaReused += int64(configs * n)
+		st = parent.deltaState[touched].Swap(nil)
+	default:
+		var sub *graph.Subgraph
+		var terminal graph.NodeID
+		var ends []graph.NodeID
+		var toSink bool
+		if touched == 0 {
+			sub, terminal, ends, toSink = bt.Gs, bt.Gs.NodeOf[dem.S], bt.XS, true
+		} else {
+			sub, terminal, ends, toSink = bt.Gt, bt.Gt.NodeOf[dem.T], bt.YT, false
+		}
+		// The parent's warm solver state (if no other successor claimed it)
+		// carries over: a capacity mutation leaves the side's topology
+		// intact, and an added link is appended to the warm networks as the
+		// side's new top bit. When neither applies the state is rebuilt and
+		// seeds the new chain.
+		st = parent.deltaState[touched].Swap(nil)
+		if st != nil && mut.Kind == graph.MutateAdd {
+			var prevSub *graph.Subgraph
+			if pb := parent.bt; pb != nil {
+				prevSub = [2]*graph.Subgraph{pb.Gs, pb.Gt}[touched]
+			}
+			if !adoptAddedLink(st, sub, prevSub) {
+				st = nil
+			}
+		}
+		var f *frontierCtx
+		var w *frontierWorker
+		if st != nil {
+			f, w = st.f, st.w
+			f.opt = &opt
+			w.stats = Stats{}
+		} else {
+			f = newDeltaSide(sub, terminal, ends, toSink, ds, &opt)
+			w = &frontierWorker{
+				nets: make([]*maxflow.Network, ds.Len()),
+				cur:  make([]uint64, ds.Len()),
+				val:  make([]int, ds.Len()),
+			}
+			st = &deltaSideState{f: f, w: w}
+		}
+		netBase := snapshotNets(w)
+		mode := deltaAdd
+		walkBit := mTouched - 1
+		if mut.Kind == graph.MutateCapacity {
+			walkBit = j
+			if mut.Cap >= gOld.Edge(mut.Link).Cap {
+				mode = deltaGrow
+			} else {
+				mode = deltaShrink
+			}
+			// The walk copies-on-first-write: a toggle that changes no
+			// word hands the parent's array back untouched, and the
+			// common no-op case never allocates.
+			out = parent.realized[touched]
+			// Patch the new capacity into the solver context: the
+			// prototype (future clones), the capacity-bound vector and
+			// every warm network, repairing the flows it carries.
+			f.caps[j] = mut.Cap
+			f.proto.SetBaseCapDirected(f.handles[j], mut.Cap)
+			for j2, nw := range w.nets {
+				if nw != nil {
+					w.val[j2] -= nw.SetBaseCapDirectedIncremental(f.handles[j], mut.Cap, f.src, f.dst)
+				}
+			}
+		} else {
+			out = make([]uint64, configs)
+			copy(out[:configs/2], parent.realized[touched])
+		}
+		var wErr error
+		func() {
+			cur := uint64(0)
+			defer anytime.RecoverInto(&wErr, opt.Ctl, "core delta walk", &cur)
+			out, _ = walkDelta(f, w, out, walkBit, mode, &cur)
+		}()
+		foldWorker(&p.Stats, w, netBase)
+		if wErr != nil {
+			return nil, wErr
+		}
+	}
+	if opt.Ctl.Stopped() {
+		return nil, fmt.Errorf("core: delta compile interrupted: %w", opt.Ctl.Err())
+	}
+	p.realized[touched] = out
+	p.sideLinks[touched] = touchedNew
+	p.deltaState[touched].Store(st)
+	p.deltaState[other].Store(parent.deltaState[other].Swap(nil))
+	if tr := opt.Ctl.Tracer(); tr != nil {
+		tr.OnPhase(stats.PhaseEvent{
+			Engine:       "core",
+			Phase:        fmt.Sprintf("mutate/side/%d", touched),
+			Duration:     time.Since(buildStart),
+			Configs:      p.Stats.SideConfigs[touched],
+			MaxFlowCalls: p.Stats.MaxFlowCalls,
+		})
+	}
+
+	mDeltaCompiles.Inc()
+	mSideConfigs.Add(int64(p.Stats.SideConfigs[0] + p.Stats.SideConfigs[1]))
+	mMaxFlowCalls.Add(p.Stats.MaxFlowCalls)
+	mAugmentingPaths.Add(p.Stats.AugmentingPaths)
+	mRealizationChecks.Add(p.Stats.RealizationChecks)
+	mPrunedCapacity.Add(p.Stats.PrunedCapacity)
+	mPrunedClosure.Add(p.Stats.PrunedClosure)
+	mFrontierMaxFlow.Add(p.Stats.FrontierMaxFlowCalls)
+	mDeltaReused.Add(p.Stats.DeltaReused)
+
+	// When the walk proved the touched side unchanged, both realization
+	// arrays are the parent's own and the kernel tables — functions of the
+	// arrays and the shared assignment structure only — transfer wholesale
+	// (including a nil kernel: the guards are structure-only, so the parent
+	// being outside them means the child is too).
+	if sameWords(p.realized[touched], parent.realized[touched]) && p.accum == parent.accum {
+		p.installEvalPhase(parent.kern)
+	} else {
+		p.installEvalPhase(p.compileKernelDelta(parent, touched))
+	}
 	return p, nil
+}
+
+// sameWords reports whether two slices share the same backing array (the
+// pointer-wise transfer the delta path uses for unchanged sides).
+func sameWords(a, b []uint64) bool {
+	return len(a) == len(b) && len(a) > 0 && &a[0] == &b[0]
 }
 
 // setBlockHook installs the bounded-concurrency test seam: the hook runs
 // once per work item inside the batch worker loops. Test-only; must be
 // called before any concurrent use of the plan.
 func (p *Plan) setBlockHook(h func()) { p.blockHook = h }
+
+// Version returns the plan's mutation depth: 0 for a cold compile,
+// parent version + 1 for each MutatePlan successor.
+func (p *Plan) Version() int { return p.version }
 
 // K returns the number of bottleneck links.
 func (p *Plan) K() int { return len(p.Cut) }

@@ -368,6 +368,77 @@ func (g *Graph) SplitByCut(s, t NodeID, cut []EdgeID) (gs, gt *Subgraph, err err
 	return g.Induced(insideS), g.Induced(insideT), nil
 }
 
+// WithCapacity returns a copy of g with link e's capacity set to c. Only
+// the edge slice is copied; the adjacency lists and node names — which a
+// capacity change cannot affect — are shared with g (both graphs are
+// immutable after build, so sharing is safe). The capacity must be valid
+// per the Builder's AddEdge rules.
+func (g *Graph) WithCapacity(e EdgeID, c int) (*Graph, error) {
+	if e < 0 || int(e) >= len(g.edges) {
+		return nil, fmt.Errorf("graph: edge %d out of range [0,%d)", e, len(g.edges))
+	}
+	if c < 0 {
+		return nil, fmt.Errorf("graph: edge %d has negative capacity %d", e, c)
+	}
+	edges := append([]Edge(nil), g.edges...)
+	edges[e].Cap = c
+	return &Graph{edges: edges, adj: g.adj, names: g.names}, nil
+}
+
+// WithEdgeAdded returns a copy of g with one new link u → v appended
+// under the next dense ID. Validation matches the Builder's AddEdge
+// rules. Only the edge slice, the outer adjacency slice and the two
+// endpoint rows are copied; every other adjacency row and the node
+// names are shared with g (both graphs are immutable after build, so
+// sharing is safe).
+func (g *Graph) WithEdgeAdded(u, v NodeID, c int, pFail float64) (*Graph, error) {
+	id := EdgeID(len(g.edges))
+	if u < 0 || int(u) >= len(g.adj) || v < 0 || int(v) >= len(g.adj) {
+		return nil, fmt.Errorf("graph: edge %d endpoints (%d,%d) out of range [0,%d)", id, u, v, len(g.adj))
+	}
+	switch {
+	case u == v:
+		return nil, fmt.Errorf("graph: edge %d is a self-loop at node %d", id, u)
+	case c < 0:
+		return nil, fmt.Errorf("graph: edge %d has negative capacity %d", id, c)
+	case pFail < 0 || pFail >= 1:
+		return nil, fmt.Errorf("graph: edge %d has failure probability %g outside [0,1)", id, pFail)
+	}
+	edges := make([]Edge, len(g.edges)+1)
+	copy(edges, g.edges)
+	edges[id] = Edge{ID: id, U: u, V: v, Cap: c, PFail: pFail}
+	adj := append([][]EdgeID(nil), g.adj...)
+	adj[u] = append(append(make([]EdgeID, 0, len(g.adj[u])+1), g.adj[u]...), id)
+	adj[v] = append(append(make([]EdgeID, 0, len(g.adj[v])+1), g.adj[v]...), id)
+	return &Graph{edges: edges, adj: adj, names: g.names}, nil
+}
+
+// WithEdgeRemoved returns a copy of g without link e. Links with IDs
+// above e shift down by one so IDs stay dense — the same renumbering a
+// Builder rebuild would produce. The adjacency lists are rebuilt (the
+// shift touches nearly every row); node names are shared with g.
+func (g *Graph) WithEdgeRemoved(e EdgeID) (*Graph, error) {
+	if e < 0 || int(e) >= len(g.edges) {
+		return nil, fmt.Errorf("graph: edge %d out of range [0,%d)", e, len(g.edges))
+	}
+	edges := make([]Edge, 0, len(g.edges)-1)
+	for _, x := range g.edges {
+		if x.ID == e {
+			continue
+		}
+		if x.ID > e {
+			x.ID--
+		}
+		edges = append(edges, x)
+	}
+	adj := make([][]EdgeID, len(g.adj))
+	for _, x := range edges {
+		adj[x.U] = append(adj[x.U], x.ID)
+		adj[x.V] = append(adj[x.V], x.ID)
+	}
+	return &Graph{edges: edges, adj: adj, names: g.names}, nil
+}
+
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{

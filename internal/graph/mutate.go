@@ -1,0 +1,115 @@
+package graph
+
+import "fmt"
+
+// MutationKind selects what a Mutation does to a graph.
+type MutationKind int
+
+const (
+	// MutateCapacity changes the capacity of one existing link, keeping
+	// its endpoints, failure probability and ID. Topology is unchanged,
+	// so node and link IDs are stable.
+	MutateCapacity MutationKind = iota
+	// MutateAdd appends one new link U → V; it receives the next dense
+	// link ID (NumEdges of the pre-mutation graph). Existing IDs are
+	// stable.
+	MutateAdd
+	// MutateRemove deletes one link. Links with higher IDs shift down by
+	// one to keep IDs dense; node IDs are stable.
+	MutateRemove
+)
+
+// String names the kind for error messages and logs.
+func (k MutationKind) String() string {
+	switch k {
+	case MutateCapacity:
+		return "capacity"
+	case MutateAdd:
+		return "add"
+	case MutateRemove:
+		return "remove"
+	}
+	return fmt.Sprintf("MutationKind(%d)", int(k))
+}
+
+// Mutation is a single-link change — the churn events of a P2P overlay
+// (bandwidth renegotiation, a connection appearing, a connection or peer
+// going away) expressed against the link model. Node churn reduces to
+// link churn through the node-splitting transform (internal/churn): a
+// peer leaving is the removal of its internal link.
+type Mutation struct {
+	Kind MutationKind
+	// Link is the target link for MutateCapacity and MutateRemove.
+	Link EdgeID
+	// U, V are the endpoints of the new link for MutateAdd.
+	U, V NodeID
+	// Cap is the new capacity for MutateCapacity and MutateAdd.
+	Cap int
+	// PFail is the failure probability of the new link for MutateAdd.
+	PFail float64
+}
+
+// String renders the mutation compactly.
+func (m Mutation) String() string {
+	switch m.Kind {
+	case MutateCapacity:
+		return fmt.Sprintf("capacity(e%d→%d)", m.Link, m.Cap)
+	case MutateAdd:
+		return fmt.Sprintf("add(%d→%d cap %d p %g)", m.U, m.V, m.Cap, m.PFail)
+	case MutateRemove:
+		return fmt.Sprintf("remove(e%d)", m.Link)
+	}
+	return m.Kind.String()
+}
+
+// Apply builds the mutated graph. It returns the new graph plus the link
+// remap: remap[old] is the post-mutation ID of pre-mutation link old, or
+// -1 for the removed link. Node IDs are always stable; link IDs move only
+// for MutateRemove (IDs above the removed link shift down by one). g is
+// not modified.
+func (m Mutation) Apply(g *Graph) (*Graph, []EdgeID, error) {
+	if g == nil {
+		return nil, nil, fmt.Errorf("graph: mutation on nil graph")
+	}
+	ne := g.NumEdges()
+	remap := make([]EdgeID, ne)
+	for i := range remap {
+		remap[i] = EdgeID(i)
+	}
+	switch m.Kind {
+	case MutateCapacity:
+		if m.Link < 0 || int(m.Link) >= ne {
+			return nil, nil, fmt.Errorf("graph: mutation %v targets link out of range [0,%d)", m, ne)
+		}
+		// Topology is untouched: share the adjacency structure instead
+		// of rebuilding it. Link IDs are stable, so the remap is the
+		// identity computed above.
+		g2, err := g.WithCapacity(m.Link, m.Cap)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: mutation %v: %w", m, err)
+		}
+		return g2, remap, nil
+	case MutateAdd:
+		g2, err := g.WithEdgeAdded(m.U, m.V, m.Cap, m.PFail)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: mutation %v: %w", m, err)
+		}
+		// The new link gets the next dense ID; existing IDs are stable,
+		// so the identity remap stands.
+		return g2, remap, nil
+	case MutateRemove:
+		if m.Link < 0 || int(m.Link) >= ne {
+			return nil, nil, fmt.Errorf("graph: mutation %v targets link out of range [0,%d)", m, ne)
+		}
+		g2, err := g.WithEdgeRemoved(m.Link)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: mutation %v: %w", m, err)
+		}
+		remap[m.Link] = -1
+		for i := int(m.Link) + 1; i < ne; i++ {
+			remap[i] = EdgeID(i - 1)
+		}
+		return g2, remap, nil
+	}
+	return nil, nil, fmt.Errorf("graph: unknown mutation kind %d", int(m.Kind))
+}

@@ -1,0 +1,177 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// rebuildMutated is the reference implementation of Mutation.Apply: a
+// full Builder rebuild. The fast paths (WithCapacity, WithEdgeAdded,
+// WithEdgeRemoved) must produce structurally identical graphs.
+func rebuildMutated(t *testing.T, g *Graph, m Mutation) (*Graph, []EdgeID) {
+	t.Helper()
+	remap := make([]EdgeID, g.NumEdges())
+	b := NewBuilder()
+	for i := 0; i < g.NumNodes(); i++ {
+		b.AddNamedNode(g.NodeName(NodeID(i)))
+	}
+	for _, e := range g.Edges() {
+		if m.Kind == MutateRemove && e.ID == m.Link {
+			remap[e.ID] = -1
+			continue
+		}
+		c := e.Cap
+		if m.Kind == MutateCapacity && e.ID == m.Link {
+			c = m.Cap
+		}
+		remap[e.ID] = b.AddEdge(e.U, e.V, c, e.PFail)
+	}
+	if m.Kind == MutateAdd {
+		b.AddEdge(m.U, m.V, m.Cap, m.PFail)
+	}
+	g2, err := b.Build()
+	if err != nil {
+		t.Fatalf("reference rebuild of %v: %v", m, err)
+	}
+	return g2, remap
+}
+
+func sameGraph(t *testing.T, got, want *Graph) {
+	t.Helper()
+	if got.NumNodes() != want.NumNodes() {
+		t.Fatalf("nodes: got %d, want %d", got.NumNodes(), want.NumNodes())
+	}
+	if !reflect.DeepEqual(got.Edges(), want.Edges()) {
+		t.Fatalf("edges: got %v, want %v", got.Edges(), want.Edges())
+	}
+	for n := 0; n < got.NumNodes(); n++ {
+		if got.NodeName(NodeID(n)) != want.NodeName(NodeID(n)) {
+			t.Fatalf("node %d name: got %q, want %q", n, got.NodeName(NodeID(n)), want.NodeName(NodeID(n)))
+		}
+		gi, wi := got.Incident(NodeID(n)), want.Incident(NodeID(n))
+		if len(gi) == 0 && len(wi) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(gi, wi) {
+			t.Fatalf("node %d incidence: got %v, want %v", n, gi, wi)
+		}
+	}
+}
+
+// TestMutationApplyMatchesRebuild pins every Apply fast path to the
+// Builder-rebuild reference on a randomized mutation stream.
+func TestMutationApplyMatchesRebuild(t *testing.T) {
+	b := NewBuilder()
+	s := b.AddNamedNode("s")
+	a := b.AddNamedNode("a")
+	c := b.AddNamedNode("c")
+	d := b.AddNode()
+	tt := b.AddNamedNode("t")
+	b.AddEdge(s, a, 2, 0.1)
+	b.AddEdge(s, c, 1, 0.2)
+	b.AddEdge(a, d, 1, 0.1)
+	b.AddEdge(c, d, 2, 0.3)
+	b.AddEdge(a, c, 1, 0.05)
+	b.AddEdge(d, tt, 3, 0.1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		var m Mutation
+		switch rng.Intn(3) {
+		case 0:
+			m = Mutation{Kind: MutateCapacity, Link: EdgeID(rng.Intn(g.NumEdges())), Cap: rng.Intn(4)}
+		case 1:
+			u := NodeID(rng.Intn(g.NumNodes()))
+			v := NodeID(rng.Intn(g.NumNodes()))
+			if u == v {
+				continue
+			}
+			m = Mutation{Kind: MutateAdd, U: u, V: v, Cap: 1 + rng.Intn(3), PFail: rng.Float64() * 0.9}
+		default:
+			if g.NumEdges() <= 4 {
+				continue
+			}
+			m = Mutation{Kind: MutateRemove, Link: EdgeID(rng.Intn(g.NumEdges()))}
+		}
+		got, remap, err := m.Apply(g)
+		if err != nil {
+			t.Fatalf("step %d: Apply(%v): %v", i, m, err)
+		}
+		want, wantRemap := rebuildMutated(t, g, m)
+		sameGraph(t, got, want)
+		if !reflect.DeepEqual(remap, wantRemap) {
+			t.Fatalf("step %d: remap for %v: got %v, want %v", i, m, remap, wantRemap)
+		}
+		g = got
+	}
+}
+
+// TestMutationApplyErrors checks that fast-path validation still rejects
+// what the Builder would have rejected.
+func TestMutationApplyErrors(t *testing.T) {
+	b := NewBuilder()
+	u := b.AddNode()
+	v := b.AddNode()
+	b.AddEdge(u, v, 1, 0.1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []Mutation{
+		{Kind: MutateCapacity, Link: -1, Cap: 1},
+		{Kind: MutateCapacity, Link: 7, Cap: 1},
+		{Kind: MutateCapacity, Link: 0, Cap: -1},
+		{Kind: MutateAdd, U: u, V: u, Cap: 1, PFail: 0.1},
+		{Kind: MutateAdd, U: u, V: 9, Cap: 1, PFail: 0.1},
+		{Kind: MutateAdd, U: u, V: v, Cap: -1, PFail: 0.1},
+		{Kind: MutateAdd, U: u, V: v, Cap: 1, PFail: 1.0},
+		{Kind: MutateAdd, U: u, V: v, Cap: 1, PFail: -0.5},
+		{Kind: MutateRemove, Link: -2},
+		{Kind: MutateRemove, Link: 1},
+		{Kind: MutationKind(9)},
+	}
+	for _, m := range bad {
+		if _, _, err := m.Apply(g); err == nil {
+			t.Errorf("Apply(%v) succeeded, want error", m)
+		}
+	}
+	if _, _, err := (Mutation{Kind: MutateCapacity, Link: 0, Cap: 2}).Apply(nil); err == nil {
+		t.Error("Apply on nil graph succeeded, want error")
+	}
+}
+
+// TestMutationApplySharesSafely verifies the mutated graph does not
+// alias mutable state with its parent: changing the child must leave
+// the parent untouched.
+func TestMutationApplySharesSafely(t *testing.T) {
+	b := NewBuilder()
+	u := b.AddNode()
+	v := b.AddNode()
+	w := b.AddNode()
+	b.AddEdge(u, v, 1, 0.1)
+	b.AddEdge(v, w, 2, 0.2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := g.Clone()
+
+	// An add followed by another add onto the child must not grow the
+	// parent's adjacency rows through a shared backing array.
+	c1, _, err := (Mutation{Kind: MutateAdd, U: u, V: w, Cap: 1, PFail: 0.1}).Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := (Mutation{Kind: MutateAdd, U: u, V: v, Cap: 1, PFail: 0.1}).Apply(c1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := (Mutation{Kind: MutateRemove, Link: 0}).Apply(c1); err != nil {
+		t.Fatal(err)
+	}
+	sameGraph(t, g, snap)
+}

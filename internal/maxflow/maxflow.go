@@ -406,6 +406,68 @@ func (nw *Network) EnableIncremental(h Handle) {
 	nw.arcs[h^1].cap = nw.base[h^1]
 }
 
+// SetBaseCapDirectedIncremental changes the base capacity of a directed
+// arc while preserving a feasible s→t flow: growing the capacity keeps
+// the current flow and widens the residual; shrinking it below the flow
+// currently crossing the arc first reroutes the excess through the
+// residual graph or, where rerouting is impossible, returns it along the
+// source and sink sides (reducing the flow value, exactly like
+// DisableIncremental). It returns the number of flow units lost. On a
+// disabled edge it only records the new base capacity.
+func (nw *Network) SetBaseCapDirectedIncremental(h Handle, c int, s, t int32) int {
+	if c < 0 {
+		panic("maxflow: negative capacity")
+	}
+	return nw.setBaseCapIncremental(h, int32(c), 0, s, t)
+}
+
+// SetBaseCapUndirectedIncremental is SetBaseCapDirectedIncremental for an
+// undirected link created with AddUndirected.
+func (nw *Network) SetBaseCapUndirectedIncremental(h Handle, c int, s, t int32) int {
+	if c < 0 {
+		panic("maxflow: negative capacity")
+	}
+	return nw.setBaseCapIncremental(h, int32(c), int32(c), s, t)
+}
+
+// setBaseCapIncremental installs new base capacities (fwd forward, rev
+// backward), clamping the flow currently crossing the edge into the new
+// window and repairing conservation for any excess via the virtual-arc
+// trick of DisableIncremental. Returns the flow units lost.
+func (nw *Network) setBaseCapIncremental(h Handle, fwd, rev int32, s, t int32) int {
+	if !nw.enabled[h/2] {
+		nw.base[h], nw.base[h^1] = fwd, rev
+		return 0
+	}
+	f := nw.base[h] - nw.arcs[h].cap // signed flow in the forward direction
+	nw.base[h], nw.base[h^1] = fwd, rev
+	var excess, u, v int32 // excess runs u→v through the edge
+	switch {
+	case f > fwd:
+		excess, u, v = f-fwd, nw.arcs[h^1].to, nw.arcs[h].to
+		f = fwd
+	case -f > rev:
+		excess, u, v = -f-rev, nw.arcs[h].to, nw.arcs[h^1].to
+		f = -rev
+	}
+	nw.arcs[h].cap = fwd - f
+	nw.arcs[h^1].cap = rev + f
+	if excess == 0 {
+		return 0
+	}
+	// Conservation is violated by the clamp: u has +excess, v has
+	// -excess. Repair exactly as DisableIncremental does, with a virtual
+	// s→t arc as the "reduce the flow value" channel.
+	vh := nw.addPair(s, t, excess, 0)
+	pushed := nw.Augment(u, v, int(excess))
+	if int32(pushed) != excess {
+		panic("maxflow: internal error: could not repair flow after capacity change")
+	}
+	lost := nw.base[vh] - nw.arcs[vh].cap
+	nw.removeLastPair(vh)
+	return int(lost)
+}
+
 // RetargetIncremental transitions the enabled states of the edges in
 // handles from the configuration `prev` (bit i set = handles[i] enabled)
 // to `target`, preserving a feasible s→t flow of the given value across

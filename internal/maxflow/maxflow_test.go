@@ -395,7 +395,10 @@ func TestPanics(t *testing.T) {
 // random walk over enabled-edge bitmasks — exactly how the frontier side
 // engine drives it, except here the transitions are arbitrary rather than
 // popcount-adjacent, so both the incremental and the full-reset paths get
-// exercised. Conservation must hold after every hop.
+// exercised. Every fourth step is a per-edge capacity delta (the churn
+// mutation) applied through SetBaseCapUndirectedIncremental, so the walk
+// also proves a feasible flow survives capacity shrink/grow, not just
+// enable/disable. Conservation must hold after every hop.
 func TestQuickRetargetIncremental(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -414,21 +417,30 @@ func TestQuickRetargetIncremental(t *testing.T) {
 		all := uint64(1)<<uint(len(hs)) - 1
 
 		for step := 0; step < 24; step++ {
-			var target uint64
-			if step%3 == 0 {
-				// Popcount-adjacent hop, the common case in the engine.
-				target = cur ^ (uint64(1) << uint(rng.Intn(len(hs))))
+			if step%4 == 3 {
+				// Capacity delta on a random edge, live or not: shrinking
+				// below the crossing flow must repair and report the loss.
+				i := rng.Intn(len(hs))
+				c := rng.Intn(5)
+				value -= nw.SetBaseCapUndirectedIncremental(hs[i], c, s, tt)
+				ref.SetBaseCapUndirected(hs[i], c)
 			} else {
-				target = rng.Uint64() & all
+				var target uint64
+				if step%3 == 0 {
+					// Popcount-adjacent hop, the common case in the engine.
+					target = cur ^ (uint64(1) << uint(rng.Intn(len(hs))))
+				} else {
+					target = rng.Uint64() & all
+				}
+				value = nw.RetargetIncremental(hs, cur, target, s, tt, value)
+				cur = target
 			}
-			value = nw.RetargetIncremental(hs, cur, target, s, tt, value)
 			value += nw.Augment(s, tt, -1)
-			cur = target
 			if v, err := nw.CheckConservation(s, tt); err != nil || v != value {
 				return false
 			}
 			for i, h := range hs {
-				ref.SetEnabled(h, target&(1<<uint(i)) != 0)
+				ref.SetEnabled(h, cur&(1<<uint(i)) != 0)
 			}
 			if want := ref.MaxFlow(s, tt, -1); want != value {
 				return false
@@ -438,6 +450,48 @@ func TestQuickRetargetIncremental(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// SetBaseCapDirectedIncremental on a saturated path: shrinking below the
+// crossing flow loses exactly the excess, growing back restores headroom
+// for Augment, and a disabled edge only records the new base.
+func TestSetBaseCapIncremental(t *testing.T) {
+	nw := New(3)
+	a := nw.AddDirected(0, 1, 2)
+	b := nw.AddDirected(1, 2, 2)
+	if v := nw.MaxFlow(0, 2, -1); v != 2 {
+		t.Fatalf("maxflow = %d, want 2", v)
+	}
+	if lost := nw.SetBaseCapDirectedIncremental(b, 1, 0, 2); lost != 1 {
+		t.Fatalf("shrink 2→1 lost %d, want 1", lost)
+	}
+	if v, err := nw.CheckConservation(0, 2); err != nil || v != 1 {
+		t.Fatalf("after shrink: value %d err %v", v, err)
+	}
+	if lost := nw.SetBaseCapDirectedIncremental(b, 0, 0, 2); lost != 1 {
+		t.Fatalf("shrink 1→0 lost %d, want 1", lost)
+	}
+	if lost := nw.SetBaseCapDirectedIncremental(b, 2, 0, 2); lost != 0 {
+		t.Fatalf("grow 0→2 lost %d, want 0", lost)
+	}
+	if got := nw.Augment(0, 2, -1); got != 2 {
+		t.Fatalf("augment after grow = %d, want 2", got)
+	}
+	// Disabled edge: record the base, no flow change, conservation holds.
+	lost := nw.DisableIncremental(a, 0, 2)
+	if lost != 2 {
+		t.Fatalf("disable lost %d, want 2", lost)
+	}
+	if lost := nw.SetBaseCapDirectedIncremental(a, 5, 0, 2); lost != 0 {
+		t.Fatalf("set on disabled lost %d, want 0", lost)
+	}
+	nw.EnableIncremental(a)
+	if got := nw.Augment(0, 2, -1); got != 2 {
+		t.Fatalf("augment after enable = %d, want 2 (new cap visible)", got)
+	}
+	if v, err := nw.CheckConservation(0, 2); err != nil || v != 2 {
+		t.Fatalf("final: value %d err %v", v, err)
 	}
 }
 

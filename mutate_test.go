@@ -1,0 +1,286 @@
+package flowrel
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// mutateTestInstance is a diamond with a distinct bottleneck: two relay
+// paths s→a→t and s→b→t feed t, and the single s→t shortcut breaks the
+// symmetry so mutations on relay links stay off the cut.
+func mutateTestInstance(t testing.TB) (*Graph, Demand) {
+	t.Helper()
+	b := NewBuilder()
+	s := b.AddNamedNode("s")
+	a := b.AddNamedNode("a")
+	bb := b.AddNamedNode("b")
+	tt := b.AddNamedNode("t")
+	b.AddEdge(s, a, 2, 0.1)
+	b.AddEdge(a, tt, 2, 0.1)
+	b.AddEdge(s, bb, 1, 0.2)
+	b.AddEdge(bb, tt, 1, 0.2)
+	b.AddEdge(s, tt, 1, 0.3)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, Demand{S: s, T: tt, D: 2}
+}
+
+// assertSamePlan compares a mutation successor against a cold compile of
+// the same graph on every public observable.
+func assertSamePlan(t *testing.T, label string, got, want *Plan) {
+	t.Helper()
+	gc, wc := got.Cut(), want.Cut()
+	if len(gc) != len(wc) {
+		t.Fatalf("%s: cut %v vs cold %v", label, gc, wc)
+	}
+	for i := range gc {
+		if gc[i] != wc[i] {
+			t.Fatalf("%s: cut %v vs cold %v", label, gc, wc)
+		}
+	}
+	rg, err := got.Eval(nil)
+	if err != nil {
+		t.Fatalf("%s: Eval: %v", label, err)
+	}
+	rw, err := want.Eval(nil)
+	if err != nil {
+		t.Fatalf("%s: cold Eval: %v", label, err)
+	}
+	if math.Float64bits(rg) != math.Float64bits(rw) {
+		t.Fatalf("%s: Eval %v vs cold %v", label, rg, rw)
+	}
+}
+
+// coldPlan compiles (g, dem, cfg) against a throwaway cache so the result
+// is a genuine cold compile even when the process cache holds the key.
+func coldPlan(t *testing.T, g *Graph, dem Demand, cfg Config) *Plan {
+	t.Helper()
+	old := planCache
+	planCache = newPlanCache(1, 0)
+	defer func() { planCache = old }()
+	p, err := CompilePlan(g, dem, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestPlanMutateMatchesCold chains every mutation kind through the public
+// Plan.Mutate and checks each successor against a cold CompilePlan of the
+// mutated graph.
+func TestPlanMutateMatchesCold(t *testing.T) {
+	withPlanCacheShards(t, planCacheShards, defaultPlanCacheCapacity)
+	g, dem := mutateTestInstance(t)
+	p, err := CompilePlan(g, dem, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Version() != 0 {
+		t.Fatalf("cold compile version %d, want 0", p.Version())
+	}
+	muts := []Mutation{
+		{Kind: MutateCapacity, Link: 1, Cap: 3},
+		{Kind: MutateAdd, U: 1, V: 3, Cap: 1, PFail: 0.25},
+		{Kind: MutateCapacity, Link: 3, Cap: 2},
+		{Kind: MutateRemove, Link: 5},
+	}
+	for i, m := range muts {
+		child, err := p.Mutate(m)
+		if err != nil {
+			t.Fatalf("mutation %d (%v): %v", i, m, err)
+		}
+		if child.Version() != p.Version()+1 {
+			t.Fatalf("mutation %d: version %d after parent %d", i, child.Version(), p.Version())
+		}
+		if child.Graph().NumEdges() != len(child.BasePFail()) {
+			t.Fatalf("mutation %d: graph/base length mismatch", i)
+		}
+		if child.Demand() != dem {
+			t.Fatalf("mutation %d: demand changed to %v", i, child.Demand())
+		}
+		cold := coldPlan(t, child.Graph(), dem, Config{})
+		assertSamePlan(t, m.String(), child, cold)
+		p = child
+	}
+}
+
+// TestPlanMutateCacheDistinctKeys is the cache contract for successors: a
+// mutated plan gets the mutated graph's own structural hash — never the
+// parent's — and is inserted into the sharded cache under it, so both a
+// repeated Mutate and a CompilePlan of the mutated structure hit.
+func TestPlanMutateCacheDistinctKeys(t *testing.T) {
+	withPlanCacheShards(t, planCacheShards, defaultPlanCacheCapacity)
+	g, dem := mutateTestInstance(t)
+	p, err := CompilePlan(g, dem, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Mutation{Kind: MutateCapacity, Link: 1, Cap: 3}
+	child, err := p.Mutate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child.Cached() {
+		t.Fatal("first mutation reported a cache hit")
+	}
+	g2 := child.Graph()
+	if StructuralHash(g, dem, Config{}) == StructuralHash(g2, dem, Config{}) {
+		t.Fatal("mutated graph aliases the parent's structural hash")
+	}
+
+	// The successor is retrievable: same mutation again hits, and a
+	// CompilePlan of the mutated structure hits the same entry.
+	again, err := p.Mutate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached() {
+		t.Fatal("repeated mutation missed the cache")
+	}
+	compiled, err := CompilePlan(g2, dem, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !compiled.Cached() {
+		t.Fatal("CompilePlan of the mutated structure missed the cache")
+	}
+	// The parent's entry survived the child's insertion.
+	back, err := CompilePlan(g, dem, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Cached() {
+		t.Fatal("parent structure was evicted by its own successor")
+	}
+	assertSamePlan(t, "cache hit", again, child)
+}
+
+// TestPlanMutatePinnedBottleneck: a pinned bottleneck follows the
+// mutation's link renumbering, and removing a pinned link is an error,
+// not a silent re-pin.
+func TestPlanMutatePinnedBottleneck(t *testing.T) {
+	withPlanCacheShards(t, planCacheShards, defaultPlanCacheCapacity)
+	g, dem := mutateTestInstance(t)
+	base, err := CompilePlan(g, dem, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Bottleneck: base.Cut()}
+	p, err := CompilePlan(g, dem, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remove a non-pinned link: the pin survives renumbering.
+	var victim EdgeID = -1
+	for id := 0; id < g.NumEdges(); id++ {
+		pinned := false
+		for _, c := range cfg.Bottleneck {
+			if EdgeID(id) == c {
+				pinned = true
+			}
+		}
+		if !pinned {
+			victim = EdgeID(id)
+		}
+	}
+	if victim >= 0 {
+		child, err := p.Mutate(Mutation{Kind: MutateRemove, Link: victim})
+		if err == nil {
+			cold := coldPlan(t, child.Graph(), dem, child.cfg)
+			assertSamePlan(t, "pinned remove", child, cold)
+		}
+	}
+	// Removing a pinned link must fail loudly.
+	_, err = p.Mutate(Mutation{Kind: MutateRemove, Link: cfg.Bottleneck[0]})
+	if err == nil || !strings.Contains(err.Error(), "pinned bottleneck") {
+		t.Fatalf("removing a pinned bottleneck link: err = %v", err)
+	}
+}
+
+// TestChurnMutateEndToEnd drives peer churn through the delta compiler:
+// the node-split transform turns peers into internal links, and
+// Leave/SetRelay/Rejoin events become Plan.Mutate calls whose successors
+// must match cold compiles of the churned instance.
+func TestChurnMutateEndToEnd(t *testing.T) {
+	withPlanCacheShards(t, planCacheShards, defaultPlanCacheCapacity)
+	b := NewBuilder()
+	s := b.AddNamedNode("s")
+	r1 := b.AddNamedNode("r1")
+	r2 := b.AddNamedNode("r2")
+	tt := b.AddNamedNode("t")
+	b.AddEdge(s, r1, 2, 0.05)
+	b.AddEdge(s, r2, 2, 0.05)
+	b.AddEdge(r1, tt, 2, 0.05)
+	b.AddEdge(r2, tt, 2, 0.05)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dem := Demand{S: s, T: tt, D: 2}
+	inst, err := WithChurn(g, dem, []Peer{
+		{Node: r1, PFail: 0.1, Relay: 2},
+		{Node: r2, PFail: 0.1, Relay: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := CompilePlan(inst.G, inst.Demand, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Peer r1 throttles its relay capacity. Link IDs are untouched.
+	m, err := inst.SetRelay(r1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := p.Mutate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSamePlan(t, "set-relay", p1, coldPlan(t, p1.Graph(), inst.Demand, Config{}))
+
+	// Peer r2 leaves. Its internal link ID is still valid on p1's graph
+	// (the relay change renumbered nothing).
+	m, err = inst.Leave(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := p1.Mutate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSamePlan(t, "leave", p2, coldPlan(t, p2.Graph(), inst.Demand, Config{}))
+	rDown, _ := p2.Eval(nil)
+	rUp, _ := p1.Eval(nil)
+	if rDown >= rUp {
+		t.Fatalf("losing a relay peer did not hurt: %v → %v", rUp, rDown)
+	}
+
+	// Peer r2 rejoins: an added link addressed purely by node IDs, valid
+	// on any descendant graph.
+	m, err = inst.Rejoin(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := p2.Mutate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSamePlan(t, "rejoin", p3, coldPlan(t, p3.Graph(), inst.Demand, Config{}))
+	rBack, _ := p3.Eval(nil)
+	if math.Abs(rBack-rUp) > 1e-12 {
+		t.Fatalf("rejoin did not restore reliability: %v, want ≈ %v", rBack, rUp)
+	}
+
+	// Errors: a non-peer node and an out-of-range node.
+	if _, err := inst.Leave(s); err == nil {
+		t.Fatal("Leave on a non-fallible node succeeded")
+	}
+	if _, err := inst.SetRelay(NodeID(99), 1); err == nil {
+		t.Fatal("SetRelay on an unknown node succeeded")
+	}
+}

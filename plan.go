@@ -6,6 +6,7 @@ import (
 
 	"flowrel/internal/anytime"
 	"flowrel/internal/core"
+	"flowrel/internal/graph"
 )
 
 // Plan is a compiled reliability plan: the structure phase of the
@@ -30,7 +31,28 @@ type Plan struct {
 	// cached records whether the compile phase was skipped entirely
 	// because the plan cache already held this structure.
 	cached bool
+	// g, dem and cfg are the instance this Plan answers for — kept so
+	// Mutate can delta-compile successors without asking the caller to
+	// re-supply what the Plan already knows.
+	g   *Graph
+	dem Demand
+	cfg Config
 }
+
+// Mutation is one single-link change to a graph: a capacity update, a
+// link addition or a link removal. It is the unit of overlay churn the
+// delta compiler (Plan.Mutate) understands.
+type Mutation = graph.Mutation
+
+// MutationKind discriminates Mutation variants.
+type MutationKind = graph.MutationKind
+
+// Re-exported mutation kinds.
+const (
+	MutateCapacity = graph.MutateCapacity
+	MutateAdd      = graph.MutateAdd
+	MutateRemove   = graph.MutateRemove
+)
 
 // CompilePlan compiles the structure of (g, dem) into a reusable Plan,
 // consulting the process-wide plan cache first: if the same topology,
@@ -60,8 +82,70 @@ func CompilePlanCtx(ctx context.Context, g *Graph, dem Demand, cfg Config) (*Pla
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{core: cp, base: pfailOf(g), parallelism: cfg.Parallelism, cached: hit}, nil
+	return &Plan{core: cp, base: pfailOf(g), parallelism: cfg.Parallelism, cached: hit, g: g, dem: dem, cfg: cfg}, nil
 }
+
+// Mutate derives the Plan for the graph after one single-link change —
+// a capacity update, a link addition or a link removal — reusing as much
+// of this Plan's compile work as the change provably leaves valid. When
+// the mutation stays off the bottleneck cut, only the touched side's
+// affected configurations re-run max-flows; the other side's realization
+// array and the kernel's tables for it transfer verbatim. The result is
+// bit-identical to CompilePlan on the mutated graph, cheaper by the work
+// the parent already did. The parent Plan is unchanged and remains valid.
+//
+// The successor is a full citizen: it is inserted into the plan cache
+// under the mutated graph's own structural hash, and can itself be
+// mutated, chaining through arbitrary churn. Mutations that invalidate
+// the parent's decomposition (a cut link changed or removed, a structural
+// re-split) fall back to a cold compile transparently — the result is
+// still correct, just not cheaper.
+func (p *Plan) Mutate(m Mutation) (*Plan, error) {
+	return p.MutateCtx(context.Background(), m, p.cfg.Budget)
+}
+
+// MutateCtx is Mutate honouring a context and an explicit work budget for
+// the delta compile. The budget meters configurations exactly as a cold
+// compile of the mutated graph would, so a budget sufficient cold is
+// sufficient here.
+func (p *Plan) MutateCtx(ctx context.Context, m Mutation, b Budget) (*Plan, error) {
+	g2, remap, err := m.Apply(p.g)
+	if err != nil {
+		return nil, err
+	}
+	cfg := p.cfg
+	cfg.Budget = b
+	if cfg.Bottleneck != nil {
+		// A pinned bottleneck names parent-graph links; carry it through
+		// the mutation's link renumbering.
+		pinned := make([]EdgeID, len(cfg.Bottleneck))
+		for i, id := range cfg.Bottleneck {
+			if int(id) >= len(remap) || remap[id] < 0 {
+				return nil, fmt.Errorf("flowrel: mutation %v removes pinned bottleneck link %d", m, id)
+			}
+			pinned[i] = remap[id]
+		}
+		cfg.Bottleneck = pinned
+	}
+	ctl := anytime.New(ctx, cfg.Budget)
+	cp, hit, err := planForMutate(ctl, p.core, p.g, g2, p.dem, cfg, m, remap)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{core: cp, base: pfailOf(g2), parallelism: cfg.Parallelism, cached: hit, g: g2, dem: p.dem, cfg: cfg}, nil
+}
+
+// Version is the Plan's position in its mutation chain: 0 for a cold
+// compile, parent version + 1 for each Mutate. A cache hit returns the
+// version of whichever equivalent plan was compiled first.
+func (p *Plan) Version() int { return p.core.Version() }
+
+// Graph returns the graph this Plan was compiled for. The graph is
+// immutable; mutate it through Plan.Mutate or Mutation.Apply.
+func (p *Plan) Graph() *Graph { return p.g }
+
+// Demand returns the flow demand this Plan answers for.
+func (p *Plan) Demand() Demand { return p.dem }
 
 // pfailOf collects the per-link failure probabilities of g, indexed by
 // link ID.

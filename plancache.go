@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"sync"
+	"sync/atomic"
 
 	"flowrel/internal/anytime"
 	"flowrel/internal/core"
@@ -55,6 +56,10 @@ type planShard struct {
 type planCacheType struct {
 	shards   []*planShard
 	capacity int // configured total capacity, split across shards
+	// off mirrors capacity ≤ 0 for lock-free reads: with caching disabled
+	// the lookup paths skip the structural hash and the singleflight
+	// machinery entirely and compile directly.
+	off atomic.Bool
 }
 
 type planEntry struct {
@@ -125,6 +130,7 @@ func (c *planCacheType) shardFor(key string) *planShard {
 // within one rounding step of the configured bound.
 func (c *planCacheType) setCapacity(n int) {
 	c.capacity = n
+	c.off.Store(n <= 0)
 	per := 0
 	if n > 0 {
 		per = (n + len(c.shards) - 1) / len(c.shards)
@@ -323,6 +329,17 @@ func StructuralHash(g *Graph, dem Demand, cfg Config) string {
 // error scoped to *its* controller — waiters retry with their own, so one
 // caller's tight budget cannot fail another's compile.
 func planFor(ctl *anytime.Ctl, g *Graph, dem Demand, cfg Config) (*core.Plan, bool, error) {
+	if planCache.off.Load() {
+		p, err := core.Compile(g, dem, core.Options{
+			Bottleneck:       cfg.Bottleneck,
+			MaxBottleneck:    cfg.MaxBottleneck,
+			MaxSideEdges:     cfg.MaxSideEdges,
+			MaxAssignmentSet: cfg.MaxAssignmentSet,
+			Parallelism:      cfg.Parallelism,
+			Ctl:              ctl,
+		})
+		return p, false, err
+	}
 	key := planKey(g, dem, cfg)
 	shard := planCache.shardFor(key)
 	for {
@@ -348,6 +365,69 @@ func planFor(ctl *anytime.Ctl, g *Graph, dem Demand, cfg Config) (*core.Plan, bo
 		}
 
 		p, err := core.Compile(g, dem, core.Options{
+			Bottleneck:       cfg.Bottleneck,
+			MaxBottleneck:    cfg.MaxBottleneck,
+			MaxSideEdges:     cfg.MaxSideEdges,
+			MaxAssignmentSet: cfg.MaxAssignmentSet,
+			Parallelism:      cfg.Parallelism,
+			Ctl:              ctl,
+		})
+		fl.plan, fl.err = p, err
+		shard.mu.Lock()
+		delete(shard.inflight, key)
+		shard.mu.Unlock()
+		close(fl.done)
+		if err != nil {
+			return nil, false, err
+		}
+		shard.put(key, p)
+		return p, false, nil
+	}
+}
+
+// planForMutate is planFor for a mutation successor: the mutated graph's
+// own structural key is looked up first — churn cycles (a peer leaves and
+// rejoins, a capacity flaps back) resolve to cache hits with zero compile
+// work — and on a miss the leader runs the delta compiler against the
+// parent plan instead of a cold compile. The child is cached under its
+// own key, so it never aliases the parent's entry and later CompilePlan
+// calls on the mutated structure hit it directly.
+func planForMutate(ctl *anytime.Ctl, parent *core.Plan, gOld, g *Graph, dem Demand, cfg Config, mut Mutation, remap []EdgeID) (*core.Plan, bool, error) {
+	if planCache.off.Load() {
+		p, err := core.MutatePlan(parent, gOld, g, dem, mut, remap, core.Options{
+			Bottleneck:       cfg.Bottleneck,
+			MaxBottleneck:    cfg.MaxBottleneck,
+			MaxSideEdges:     cfg.MaxSideEdges,
+			MaxAssignmentSet: cfg.MaxAssignmentSet,
+			Parallelism:      cfg.Parallelism,
+			Ctl:              ctl,
+		})
+		return p, false, err
+	}
+	key := planKey(g, dem, cfg)
+	shard := planCache.shardFor(key)
+	for {
+		p, hit, fl, leader := shard.acquire(key)
+		if hit {
+			return p, true, nil
+		}
+		if !leader {
+			select {
+			case <-fl.done:
+			case <-ctl.Context().Done():
+				err := ctl.Err()
+				if err == nil {
+					err = ctl.Context().Err()
+				}
+				return nil, false, err
+			}
+			if fl.err == nil {
+				return fl.plan, true, nil
+			}
+			continue
+		}
+
+		p, err := core.MutatePlan(parent, gOld, g, dem, mut, remap, core.Options{
 			Bottleneck:       cfg.Bottleneck,
 			MaxBottleneck:    cfg.MaxBottleneck,
 			MaxSideEdges:     cfg.MaxSideEdges,
